@@ -1,0 +1,31 @@
+# Convenience targets for the reskit repository.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures report clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim/ ./internal/planner/ ./internal/quad/
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+figures:
+	$(GO) run ./cmd/figures -out out/figures -extended
+
+report:
+	$(GO) run ./cmd/report -extended -out REPORT.md
+
+clean:
+	rm -rf out REPORT.md test_output.txt bench_output.txt

@@ -1,0 +1,192 @@
+// Command ckptopt solves the checkpoint-placement problems of Barbut et
+// al. (FTXS'23) from the command line.
+//
+// Preemptible scenario (Section 3): when should an application that can
+// checkpoint at any instant start its final checkpoint?
+//
+//	ckptopt -mode preempt -R 10 -ckpt 'uniform:1,7.5'
+//	ckptopt -mode preempt -R 10 -ckpt 'exp:0.5@[1,5]'
+//
+// Static strategy (Section 4.2): after how many IID stochastic tasks
+// should the chain checkpoint?
+//
+//	ckptopt -mode static -R 30 -task 'norm:3,0.5' -ckpt 'norm:5,0.4@[0,inf]'
+//	ckptopt -mode static -R 29 -taskdisc 'poisson:3' -ckpt 'norm:5,0.4@[0,inf]'
+//
+// Dynamic strategy (Section 4.3): above which accumulated work is
+// checkpointing now better than running one more task?
+//
+//	ckptopt -mode dynamic -R 29 -task 'norm:3,0.5@[0,inf]' -ckpt 'norm:5,0.4@[0,inf]'
+//
+// See internal/lawspec for the distribution syntax.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"reskit"
+	"reskit/internal/lawspec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ckptopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ckptopt", flag.ContinueOnError)
+	mode := fs.String("mode", "preempt", "problem: preempt, static, dynamic or multi")
+	r := fs.Float64("R", 0, "reservation length (required)")
+	ckptSpec := fs.String("ckpt", "", "checkpoint-duration law (required)")
+	taskSpec := fs.String("task", "", "continuous task-duration law (static/dynamic)")
+	taskDiscSpec := fs.String("taskdisc", "", "discrete task-duration law (static/dynamic)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *r <= 0 {
+		return errors.New("-R must be positive")
+	}
+	if *ckptSpec == "" {
+		return errors.New("-ckpt is required")
+	}
+	ckpt, err := lawspec.Parse(*ckptSpec)
+	if err != nil {
+		return err
+	}
+
+	switch *mode {
+	case "preempt":
+		return solvePreempt(out, *r, ckpt)
+	case "static":
+		return solveStatic(out, *r, *taskSpec, *taskDiscSpec, ckpt)
+	case "dynamic":
+		return solveDynamic(out, *r, *taskSpec, *taskDiscSpec, ckpt)
+	case "multi":
+		return solveMulti(out, *r, *taskSpec, ckpt)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+func solvePreempt(out io.Writer, r float64, ckpt reskit.Continuous) (err error) {
+	defer recoverToError(&err)
+	p := reskit.NewPreemptible(r, ckpt)
+	sol := p.OptimalX()
+	pess := p.Pessimistic()
+	a, b := p.Bounds()
+	fmt.Fprintf(out, "preemptible problem: R=%g, C ~ %v (support [%g, %g])\n", r, ckpt, a, b)
+	fmt.Fprintf(out, "  optimal:     checkpoint %.6g s before the end (method %s)\n", sol.X, sol.Method)
+	fmt.Fprintf(out, "  E(W(X_opt)): %.6g\n", sol.ExpectedWork)
+	fmt.Fprintf(out, "  pessimistic: X=b=%.6g with E(W)=%.6g\n", pess.X, pess.ExpectedWork)
+	fmt.Fprintf(out, "  gain:        %.4gx over the pessimistic strategy\n", p.Gain())
+	if sol.Interior {
+		fmt.Fprintf(out, "  the optimum is interior: planning for the worst case wastes work\n")
+	} else {
+		fmt.Fprintf(out, "  the optimum is X=b: the pessimistic strategy is optimal here\n")
+	}
+	return nil
+}
+
+func solveStatic(out io.Writer, r float64, taskSpec, taskDiscSpec string, ckpt reskit.Continuous) (err error) {
+	defer recoverToError(&err)
+	var s *reskit.Static
+	switch {
+	case taskSpec != "":
+		law, err := lawspec.Parse(taskSpec)
+		if err != nil {
+			return err
+		}
+		task, ok := law.(reskit.Summable)
+		if !ok {
+			return fmt.Errorf("task law %v does not support IID summation; use norm, gamma, exp or det", law)
+		}
+		s = reskit.NewStatic(r, task, ckpt)
+		fmt.Fprintf(out, "static problem: R=%g, X ~ %v, C ~ %v\n", r, law, ckpt)
+	case taskDiscSpec != "":
+		law, err := lawspec.ParseDiscrete(taskDiscSpec)
+		if err != nil {
+			return err
+		}
+		task, ok := law.(reskit.SummableDiscrete)
+		if !ok {
+			return fmt.Errorf("task law %v does not support IID summation", law)
+		}
+		s = reskit.NewStaticDiscrete(r, task, ckpt)
+		fmt.Fprintf(out, "static problem: R=%g, X ~ %v (discrete), C ~ %v\n", r, law, ckpt)
+	default:
+		return errors.New("static mode needs -task or -taskdisc")
+	}
+	sol := s.Optimize()
+	fmt.Fprintf(out, "  y_opt:    %.6g (continuous relaxation maximum, E=%.6g)\n", sol.YOpt, sol.FOpt)
+	fmt.Fprintf(out, "  n_opt:    %d tasks before the checkpoint\n", sol.NOpt)
+	fmt.Fprintf(out, "  E(n_opt): %.6g expected saved work\n", sol.ENOpt)
+	return nil
+}
+
+func solveDynamic(out io.Writer, r float64, taskSpec, taskDiscSpec string, ckpt reskit.Continuous) (err error) {
+	defer recoverToError(&err)
+	var d *reskit.Dynamic
+	switch {
+	case taskSpec != "":
+		law, err := lawspec.Parse(taskSpec)
+		if err != nil {
+			return err
+		}
+		d = reskit.NewDynamic(r, law, ckpt)
+		fmt.Fprintf(out, "dynamic problem: R=%g, X ~ %v, C ~ %v\n", r, law, ckpt)
+	case taskDiscSpec != "":
+		law, err := lawspec.ParseDiscrete(taskDiscSpec)
+		if err != nil {
+			return err
+		}
+		d = reskit.NewDynamicDiscrete(r, law, ckpt)
+		fmt.Fprintf(out, "dynamic problem: R=%g, X ~ %v (discrete), C ~ %v\n", r, law, ckpt)
+	default:
+		return errors.New("dynamic mode needs -task or -taskdisc")
+	}
+	w, err := d.Intersection()
+	if err != nil {
+		return fmt.Errorf("no intersection: %w (checkpointing immediately is never/always better)", err)
+	}
+	fmt.Fprintf(out, "  W_int: %.6g\n", w)
+	fmt.Fprintf(out, "  rule:  after each task, checkpoint as soon as the accumulated work W_n >= %.6g\n", w)
+	return nil
+}
+
+// solveMulti compares the single-checkpoint DP optimum with the
+// multi-checkpoint optimum (Section 4.4 made exact).
+func solveMulti(out io.Writer, r float64, taskSpec string, ckpt reskit.Continuous) (err error) {
+	defer recoverToError(&err)
+	if taskSpec == "" {
+		return errors.New("multi mode needs -task")
+	}
+	law, err := lawspec.Parse(taskSpec)
+	if err != nil {
+		return err
+	}
+	single := reskit.NewDP(r, law, ckpt, 2048).Solve()
+	multi := reskit.NewMultiDP(r, law, ckpt, 512).Solve()
+	fmt.Fprintf(out, "multi-checkpoint problem: R=%g, X ~ %v, C ~ %v\n", r, law, ckpt)
+	fmt.Fprintf(out, "  single checkpoint (DP optimum):   %.6g expected committed work\n", single.Value)
+	fmt.Fprintf(out, "  repeated checkpoints (2-D DP):    %.6g expected committed work\n", multi.Value)
+	gain := 0.0
+	if single.Value > 0 {
+		gain = 100 * (multi.Value/single.Value - 1)
+	}
+	fmt.Fprintf(out, "  value of re-checkpointing (§4.4): %+.2f%%\n", gain)
+	return nil
+}
+
+// recoverToError converts constructor panics (invalid problem setups)
+// into CLI errors.
+func recoverToError(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%v", r)
+	}
+}

@@ -1,0 +1,158 @@
+// Command ckpttrace closes the "learned from traces" loop of the paper's
+// introduction: it generates synthetic checkpoint-duration traces,
+// fits the paper's parametric families to a trace with AIC model
+// selection, and solves the preemptible problem with the learned law.
+//
+// Generate a synthetic trace:
+//
+//	ckpttrace gen -law 'norm:5,0.4@[3,7]' -n 2000 -seed 1 -out ckpt.csv
+//
+// Fit a trace and report every family:
+//
+//	ckpttrace fit -in ckpt.csv
+//
+// Fit and solve the Section 3 problem with the learned D_C:
+//
+//	ckpttrace solve -in ckpt.csv -R 60
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"reskit"
+	"reskit/internal/lawspec"
+	"reskit/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "ckpttrace: usage: ckpttrace gen|fit|solve [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = runGen(os.Args[2:], os.Stdout)
+	case "fit":
+		err = runFit(os.Args[2:], os.Stdout)
+	case "solve":
+		err = runSolve(os.Args[2:], os.Stdout)
+	default:
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ckpttrace:", err)
+		os.Exit(1)
+	}
+}
+
+func runGen(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	lawSpec := fs.String("law", "", "law to sample from (required)")
+	n := fs.Int("n", 1000, "number of observations")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "", "output CSV file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *lawSpec == "" {
+		return errors.New("-law is required")
+	}
+	law, err := lawspec.Parse(*lawSpec)
+	if err != nil {
+		return err
+	}
+	r := reskit.NewRNG(*seed)
+	tr := trace.Trace{Name: *lawSpec}
+	for i := 0; i < *n; i++ {
+		if err := tr.Add(law.Sample(r)); err != nil {
+			return err
+		}
+	}
+	if *out == "" {
+		return tr.WriteCSV(stdout)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tr.WriteCSV(f)
+}
+
+func readTrace(path string) (*trace.Trace, error) {
+	if path == "" {
+		return trace.ReadCSV(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadCSV(f)
+}
+
+func runFit(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fit", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV trace (default stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := readTrace(*in)
+	if err != nil {
+		return err
+	}
+	lo, hi := tr.Range()
+	fmt.Fprintf(stdout, "trace %q: n=%d, range [%g, %g], mean %.5g\n\n", tr.Name, tr.Len(), lo, hi, tr.Mean())
+	fits, err := trace.FitAll(tr)
+	if err != nil {
+		return err
+	}
+	for i, f := range fits {
+		marker := " "
+		if i == 0 {
+			marker = "*"
+		}
+		fmt.Fprintf(stdout, "%s %s\n", marker, f)
+	}
+	fmt.Fprintln(stdout, "\n(* = selected by AIC)")
+	return nil
+}
+
+func runSolve(args []string, stdout io.Writer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV trace (default stdin)")
+	r := fs.Float64("R", 0, "reservation length (required)")
+	a := fs.Float64("a", math.NaN(), "C_min (default: from trace)")
+	b := fs.Float64("b", math.NaN(), "C_max (default: from trace)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *r <= 0 {
+		return errors.New("-R must be positive")
+	}
+	tr, err := readTrace(*in)
+	if err != nil {
+		return err
+	}
+	law, fit, err := reskit.CheckpointLawFromTrace(tr, *a, *b)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "learned D_C: %v (family %s, AIC %.5g)\n", law, fit.Family, fit.AIC())
+	p := reskit.NewPreemptible(*r, law)
+	sol := p.OptimalX()
+	fmt.Fprintf(stdout, "R = %g: checkpoint %.5g s before the end (E(W) = %.5g, gain %.4gx over pessimistic)\n",
+		*r, sol.X, sol.ExpectedWork, p.Gain())
+	return nil
+}

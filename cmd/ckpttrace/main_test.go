@@ -1,0 +1,73 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenFitSolvePipeline(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "ckpt.csv")
+
+	var buf strings.Builder
+	if err := runGen([]string{"-law", "norm:5,0.4@[3,7]", "-n", "2000", "-seed", "1", "-out", csv}, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	buf.Reset()
+	if err := runFit([]string{"-in", csv}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "n=2000") || !strings.Contains(out, "selected by AIC") {
+		t.Errorf("fit output:\n%s", out)
+	}
+	if !strings.Contains(out, "* normal") {
+		t.Errorf("normal should win AIC on a truncated-normal sample:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := runSolve([]string{"-in", csv, "-R", "60"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "learned D_C") || !strings.Contains(out, "checkpoint") {
+		t.Errorf("solve output:\n%s", out)
+	}
+}
+
+func TestGenToStdout(t *testing.T) {
+	var buf strings.Builder
+	if err := runGen([]string{"-law", "uniform:1,2", "-n", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 { // header + 5 values
+		t.Errorf("got %d lines:\n%s", len(lines), buf.String())
+	}
+}
+
+func TestTraceCLIErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := runGen([]string{}, &buf); err == nil {
+		t.Errorf("gen without -law must fail")
+	}
+	if err := runGen([]string{"-law", "bogus:1"}, &buf); err == nil {
+		t.Errorf("gen with bad law must fail")
+	}
+	if err := runFit([]string{"-in", "/nonexistent/file.csv"}, &buf); err == nil {
+		t.Errorf("fit with missing file must fail")
+	}
+	if err := runSolve([]string{"-in", "/nonexistent/file.csv", "-R", "10"}, &buf); err == nil {
+		t.Errorf("solve with missing file must fail")
+	}
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "t.csv")
+	if err := runGen([]string{"-law", "uniform:1,2", "-n", "50", "-out", csv}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSolve([]string{"-in", csv}, &buf); err == nil {
+		t.Errorf("solve without -R must fail")
+	}
+}

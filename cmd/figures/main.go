@@ -1,0 +1,104 @@
+// Command figures regenerates every figure of Barbut et al. (FTXS'23):
+// it writes an SVG and a CSV per figure into -out, prints an ASCII
+// rendition (with -ascii), and reports measured values next to the
+// paper's reference values, exiting nonzero if any figure fails to
+// reproduce within tolerance.
+//
+//	figures -out out/figures
+//	figures -only fig5,fig8 -ascii
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"reskit/internal/figures"
+)
+
+func main() {
+	outDir := flag.String("out", "out/figures", "directory for SVG and CSV output")
+	only := flag.String("only", "", "comma-separated figure ids to restrict to (e.g. fig5,fig8)")
+	ascii := flag.Bool("ascii", false, "also print ASCII renditions")
+	extended := flag.Bool("extended", false, "also render the repository's extended ablation figures (ext1-ext3)")
+	flag.Parse()
+
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+	}
+
+	failures, err := generate(*outDir, wanted, *ascii, *extended, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "figures: %d figure(s) failed\n", failures)
+		os.Exit(1)
+	}
+}
+
+// generate renders the selected figures into outDir, printing the
+// paper-vs-measured report to out, and returns the number of figures
+// that failed to reproduce.
+func generate(outDir string, wanted map[string]bool, ascii, extended bool, out io.Writer) (failures int, err error) {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return 0, err
+	}
+	figs := figures.All()
+	if extended {
+		figs = append(figs, figures.Extended()...)
+	}
+	for _, fig := range figs {
+		if len(wanted) > 0 && !wanted[fig.ID] {
+			continue
+		}
+		if err := render(&fig, outDir, ascii, out); err != nil {
+			return failures, fmt.Errorf("%s: %w", fig.ID, err)
+		}
+		fmt.Fprintf(out, "%s  %s\n", fig.ID, fig.Title)
+		for _, k := range fig.Keys() {
+			fmt.Fprintf(out, "    %-14s paper %-10.6g measured %-10.6g\n", k, fig.Reference[k], fig.Measured[k])
+		}
+		if bad := fig.Check(); len(bad) > 0 {
+			for _, m := range bad {
+				fmt.Fprintf(out, "    MISMATCH: %s\n", m)
+			}
+			failures++
+		} else {
+			fmt.Fprintf(out, "    OK: reproduces within tolerance\n")
+		}
+	}
+	return failures, nil
+}
+
+func render(fig *figures.Figure, outDir string, ascii bool, out io.Writer) error {
+	svg, err := os.Create(filepath.Join(outDir, fig.ID+".svg"))
+	if err != nil {
+		return err
+	}
+	defer svg.Close()
+	if err := fig.Plot.SVG(svg, 720, 440); err != nil {
+		return err
+	}
+	csv, err := os.Create(filepath.Join(outDir, fig.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csv.Close()
+	if err := fig.Plot.CSV(csv); err != nil {
+		return err
+	}
+	if ascii {
+		if err := fig.Plot.ASCII(out, 76, 18); err != nil {
+			return err
+		}
+	}
+	return nil
+}

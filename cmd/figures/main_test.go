@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateSubset(t *testing.T) {
+	dir := t.TempDir()
+	var buf strings.Builder
+	failures, err := generate(dir, map[string]bool{"fig1a": true, "fig9": true}, true, false, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("failures: %d\n%s", failures, buf.String())
+	}
+	for _, f := range []string{"fig1a.svg", "fig1a.csv", "fig9.svg", "fig9.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig5.svg")); err == nil {
+		t.Errorf("fig5 should not have been generated")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "OK: reproduces within tolerance") {
+		t.Errorf("missing OK lines:\n%s", out)
+	}
+	// -ascii renders the chart grid.
+	if !strings.Contains(out, "|") {
+		t.Errorf("missing ASCII chart:\n%s", out)
+	}
+}
+
+func TestGenerateAllFiguresReproduce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure regeneration in -short mode")
+	}
+	dir := t.TempDir()
+	var buf strings.Builder
+	failures, err := generate(dir, nil, false, false, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("%d figures failed:\n%s", failures, buf.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 28 { // 14 figures x (svg + csv)
+		t.Errorf("expected 28 files, got %d", len(entries))
+	}
+}
+
+func TestGenerateExtended(t *testing.T) {
+	dir := t.TempDir()
+	var buf strings.Builder
+	failures, err := generate(dir, map[string]bool{"ext1": true, "ext3": true}, false, true, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("failures: %d\n%s", failures, buf.String())
+	}
+	for _, f := range []string{"ext1.svg", "ext3.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s", f)
+		}
+	}
+}
+
+func TestGenerateBadDir(t *testing.T) {
+	var buf strings.Builder
+	if _, err := generate("/proc/definitely/not/writable", nil, false, false, &buf); err == nil {
+		t.Errorf("expected error for unwritable directory")
+	}
+}

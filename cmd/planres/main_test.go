@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlanresFrontier(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{
+		"-work", "200", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+		"-recovery", "1.5", "-candidates", "15,60", "-trials", "30",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "recommended: R = 60") {
+		t.Errorf("R=60 should be recommended over 15:\n%s", out)
+	}
+	if !strings.Contains(out, "utilization") {
+		t.Errorf("missing frontier header:\n%s", out)
+	}
+}
+
+func TestPlanresWaitCostFlipsChoice(t *testing.T) {
+	runWith := func(wait string) string {
+		var buf strings.Builder
+		err := run([]string{
+			"-work", "300", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+			"-recovery", "1.5", "-candidates", "30,120", "-trials", "30", "-wait", wait,
+		}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	heavy := runWith("200")
+	if !strings.Contains(heavy, "recommended: R = 120") {
+		t.Errorf("heavy wait should favor long reservations:\n%s", heavy)
+	}
+}
+
+func TestPlanresErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-work", "100"},
+		{"-work", "100", "-task", "bogus", "-ckpt", "norm:5,0.4@[0,inf]"},
+		{"-work", "100", "-task", "gamma:1,1", "-ckpt", "norm:5,0.4@[0,inf]", "-candidates", "10,abc"},
+	}
+	for i, args := range cases {
+		var buf strings.Builder
+		if err := run(args, &buf); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

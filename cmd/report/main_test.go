@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportAllFiguresPass(t *testing.T) {
+	var buf strings.Builder
+	failures, err := write(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("%d figures failed:\n%s", failures, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Reproduction report",
+		"## fig1a", "## fig5", "## fig10",
+		"| X_opt | 5.5 | 5.5 |",
+		"**Status: PASS**",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("unexpected FAIL in report")
+	}
+	if strings.Count(out, "## ") != 14 {
+		t.Errorf("expected 14 figure sections, got %d", strings.Count(out, "## "))
+	}
+}
+
+func TestReportExtendedSections(t *testing.T) {
+	var buf strings.Builder
+	failures, err := write(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("failures: %d", failures)
+	}
+	out := buf.String()
+	for _, want := range []string{"## ext1", "## ext4", "| loss@0 | — |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

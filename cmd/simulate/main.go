@@ -1,0 +1,249 @@
+// Command simulate runs the Monte-Carlo experimental campaign the paper's
+// conclusion calls for: it compares checkpoint strategies (oracle,
+// dynamic, static, threshold, pessimistic, never) on a workflow
+// reservation, or validates the analytical E(W(X)) of the preemptible
+// scenario against simulation.
+//
+// Workflow strategy comparison (Figure 8 instance):
+//
+//	simulate -R 29 -task 'norm:3,0.5@[0,inf]' -ckpt 'norm:5,0.4@[0,inf]' -trials 100000
+//
+// Discrete tasks (Figure 10 instance):
+//
+//	simulate -R 29 -taskdisc 'poisson:3' -ckpt 'norm:5,0.4@[0,inf]'
+//
+// Preemptible validation (Figure 2a instance):
+//
+//	simulate -preempt -R 10 -ckpt 'exp:0.5@[1,5]' -trials 200000
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"reskit"
+	"reskit/internal/dist"
+	"reskit/internal/lawspec"
+	"reskit/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	r := fs.Float64("R", 0, "reservation length (required)")
+	ckptSpec := fs.String("ckpt", "", "checkpoint-duration law (required)")
+	taskSpec := fs.String("task", "", "continuous task law")
+	taskDiscSpec := fs.String("taskdisc", "", "discrete task law")
+	preempt := fs.Bool("preempt", false, "validate the preemptible scenario instead")
+	trials := fs.Int("trials", 100000, "Monte-Carlo trials")
+	seed := fs.Uint64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "parallel workers (0 = all CPUs)")
+	recovery := fs.Float64("recovery", 0, "recovery time at reservation start")
+	failRate := fs.Float64("failrate", 0, "fail-stop error rate inside the reservation (0 = failure-free)")
+	strategies := fs.String("strategies", "oracle,dynamic,static,threshold,pessimistic",
+		"comma-separated strategies to compare")
+	hist := fs.Bool("hist", false, "print an ASCII histogram of saved work for each strategy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *r <= 0 {
+		return errors.New("-R must be positive")
+	}
+	if *ckptSpec == "" {
+		return errors.New("-ckpt is required")
+	}
+	ckpt, err := lawspec.Parse(*ckptSpec)
+	if err != nil {
+		return err
+	}
+	if *preempt {
+		return runPreempt(out, *r, ckpt, *trials, *seed, *workers)
+	}
+	return runWorkflow(out, *r, *recovery, *failRate, *taskSpec, *taskDiscSpec, ckpt, *trials, *seed, *workers, *strategies, *hist)
+}
+
+func runPreempt(out io.Writer, r float64, ckpt reskit.Continuous, trials int, seed uint64, workers int) error {
+	p := reskit.NewPreemptible(r, ckpt)
+	sol := p.OptimalX()
+	pess := p.Pessimistic()
+	fmt.Fprintf(out, "preemptible: R=%g, C ~ %v, %d trials\n\n", r, ckpt, trials)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "policy\tX\tanalytic E(W)\tsimulated E(W)\t±95%%\tsuccess\n")
+	for _, row := range []struct {
+		name string
+		x    float64
+		want float64
+	}{
+		{"optimal", sol.X, sol.ExpectedWork},
+		{"pessimistic", pess.X, pess.ExpectedWork},
+	} {
+		agg := reskit.MonteCarloPreemptible(p, row.x, trials, seed, workers)
+		fmt.Fprintf(tw, "%s\t%.4g\t%.5g\t%.5g\t%.2g\t%.3f\n",
+			row.name, row.x, row.want, agg.Work.Mean(), agg.Work.CI95(), agg.SuccessRate())
+	}
+	oracle := reskit.MonteCarloPreemptibleOracle(p, trials, seed, workers)
+	fmt.Fprintf(tw, "oracle\t-\t%.5g\t%.5g\t%.2g\t%.3f\n",
+		r-ckpt.Mean(), oracle.Work.Mean(), oracle.Work.CI95(), oracle.SuccessRate())
+	return tw.Flush()
+}
+
+func runWorkflow(out io.Writer, r, recovery, failRate float64, taskSpec, taskDiscSpec string, ckpt reskit.Continuous,
+	trials int, seed uint64, workers int, strategyList string, hist bool) error {
+
+	base := reskit.SimConfig{R: r, Recovery: recovery, Ckpt: ckpt, FailureRate: failRate}
+	var taskMeanLaw interface {
+		Mean() float64
+		Quantile(float64) float64
+	}
+	var static *reskit.Static
+	var dynamic *reskit.Dynamic
+	switch {
+	case taskSpec != "":
+		law, err := lawspec.Parse(taskSpec)
+		if err != nil {
+			return err
+		}
+		base.Task = law
+		taskMeanLaw = law
+		dynamic = reskit.NewDynamic(r, law, ckpt)
+		if s, ok := law.(reskit.Summable); ok {
+			static = reskit.NewStatic(r, s, ckpt)
+		} else {
+			// Truncated laws are not Summable; approximate the static
+			// problem with a Normal matching the first two moments.
+			static = reskit.NewStatic(r, reskit.Normal(law.Mean(), math.Sqrt(law.Variance())), ckpt)
+		}
+		fmt.Fprintf(out, "workflow: R=%g, X ~ %v, C ~ %v, %d trials\n\n", r, law, ckpt, trials)
+	case taskDiscSpec != "":
+		law, err := lawspec.ParseDiscrete(taskDiscSpec)
+		if err != nil {
+			return err
+		}
+		base.TaskDisc = law
+		dynamic = reskit.NewDynamicDiscrete(r, law, ckpt)
+		if s, ok := law.(reskit.SummableDiscrete); ok {
+			static = reskit.NewStaticDiscrete(r, s, ckpt)
+		} else {
+			return fmt.Errorf("discrete law %v does not support the static strategy", law)
+		}
+		taskMeanLaw = poissonQuantiler{law}
+		fmt.Fprintf(out, "workflow: R=%g, X ~ %v (discrete), C ~ %v, %d trials\n\n", r, law, ckpt, trials)
+	default:
+		return errors.New("-task or -taskdisc is required (or use -preempt)")
+	}
+
+	sol := static.Optimize()
+	wInt, wErr := dynamic.Intersection()
+
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "strategy\tE(saved)\t±95%%\tE(tasks)\tE(ckpts)\tzero-runs\n")
+	for _, name := range strings.Split(strategyList, ",") {
+		name = strings.TrimSpace(name)
+		cfg := base
+		var agg reskit.SimAggregate
+		switch name {
+		case "oracle":
+			cfg.Strategy = reskit.NeverStrategy()
+			agg = reskit.MonteCarloOracle(cfg, trials, seed, workers)
+		case "dynamic":
+			cfg.Strategy = reskit.DynamicStrategy(dynamic)
+			agg = reskit.MonteCarlo(cfg, trials, seed, workers)
+		case "static":
+			cfg.Strategy = reskit.StaticStrategy(sol.NOpt)
+			agg = reskit.MonteCarlo(cfg, trials, seed, workers)
+		case "threshold":
+			if wErr != nil {
+				fmt.Fprintf(tw, "%s\t(no intersection)\n", name)
+				continue
+			}
+			cfg.Strategy = reskit.ThresholdStrategy(wInt)
+			agg = reskit.MonteCarlo(cfg, trials, seed, workers)
+		case "pessimistic":
+			cfg.Strategy = reskit.PessimisticStrategy(
+				taskMeanLaw.Quantile(0.9999), ckpt.Quantile(0.9999))
+			agg = reskit.MonteCarlo(cfg, trials, seed, workers)
+		case "never":
+			cfg.Strategy = reskit.NeverStrategy()
+			agg = reskit.MonteCarlo(cfg, trials, seed, workers)
+		case "youngdaly":
+			if failRate <= 0 {
+				fmt.Fprintf(tw, "%s\t(needs -failrate > 0)\n", name)
+				continue
+			}
+			cfg.Strategy = reskit.YoungDalyStrategy(1/failRate, ckpt.Mean())
+			cfg.After = reskit.ContinueExecution
+			agg = reskit.MonteCarlo(cfg, trials, seed, workers)
+		default:
+			return fmt.Errorf("unknown strategy %q", name)
+		}
+		fmt.Fprintf(tw, "%s\t%.5g\t%.2g\t%.4g\t%.3g\t%.2f%%\n",
+			name, agg.Saved.Mean(), agg.Saved.CI95(), agg.Tasks.Mean(), agg.Checkpoints.Mean(),
+			100*float64(agg.ZeroRuns)/float64(agg.Trials))
+		if hist {
+			if err := printHistogram(tw, name, cfg, trials, seed, r); err != nil {
+				return err
+			}
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nstatic n_opt = %d (E = %.5g analytic)\n", sol.NOpt, sol.ENOpt)
+	if wErr == nil {
+		fmt.Fprintf(out, "dynamic W_int = %.5g\n", wInt)
+	}
+	return nil
+}
+
+// printHistogram re-runs a small sample of reservations and renders the
+// saved-work distribution as a 40-column ASCII bar chart.
+func printHistogram(out io.Writer, name string, cfg reskit.SimConfig, trials int, seed uint64, rMax float64) error {
+	n := trials
+	if n > 5000 {
+		n = 5000
+	}
+	h := stats.NewHistogram(0, rMax, 10)
+	src := reskit.NewRNGStream(seed, 999)
+	for i := 0; i < n; i++ {
+		h.Add(reskit.Simulate(cfg, src).Saved)
+	}
+	peak := int64(1)
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	w := rMax / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", int(40*c/peak))
+		fmt.Fprintf(out, "  [%5.1f-%5.1f)\t%s %d\n", float64(i)*w, float64(i+1)*w, bar, c)
+	}
+	return nil
+}
+
+// poissonQuantiler adapts a discrete law to the Quantile interface used
+// for the pessimistic bound.
+type poissonQuantiler struct{ d reskit.Discrete }
+
+func (p poissonQuantiler) Mean() float64 { return p.d.Mean() }
+
+func (p poissonQuantiler) Quantile(q float64) float64 {
+	return float64(dist.DiscreteQuantile(p.d, q))
+}

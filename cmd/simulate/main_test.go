@@ -1,0 +1,112 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkflowComparison(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{
+		"-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+		"-trials", "4000", "-seed", "1",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"oracle", "dynamic", "static", "pessimistic", "n_opt = 7", "W_int = 20.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWorkflowDiscrete(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{
+		"-R", "29", "-taskdisc", "poisson:3", "-ckpt", "norm:5,0.4@[0,inf]",
+		"-trials", "4000", "-strategies", "static,dynamic",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "n_opt = 6") {
+		t.Errorf("Fig 7 n_opt missing:\n%s", buf.String())
+	}
+}
+
+func TestPreemptValidation(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{
+		"-preempt", "-R", "10", "-ckpt", "exp:0.5@[1,5]", "-trials", "20000",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"optimal", "pessimistic", "oracle", "success"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-R", "10"},
+		{"-R", "10", "-ckpt", "norm:5,0.4@[0,inf]"},                                              // no task
+		{"-R", "10", "-task", "bogus", "-ckpt", "norm:5,0.4@[0,inf]"},                            // bad law
+		{"-R", "10", "-task", "gamma:1,1", "-ckpt", "norm:5,0.4@[0,inf]", "-strategies", "nope"}, // bad strategy
+	}
+	for i, args := range cases {
+		var buf strings.Builder
+		if err := run(args, &buf); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestWorkflowWithFailures(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{
+		"-R", "100", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:2,0.3@[0,inf]",
+		"-trials", "2000", "-failrate", "0.04",
+		"-strategies", "dynamic,youngdaly",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "youngdaly") {
+		t.Errorf("missing youngdaly row:\n%s", buf.String())
+	}
+}
+
+func TestYoungDalyRequiresFailrate(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{
+		"-R", "29", "-task", "gamma:1,1", "-ckpt", "norm:2,0.3@[0,inf]",
+		"-trials", "500", "-strategies", "youngdaly",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "needs -failrate") {
+		t.Errorf("missing failrate hint:\n%s", buf.String())
+	}
+}
+
+func TestWorkflowHistogram(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{
+		"-R", "29", "-task", "gamma:1,1", "-ckpt", "norm:2,0.3@[0,inf]",
+		"-trials", "2000", "-strategies", "static", "-hist",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#") {
+		t.Errorf("histogram bars missing:\n%s", buf.String())
+	}
+}

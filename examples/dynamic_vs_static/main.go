@@ -1,0 +1,58 @@
+// Dynamic vs static: when does adaptivity pay?
+//
+// Section 4.3 argues the static strategy suits task laws with small
+// standard deviation, while the dynamic strategy wins when durations are
+// volatile. This example sweeps the task coefficient of variation at a
+// fixed mean and measures both strategies (plus the oracle upper bound)
+// by simulation on the paper's Figure 8 instance.
+//
+//	go run ./examples/dynamic_vs_static
+package main
+
+import (
+	"fmt"
+
+	"reskit"
+)
+
+func main() {
+	const (
+		r        = 29.0
+		taskMean = 3.0
+		trials   = 40000
+	)
+	ckpt := reskit.TruncatedNormal(5, 0.4)
+
+	fmt.Printf("R=%g, task mean %g, checkpoints ~ %v, %d trials per cell\n\n", r, taskMean, ckpt, trials)
+	fmt.Printf("%6s %8s %9s %9s %9s %12s\n", "CV", "n_opt", "static", "dynamic", "oracle", "dyn gain")
+
+	for _, cv := range []float64{0.05, 0.1, 0.2, 0.4, 0.7, 1.0} {
+		// Gamma law with the requested mean and coefficient of
+		// variation: k = 1/cv^2, theta = mean*cv^2.
+		k := 1 / (cv * cv)
+		theta := taskMean * cv * cv
+		task := reskit.Gamma(k, theta)
+
+		static := reskit.NewStatic(r, task, ckpt)
+		sol := static.Optimize()
+		dyn := reskit.NewDynamic(r, task, ckpt)
+
+		base := reskit.SimConfig{R: r, Task: task, Ckpt: ckpt}
+		mk := func(s reskit.Strategy) reskit.SimConfig { c := base; c.Strategy = s; return c }
+
+		statM := reskit.MonteCarlo(mk(reskit.StaticStrategy(sol.NOpt)), trials, 5, 0).Saved.Mean()
+		dynM := reskit.MonteCarlo(mk(reskit.DynamicStrategy(dyn)), trials, 5, 0).Saved.Mean()
+		oracle := reskit.MonteCarloOracle(mk(reskit.NeverStrategy()), trials, 5, 0).Saved.Mean()
+
+		gain := 0.0
+		if statM > 0 {
+			gain = 100 * (dynM/statM - 1)
+		}
+		fmt.Printf("%6.2f %8d %9.3f %9.3f %9.3f %+11.2f%%\n",
+			cv, sol.NOpt, statM, dynM, oracle, gain)
+	}
+
+	fmt.Println("\nAt low variability the fixed n_opt is already near-optimal; as task")
+	fmt.Println("durations grow volatile, reacting to the realized durations (dynamic)")
+	fmt.Println("recovers a growing share of the oracle's advantage — the paper's point.")
+}

@@ -1,0 +1,3 @@
+module reskit
+
+go 1.22

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"reskit/internal/dist"
+)
+
+// Solver micro-benchmarks: the per-call cost of each analysis, which is
+// what a scheduler integrating this library would pay online.
+
+func BenchmarkOptimalXUniform(b *testing.B) {
+	p := NewPreemptible(10, dist.NewUniform(1, 7.5))
+	for i := 0; i < b.N; i++ {
+		_ = p.OptimalX()
+	}
+}
+
+func BenchmarkOptimalXExponentialLambertW(b *testing.B) {
+	p := NewPreemptible(10, dist.Truncate(dist.NewExponential(0.5), 1, 5))
+	for i := 0; i < b.N; i++ {
+		_ = p.OptimalX()
+	}
+}
+
+func BenchmarkOptimalXNormalStationarity(b *testing.B) {
+	p := NewPreemptible(10, dist.Truncate(dist.NewNormal(3.5, 1), 1, 6))
+	for i := 0; i < b.N; i++ {
+		_ = p.OptimalX()
+	}
+}
+
+func BenchmarkOptimalXNumericFallback(b *testing.B) {
+	p := NewPreemptible(10, dist.Truncate(dist.NewWeibull(1.5, 3), 1, 6))
+	for i := 0; i < b.N; i++ {
+		_ = p.OptimalX()
+	}
+}
+
+func BenchmarkStaticOptimizeNormal(b *testing.B) {
+	s := NewStatic(30, dist.NewNormal(3, 0.5), paperCkpt(5, 0.4))
+	for i := 0; i < b.N; i++ {
+		_ = s.Optimize()
+	}
+}
+
+func BenchmarkStaticOptimizePoisson(b *testing.B) {
+	s := NewStaticDiscrete(29, dist.NewPoisson(3), paperCkpt(5, 0.4))
+	for i := 0; i < b.N; i++ {
+		_ = s.Optimize()
+	}
+}
+
+func BenchmarkDynamicDecision(b *testing.B) {
+	d := NewDynamic(29, dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1)), paperCkpt(5, 0.4))
+	for i := 0; i < b.N; i++ {
+		_ = d.ShouldCheckpoint(15)
+	}
+}
+
+func BenchmarkDynamicIntersection(b *testing.B) {
+	d := NewDynamic(29, dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1)), paperCkpt(5, 0.4))
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Intersection(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDPSolve2048(b *testing.B) {
+	task := dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1))
+	ckpt := paperCkpt(5, 0.4)
+	for i := 0; i < b.N; i++ {
+		_ = NewDP(29, task, ckpt, 2048).Solve()
+	}
+}
+
+func BenchmarkHeterogeneousDecision(b *testing.B) {
+	h := Homogeneous(29, 20, dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1)), paperCkpt(5, 0.4))
+	for i := 0; i < b.N; i++ {
+		if _, err := h.ShouldCheckpoint(5, 15, 15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

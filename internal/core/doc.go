@@ -1,0 +1,25 @@
+// Package core implements the two checkpoint-placement problems of
+// Barbut, Benoit, Herault, Robert and Vivien, "When to checkpoint at the
+// end of a fixed-length reservation?" (FTXS'23):
+//
+//   - Preemptible (Section 3): the application can checkpoint at any
+//     instant; the checkpoint duration C follows a law truncated to
+//     [a, b]. ExpectedWork evaluates Equation (1) of the paper and
+//     OptimalX returns the work-maximizing checkpoint instant, using the
+//     paper's closed forms where they exist (Uniform; truncated
+//     Exponential via Lambert W) and guaranteed numerical optimization
+//     elsewhere (truncated Normal and LogNormal via the stationarity
+//     condition; arbitrary laws via concave search).
+//
+//   - Static and Dynamic (Section 4): the application is a chain of IID
+//     stochastic tasks and can checkpoint only at task boundaries.
+//     Static computes, before execution, the number of tasks n_opt that
+//     maximizes the expected saved work E(n) (Equation (3)), through the
+//     continuous relaxation the paper introduces for Normal, Gamma and
+//     Poisson task laws. Dynamic compares, after each task, the expected
+//     saved work of checkpointing now against running one more task, and
+//     exposes the indifference point W_int at which the two curves cross.
+//
+// All numerical claims of the paper's figures are reproduced from this
+// package by internal/figures and the repository's benchmark harness.
+package core

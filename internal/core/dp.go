@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/dist"
+)
+
+// DP solves the workflow problem exactly (up to time discretization) by
+// backward dynamic programming, as an independent validation of — and
+// upper bound for — the paper's one-step-lookahead dynamic rule. With a
+// single checkpoint per reservation and IID tasks, the state at a task
+// boundary is just the accumulated work w (equal to elapsed time), and
+// the optimal expected saved work satisfies
+//
+//	V(w) = max(  w * P(C <= R - w),                       // checkpoint now
+//	             E_X[ V(w + X) * 1{w + X <= R} ]  )       // one more task
+//
+// with V(w) = 0 for w >= R. The paper's Section 4.3 rule replaces the
+// recursive continuation value by the myopic one-step value E(W_+1);
+// DP measures exactly how much that approximation costs.
+type DP struct {
+	R    float64
+	Task dist.Continuous // IID task-duration law, support within [0, inf)
+	Ckpt dist.Continuous // checkpoint-duration law, support within [0, inf)
+
+	steps int
+}
+
+// NewDP builds the discretized dynamic program with the given number of
+// grid steps (>= 16; 2048 gives ~3 decimal digits on the paper's
+// instances).
+func NewDP(r float64, task, ckpt dist.Continuous, steps int) *DP {
+	if !(r > 0) || math.IsNaN(r) || math.IsInf(r, 0) {
+		panic(fmt.Sprintf("core: DP: R must be positive and finite, got %g", r))
+	}
+	if task == nil || ckpt == nil {
+		panic("core: DP: task and checkpoint laws must be set")
+	}
+	if lo, _ := task.Support(); lo < 0 {
+		panic(fmt.Sprintf("core: DP: task support starts below 0 (%g)", lo))
+	}
+	if lo, _ := ckpt.Support(); lo < 0 {
+		panic(fmt.Sprintf("core: DP: checkpoint support starts below 0 (%g)", lo))
+	}
+	if steps < 16 {
+		steps = 2048
+	}
+	return &DP{R: r, Task: task, Ckpt: ckpt, steps: steps}
+}
+
+// DPSolution reports the solved dynamic program.
+type DPSolution struct {
+	Value     float64   // V(0): optimal expected saved work from a fresh reservation
+	Threshold float64   // smallest grid w where checkpointing is optimal
+	Grid      []float64 // w grid
+	V         []float64 // value function on the grid
+	CkptBest  []bool    // whether checkpointing is optimal at each grid point
+}
+
+// Solve runs the backward recursion.
+func (d *DP) Solve() DPSolution {
+	n := d.steps
+	h := d.R / float64(n)
+	grid := make([]float64, n+1)
+	v := make([]float64, n+1)
+	ckptBest := make([]bool, n+1)
+	for i := range grid {
+		grid[i] = float64(i) * h
+	}
+
+	// Task-duration cell masses: mass[k] = P(X in [k h, (k+1) h)).
+	mass := make([]float64, n+1)
+	prev := d.Task.CDF(0)
+	for k := 0; k < n; k++ {
+		cur := d.Task.CDF(float64(k+1) * h)
+		mass[k] = cur - prev
+		prev = cur
+	}
+
+	ckProb := func(w float64) float64 {
+		if w <= 0 {
+			return 0
+		}
+		return d.Ckpt.CDF(w)
+	}
+
+	// v[n] = 0: at w = R there is no time left for any checkpoint with
+	// positive minimum duration; even with P(C<=0+)=0 the value is 0.
+	for i := n - 1; i >= 0; i-- {
+		w := grid[i]
+		ckVal := w * ckProb(d.R-w)
+
+		// Continuation: E[V(w+X)] over cells k = 0..n-i-1, evaluating V
+		// at cell midpoints by linear interpolation. The k = 0 cell
+		// references v[i] itself; collect its coefficient and solve the
+		// scalar fixed point.
+		var rest float64
+		var selfCoef float64
+		for k := 0; k < n-i; k++ {
+			m := mass[k]
+			if m == 0 {
+				continue
+			}
+			// midpoint value ~ (v[i+k] + v[i+k+1]) / 2
+			if k == 0 {
+				selfCoef += m / 2
+				rest += m / 2 * v[i+1]
+			} else {
+				rest += m / 2 * (v[i+k] + v[i+k+1])
+			}
+		}
+		contVal := rest
+		if selfCoef < 1 {
+			// If continuing is optimal, v[i] = rest + selfCoef * v[i].
+			contVal = rest / (1 - selfCoef)
+		}
+		if ckVal >= contVal {
+			v[i] = ckVal
+			ckptBest[i] = true
+		} else {
+			v[i] = contVal
+		}
+	}
+
+	sol := DPSolution{Value: v[0], Grid: grid, V: v, CkptBest: ckptBest}
+	sol.Threshold = d.R
+	for i := 1; i <= n; i++ { // skip w=0 (nothing to save; trivially "checkpoint" is worthless)
+		if ckptBest[i] {
+			sol.Threshold = grid[i]
+			break
+		}
+	}
+	return sol
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"reskit/internal/dist"
+)
+
+func TestDPValueBounds(t *testing.T) {
+	// The DP optimum on the Figure 8 instance must dominate both the
+	// myopic dynamic rule's threshold policy value and the static value,
+	// and stay below the oracle bound R - E[C].
+	task := dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1))
+	ckpt := paperCkpt(5, 0.4)
+	sol := NewDP(29, task, ckpt, 4096).Solve()
+
+	static := NewStatic(29, dist.NewNormal(3, 0.5), ckpt).Optimize()
+	if sol.Value < static.ENOpt-0.05 {
+		t.Errorf("DP value %g below static %g", sol.Value, static.ENOpt)
+	}
+	oracle := 29 - ckpt.Mean()
+	if sol.Value > oracle {
+		t.Errorf("DP value %g exceeds oracle bound %g", sol.Value, oracle)
+	}
+}
+
+func TestDPThresholdNearMyopicIntersection(t *testing.T) {
+	// The DP threshold and the paper's W_int should be close (the myopic
+	// rule is near-optimal on this instance) but need not coincide.
+	task := dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1))
+	ckpt := paperCkpt(5, 0.4)
+	dyn := NewDynamic(29, task, ckpt)
+	wInt, err := dyn.Intersection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := NewDP(29, task, ckpt, 4096).Solve()
+	if math.Abs(sol.Threshold-wInt) > 1.5 {
+		t.Errorf("DP threshold %g far from W_int %g", sol.Threshold, wInt)
+	}
+}
+
+func TestDPValueMonotoneDecreasingInW(t *testing.T) {
+	// Less time left can never increase the optimal expected saved work
+	// beyond the direct w gain: V is not monotone in general, but the
+	// continuation region's value must exceed the checkpoint value and V
+	// must vanish at w = R.
+	task := dist.NewGamma(1, 0.5)
+	ckpt := paperCkpt(2, 0.4)
+	sol := NewDP(10, task, ckpt, 2048).Solve()
+	n := len(sol.V) - 1
+	if sol.V[n] != 0 {
+		t.Errorf("V(R) = %g", sol.V[n])
+	}
+	if sol.V[0] <= 0 {
+		t.Errorf("V(0) = %g", sol.V[0])
+	}
+	// Near w = R the value collapses.
+	if sol.V[n-1] > 0.5 {
+		t.Errorf("V near R too large: %g", sol.V[n-1])
+	}
+}
+
+func TestDPGridRefinementConverges(t *testing.T) {
+	task := dist.NewGamma(1, 0.5)
+	ckpt := paperCkpt(2, 0.4)
+	coarse := NewDP(10, task, ckpt, 512).Solve()
+	fine := NewDP(10, task, ckpt, 4096).Solve()
+	if math.Abs(coarse.Value-fine.Value) > 0.05 {
+		t.Errorf("grid sensitivity: %g vs %g", coarse.Value, fine.Value)
+	}
+}
+
+func TestDPThresholdPolicySimulates(t *testing.T) {
+	// The DP checkpoint region must be an up-set (threshold structure):
+	// once optimal to checkpoint, always optimal for larger w. Allow the
+	// trivial exception at w=0.
+	task := dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1))
+	ckpt := paperCkpt(5, 0.4)
+	sol := NewDP(29, task, ckpt, 2048).Solve()
+	flipped := false
+	for i := 1; i < len(sol.CkptBest); i++ {
+		if sol.CkptBest[i] {
+			flipped = true
+		} else if flipped && sol.Grid[i] < 28 {
+			t.Fatalf("checkpoint region not an up-set at w=%g", sol.Grid[i])
+		}
+	}
+	if !flipped {
+		t.Fatalf("DP never checkpoints")
+	}
+}
+
+func TestDPValidation(t *testing.T) {
+	task := dist.NewGamma(1, 1)
+	ckpt := paperCkpt(1, 0.1)
+	cases := []func(){
+		func() { NewDP(-1, task, ckpt, 100) },
+		func() { NewDP(10, nil, ckpt, 100) },
+		func() { NewDP(10, task, nil, 100) },
+		func() { NewDP(10, dist.NewNormal(0, 1), ckpt, 100) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+	// Tiny steps get clamped to a sane default.
+	sol := NewDP(10, task, ckpt, 1).Solve()
+	if len(sol.Grid) < 17 {
+		t.Errorf("steps clamp failed: %d", len(sol.Grid))
+	}
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"reskit/internal/dist"
+	"reskit/internal/optimize"
+	"reskit/internal/quad"
+)
+
+// ErrNoIntersection is returned by Intersection when E(W_C) never
+// overtakes E(W_+1) on (0, R) — checkpointing immediately is never the
+// better option inside the reservation (or always is).
+var ErrNoIntersection = errors.New("core: expected-work curves do not cross inside (0, R)")
+
+// Dynamic is the Section 4.3 problem: at the end of each task, knowing
+// the work W_n accumulated so far, decide whether to checkpoint now or to
+// run (at least) one more task. The decision compares
+//
+//	E(W_C)  = W_n * P(C <= R - W_n)
+//	E(W_+1) = Integral_0^{R-W_n} (x + W_n) * P(C <= R - W_n - x) * f_X(x) dx
+//
+// and checkpoints as soon as E(W_C) >= E(W_+1). Exactly one of Task
+// (continuous) and TaskDisc (discrete) is set.
+type Dynamic struct {
+	R        float64
+	Ckpt     dist.Continuous // D_C, support within [0, inf)
+	Task     dist.Continuous // D_X (truncated Normal, Gamma, ...)
+	TaskDisc dist.Discrete   // discrete D_X (Poisson)
+
+	// Lazily built coefficient table for O(1) generalized decisions
+	// (see ShouldCheckpointAt).
+	tableOnce      sync.Once
+	tableA, tableB []float64
+}
+
+// NewDynamic builds the dynamic problem for a continuous task law
+// (Sections 4.3.1 truncated Normal and 4.3.2 Gamma).
+func NewDynamic(r float64, task dist.Continuous, ckpt dist.Continuous) *Dynamic {
+	validateDynamicCommon(r, ckpt)
+	if task == nil {
+		panic("core: NewDynamic: task law must not be nil")
+	}
+	if lo, _ := task.Support(); lo < 0 {
+		panic(fmt.Sprintf("core: NewDynamic: task law support must start at >= 0, got %g", lo))
+	}
+	return &Dynamic{R: r, Ckpt: ckpt, Task: task}
+}
+
+// NewDynamicDiscrete builds the dynamic problem for a discrete task law
+// (Section 4.3.3 Poisson).
+func NewDynamicDiscrete(r float64, task dist.Discrete, ckpt dist.Continuous) *Dynamic {
+	validateDynamicCommon(r, ckpt)
+	if task == nil {
+		panic("core: NewDynamicDiscrete: task law must not be nil")
+	}
+	return &Dynamic{R: r, Ckpt: ckpt, TaskDisc: task}
+}
+
+func validateDynamicCommon(r float64, ckpt dist.Continuous) {
+	if !(r > 0) || math.IsNaN(r) || math.IsInf(r, 0) {
+		panic(fmt.Sprintf("core: Dynamic: R must be positive and finite, got %g", r))
+	}
+	if ckpt == nil {
+		panic("core: Dynamic: checkpoint law must not be nil")
+	}
+	if lo, _ := ckpt.Support(); lo < 0 {
+		panic(fmt.Sprintf("core: Dynamic: checkpoint law support must start at >= 0, got %g", lo))
+	}
+}
+
+// ckptProb returns P(C <= w), zero for w <= 0.
+func (d *Dynamic) ckptProb(w float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	return d.Ckpt.CDF(w)
+}
+
+// ExpectedWorkCheckpoint returns E(W_C)(w) = w * P(C <= R - w), the
+// expected saved work when checkpointing immediately with work w done.
+func (d *Dynamic) ExpectedWorkCheckpoint(w float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	return w * d.ckptProb(d.R-w)
+}
+
+// ExpectedWorkContinue returns E(W_+1)(w), the expected saved work when
+// executing exactly one more task before checkpointing, with work w done.
+func (d *Dynamic) ExpectedWorkContinue(w float64) float64 {
+	return d.expectedContinue(w, d.R-w)
+}
+
+// expectedContinue evaluates E(W_+1) with an explicit remaining budget,
+// decoupling uncommitted work from elapsed time.
+func (d *Dynamic) expectedContinue(work, budget float64) float64 {
+	if budget <= 0 {
+		return 0
+	}
+	if d.TaskDisc != nil {
+		jMax := int(math.Floor(budget))
+		var sum float64
+		for j := 0; j <= jMax; j++ {
+			sum += (float64(j) + work) * d.ckptProb(budget-float64(j)) * d.TaskDisc.PMF(j)
+		}
+		return sum
+	}
+	integrand := func(x float64) float64 {
+		return (x + work) * d.ckptProb(budget-x) * d.Task.PDF(x)
+	}
+	return quad.Kronrod(integrand, 0, budget, 1e-12, 1e-10).Value
+}
+
+// ShouldCheckpoint reports whether, with work w accumulated, the expected
+// saved work of checkpointing now is at least that of running one more
+// task — the paper's stopping rule.
+func (d *Dynamic) ShouldCheckpoint(w float64) bool {
+	return d.ExpectedWorkCheckpoint(w) >= d.ExpectedWorkContinue(w)
+}
+
+// ShouldCheckpointAt generalizes the stopping rule to states where the
+// elapsed reservation time differs from the uncommitted work — the
+// situation of Section 4.4, when execution continues after an earlier
+// successful checkpoint. With budget = R - elapsed it compares
+//
+//	E(W_C)  = work * P(C <= budget)
+//	E(W_+1) = Integral_0^budget (x + work) P(C <= budget - x) f_X(x) dx.
+//
+// The difference is linear in work for a fixed budget:
+//
+//	E(W_C) - E(W_+1) = work * A(budget) - B(budget)
+//	A(b) = P(C <= b) - Integral_0^b P(C <= b - x) f_X(x) dx   (>= 0)
+//	B(b) = Integral_0^b x * P(C <= b - x) f_X(x) dx           (>= 0)
+//
+// so the decision reduces to work*A >= B. A and B are precomputed once
+// on a budget grid and interpolated, making the per-boundary decision
+// O(1) in large Monte-Carlo runs; states within interpolation tolerance
+// of the indifference line fall back to the exact integrals.
+func (d *Dynamic) ShouldCheckpointAt(work, elapsed float64) bool {
+	budget := d.R - elapsed
+	if budget <= 0 {
+		return true
+	}
+	if work <= 0 {
+		// Nothing to commit: checkpoint only if one more task is also
+		// worthless.
+		return d.expectedContinue(0, budget) <= 0
+	}
+	a, b := d.coefficientsAt(budget)
+	diff := work*a - b
+	// Interpolation of A and B is accurate to ~1e-4 of their scale;
+	// re-evaluate exactly near the indifference line.
+	if math.Abs(diff) < 1e-3*(1+b) {
+		ec := work * d.ckptProb(budget)
+		return ec >= d.expectedContinue(work, budget)
+	}
+	return diff >= 0
+}
+
+// dynamicGridSize is the budget-grid resolution of the coefficient
+// table; interpolation across one cell of R/1024 is far below the
+// decision tolerance.
+const dynamicGridSize = 1024
+
+// coefficientsAt returns A(budget) and B(budget), building the lookup
+// table on first use.
+func (d *Dynamic) coefficientsAt(budget float64) (a, b float64) {
+	d.tableOnce.Do(d.buildTable)
+	if budget >= d.R {
+		n := dynamicGridSize
+		return d.tableA[n], d.tableB[n]
+	}
+	pos := budget / d.R * dynamicGridSize
+	i := int(pos)
+	if i >= dynamicGridSize {
+		i = dynamicGridSize - 1
+	}
+	frac := pos - float64(i)
+	a = d.tableA[i] + frac*(d.tableA[i+1]-d.tableA[i])
+	b = d.tableB[i] + frac*(d.tableB[i+1]-d.tableB[i])
+	return a, b
+}
+
+// buildTable evaluates the exact coefficients on the budget grid.
+func (d *Dynamic) buildTable() {
+	n := dynamicGridSize
+	d.tableA = make([]float64, n+1)
+	d.tableB = make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		budget := d.R * float64(i) / float64(n)
+		d.tableA[i], d.tableB[i] = d.exactCoefficients(budget)
+	}
+}
+
+// exactCoefficients evaluates A(b) and B(b) by quadrature (or summation
+// for discrete task laws).
+func (d *Dynamic) exactCoefficients(budget float64) (a, b float64) {
+	pc := d.ckptProb(budget)
+	if d.TaskDisc != nil {
+		jMax := int(math.Floor(budget))
+		var sumP, sumXP float64
+		for j := 0; j <= jMax; j++ {
+			pj := d.TaskDisc.PMF(j)
+			pcj := d.ckptProb(budget - float64(j))
+			sumP += pcj * pj
+			sumXP += float64(j) * pcj * pj
+		}
+		return pc - sumP, sumXP
+	}
+	sumP := quad.Kronrod(func(x float64) float64 {
+		return d.ckptProb(budget-x) * d.Task.PDF(x)
+	}, 0, budget, 1e-12, 1e-10).Value
+	sumXP := quad.Kronrod(func(x float64) float64 {
+		return x * d.ckptProb(budget-x) * d.Task.PDF(x)
+	}, 0, budget, 1e-12, 1e-10).Value
+	return pc - sumP, sumXP
+}
+
+// Intersection returns the smallest W_int in (0, R) at which
+// E(W_C) - E(W_+1) changes sign from negative to positive: below W_int it
+// is better to keep computing, above it to checkpoint. This is the value
+// highlighted in Figures 8-10 of the paper.
+func (d *Dynamic) Intersection() (float64, error) {
+	diff := func(w float64) float64 {
+		return d.ExpectedWorkCheckpoint(w) - d.ExpectedWorkContinue(w)
+	}
+	const grid = 512
+	prev := diff(1e-9)
+	prevW := 1e-9
+	for i := 1; i <= grid; i++ {
+		w := d.R * float64(i) / float64(grid+1)
+		cur := diff(w)
+		if prev < 0 && cur >= 0 {
+			root, err := optimize.Brent(diff, prevW, w, 1e-10)
+			if err != nil {
+				return 0.5 * (prevW + w), nil
+			}
+			return root, nil
+		}
+		prev, prevW = cur, w
+	}
+	return 0, ErrNoIntersection
+}
+
+// Curves samples E(W_C) and E(W_+1) at n+1 points of [0, R], the two
+// series plotted in Figures 8-10.
+func (d *Dynamic) Curves(n int) (ws, checkpoint, cont []float64) {
+	if n < 1 {
+		n = 1
+	}
+	ws = make([]float64, n+1)
+	checkpoint = make([]float64, n+1)
+	cont = make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		w := d.R * float64(i) / float64(n)
+		ws[i] = w
+		checkpoint[i] = d.ExpectedWorkCheckpoint(w)
+		cont[i] = d.ExpectedWorkContinue(w)
+	}
+	return ws, checkpoint, cont
+}

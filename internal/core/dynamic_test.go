@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"reskit/internal/dist"
+)
+
+func TestDynamicNormalFig8(t *testing.T) {
+	// Figure 8: mu=3, sigma=0.5, muC=5, sigmaC=0.4, R=29.
+	// Paper: intersection W_int ~ 20.3.
+	task := dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1))
+	d := NewDynamic(29, task, paperCkpt(5, 0.4))
+	w, err := d.Intersection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-20.3) > 0.3 {
+		t.Errorf("W_int = %g, paper ~20.3", w)
+	}
+	// Below the intersection: continue; above: checkpoint.
+	if d.ShouldCheckpoint(w - 1) {
+		t.Errorf("should continue below W_int")
+	}
+	if !d.ShouldCheckpoint(w + 1) {
+		t.Errorf("should checkpoint above W_int")
+	}
+}
+
+func TestDynamicGammaFig9(t *testing.T) {
+	// Figure 9: k=1, theta=0.5, muC=2, sigmaC=0.4, R=10.
+	// Paper: W_int ~ 6.4.
+	d := NewDynamic(10, dist.NewGamma(1, 0.5), paperCkpt(2, 0.4))
+	w, err := d.Intersection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-6.4) > 0.3 {
+		t.Errorf("W_int = %g, paper ~6.4", w)
+	}
+}
+
+func TestDynamicPoissonFig10(t *testing.T) {
+	// Figure 10: lambda=3, muC=5, sigmaC=0.4, R=29.
+	// Paper: W_int ~ 18.9.
+	d := NewDynamicDiscrete(29, dist.NewPoisson(3), paperCkpt(5, 0.4))
+	w, err := d.Intersection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-18.9) > 0.4 {
+		t.Errorf("W_int = %g, paper ~18.9", w)
+	}
+}
+
+func TestDynamicExpectedWorkCheckpointFormula(t *testing.T) {
+	// E(W_C) = W_n * [Phi((R-W_n-muC)/sigmaC) - Phi(-muC/sigmaC)] /
+	//                 [1 - Phi(-muC/sigmaC)]  (Section 4.3).
+	ckpt := paperCkpt(5, 0.4)
+	d := NewDynamic(29, dist.NewGamma(1, 1), ckpt)
+	for _, w := range []float64{1, 10, 20, 23.9, 28.9} {
+		want := w * ckpt.CDF(29-w)
+		if got := d.ExpectedWorkCheckpoint(w); math.Abs(got-want) > 1e-12 {
+			t.Errorf("E(W_C)(%g) = %g want %g", w, got, want)
+		}
+	}
+	if d.ExpectedWorkCheckpoint(0) != 0 || d.ExpectedWorkCheckpoint(-1) != 0 {
+		t.Errorf("non-positive work must give 0")
+	}
+	// No time left for even the fastest checkpoint.
+	if d.ExpectedWorkCheckpoint(29) != 0 {
+		t.Errorf("E(W_C)(R) must be 0")
+	}
+}
+
+func TestDynamicContinueVanishesAtR(t *testing.T) {
+	d := NewDynamic(10, dist.NewGamma(1, 0.5), paperCkpt(2, 0.4))
+	if d.ExpectedWorkContinue(10) != 0 || d.ExpectedWorkContinue(11) != 0 {
+		t.Errorf("no budget: E(W_+1) must be 0")
+	}
+	if v := d.ExpectedWorkContinue(0); v <= 0 {
+		t.Errorf("E(W_+1)(0) = %g, want > 0", v)
+	}
+}
+
+func TestDynamicDecisionMonotone(t *testing.T) {
+	// Once checkpointing wins it keeps winning for larger W_n (scan).
+	d := NewDynamic(29, dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1)), paperCkpt(5, 0.4))
+	flipped := false
+	for i := 0; i <= 200; i++ {
+		w := 29 * float64(i) / 200
+		c := d.ShouldCheckpoint(w)
+		if flipped && !c && w < 23 {
+			// Allow the far-right region where both expectations are ~0;
+			// below R - muC the rule must stay monotone.
+			t.Fatalf("decision flipped back at w=%g", w)
+		}
+		if c && w > 1 {
+			flipped = true
+		}
+	}
+	if !flipped {
+		t.Fatalf("never decided to checkpoint")
+	}
+}
+
+func TestDynamicNoIntersection(t *testing.T) {
+	// A reservation so short that no task ever fits: with W_n near 0 the
+	// checkpoint expectation always dominates, so no sign change from
+	// negative to positive exists.
+	d := NewDynamic(1.0, dist.Truncate(dist.NewNormal(5, 0.5), 0, math.Inf(1)),
+		paperCkpt(0.2, 0.05))
+	_, err := d.Intersection()
+	if !errors.Is(err, ErrNoIntersection) {
+		t.Errorf("want ErrNoIntersection, got %v", err)
+	}
+}
+
+func TestDynamicCurves(t *testing.T) {
+	d := NewDynamic(10, dist.NewGamma(1, 0.5), paperCkpt(2, 0.4))
+	ws, ck, cont := d.Curves(50)
+	if len(ws) != 51 || len(ck) != 51 || len(cont) != 51 {
+		t.Fatalf("curve sizes")
+	}
+	if ws[0] != 0 || ws[50] != 10 {
+		t.Errorf("w range [%g, %g]", ws[0], ws[50])
+	}
+	// The two curves cross near the analytical intersection.
+	wInt, err := d.Intersection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crossed float64 = -1
+	for i := 1; i < len(ws); i++ {
+		if ck[i-1] < cont[i-1] && ck[i] >= cont[i] {
+			crossed = ws[i]
+			break
+		}
+	}
+	if crossed < 0 || math.Abs(crossed-wInt) > 0.5 {
+		t.Errorf("curve crossing %g vs Intersection %g", crossed, wInt)
+	}
+}
+
+func TestDynamicConstructorValidation(t *testing.T) {
+	ckpt := paperCkpt(5, 0.4)
+	cases := []func(){
+		func() { NewDynamic(-1, dist.NewGamma(1, 1), ckpt) },
+		func() { NewDynamic(10, nil, ckpt) },
+		func() { NewDynamic(10, dist.NewGamma(1, 1), nil) },
+		func() { NewDynamic(10, dist.NewNormal(3, 0.5), ckpt) }, // task support < 0
+		func() { NewDynamicDiscrete(10, nil, ckpt) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCoefficientTableMatchesExactRule(t *testing.T) {
+	// The table-interpolated decision must agree with the exact
+	// expectation comparison everywhere except within tolerance of the
+	// indifference line (where both options have equal value anyway).
+	cases := []*Dynamic{
+		NewDynamic(29, dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1)), paperCkpt(5, 0.4)),
+		NewDynamic(10, dist.NewGamma(1, 0.5), paperCkpt(2, 0.4)),
+		NewDynamicDiscrete(29, dist.NewPoisson(3), paperCkpt(5, 0.4)),
+	}
+	for _, d := range cases {
+		for i := 1; i < 40; i++ {
+			elapsed := d.R * float64(i) / 41
+			for j := 1; j < 20; j++ {
+				work := elapsed * float64(j) / 20
+				budget := d.R - elapsed
+				ecExact := work * d.ckptProb(budget)
+				e1Exact := d.expectedContinue(work, budget)
+				exact := ecExact >= e1Exact
+				fast := d.ShouldCheckpointAt(work, elapsed)
+				if fast != exact && math.Abs(ecExact-e1Exact) > 1e-3*(1+e1Exact) {
+					t.Fatalf("R=%g: mismatch at work=%.3f elapsed=%.3f (EC=%g E1=%g)",
+						d.R, work, elapsed, ecExact, e1Exact)
+				}
+			}
+		}
+	}
+}
+
+func TestCoefficientsLinearity(t *testing.T) {
+	// E(W_C)-E(W_+1) must equal work*A - B for the exact coefficients.
+	d := NewDynamic(10, dist.NewGamma(1, 0.5), paperCkpt(2, 0.4))
+	for _, budget := range []float64{2, 5, 8} {
+		a, b := d.exactCoefficients(budget)
+		if a < -1e-12 || b < -1e-12 {
+			t.Errorf("budget %g: negative coefficients A=%g B=%g", budget, a, b)
+		}
+		for _, work := range []float64{0.5, 3, 7} {
+			lhs := work*d.ckptProb(budget) - d.expectedContinue(work, budget)
+			rhs := work*a - b
+			if math.Abs(lhs-rhs) > 1e-8*(1+math.Abs(lhs)) {
+				t.Errorf("budget %g work %g: %g vs %g", budget, work, lhs, rhs)
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"reskit/internal/dist"
+)
+
+func TestMultiDPDominatesSingleCheckpointDP(t *testing.T) {
+	// Allowing repeated commits can only help: V_multi(0,0) >= V_single.
+	task := dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1))
+	ckpt := paperCkpt(5, 0.4)
+	single := NewDP(29, task, ckpt, 2048).Solve().Value
+	multi := NewMultiDP(29, task, ckpt, 512).Solve().Value
+	if multi < single-0.1 {
+		t.Errorf("multi-checkpoint %g below single-checkpoint %g", multi, single)
+	}
+	// With a 5-unit checkpoint and R=29, a second commit rarely pays; the
+	// two should be close.
+	if multi > single+2 {
+		t.Errorf("multi %g implausibly above single %g for expensive checkpoints", multi, single)
+	}
+}
+
+func TestMultiDPCheapCheckpointsCommitMore(t *testing.T) {
+	// Intermediate commits are insurance against a single task
+	// overshooting the commit window. With low-variance tasks the
+	// end-only plan is already nearly riskless (gap ~0.1); with
+	// heavy-tailed (Exponential) tasks and cheap checkpoints the
+	// multi-checkpoint optimum clearly pulls ahead.
+	cheap := paperCkpt(1, 0.15)
+
+	lowVar := dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1))
+	singleLow := NewDP(60, lowVar, cheap, 2048).Solve().Value
+	multiLow := NewMultiDP(60, lowVar, cheap, 512).Solve().Value
+	if multiLow < singleLow-0.1 || multiLow > singleLow+1 {
+		t.Errorf("low variance: multi %g should be within [single, single+1] of %g", multiLow, singleLow)
+	}
+
+	heavy := dist.NewGamma(1, 3)
+	singleHeavy := NewDP(60, heavy, cheap, 2048).Solve().Value
+	multiHeavy := NewMultiDP(60, heavy, cheap, 512).Solve().Value
+	if multiHeavy <= singleHeavy+2 {
+		t.Errorf("heavy tails: multi %g should clearly beat single %g", multiHeavy, singleHeavy)
+	}
+	if multiHeavy > 60 {
+		t.Errorf("multi %g exceeds the reservation", multiHeavy)
+	}
+}
+
+func TestMultiDPGridConvergence(t *testing.T) {
+	task := dist.NewGamma(1, 0.5)
+	ckpt := paperCkpt(2, 0.4)
+	coarse := NewMultiDP(10, task, ckpt, 128).Solve().Value
+	fine := NewMultiDP(10, task, ckpt, 384).Solve().Value
+	if math.Abs(coarse-fine) > 0.15*(1+fine) {
+		t.Errorf("grid sensitivity: %g vs %g", coarse, fine)
+	}
+}
+
+func TestMultiDPUpperBoundsSimulatedContinuation(t *testing.T) {
+	// The DP optimum must dominate what the dynamic policy achieves in
+	// the §4.4 ContinueExecution mode. (Checked against the recorded
+	// simulation value of BenchmarkAfterCheckpoint: cont_saved ~ 55.4 for
+	// R=60 with N(2,0.3)+ checkpoints and N(3,0.5)+ tasks.)
+	task := dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1))
+	ckpt := dist.Truncate(dist.NewNormal(2, 0.3), 0, math.Inf(1))
+	multi := NewMultiDP(60, task, ckpt, 512).Solve().Value
+	if multi < 55.0 {
+		t.Errorf("multi-checkpoint optimum %g below the simulated heuristic ~55.4", multi)
+	}
+	if multi > 60 {
+		t.Errorf("optimum %g exceeds R", multi)
+	}
+}
+
+func TestMultiDPValidation(t *testing.T) {
+	task := dist.NewGamma(1, 1)
+	ckpt := paperCkpt(1, 0.1)
+	cases := []func(){
+		func() { NewMultiDP(-1, task, ckpt, 128) },
+		func() { NewMultiDP(10, nil, ckpt, 128) },
+		func() { NewMultiDP(10, task, nil, 128) },
+		func() { NewMultiDP(10, dist.NewNormal(0, 1), ckpt, 128) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+	if sol := NewMultiDP(10, task, ckpt, 1).Solve(); sol.Steps < 16 {
+		t.Errorf("steps clamp failed: %d", sol.Steps)
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/dist"
+	"reskit/internal/optimize"
+	"reskit/internal/specfun"
+)
+
+// Preemptible is the Section 3 problem: an application that may start a
+// checkpoint at any instant of a reservation of length R, with a
+// stochastic checkpoint duration C whose law has bounded support [a, b],
+// 0 < a < b. Starting the checkpoint X seconds before the end saves R-X
+// units of work when C <= X and nothing otherwise.
+type Preemptible struct {
+	R float64         // reservation length
+	C dist.Continuous // checkpoint-duration law with finite support [a, b]
+
+	a, b float64 // cached support of C
+}
+
+// NewPreemptible builds the Section 3 problem. The checkpoint law c must
+// have finite support [a, b] with 0 < a < b (use dist.Truncate to build
+// truncated laws), and the reservation must satisfy R > a — otherwise not
+// even the fastest possible checkpoint fits.
+func NewPreemptible(r float64, c dist.Continuous) *Preemptible {
+	if !(r > 0) || math.IsNaN(r) || math.IsInf(r, 0) {
+		panic(fmt.Sprintf("core: Preemptible: R must be positive and finite, got %g", r))
+	}
+	a, b := c.Support()
+	if !(0 < a && a < b) || math.IsInf(b, 1) {
+		panic(fmt.Sprintf("core: Preemptible: checkpoint law must have finite support [a, b] with 0 < a < b, got [%g, %g]", a, b))
+	}
+	if !(r > a) {
+		panic(fmt.Sprintf("core: Preemptible: R = %g leaves no room for the minimum checkpoint a = %g", r, a))
+	}
+	return &Preemptible{R: r, C: c, a: a, b: b}
+}
+
+// Bounds returns the support [a, b] of the checkpoint-duration law.
+func (p *Preemptible) Bounds() (a, b float64) { return p.a, p.b }
+
+// ExpectedWork returns E(W(X)), the expectation of the work saved when
+// the checkpoint starts X seconds before the end of the reservation
+// (Equation (1) of the paper):
+//
+//	E(W(X)) = P(C <= X) * (R - X)   for a <= X <= b
+//	E(W(X)) = R - X                 for X > b
+//
+// Outside the feasible range [a, R] the expectation is 0 (X < a: the
+// checkpoint cannot finish; X > R: the checkpoint would start before the
+// reservation does).
+func (p *Preemptible) ExpectedWork(x float64) float64 {
+	switch {
+	case x < p.a || x > p.R:
+		return 0
+	case x > p.b:
+		return p.R - x
+	default:
+		return p.C.CDF(x) * (p.R - x)
+	}
+}
+
+// Solution reports an optimal checkpoint instant for the preemptible
+// problem.
+type Solution struct {
+	X            float64 // optimal lead time: checkpoint at R - X
+	ExpectedWork float64 // E(W(X)) at the optimum
+	Method       string  // which solver produced the answer
+	Interior     bool    // true when X < b (strictly inside the support)
+}
+
+// OptimalX returns the X maximizing E(W(X)). Closed forms are used for
+// the laws the paper works out (Uniform; truncated Exponential via
+// Lambert W); the truncated Normal and LogNormal use the paper's
+// stationarity condition solved by bracketed root finding; any other law
+// falls back to guaranteed numerical search. Since E(W(X)) = R - X is
+// strictly decreasing for X > b, the search space is [a, min(b, R)].
+func (p *Preemptible) OptimalX() Solution {
+	switch c := p.C.(type) {
+	case dist.Uniform:
+		return p.optimalUniform(c)
+	case *dist.Truncated:
+		switch base := c.Base.(type) {
+		case dist.Uniform:
+			// Truncating a Uniform yields another Uniform.
+			return p.optimalUniform(dist.NewUniform(p.a, p.b))
+		case dist.Exponential:
+			return p.optimalExponential(base.Lambda)
+		case dist.Normal:
+			return p.optimalNormal(base)
+		case dist.LogNormal:
+			return p.optimalLogNormal(base)
+		}
+	}
+	return p.optimalNumeric()
+}
+
+// optimalUniform implements Section 3.2.1: X_opt = min((R+a)/2, b).
+func (p *Preemptible) optimalUniform(dist.Uniform) Solution {
+	x := math.Min(0.5*(p.R+p.a), p.b)
+	x = math.Min(x, p.R)
+	return Solution{
+		X:            x,
+		ExpectedWork: p.ExpectedWork(x),
+		Method:       "uniform-closed-form",
+		Interior:     x < p.b,
+	}
+}
+
+// optimalExponential implements Section 3.2.2:
+//
+//	X_opt = min( (lambda*R + 1 - W0(e^{lambda(R-a)+1})) / lambda, b )
+//
+// evaluated through the overflow-free LambertWExpArg.
+func (p *Preemptible) optimalExponential(lambda float64) Solution {
+	y := lambda*(p.R-p.a) + 1
+	x := (lambda*p.R + 1 - specfun.LambertWExpArg(y)) / lambda
+	x = math.Min(math.Min(x, p.b), p.R)
+	if x < p.a {
+		x = p.a
+	}
+	return Solution{
+		X:            x,
+		ExpectedWork: p.ExpectedWork(x),
+		Method:       "exponential-lambertw",
+		Interior:     x < p.b,
+	}
+}
+
+// optimalNormal implements Section 3.2.3: the stationary point c of
+//
+//	g'(X) = phi((X-mu)/sigma)(R-X)/sigma - [Phi((X-mu)/sigma) - Phi((a-mu)/sigma)]
+//
+// exists in (a, R] (g'(a) > 0, g'(R) < 0, g concave around c) and the
+// optimum is min(c, b).
+func (p *Preemptible) optimalNormal(base dist.Normal) Solution {
+	mu, sigma := base.Mu, base.Sigma
+	gp := func(x float64) float64 {
+		z := (x - mu) / sigma
+		return specfun.NormPDF(z)*(p.R-x)/sigma -
+			(specfun.NormCDF(z) - specfun.NormCDF((p.a-mu)/sigma))
+	}
+	x := p.stationaryPoint(gp, "normal-stationarity")
+	return Solution{
+		X:            x,
+		ExpectedWork: p.ExpectedWork(x),
+		Method:       "normal-stationarity",
+		Interior:     x < p.b,
+	}
+}
+
+// optimalLogNormal implements Section 3.2.4 by the analogous
+// stationarity condition with z = (ln X - mu)/sigma and density factor
+// 1/(sigma X).
+func (p *Preemptible) optimalLogNormal(base dist.LogNormal) Solution {
+	mu, sigma := base.Mu, base.Sigma
+	za := (math.Log(p.a) - mu) / sigma
+	gp := func(x float64) float64 {
+		z := (math.Log(x) - mu) / sigma
+		return specfun.NormPDF(z)*(p.R-x)/(sigma*x) -
+			(specfun.NormCDF(z) - specfun.NormCDF(za))
+	}
+	x := p.stationaryPoint(gp, "lognormal-stationarity")
+	return Solution{
+		X:            x,
+		ExpectedWork: p.ExpectedWork(x),
+		Method:       "lognormal-stationarity",
+		Interior:     x < p.b,
+	}
+}
+
+// stationaryPoint finds the root of gp on (a, R] and clamps it to
+// [a, min(b, R)]. gp is positive at a and negative at R by the paper's
+// analysis; if rounding spoils the bracket we fall back to direct search.
+func (p *Preemptible) stationaryPoint(gp func(float64) float64, method string) float64 {
+	lo, hi := p.a, p.R
+	if !(gp(lo) > 0 && gp(hi) < 0) {
+		// Degenerate bracket (extremely narrow laws): fall back.
+		return p.optimalNumeric().X
+	}
+	c, err := optimize.Brent(gp, lo, hi, 1e-13)
+	if err != nil {
+		return p.optimalNumeric().X
+	}
+	x := math.Min(math.Min(c, p.b), p.R)
+	if x < p.a {
+		x = p.a
+	}
+	return x
+}
+
+// optimalNumeric maximizes E(W(X)) over [a, min(b, R)] without any
+// structural assumption beyond continuity: coarse grid + golden-section
+// refinement. It is the path taken for empirical, Weibull, Gamma or any
+// other checkpoint law the paper does not treat in closed form.
+func (p *Preemptible) optimalNumeric() Solution {
+	hi := math.Min(p.b, p.R)
+	r := optimize.MaxGridRefine(p.ExpectedWork, p.a, hi, 257, 1e-12)
+	return Solution{
+		X:            r.X,
+		ExpectedWork: r.F,
+		Method:       "numeric",
+		Interior:     r.X < p.b,
+	}
+}
+
+// Pessimistic returns the risk-free solution the paper compares against:
+// always plan for the worst checkpoint duration, X = b (capped at R).
+// Its expected work is E(W(b)) = R - b, since C <= b almost surely.
+func (p *Preemptible) Pessimistic() Solution {
+	x := math.Min(p.b, p.R)
+	return Solution{
+		X:            x,
+		ExpectedWork: p.ExpectedWork(x),
+		Method:       "pessimistic",
+		Interior:     false,
+	}
+}
+
+// Gain returns the ratio of the optimal expected work to the pessimistic
+// expected work — the headline metric of Section 3 (e.g. Figure 1(a),
+// where the pessimistic strategy reaches only ~80% of the optimum).
+func (p *Preemptible) Gain() float64 {
+	opt := p.OptimalX().ExpectedWork
+	pes := p.Pessimistic().ExpectedWork
+	if pes <= 0 {
+		if opt <= 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return opt / pes
+}
+
+// Curve samples E(W(X)) at n+1 evenly spaced points of [a, R], the
+// series plotted in Figures 1-4 of the paper.
+func (p *Preemptible) Curve(n int) (xs, ys []float64) {
+	if n < 1 {
+		n = 1
+	}
+	xs = make([]float64, n+1)
+	ys = make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		x := p.a + (p.R-p.a)*float64(i)/float64(n)
+		xs[i] = x
+		ys[i] = p.ExpectedWork(x)
+	}
+	return xs, ys
+}
+
+// MisspecificationLoss quantifies the cost of planning with the wrong
+// checkpoint law: it returns the fraction of the truly optimal expected
+// work that is achieved when X is chosen optimally under `assumed` but
+// the world follows `truth` (both problems must share R). A return of 1
+// means the misspecification was harmless; 0 means everything is lost.
+// This is the metric that justifies the trace-learning loop: it tells
+// you how accurate the fitted D_C needs to be.
+func MisspecificationLoss(truth, assumed *Preemptible) float64 {
+	if truth.R != assumed.R {
+		panic(fmt.Sprintf("core: MisspecificationLoss: mismatched reservations %g vs %g", truth.R, assumed.R))
+	}
+	best := truth.OptimalX().ExpectedWork
+	if best <= 0 {
+		return 1
+	}
+	got := truth.ExpectedWork(assumed.OptimalX().X)
+	return got / best
+}

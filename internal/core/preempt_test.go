@@ -1,0 +1,309 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"reskit/internal/dist"
+)
+
+func TestUniformFig1aInterior(t *testing.T) {
+	// Figure 1(a): a=1, b=7.5, R=10 -> X_opt = (R+a)/2 = 5.5,
+	// E(W(X_opt)) = (5.5-1)/(7.5-1) * 4.5 = 3.115..., pessimistic 2.5.
+	p := NewPreemptible(10, dist.NewUniform(1, 7.5))
+	sol := p.OptimalX()
+	if math.Abs(sol.X-5.5) > 1e-12 {
+		t.Errorf("X_opt = %g, want 5.5", sol.X)
+	}
+	if !sol.Interior {
+		t.Errorf("optimum should be interior")
+	}
+	want := 4.5 * 4.5 / 6.5
+	if math.Abs(sol.ExpectedWork-want) > 1e-12 {
+		t.Errorf("E(W) = %g, want %g", sol.ExpectedWork, want)
+	}
+	pes := p.Pessimistic()
+	if math.Abs(pes.ExpectedWork-2.5) > 1e-12 {
+		t.Errorf("pessimistic E(W) = %g, want 2.5", pes.ExpectedWork)
+	}
+	// Paper: pessimistic reaches only ~80% of the optimum.
+	ratio := pes.ExpectedWork / sol.ExpectedWork
+	if math.Abs(ratio-0.8025) > 0.01 {
+		t.Errorf("pessimistic ratio %g, paper ~0.80", ratio)
+	}
+}
+
+func TestUniformFig1bBoundary(t *testing.T) {
+	// Figure 1(b): a=1, b=5, R=10 -> X_opt = b = 5.
+	p := NewPreemptible(10, dist.NewUniform(1, 5))
+	sol := p.OptimalX()
+	if sol.X != 5 {
+		t.Errorf("X_opt = %g, want 5", sol.X)
+	}
+	if sol.Interior {
+		t.Errorf("optimum should be at the boundary")
+	}
+	if math.Abs(sol.ExpectedWork-5) > 1e-12 {
+		t.Errorf("E(W(b)) = %g, want R-b = 5", sol.ExpectedWork)
+	}
+}
+
+func TestExponentialFig2aInterior(t *testing.T) {
+	// Figure 2(a): a=1, b=5, R=10, lambda=1/2 -> X_opt ~ 3.8-3.9.
+	c := dist.Truncate(dist.NewExponential(0.5), 1, 5)
+	p := NewPreemptible(10, c)
+	sol := p.OptimalX()
+	if sol.Method != "exponential-lambertw" {
+		t.Fatalf("method %q", sol.Method)
+	}
+	if math.Abs(sol.X-3.9) > 0.15 {
+		t.Errorf("X_opt = %g, paper ~3.9", sol.X)
+	}
+	if !sol.Interior {
+		t.Errorf("optimum should be interior")
+	}
+	// The Lambert-W closed form must agree with direct numerical
+	// maximization to high accuracy.
+	num := p.optimalNumeric()
+	if math.Abs(sol.X-num.X) > 1e-6 {
+		t.Errorf("closed form %g vs numeric %g", sol.X, num.X)
+	}
+	if sol.ExpectedWork < num.ExpectedWork-1e-9 {
+		t.Errorf("closed form suboptimal: %g < %g", sol.ExpectedWork, num.ExpectedWork)
+	}
+}
+
+func TestExponentialFig2bBoundary(t *testing.T) {
+	// Figure 2(b): a=1, b=3, R=10, lambda=1/2 -> X_opt = b = 3.
+	c := dist.Truncate(dist.NewExponential(0.5), 1, 3)
+	p := NewPreemptible(10, c)
+	sol := p.OptimalX()
+	if sol.X != 3 {
+		t.Errorf("X_opt = %g, want b = 3", sol.X)
+	}
+	if sol.Interior {
+		t.Errorf("should be boundary optimum")
+	}
+}
+
+func TestNormalFig3Cases(t *testing.T) {
+	// Figure 3(b): a=1, b=4.7, R=10, mu=3.5, sigma=1 -> X_opt = b.
+	cB := dist.Truncate(dist.NewNormal(3.5, 1), 1, 4.7)
+	pB := NewPreemptible(10, cB)
+	solB := pB.OptimalX()
+	if solB.X != 4.7 {
+		t.Errorf("3b: X_opt = %g, want b = 4.7", solB.X)
+	}
+	// Figure 3(a) (interior case): widen b so the stationary point fits.
+	cA := dist.Truncate(dist.NewNormal(3.5, 1), 1, 6)
+	pA := NewPreemptible(10, cA)
+	solA := pA.OptimalX()
+	if !solA.Interior {
+		t.Errorf("3a: expected interior optimum, got X = %g", solA.X)
+	}
+	// Stationarity solution must agree with direct maximization.
+	num := pA.optimalNumeric()
+	if math.Abs(solA.X-num.X) > 1e-6 {
+		t.Errorf("3a: stationarity %g vs numeric %g", solA.X, num.X)
+	}
+}
+
+func TestLogNormalFig4Cases(t *testing.T) {
+	// Section 3.2.4 requires mu* = exp(mu + sigma^2/2) in [a, b].
+	// Interior case: mu=1, sigma=0.5 -> mu* = e^{1.125} ~ 3.08.
+	cA := dist.Truncate(dist.NewLogNormal(1, 0.5), 1, 6)
+	pA := NewPreemptible(10, cA)
+	solA := pA.OptimalX()
+	if solA.Method != "lognormal-stationarity" {
+		t.Fatalf("method %q", solA.Method)
+	}
+	if !solA.Interior {
+		t.Errorf("4a: expected interior optimum, got %g", solA.X)
+	}
+	num := pA.optimalNumeric()
+	if math.Abs(solA.X-num.X) > 1e-6 {
+		t.Errorf("4a: stationarity %g vs numeric %g", solA.X, num.X)
+	}
+	// Boundary case per the Figure 4(b) caption: b = 4.7 with a law
+	// whose mass pushes the stationary point past b.
+	cB := dist.Truncate(dist.NewLogNormal(1.25, 0.5), 1, 4.7)
+	pB := NewPreemptible(10, cB)
+	solB := pB.OptimalX()
+	if solB.X != 4.7 {
+		t.Errorf("4b: X_opt = %g, want b = 4.7", solB.X)
+	}
+}
+
+func TestGenericNumericFallback(t *testing.T) {
+	// Weibull and Gamma checkpoint laws are not handled in closed form;
+	// the numeric path must still return the global optimum.
+	for _, c := range []dist.Continuous{
+		dist.Truncate(dist.NewWeibull(1.5, 3), 1, 6),
+		dist.Truncate(dist.NewGamma(2, 1.5), 1, 6),
+	} {
+		p := NewPreemptible(10, c)
+		sol := p.OptimalX()
+		if sol.Method != "numeric" {
+			t.Errorf("%v: method %q", c, sol.Method)
+		}
+		// Probe optimality against a fine grid.
+		for i := 0; i <= 2000; i++ {
+			x := 1 + 9*float64(i)/2000
+			if p.ExpectedWork(x) > sol.ExpectedWork+1e-9 {
+				t.Fatalf("%v: found better X = %g (%g > %g)", c, x,
+					p.ExpectedWork(x), sol.ExpectedWork)
+			}
+		}
+	}
+}
+
+func TestExpectedWorkBoundaries(t *testing.T) {
+	p := NewPreemptible(10, dist.NewUniform(1, 7.5))
+	// E(W(a)) = 0: the checkpoint fails almost surely.
+	if p.ExpectedWork(1) != 0 {
+		t.Errorf("E(W(a)) = %g", p.ExpectedWork(1))
+	}
+	// E(W(R)) = 0: no work executed.
+	if p.ExpectedWork(10) != 0 {
+		t.Errorf("E(W(R)) = %g", p.ExpectedWork(10))
+	}
+	// Outside the feasible range.
+	if p.ExpectedWork(0.5) != 0 || p.ExpectedWork(11) != 0 {
+		t.Errorf("outside range should be 0")
+	}
+	// Linear decrease on [b, R].
+	if math.Abs(p.ExpectedWork(8)-2) > 1e-12 || math.Abs(p.ExpectedWork(9)-1) > 1e-12 {
+		t.Errorf("linear segment wrong")
+	}
+}
+
+func TestOptimalXBeatsAllProbesProperty(t *testing.T) {
+	// For random truncated-Exponential instances, the closed form beats
+	// every probed X.
+	prop := func(uLambda, uA, uB, uR, uX float64) bool {
+		lambda := 0.1 + math.Abs(math.Mod(uLambda, 2))
+		a := 0.5 + math.Abs(math.Mod(uA, 3))
+		b := a + 0.5 + math.Abs(math.Mod(uB, 5))
+		r := b + math.Abs(math.Mod(uR, 10))
+		p := NewPreemptible(r, dist.Truncate(dist.NewExponential(lambda), a, b))
+		sol := p.OptimalX()
+		x := a + math.Abs(math.Mod(uX, 1))*(r-a)
+		return p.ExpectedWork(x) <= sol.ExpectedWork+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGain(t *testing.T) {
+	p := NewPreemptible(10, dist.NewUniform(1, 7.5))
+	g := p.Gain()
+	want := (4.5 * 4.5 / 6.5) / 2.5
+	if math.Abs(g-want) > 1e-12 {
+		t.Errorf("gain %g want %g", g, want)
+	}
+	// Boundary-optimal instance: gain is exactly 1.
+	p2 := NewPreemptible(10, dist.NewUniform(1, 5))
+	if math.Abs(p2.Gain()-1) > 1e-12 {
+		t.Errorf("boundary gain %g", p2.Gain())
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	p := NewPreemptible(10, dist.NewUniform(1, 7.5))
+	xs, ys := p.Curve(100)
+	if len(xs) != 101 || len(ys) != 101 {
+		t.Fatalf("curve size %d %d", len(xs), len(ys))
+	}
+	if xs[0] != 1 || xs[100] != 10 {
+		t.Errorf("curve range [%g, %g]", xs[0], xs[100])
+	}
+	if ys[0] != 0 || ys[100] != 0 {
+		t.Errorf("curve endpoints %g %g", ys[0], ys[100])
+	}
+	// Maximum of the sampled curve is near the analytical optimum.
+	best, bestX := -1.0, 0.0
+	for i, y := range ys {
+		if y > best {
+			best, bestX = y, xs[i]
+		}
+	}
+	if math.Abs(bestX-5.5) > 0.1 {
+		t.Errorf("curve max at %g, want ~5.5", bestX)
+	}
+}
+
+func TestPreemptibleConstructorValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewPreemptible(-1, dist.NewUniform(1, 2)) },
+		func() { NewPreemptible(10, dist.NewNormal(0, 1)) },           // infinite support
+		func() { NewPreemptible(10, dist.NewUniform(-1, 2)) },         // a <= 0
+		func() { NewPreemptible(0.5, dist.NewUniform(1, 2)) },         // R <= a
+		func() { NewPreemptible(10, dist.NewExponential(1)) },         // infinite b
+		func() { NewPreemptible(math.Inf(1), dist.NewUniform(1, 2)) }, // R infinite
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTruncatedUniformUsesClosedForm(t *testing.T) {
+	// Truncating a Uniform produces another Uniform; the dispatcher must
+	// still use the closed form.
+	c := dist.Truncate(dist.NewUniform(0.5, 9), 1, 7.5)
+	p := NewPreemptible(10, c)
+	sol := p.OptimalX()
+	if sol.Method != "uniform-closed-form" {
+		t.Errorf("method %q", sol.Method)
+	}
+	if math.Abs(sol.X-5.5) > 1e-9 {
+		t.Errorf("X_opt = %g", sol.X)
+	}
+}
+
+func TestMisspecificationLoss(t *testing.T) {
+	truth := NewPreemptible(10, dist.Truncate(dist.NewNormal(3.5, 1), 1, 6))
+	// Perfect knowledge: no loss.
+	if l := MisspecificationLoss(truth, truth); math.Abs(l-1) > 1e-12 {
+		t.Errorf("self loss %g", l)
+	}
+	// Small parameter error: tiny loss (flat optimum).
+	near := NewPreemptible(10, dist.Truncate(dist.NewNormal(3.7, 1), 1, 6))
+	if l := MisspecificationLoss(truth, near); l < 0.99 || l > 1 {
+		t.Errorf("near loss %g", l)
+	}
+	// Gross underestimate of the checkpoint time: real loss.
+	wrong := NewPreemptible(10, dist.Truncate(dist.NewNormal(1.2, 0.2), 1, 6))
+	if l := MisspecificationLoss(truth, wrong); l > 0.97 {
+		t.Errorf("gross misspecification suspiciously harmless: %g", l)
+	}
+	// Mismatched R panics.
+	defer func() {
+		if recover() == nil {
+			t.Errorf("mismatched R must panic")
+		}
+	}()
+	MisspecificationLoss(truth, NewPreemptible(11, dist.NewUniform(1, 6)))
+}
+
+func TestMisspecificationLossMonotoneInError(t *testing.T) {
+	// Larger mean errors can only hurt (weakly) on this instance.
+	truth := NewPreemptible(10, dist.Truncate(dist.NewNormal(3.5, 1), 1, 6))
+	prev := 1.0
+	for _, shift := range []float64{0, 0.5, 1.0, 1.5, 2.0} {
+		assumed := NewPreemptible(10, dist.Truncate(dist.NewNormal(3.5-shift, 1), 1, 6))
+		l := MisspecificationLoss(truth, assumed)
+		if l > prev+1e-9 {
+			t.Errorf("loss not weakly decreasing at shift %g: %g > %g", shift, l, prev)
+		}
+		prev = l
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"reskit/internal/dist"
+)
+
+// TestGainNeverBelowOneProperty: the optimal policy can always fall back
+// to X=b, so E(W(X_opt)) >= E(W(b)) on every instance.
+func TestGainNeverBelowOneProperty(t *testing.T) {
+	prop := func(uMu, uSigma, uA, uB, uR float64) bool {
+		mu := 1 + math.Abs(math.Mod(uMu, 8))
+		sigma := 0.1 + math.Abs(math.Mod(uSigma, 3))
+		a := 0.5 + math.Abs(math.Mod(uA, 2))
+		b := a + 0.5 + math.Abs(math.Mod(uB, 6))
+		r := b + 0.1 + math.Abs(math.Mod(uR, 15))
+		p := NewPreemptible(r, dist.Truncate(dist.NewNormal(mu, sigma), a, b))
+		return p.Gain() >= 1-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUniformXOptMonotoneInRProperty: for the Uniform law the optimal
+// lead time min((R+a)/2, b) never decreases as the reservation grows.
+func TestUniformXOptMonotoneInRProperty(t *testing.T) {
+	prop := func(uA, uB, uR1, uR2 float64) bool {
+		a := 0.5 + math.Abs(math.Mod(uA, 3))
+		b := a + 0.5 + math.Abs(math.Mod(uB, 6))
+		r1 := a + 0.1 + math.Abs(math.Mod(uR1, 20))
+		r2 := r1 + math.Abs(math.Mod(uR2, 20))
+		x1 := NewPreemptible(r1, dist.NewUniform(a, b)).OptimalX().X
+		x2 := NewPreemptible(r2, dist.NewUniform(a, b)).OptimalX().X
+		return x2 >= x1-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExpectedWorkBoundedProperty: 0 <= E(W(X)) <= R - a everywhere.
+func TestExpectedWorkBoundedProperty(t *testing.T) {
+	p := NewPreemptible(12, dist.Truncate(dist.NewLogNormal(0.8, 0.6), 1, 7))
+	prop := func(uX float64) bool {
+		x := math.Abs(math.Mod(uX, 15))
+		v := p.ExpectedWork(x)
+		return v >= 0 && v <= 12-1+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExpectedWorkMatchesDefinitionProperty: E(W(X)) = P(C<=X)*(R-X) on
+// [a, b] for every law, straight from the definition.
+func TestExpectedWorkMatchesDefinitionProperty(t *testing.T) {
+	laws := []dist.Continuous{
+		dist.NewUniform(1, 6),
+		dist.Truncate(dist.NewExponential(0.4), 1, 6),
+		dist.Truncate(dist.NewWeibull(1.3, 3), 1, 6),
+		dist.Truncate(dist.NewGamma(2, 1.5), 1, 6),
+	}
+	for _, c := range laws {
+		p := NewPreemptible(11, c)
+		prop := func(uX float64) bool {
+			x := 1 + math.Abs(math.Mod(uX, 5)) // in [1, 6]
+			want := c.CDF(x) * (11 - x)
+			return math.Abs(p.ExpectedWork(x)-want) <= 1e-12*(1+want)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+}
+
+// TestStaticOptimizeBeatsNeighborsProperty: n_opt beats n_opt±1 (allow
+// ties within solver tolerance) on randomized Gamma instances.
+func TestStaticOptimizeBeatsNeighborsProperty(t *testing.T) {
+	prop := func(uK, uTheta, uR float64) bool {
+		k := 0.5 + math.Abs(math.Mod(uK, 3))
+		theta := 0.2 + math.Abs(math.Mod(uTheta, 1.5))
+		r := 6 + math.Abs(math.Mod(uR, 25))
+		s := NewStatic(r, dist.NewGamma(k, theta), paperCkpt(2, 0.4))
+		sol := s.Optimize()
+		en := sol.ENOpt
+		lo := s.ExpectedWork(float64(sol.NOpt - 1))
+		hi := s.ExpectedWork(float64(sol.NOpt + 1))
+		return en >= lo-1e-6 && en >= hi-1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDynamicCheckpointMoreLikelyWhenLessTimeProperty: with the same
+// uncommitted work, a later clock (less budget) can only push the
+// decision toward checkpointing.
+func TestDynamicCheckpointMoreLikelyWhenLessTimeProperty(t *testing.T) {
+	d := NewDynamic(29, dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1)), paperCkpt(5, 0.4))
+	prop := func(uW, uE1, uE2 float64) bool {
+		w := 1 + math.Abs(math.Mod(uW, 20))
+		e1 := w + math.Abs(math.Mod(uE1, 8))
+		e2 := e1 + math.Abs(math.Mod(uE2, 8))
+		// If we'd checkpoint with MORE time (e1), we must also
+		// checkpoint with less (e2).
+		if d.ShouldCheckpointAt(w, e1) && !d.ShouldCheckpointAt(w, e2) {
+			// Tolerate knife-edge numerical ties.
+			budget := 29 - e2
+			ec := w * d.ckptProb(budget)
+			e1v := d.expectedContinue(w, budget)
+			return math.Abs(ec-e1v) < 1e-9
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntersectionInsideReservationProperty: W_int, when it exists, lies
+// strictly inside (0, R).
+func TestIntersectionInsideReservationProperty(t *testing.T) {
+	prop := func(uMuC, uR float64) bool {
+		muC := 0.5 + math.Abs(math.Mod(uMuC, 4))
+		r := muC + 5 + math.Abs(math.Mod(uR, 25))
+		d := NewDynamic(r, dist.NewGamma(1.5, 1), paperCkpt(muC, 0.3))
+		w, err := d.Intersection()
+		if err != nil {
+			return true // no crossing is legitimate for extreme setups
+		}
+		return w > 0 && w < r
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

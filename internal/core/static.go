@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/dist"
+	"reskit/internal/optimize"
+	"reskit/internal/quad"
+)
+
+// Static is the Section 4.2 problem: a chain of IID stochastic tasks
+// inside a reservation of length R, with a checkpoint allowed only at
+// task boundaries. The static strategy fixes, before execution starts,
+// the number of tasks n after which to checkpoint, maximizing
+//
+//	E(n) = Integral  x * P(C <= R - x) * f_{S_n}(x) dx        (Eq. 3)
+//
+// where S_n is the law of the sum of the first n task durations. Exactly
+// one of Task (continuous, e.g. Normal or Gamma) and TaskDisc (discrete,
+// e.g. Poisson with discretized time) is set.
+type Static struct {
+	R        float64
+	Ckpt     dist.Continuous // D_C; the paper uses Normal truncated to [0, inf)
+	Task     dist.Summable
+	TaskDisc dist.SummableDiscrete
+}
+
+// NewStatic builds the static problem for a continuous task law
+// (Sections 4.2.1 Normal and 4.2.2 Gamma).
+func NewStatic(r float64, task dist.Summable, ckpt dist.Continuous) *Static {
+	validateStaticCommon(r, ckpt)
+	if task == nil {
+		panic("core: NewStatic: task law must not be nil")
+	}
+	return &Static{R: r, Ckpt: ckpt, Task: task}
+}
+
+// NewStaticDiscrete builds the static problem for a discrete task law
+// (Section 4.2.3 Poisson, with task durations in integer time units).
+func NewStaticDiscrete(r float64, task dist.SummableDiscrete, ckpt dist.Continuous) *Static {
+	validateStaticCommon(r, ckpt)
+	if task == nil {
+		panic("core: NewStaticDiscrete: task law must not be nil")
+	}
+	return &Static{R: r, Ckpt: ckpt, TaskDisc: task}
+}
+
+func validateStaticCommon(r float64, ckpt dist.Continuous) {
+	if !(r > 0) || math.IsNaN(r) || math.IsInf(r, 0) {
+		panic(fmt.Sprintf("core: Static: R must be positive and finite, got %g", r))
+	}
+	if ckpt == nil {
+		panic("core: Static: checkpoint law must not be nil")
+	}
+	if lo, _ := ckpt.Support(); lo < 0 {
+		panic(fmt.Sprintf("core: Static: checkpoint law support must start at >= 0, got %g", lo))
+	}
+}
+
+// ckptProb returns P(C <= w), zero for w <= 0. With the paper's
+// truncated-Normal D_C this is the bracketed Phi-ratio of Section 4.2.
+func (s *Static) ckptProb(w float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	return s.Ckpt.CDF(w)
+}
+
+// ExpectedWork evaluates the continuous relaxation of E(n) at a real
+// y > 0 — the functions f, g and h of Figures 5, 6 and 7. For continuous
+// task laws it integrates Equation (3) against the SumIID(y) density; for
+// discrete laws it evaluates the finite sum over j = 0..floor(R).
+func (s *Static) ExpectedWork(y float64) float64 {
+	if !(y > 0) {
+		return 0
+	}
+	if s.TaskDisc != nil {
+		return s.expectedWorkDiscrete(y)
+	}
+	return s.expectedWorkContinuous(y)
+}
+
+func (s *Static) expectedWorkContinuous(y float64) float64 {
+	sn := s.Task.SumIID(y)
+	if pm, ok := sn.(dist.Deterministic); ok {
+		// Point mass: E(y) = v * P(C <= R - v) with v = y * task duration.
+		return pm.Value * s.ckptProb(s.R-pm.Value)
+	}
+	integrand := func(x float64) float64 {
+		return x * s.ckptProb(s.R-x) * sn.PDF(x)
+	}
+	lo, _ := sn.Support()
+	if math.IsInf(lo, -1) {
+		// Normal task law: the paper integrates from -inf to R to stay
+		// correct when the Normal model allows (rare) negative sums.
+		lo = sn.Quantile(1e-14)
+	}
+	hi := s.R
+	if lo >= hi {
+		return 0
+	}
+	// Tighten the window to where the sum's density lives.
+	if q := sn.Quantile(1 - 1e-14); q < hi {
+		hi = q
+	}
+	if lo >= hi {
+		return 0
+	}
+	return quad.Kronrod(integrand, lo, hi, 1e-12, 1e-10).Value
+}
+
+func (s *Static) expectedWorkDiscrete(y float64) float64 {
+	sn := s.TaskDisc.SumIID(y)
+	jMax := int(math.Floor(s.R))
+	var sum float64
+	for j := 1; j <= jMax; j++ {
+		sum += float64(j) * s.ckptProb(s.R-float64(j)) * sn.PMF(j)
+	}
+	return sum
+}
+
+// StaticSolution reports the static strategy's optimum.
+type StaticSolution struct {
+	YOpt  float64 // maximizer of the continuous relaxation
+	FOpt  float64 // relaxation value at YOpt
+	NOpt  int     // optimal integer task count (floor/ceil comparison)
+	ENOpt float64 // E(NOpt)
+}
+
+// Optimize locates the maximum of the continuous relaxation and returns
+// the paper's n_opt: whichever of floor(y_opt) and ceil(y_opt) yields the
+// larger E(n) (Sections 4.2.1-4.2.3).
+func (s *Static) Optimize() StaticSolution {
+	yMax := s.yUpperBound()
+	r := optimize.MaxGridRefine(s.ExpectedWork, 1e-6, yMax, 256, 1e-9)
+	n, en := optimize.ArgmaxInt(func(n int) float64 { return s.ExpectedWork(float64(n)) }, r.X, 1)
+	return StaticSolution{YOpt: r.X, FOpt: r.F, NOpt: n, ENOpt: en}
+}
+
+// yUpperBound bounds the search for y_opt: beyond roughly R/mean tasks
+// the sum almost surely exceeds R and E(y) collapses, so 3x that plus
+// slack is a safe ceiling.
+func (s *Static) yUpperBound() float64 {
+	var mean float64
+	if s.TaskDisc != nil {
+		mean = s.TaskDisc.Mean()
+	} else {
+		mean = s.Task.Mean()
+	}
+	if !(mean > 0) {
+		return 64
+	}
+	return 3*s.R/mean + 8
+}
+
+// Curve samples the continuous relaxation at n+1 points of (0, yMax],
+// the series plotted in Figures 5-7.
+func (s *Static) Curve(yMax float64, n int) (ys, vals []float64) {
+	if n < 1 {
+		n = 1
+	}
+	ys = make([]float64, n+1)
+	vals = make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		y := yMax * float64(i+1) / float64(n+1)
+		ys[i] = y
+		vals[i] = s.ExpectedWork(y)
+	}
+	return ys, vals
+}

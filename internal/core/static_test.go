@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"reskit/internal/dist"
+)
+
+// paperCkpt returns the paper's canonical checkpoint law: a Normal
+// truncated to [0, inf).
+func paperCkpt(mu, sigma float64) dist.Continuous {
+	return dist.Truncate(dist.NewNormal(mu, sigma), 0, math.Inf(1))
+}
+
+func TestStaticNormalFig5(t *testing.T) {
+	// Figure 5: mu=3, sigma=0.5, muC=5, sigmaC=0.4, R=30.
+	// Paper: y_opt ~ 7.4, f(7) ~ 20.9, f(8) ~ 17.6, n_opt = 7.
+	s := NewStatic(30, dist.NewNormal(3, 0.5), paperCkpt(5, 0.4))
+	f7 := s.ExpectedWork(7)
+	f8 := s.ExpectedWork(8)
+	if math.Abs(f7-20.9) > 0.3 {
+		t.Errorf("f(7) = %g, paper ~20.9", f7)
+	}
+	if math.Abs(f8-17.6) > 0.3 {
+		t.Errorf("f(8) = %g, paper ~17.6", f8)
+	}
+	sol := s.Optimize()
+	if math.Abs(sol.YOpt-7.4) > 0.2 {
+		t.Errorf("y_opt = %g, paper ~7.4", sol.YOpt)
+	}
+	if sol.NOpt != 7 {
+		t.Errorf("n_opt = %d, paper 7", sol.NOpt)
+	}
+	if math.Abs(sol.ENOpt-f7) > 1e-9 {
+		t.Errorf("E(n_opt) = %g vs f(7) = %g", sol.ENOpt, f7)
+	}
+}
+
+func TestStaticGammaFig6(t *testing.T) {
+	// Figure 6: k=1, theta=0.5, muC=2, sigmaC=0.4, R=10.
+	// Paper: y_opt ~ 11.8, g(11) ~ 4.77, g(12) ~ 4.82, n_opt = 12.
+	s := NewStatic(10, dist.NewGamma(1, 0.5), paperCkpt(2, 0.4))
+	g11 := s.ExpectedWork(11)
+	g12 := s.ExpectedWork(12)
+	if math.Abs(g11-4.77) > 0.1 {
+		t.Errorf("g(11) = %g, paper ~4.77", g11)
+	}
+	if math.Abs(g12-4.82) > 0.1 {
+		t.Errorf("g(12) = %g, paper ~4.82", g12)
+	}
+	if g12 <= g11 {
+		t.Errorf("paper has g(12) > g(11): got %g <= %g", g12, g11)
+	}
+	sol := s.Optimize()
+	if math.Abs(sol.YOpt-11.8) > 0.3 {
+		t.Errorf("y_opt = %g, paper ~11.8", sol.YOpt)
+	}
+	if sol.NOpt != 12 {
+		t.Errorf("n_opt = %d, paper 12", sol.NOpt)
+	}
+}
+
+func TestStaticPoissonFig7(t *testing.T) {
+	// Figure 7: lambda=3, muC=5, sigmaC=0.4, R=29.
+	// Paper: y_opt ~ 5.98, h(5) ~ 14.6, h(6) ~ 15.8, n_opt = 6.
+	s := NewStaticDiscrete(29, dist.NewPoisson(3), paperCkpt(5, 0.4))
+	h5 := s.ExpectedWork(5)
+	h6 := s.ExpectedWork(6)
+	if math.Abs(h5-14.6) > 0.3 {
+		t.Errorf("h(5) = %g, paper ~14.6", h5)
+	}
+	if math.Abs(h6-15.8) > 0.3 {
+		t.Errorf("h(6) = %g, paper ~15.8", h6)
+	}
+	sol := s.Optimize()
+	if math.Abs(sol.YOpt-5.98) > 0.2 {
+		t.Errorf("y_opt = %g, paper ~5.98", sol.YOpt)
+	}
+	if sol.NOpt != 6 {
+		t.Errorf("n_opt = %d, paper 6", sol.NOpt)
+	}
+}
+
+func TestStaticExpectedWorkVanishes(t *testing.T) {
+	s := NewStatic(30, dist.NewNormal(3, 0.5), paperCkpt(5, 0.4))
+	if s.ExpectedWork(0) != 0 || s.ExpectedWork(-1) != 0 {
+		t.Errorf("non-positive y must give 0")
+	}
+	// Far too many tasks: the sum exceeds R almost surely.
+	if v := s.ExpectedWork(50); v > 1e-6 {
+		t.Errorf("E(50) = %g, want ~0", v)
+	}
+}
+
+func TestStaticGammaEquivalentToExponentialSum(t *testing.T) {
+	// Gamma(1, theta) tasks are Exponential(1/theta) tasks; using the
+	// Exponential law through its SumIID must give identical E(y).
+	ckpt := paperCkpt(2, 0.4)
+	sGamma := NewStatic(10, dist.NewGamma(1, 0.5), ckpt)
+	sExp := NewStatic(10, dist.NewExponential(2), ckpt)
+	for _, y := range []float64{1, 3.5, 7, 11.8, 20} {
+		a, b := sGamma.ExpectedWork(y), sExp.ExpectedWork(y)
+		if math.Abs(a-b) > 1e-8*(1+math.Abs(a)) {
+			t.Errorf("y=%g: Gamma %g vs Exponential %g", y, a, b)
+		}
+	}
+}
+
+func TestStaticCurve(t *testing.T) {
+	s := NewStatic(30, dist.NewNormal(3, 0.5), paperCkpt(5, 0.4))
+	ys, vals := s.Curve(12, 60)
+	if len(ys) != 61 || len(vals) != 61 {
+		t.Fatalf("curve size")
+	}
+	best, bestY := -1.0, 0.0
+	for i, v := range vals {
+		if v > best {
+			best, bestY = v, ys[i]
+		}
+	}
+	if math.Abs(bestY-7.4) > 0.5 {
+		t.Errorf("curve max at y=%g, want ~7.4", bestY)
+	}
+}
+
+func TestStaticDeterministicTasksMatchPreemptibleIntuition(t *testing.T) {
+	// With deterministic task durations d and a tight checkpoint law,
+	// n_opt = floor((R - muC)/d): 6 tasks = 18 units leave 2 units, which
+	// fit a ~1.5-unit checkpoint almost surely; 7 tasks exceed R.
+	ckpt := paperCkpt(1.5, 0.05)
+	s := NewStatic(20, dist.NewDeterministic(3), ckpt)
+	sol := s.Optimize()
+	if sol.NOpt != 6 {
+		t.Errorf("n_opt = %d, want 6", sol.NOpt)
+	}
+	if math.Abs(sol.ENOpt-18) > 1e-6 {
+		t.Errorf("E(6) = %g, want ~18", sol.ENOpt)
+	}
+}
+
+func TestStaticConstructorValidation(t *testing.T) {
+	ckpt := paperCkpt(5, 0.4)
+	cases := []func(){
+		func() { NewStatic(-1, dist.NewNormal(3, 0.5), ckpt) },
+		func() { NewStatic(10, nil, ckpt) },
+		func() { NewStatic(10, dist.NewNormal(3, 0.5), nil) },
+		func() { NewStaticDiscrete(10, nil, ckpt) },
+		func() { NewStatic(10, dist.NewNormal(3, 0.5), dist.NewNormal(5, 0.4)) }, // ckpt support < 0
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

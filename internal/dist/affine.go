@@ -1,0 +1,65 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/rng"
+)
+
+// Affine is the law of Scale*X + Shift for a base law X and Scale > 0.
+// It expresses physical checkpoint-duration models directly: with a
+// checkpoint payload of S bytes, a write startup latency of L seconds
+// and stochastic inverse bandwidth B ~ base (s/byte), the duration is
+// C = S*B + L = Affine{Base: B, Scale: S, Shift: L}.
+type Affine struct {
+	Base  Continuous
+	Scale float64
+	Shift float64
+}
+
+// NewAffine returns Scale*Base + Shift with Scale > 0.
+func NewAffine(base Continuous, scale, shift float64) Affine {
+	if base == nil {
+		panic("dist: Affine: nil base law")
+	}
+	validatePositive("scale", "Affine", scale)
+	if math.IsNaN(shift) || math.IsInf(shift, 0) {
+		panic(fmt.Sprintf("dist: Affine: shift must be finite, got %g", shift))
+	}
+	return Affine{Base: base, Scale: scale, Shift: shift}
+}
+
+func (a Affine) String() string {
+	return fmt.Sprintf("%g*(%v) + %g", a.Scale, a.Base, a.Shift)
+}
+
+// inv maps x back to the base coordinate.
+func (a Affine) inv(x float64) float64 { return (x - a.Shift) / a.Scale }
+
+// PDF returns base.PDF((x-shift)/scale) / scale.
+func (a Affine) PDF(x float64) float64 { return a.Base.PDF(a.inv(x)) / a.Scale }
+
+// LogPDF returns log(PDF(x)).
+func (a Affine) LogPDF(x float64) float64 { return a.Base.LogPDF(a.inv(x)) - math.Log(a.Scale) }
+
+// CDF returns base.CDF((x-shift)/scale).
+func (a Affine) CDF(x float64) float64 { return a.Base.CDF(a.inv(x)) }
+
+// Quantile returns scale*baseQuantile(p) + shift.
+func (a Affine) Quantile(p float64) float64 { return a.Scale*a.Base.Quantile(p) + a.Shift }
+
+// Mean returns scale*baseMean + shift.
+func (a Affine) Mean() float64 { return a.Scale*a.Base.Mean() + a.Shift }
+
+// Variance returns scale^2 * baseVariance.
+func (a Affine) Variance() float64 { return a.Scale * a.Scale * a.Base.Variance() }
+
+// Support returns the transformed support.
+func (a Affine) Support() (float64, float64) {
+	lo, hi := a.Base.Support()
+	return a.Scale*lo + a.Shift, a.Scale*hi + a.Shift
+}
+
+// Sample draws scale*X + shift.
+func (a Affine) Sample(r *rng.Source) float64 { return a.Scale*a.Base.Sample(r) + a.Shift }

@@ -1,0 +1,124 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/rng"
+	"reskit/internal/specfun"
+)
+
+// Beta is the Beta law with shape parameters Alpha and BetaP on [0, 1].
+// Rescaled with Affine it yields flexible bounded-support laws — the
+// natural shape family for a checkpoint duration known to live in
+// [C_min, C_max] (the paper's Section 3 support assumption) when the
+// mass need not be symmetric or uniform.
+type Beta struct {
+	Alpha float64
+	BetaP float64
+}
+
+// NewBeta returns Beta(alpha, beta), both positive.
+func NewBeta(alpha, beta float64) Beta {
+	validatePositive("alpha", "Beta", alpha)
+	validatePositive("beta", "Beta", beta)
+	return Beta{Alpha: alpha, BetaP: beta}
+}
+
+// NewBetaOn returns the Beta(alpha, beta) law rescaled to [lo, hi]: the
+// ready-made bounded checkpoint-duration law.
+func NewBetaOn(alpha, beta, lo, hi float64) Affine {
+	if !(lo < hi) {
+		panic(fmt.Sprintf("dist: NewBetaOn requires lo < hi, got [%g, %g]", lo, hi))
+	}
+	return NewAffine(NewBeta(alpha, beta), hi-lo, lo)
+}
+
+func (b Beta) String() string { return fmt.Sprintf("Beta(%g, %g)", b.Alpha, b.BetaP) }
+
+// PDF returns x^{alpha-1}(1-x)^{beta-1} / B(alpha, beta) on [0, 1].
+func (b Beta) PDF(x float64) float64 {
+	if x > 0 && x < 1 {
+		return math.Exp(b.LogPDF(x))
+	}
+	return b.boundaryPDF(x)
+}
+
+// boundaryPDF handles x outside the open interval (0, 1).
+func (b Beta) boundaryPDF(x float64) float64 {
+	if x < 0 || x > 1 || math.IsNaN(x) {
+		return 0
+	}
+	if x == 0 {
+		switch {
+		case b.Alpha < 1:
+			return math.Inf(1)
+		case b.Alpha == 1:
+			return math.Exp(-specfun.LogBeta(b.Alpha, b.BetaP))
+		default:
+			return 0
+		}
+	}
+	// x == 1.
+	switch {
+	case b.BetaP < 1:
+		return math.Inf(1)
+	case b.BetaP == 1:
+		return math.Exp(-specfun.LogBeta(b.Alpha, b.BetaP))
+	default:
+		return 0
+	}
+}
+
+// LogPDF returns log(PDF(x)).
+func (b Beta) LogPDF(x float64) float64 {
+	if x > 0 && x < 1 {
+		return (b.Alpha-1)*math.Log(x) + (b.BetaP-1)*math.Log1p(-x) - specfun.LogBeta(b.Alpha, b.BetaP)
+	}
+	// Boundary and out-of-support cases share PDF's logic, which does
+	// not recurse for x outside (0, 1).
+	p := b.boundaryPDF(x)
+	if math.IsInf(p, 1) {
+		return math.Inf(1)
+	}
+	if p == 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(p)
+}
+
+// CDF returns the regularized incomplete beta I_x(alpha, beta).
+func (b Beta) CDF(x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	default:
+		return specfun.BetaIncReg(b.Alpha, b.BetaP, x)
+	}
+}
+
+// Quantile inverts the CDF.
+func (b Beta) Quantile(p float64) float64 {
+	return specfun.BetaIncRegInv(b.Alpha, b.BetaP, p)
+}
+
+// Mean returns alpha / (alpha + beta).
+func (b Beta) Mean() float64 { return b.Alpha / (b.Alpha + b.BetaP) }
+
+// Variance returns alpha*beta / ((alpha+beta)^2 (alpha+beta+1)).
+func (b Beta) Variance() float64 {
+	s := b.Alpha + b.BetaP
+	return b.Alpha * b.BetaP / (s * s * (s + 1))
+}
+
+// Support returns [0, 1].
+func (b Beta) Support() (float64, float64) { return 0, 1 }
+
+// Sample draws a variate as Ga/(Ga+Gb) with independent Gamma variates.
+func (b Beta) Sample(r *rng.Source) float64 {
+	ga := r.Gamma(b.Alpha, 1)
+	gb := r.Gamma(b.BetaP, 1)
+	return ga / (ga + gb)
+}

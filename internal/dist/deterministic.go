@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/rng"
+)
+
+// Deterministic is the point mass at Value. It models the idealized
+// "perfect knowledge" setting of the paper's introduction — with a
+// deterministic checkpoint time C the optimal policy is trivially to
+// checkpoint at R - C — and serves as the baseline against which the
+// stochastic strategies are compared.
+type Deterministic struct {
+	Value float64
+}
+
+// NewDeterministic returns the point mass at v (finite).
+func NewDeterministic(v float64) Deterministic {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		panic(fmt.Sprintf("dist: Deterministic: value must be finite, got %g", v))
+	}
+	return Deterministic{Value: v}
+}
+
+func (d Deterministic) String() string { return fmt.Sprintf("Deterministic(%g)", d.Value) }
+
+// PDF returns +Inf at the atom and 0 elsewhere (a Dirac density).
+func (d Deterministic) PDF(x float64) float64 {
+	if x == d.Value {
+		return math.Inf(1)
+	}
+	return 0
+}
+
+// LogPDF returns log(PDF(x)).
+func (d Deterministic) LogPDF(x float64) float64 {
+	if x == d.Value {
+		return math.Inf(1)
+	}
+	return math.Inf(-1)
+}
+
+// CDF returns the step function at the atom.
+func (d Deterministic) CDF(x float64) float64 {
+	if x >= d.Value {
+		return 1
+	}
+	return 0
+}
+
+// Quantile returns the atom for every p in (0, 1].
+func (d Deterministic) Quantile(p float64) float64 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	return d.Value
+}
+
+// Mean returns the atom.
+func (d Deterministic) Mean() float64 { return d.Value }
+
+// Variance returns 0.
+func (d Deterministic) Variance() float64 { return 0 }
+
+// Support returns the degenerate interval [v, v].
+func (d Deterministic) Support() (float64, float64) { return d.Value, d.Value }
+
+// Sample returns the atom.
+func (d Deterministic) Sample(*rng.Source) float64 { return d.Value }
+
+// SumIID returns the point mass at y*v.
+func (d Deterministic) SumIID(y float64) Continuous {
+	validatePositive("y", "Deterministic.SumIID", y)
+	return Deterministic{Value: y * d.Value}
+}

@@ -1,0 +1,313 @@
+package dist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"reskit/internal/rng"
+)
+
+func TestUniformBasics(t *testing.T) {
+	u := NewUniform(1, 7.5)
+	if u.Mean() != 4.25 {
+		t.Errorf("mean %g", u.Mean())
+	}
+	if math.Abs(u.Variance()-6.5*6.5/12) > 1e-15 {
+		t.Errorf("variance %g", u.Variance())
+	}
+	if u.CDF(1) != 0 || u.CDF(7.5) != 1 || math.Abs(u.CDF(4.25)-0.5) > 1e-15 {
+		t.Errorf("CDF wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("NewUniform(2,2) must panic")
+		}
+	}()
+	NewUniform(2, 2)
+}
+
+func TestExponentialSumIIDIsGamma(t *testing.T) {
+	e := NewExponential(2)
+	s := e.SumIID(3)
+	g, ok := s.(Gamma)
+	if !ok {
+		t.Fatalf("SumIID not Gamma: %T", s)
+	}
+	if g.K != 3 || g.Theta != 0.5 {
+		t.Errorf("got %v", g)
+	}
+	// n=1 must coincide with the Exponential itself.
+	s1 := e.SumIID(1)
+	for _, x := range []float64{0.1, 0.5, 2, 5} {
+		if math.Abs(s1.CDF(x)-e.CDF(x)) > 1e-12 {
+			t.Errorf("SumIID(1) mismatch at %g", x)
+		}
+	}
+}
+
+func TestNormalSumIID(t *testing.T) {
+	n := NewNormal(3, 0.5)
+	s := n.SumIID(7).(Normal)
+	if math.Abs(s.Mu-21) > 1e-12 || math.Abs(s.Sigma-0.5*math.Sqrt(7)) > 1e-12 {
+		t.Errorf("got %v", s)
+	}
+}
+
+func TestGammaSumIID(t *testing.T) {
+	g := NewGamma(1, 0.5)
+	s := g.SumIID(11.8).(Gamma)
+	if math.Abs(s.K-11.8) > 1e-12 || s.Theta != 0.5 {
+		t.Errorf("got %v", s)
+	}
+}
+
+func TestPoissonSumIID(t *testing.T) {
+	p := NewPoisson(3)
+	s := p.SumIID(5.98).(Poisson)
+	if math.Abs(s.Lambda-17.94) > 1e-12 {
+		t.Errorf("got %v", s)
+	}
+}
+
+func TestPoissonPMFAndCDF(t *testing.T) {
+	p := NewPoisson(3)
+	sum := 0.0
+	for k := 0; k <= 30; k++ {
+		pm := p.PMF(k)
+		if pm < 0 {
+			t.Fatalf("negative PMF")
+		}
+		sum += pm
+		if math.Abs(p.CDF(float64(k))-sum) > 1e-10 {
+			t.Errorf("CDF(%d) = %g, partial sum %g", k, p.CDF(float64(k)), sum)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PMF sums to %g", sum)
+	}
+	if p.PMF(-1) != 0 {
+		t.Errorf("PMF(-1) nonzero")
+	}
+	// Sampling moments.
+	r := rng.New(7)
+	var m float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		m += float64(p.Sample(r))
+	}
+	m /= n
+	if math.Abs(m-3) > 0.03 {
+		t.Errorf("sample mean %g", m)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := NewDeterministic(4.2)
+	if d.Mean() != 4.2 || d.Variance() != 0 {
+		t.Errorf("moments wrong")
+	}
+	if d.CDF(4.19) != 0 || d.CDF(4.2) != 1 {
+		t.Errorf("CDF step wrong")
+	}
+	if d.Quantile(0.3) != 4.2 {
+		t.Errorf("quantile wrong")
+	}
+	r := rng.New(1)
+	if d.Sample(r) != 4.2 {
+		t.Errorf("sample wrong")
+	}
+	s := d.SumIID(3).(Deterministic)
+	if math.Abs(s.Value-12.6) > 1e-12 {
+		t.Errorf("SumIID wrong: %v", s)
+	}
+}
+
+func TestTruncatedMatchesPaperCDF(t *testing.T) {
+	// Section 3.1: F_C(x) = (F(x)-F(a)) / (F(b)-F(a)).
+	base := NewExponential(0.5)
+	a, b := 1.0, 5.0
+	tr := Truncate(base, a, b)
+	for _, x := range []float64{1, 1.5, 2.5, 4, 5} {
+		want := (base.CDF(x) - base.CDF(a)) / (base.CDF(b) - base.CDF(a))
+		if math.Abs(tr.CDF(x)-want) > 1e-12 {
+			t.Errorf("CDF(%g): got %g want %g", x, tr.CDF(x), want)
+		}
+	}
+	lo, hi := tr.Support()
+	if lo != a || hi != b {
+		t.Errorf("support [%g,%g]", lo, hi)
+	}
+}
+
+func TestTruncatedNormalHalfLine(t *testing.T) {
+	// N(mu, sigma^2) truncated to [0, inf) with mu >> sigma is nearly the
+	// untruncated law.
+	base := NewNormal(5, 0.4)
+	tr := Truncate(base, 0, math.Inf(1))
+	if math.Abs(tr.Mean()-5) > 1e-6 {
+		t.Errorf("mean %g", tr.Mean())
+	}
+	if math.Abs(tr.Variance()-0.16) > 1e-6 {
+		t.Errorf("variance %g", tr.Variance())
+	}
+	// Known closed form for the truncated-normal mean with mu=0:
+	// E = sigma * sqrt(2/pi) for truncation to [0, inf).
+	tr0 := Truncate(NewNormal(0, 1), 0, math.Inf(1))
+	if math.Abs(tr0.Mean()-math.Sqrt(2/math.Pi)) > 1e-8 {
+		t.Errorf("half-normal mean %g want %g", tr0.Mean(), math.Sqrt(2/math.Pi))
+	}
+}
+
+func TestTruncatedZeroMassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("zero-mass truncation must panic")
+		}
+	}()
+	Truncate(NewUniform(0, 1), 5, 6)
+}
+
+func TestTruncatedSamplesInsideBounds(t *testing.T) {
+	tr := Truncate(NewNormal(3.5, 1), 1, 6)
+	r := rng.New(99)
+	for i := 0; i < 50000; i++ {
+		x := tr.Sample(r)
+		if x < 1 || x > 6 {
+			t.Fatalf("sample %g outside [1,6]", x)
+		}
+	}
+}
+
+func TestEmpiricalBasics(t *testing.T) {
+	sample := []float64{3, 1, 2, 4, 5}
+	e := NewEmpirical(sample)
+	if e.Len() != 5 {
+		t.Errorf("Len %d", e.Len())
+	}
+	if e.Mean() != 3 {
+		t.Errorf("mean %g", e.Mean())
+	}
+	if math.Abs(e.Variance()-2.5) > 1e-12 {
+		t.Errorf("variance %g", e.Variance())
+	}
+	if e.CDF(0.9) != 0 || e.CDF(5) != 1 || math.Abs(e.CDF(3)-0.5) > 1e-12 {
+		t.Errorf("CDF wrong: %g %g %g", e.CDF(0.9), e.CDF(5), e.CDF(3))
+	}
+	// Quantile round trip on the grid.
+	for _, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		x := e.Quantile(p)
+		if math.Abs(e.CDF(x)-p) > 1e-12 {
+			t.Errorf("round trip at p=%g: x=%g CDF=%g", p, x, e.CDF(x))
+		}
+	}
+	// Sampling stays within support.
+	r := rng.New(5)
+	for i := 0; i < 10000; i++ {
+		x := e.Sample(r)
+		if x < 1 || x > 5 {
+			t.Fatalf("sample %g outside [1,5]", x)
+		}
+	}
+}
+
+func TestEmpiricalMatchesSourceLaw(t *testing.T) {
+	// Empirical law of a large Normal sample must approximate the Normal.
+	src := NewNormal(10, 2)
+	r := rng.New(3)
+	sample := make([]float64, 40000)
+	for i := range sample {
+		sample[i] = src.Sample(r)
+	}
+	e := NewEmpirical(sample)
+	if math.Abs(e.Mean()-10) > 0.05 {
+		t.Errorf("mean %g", e.Mean())
+	}
+	for _, x := range []float64{7, 9, 10, 11, 13} {
+		if math.Abs(e.CDF(x)-src.CDF(x)) > 0.01 {
+			t.Errorf("CDF(%g): %g vs %g", x, e.CDF(x), src.CDF(x))
+		}
+	}
+}
+
+func TestStringerOutputs(t *testing.T) {
+	cases := []struct {
+		d    interface{ String() string }
+		want string
+	}{
+		{NewUniform(1, 2), "Uniform"},
+		{NewExponential(1), "Exponential"},
+		{NewNormal(0, 1), "Normal"},
+		{NewLogNormal(0, 1), "LogNormal"},
+		{NewGamma(1, 1), "Gamma"},
+		{NewWeibull(1, 1), "Weibull"},
+		{NewPoisson(1), "Poisson"},
+		{NewDeterministic(1), "Deterministic"},
+		{Truncate(NewNormal(0, 1), -1, 1), "Normal"},
+	}
+	for _, c := range cases {
+		if !strings.Contains(c.d.String(), c.want) {
+			t.Errorf("String %q does not mention %q", c.d.String(), c.want)
+		}
+	}
+}
+
+func TestLogNormalFromMoments(t *testing.T) {
+	l := NewLogNormalFromMoments(3, 1.2)
+	if math.Abs(l.Mean()-3) > 1e-10 {
+		t.Errorf("mean %g", l.Mean())
+	}
+	if math.Abs(math.Sqrt(l.Variance())-1.2) > 1e-10 {
+		t.Errorf("stddev %g", math.Sqrt(l.Variance()))
+	}
+}
+
+func TestInvalidConstructorsPanic(t *testing.T) {
+	cases := []func(){
+		func() { NewExponential(0) },
+		func() { NewExponential(-1) },
+		func() { NewNormal(math.NaN(), 1) },
+		func() { NewNormal(0, 0) },
+		func() { NewLogNormal(0, -1) },
+		func() { NewGamma(0, 1) },
+		func() { NewGamma(1, 0) },
+		func() { NewWeibull(-1, 1) },
+		func() { NewPoisson(0) },
+		func() { NewDeterministic(math.Inf(1)) },
+		func() { NewEmpirical([]float64{1}) },
+		func() { NewEmpirical([]float64{1, math.NaN()}) },
+		func() { Truncate(NewNormal(0, 1), 2, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDiscreteQuantile(t *testing.T) {
+	p := NewPoisson(3)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.999} {
+		k := DiscreteQuantile(p, q)
+		if p.CDF(float64(k)) < q {
+			t.Errorf("q=%g: CDF(%d) = %g < q", q, k, p.CDF(float64(k)))
+		}
+		if k > 0 && p.CDF(float64(k-1)) >= q {
+			t.Errorf("q=%g: %d not minimal", q, k)
+		}
+	}
+	if DiscreteQuantile(p, 0) != 0 || DiscreteQuantile(p, -1) != 0 {
+		t.Errorf("non-positive p should give 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("p > 1 must panic")
+		}
+	}()
+	DiscreteQuantile(p, 1.5)
+}

@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"reskit/internal/rng"
+)
+
+// Empirical is the empirical distribution of a sample: the law that puts
+// mass 1/n on each observation, with a piecewise-linear CDF between order
+// statistics. The paper's introduction notes that the checkpoint-duration
+// law "can be learned from traces of previous checkpoints"; Empirical is
+// the model-free way to do so (see internal/trace for parametric fits).
+type Empirical struct {
+	sorted []float64
+	mean   float64
+	varce  float64
+}
+
+// NewEmpirical builds the empirical law of the given sample (at least two
+// observations, all finite). The input slice is copied.
+func NewEmpirical(sample []float64) *Empirical {
+	if len(sample) < 2 {
+		panic("dist: Empirical requires at least 2 observations")
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	for _, v := range s {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("dist: Empirical: non-finite observation %g", v))
+		}
+	}
+	sort.Float64s(s)
+	var m, m2 float64
+	for i, x := range s {
+		d := x - m
+		m += d / float64(i+1)
+		m2 += d * (x - m)
+	}
+	return &Empirical{sorted: s, mean: m, varce: m2 / float64(len(s)-1)}
+}
+
+func (e *Empirical) String() string {
+	return fmt.Sprintf("Empirical(n=%d, [%g, %g])", len(e.sorted), e.sorted[0], e.sorted[len(e.sorted)-1])
+}
+
+// Len returns the number of observations.
+func (e *Empirical) Len() int { return len(e.sorted) }
+
+// PDF returns the density of the piecewise-linear CDF (a histogram-like
+// step density between adjacent order statistics).
+func (e *Empirical) PDF(x float64) float64 {
+	n := len(e.sorted)
+	if x < e.sorted[0] || x > e.sorted[n-1] {
+		return 0
+	}
+	// Density between consecutive distinct order statistics i and i+1 is
+	// (1/(n-1)) / gap. Locate the segment.
+	i := sort.SearchFloat64s(e.sorted, x)
+	if i == 0 {
+		i = 1
+	}
+	if i >= n {
+		i = n - 1
+	}
+	gap := e.sorted[i] - e.sorted[i-1]
+	if gap == 0 {
+		// Atom: return a large finite density to keep integrators sane.
+		return math.Inf(1)
+	}
+	return 1 / (float64(n-1) * gap)
+}
+
+// LogPDF returns log(PDF(x)).
+func (e *Empirical) LogPDF(x float64) float64 {
+	p := e.PDF(x)
+	if p == 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(p)
+}
+
+// CDF returns the piecewise-linear empirical CDF, 0 at the minimum and 1
+// at the maximum observation.
+func (e *Empirical) CDF(x float64) float64 {
+	n := len(e.sorted)
+	switch {
+	case x <= e.sorted[0]:
+		return 0
+	case x >= e.sorted[n-1]:
+		return 1
+	}
+	i := sort.SearchFloat64s(e.sorted, x) // first index with sorted[i] >= x
+	if e.sorted[i] == x {
+		return float64(i) / float64(n-1)
+	}
+	lo, hi := e.sorted[i-1], e.sorted[i]
+	frac := (x - lo) / (hi - lo)
+	return (float64(i-1) + frac) / float64(n-1)
+}
+
+// Quantile inverts the piecewise-linear CDF.
+func (e *Empirical) Quantile(p float64) float64 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	n := len(e.sorted)
+	pos := p * float64(n-1)
+	i := int(math.Floor(pos))
+	if i >= n-1 {
+		return e.sorted[n-1]
+	}
+	frac := pos - float64(i)
+	return e.sorted[i] + frac*(e.sorted[i+1]-e.sorted[i])
+}
+
+// Mean returns the sample mean.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// Variance returns the unbiased sample variance.
+func (e *Empirical) Variance() float64 { return e.varce }
+
+// Support returns [min, max] of the sample.
+func (e *Empirical) Support() (float64, float64) {
+	return e.sorted[0], e.sorted[len(e.sorted)-1]
+}
+
+// Sample draws from the piecewise-linear law by inversion.
+func (e *Empirical) Sample(r *rng.Source) float64 {
+	return e.Quantile(r.Float64())
+}

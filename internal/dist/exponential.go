@@ -1,0 +1,78 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/rng"
+)
+
+// Exponential is the Exponential law with rate Lambda (mean 1/Lambda) on
+// [0, inf). Truncated to [a, b] it is the checkpoint-duration law of
+// Section 3.2.2, whose optimal checkpoint instant involves the Lambert W
+// function.
+type Exponential struct {
+	Lambda float64
+}
+
+// NewExponential returns the Exponential law with the given rate > 0.
+func NewExponential(rate float64) Exponential {
+	validatePositive("rate", "Exponential", rate)
+	return Exponential{Lambda: rate}
+}
+
+func (e Exponential) String() string { return fmt.Sprintf("Exponential(rate=%g)", e.Lambda) }
+
+// PDF returns lambda*exp(-lambda*x) for x >= 0.
+func (e Exponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return e.Lambda * math.Exp(-e.Lambda*x)
+}
+
+// LogPDF returns log(PDF(x)).
+func (e Exponential) LogPDF(x float64) float64 {
+	if x < 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(e.Lambda) - e.Lambda*x
+}
+
+// CDF returns 1 - exp(-lambda*x).
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-e.Lambda * x)
+}
+
+// Quantile returns -log(1-p)/lambda.
+func (e Exponential) Quantile(p float64) float64 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	if p == 1 {
+		return math.Inf(1)
+	}
+	return -math.Log1p(-p) / e.Lambda
+}
+
+// Mean returns 1/lambda.
+func (e Exponential) Mean() float64 { return 1 / e.Lambda }
+
+// Variance returns 1/lambda^2.
+func (e Exponential) Variance() float64 { return 1 / (e.Lambda * e.Lambda) }
+
+// Support returns [0, inf).
+func (e Exponential) Support() (float64, float64) { return 0, math.Inf(1) }
+
+// Sample draws a variate by inversion.
+func (e Exponential) Sample(r *rng.Source) float64 { return r.Exponential(e.Lambda) }
+
+// SumIID returns the law of the sum of y IID copies, Gamma(y, 1/lambda),
+// making Exponential task durations usable with the static strategy.
+func (e Exponential) SumIID(y float64) Continuous {
+	validatePositive("y", "Exponential.SumIID", y)
+	return NewGamma(y, 1/e.Lambda)
+}

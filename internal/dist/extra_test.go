@@ -1,0 +1,234 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"reskit/internal/rng"
+)
+
+func TestConformanceExtraLaws(t *testing.T) {
+	laws := []Continuous{
+		NewTriangular(1, 4, 7.5),
+		NewTriangular(0, 0, 2), // mode at the minimum
+		NewTriangular(0, 2, 2), // mode at the maximum
+		NewPareto(2, 3.5),      // finite mean and variance
+		NewMixture([]Continuous{NewNormal(3, 0.4), NewNormal(6, 0.6)}, []float64{0.7, 0.3}),
+		NewAffine(NewGamma(2, 1), 1.5, 0.25),
+		Truncate(NewPareto(1, 1.2), 1.5, 8), // heavy tail truncated
+		Truncate(NewMixture([]Continuous{NewNormal(3, 0.4), NewNormal(6, 0.6)},
+			[]float64{0.5, 0.5}), 1, 8),
+	}
+	for _, d := range laws {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			t.Parallel()
+			checkContinuous(t, d)
+		})
+	}
+}
+
+func TestTriangularKnownValues(t *testing.T) {
+	tr := NewTriangular(0, 1, 3)
+	if math.Abs(tr.Mean()-4.0/3) > 1e-14 {
+		t.Errorf("mean %g", tr.Mean())
+	}
+	// CDF at the mode is (m-a)/(b-a).
+	if math.Abs(tr.CDF(1)-1.0/3) > 1e-14 {
+		t.Errorf("CDF(mode) %g", tr.CDF(1))
+	}
+	if tr.PDF(1) != 2.0/3 {
+		t.Errorf("PDF(mode) %g", tr.PDF(1))
+	}
+	// Quantile round trip at the kink.
+	if math.Abs(tr.Quantile(1.0/3)-1) > 1e-12 {
+		t.Errorf("Quantile(F(m)) %g", tr.Quantile(1.0/3))
+	}
+}
+
+func TestParetoKnownValues(t *testing.T) {
+	p := NewPareto(1, 2)
+	if p.Mean() != 2 {
+		t.Errorf("mean %g", p.Mean())
+	}
+	if !math.IsInf(p.Variance(), 1) {
+		t.Errorf("alpha=2 variance should be infinite")
+	}
+	if math.Abs(p.CDF(2)-0.75) > 1e-14 {
+		t.Errorf("CDF(2) %g", p.CDF(2))
+	}
+	// Heavy tail: alpha <= 1 has infinite mean.
+	if !math.IsInf(NewPareto(1, 0.9).Mean(), 1) {
+		t.Errorf("alpha<1 mean should be infinite")
+	}
+}
+
+func TestMixtureBimodal(t *testing.T) {
+	m := NewMixture([]Continuous{NewNormal(3, 0.3), NewNormal(7, 0.3)}, []float64{1, 1})
+	if math.Abs(m.Mean()-5) > 1e-12 {
+		t.Errorf("mean %g", m.Mean())
+	}
+	// Density has a trough between the modes.
+	if !(m.PDF(3) > m.PDF(5) && m.PDF(7) > m.PDF(5)) {
+		t.Errorf("not bimodal: f(3)=%g f(5)=%g f(7)=%g", m.PDF(3), m.PDF(5), m.PDF(7))
+	}
+	// Sampling hits both modes.
+	r := rng.New(3)
+	var low, high int
+	for i := 0; i < 10000; i++ {
+		if m.Sample(r) < 5 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low < 4500 || high < 4500 {
+		t.Errorf("mode balance %d/%d", low, high)
+	}
+}
+
+func TestMixtureWeightNormalization(t *testing.T) {
+	a := NewMixture([]Continuous{NewNormal(0, 1), NewNormal(4, 1)}, []float64{2, 6})
+	b := NewMixture([]Continuous{NewNormal(0, 1), NewNormal(4, 1)}, []float64{0.25, 0.75})
+	for _, x := range []float64{-1, 0, 2, 4, 6} {
+		if math.Abs(a.PDF(x)-b.PDF(x)) > 1e-15 {
+			t.Errorf("weights not normalized at %g", x)
+		}
+	}
+}
+
+func TestAffinePhysicalModel(t *testing.T) {
+	// C = S*B + L with S = 40 GB, B ~ Gamma inverse-bandwidth around
+	// 0.1 s/GB, L = 2 s latency.
+	invBW := NewGamma(25, 0.004) // mean 0.1, sd 0.02 s/GB
+	c := NewAffine(invBW, 40, 2)
+	if math.Abs(c.Mean()-6) > 1e-12 { // 40*0.1 + 2
+		t.Errorf("mean %g", c.Mean())
+	}
+	if math.Abs(c.Variance()-40*40*invBW.Variance()) > 1e-12 {
+		t.Errorf("variance %g", c.Variance())
+	}
+	lo, _ := c.Support()
+	if lo != 2 {
+		t.Errorf("support lo %g", lo)
+	}
+}
+
+func TestAffineQuantileRoundTrip(t *testing.T) {
+	c := NewAffine(NewNormal(0, 1), 2, 5)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		x := c.Quantile(p)
+		if math.Abs(c.CDF(x)-p) > 1e-12 {
+			t.Errorf("round trip at %g: %g", p, c.CDF(x))
+		}
+	}
+}
+
+func TestExtraConstructorValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewTriangular(2, 1, 3) }, // mode below min
+		func() { NewTriangular(1, 2, 1) }, // max below min
+		func() { NewTriangular(1, 1, 1) }, // degenerate
+		func() { NewPareto(0, 1) },
+		func() { NewPareto(1, -1) },
+		func() { NewMixture(nil, nil) },
+		func() { NewMixture([]Continuous{NewNormal(0, 1)}, []float64{1, 2}) },
+		func() { NewMixture([]Continuous{NewNormal(0, 1)}, []float64{0}) },
+		func() { NewMixture([]Continuous{nil}, []float64{1}) },
+		func() { NewAffine(nil, 1, 0) },
+		func() { NewAffine(NewNormal(0, 1), 0, 0) },
+		func() { NewAffine(NewNormal(0, 1), 1, math.Inf(1)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHeavyTailCheckpointLawWithPreemptibleShape(t *testing.T) {
+	// Truncated Pareto as D_C: CDF must still match the paper's
+	// truncation formula.
+	base := NewPareto(1, 1.5)
+	tr := Truncate(base, 2, 9)
+	for _, x := range []float64{2, 3, 5, 9} {
+		want := (base.CDF(x) - base.CDF(2)) / (base.CDF(9) - base.CDF(2))
+		if math.Abs(tr.CDF(x)-want) > 1e-12 {
+			t.Errorf("CDF(%g) = %g want %g", x, tr.CDF(x), want)
+		}
+	}
+}
+
+func TestConformanceBeta(t *testing.T) {
+	laws := []Continuous{
+		NewBeta(2, 2),
+		NewBeta(0.8, 3),
+		NewBeta(5, 1.5),
+		NewBetaOn(2, 3, 1, 7.5), // rescaled to a checkpoint-like support
+	}
+	for _, d := range laws {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			t.Parallel()
+			checkContinuous(t, d)
+		})
+	}
+}
+
+func TestBetaKnownValues(t *testing.T) {
+	// Beta(1,1) is Uniform(0,1).
+	b := NewBeta(1, 1)
+	for _, x := range []float64{0.25, 0.5, 0.75} {
+		if math.Abs(b.CDF(x)-x) > 1e-13 {
+			t.Errorf("Beta(1,1).CDF(%g) = %g", x, b.CDF(x))
+		}
+	}
+	// Beta(2,2): mean 1/2, var 1/20.
+	b2 := NewBeta(2, 2)
+	if math.Abs(b2.Mean()-0.5) > 1e-15 || math.Abs(b2.Variance()-0.05) > 1e-15 {
+		t.Errorf("Beta(2,2) moments: %g, %g", b2.Mean(), b2.Variance())
+	}
+	// Rescaled law covers [1, 7.5] with the right mean.
+	on := NewBetaOn(2, 3, 1, 7.5)
+	lo, hi := on.Support()
+	if lo != 1 || hi != 7.5 {
+		t.Errorf("support [%g, %g]", lo, hi)
+	}
+	wantMean := 1 + 6.5*2.0/5
+	if math.Abs(on.Mean()-wantMean) > 1e-12 {
+		t.Errorf("rescaled mean %g want %g", on.Mean(), wantMean)
+	}
+}
+
+func TestBetaOnAsCheckpointLaw(t *testing.T) {
+	// A Beta-shaped D_C flows through the truncation identity trivially
+	// (its support is already [a, b]) and the sampler stays in bounds.
+	law := NewBetaOn(2, 5, 1, 6)
+	r := rng.New(123)
+	for i := 0; i < 20000; i++ {
+		x := law.Sample(r)
+		if x < 1 || x > 6 {
+			t.Fatalf("sample %g outside [1, 6]", x)
+		}
+	}
+	if _, err := recoverPanic(func() { NewBetaOn(1, 1, 5, 5) }); err == nil {
+		t.Errorf("degenerate interval must panic")
+	}
+}
+
+// recoverPanic runs f and reports any panic as an error.
+func recoverPanic(f func()) (v interface{}, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	f()
+	return nil, nil
+}

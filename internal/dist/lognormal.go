@@ -1,0 +1,95 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/rng"
+	"reskit/internal/specfun"
+)
+
+// LogNormal is the law of exp(N(Mu, Sigma^2)). Truncated to [a, b] it is
+// the checkpoint-duration law of Section 3.2.4 of the paper. Mu and Sigma
+// are the parameters of the underlying Normal; the law's own mean and
+// standard deviation are exp(mu + sigma^2/2) and
+// sqrt((exp(sigma^2)-1) exp(2mu+sigma^2)).
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// NewLogNormal returns the LogNormal law with underlying parameters mu
+// and sigma. It panics unless sigma > 0 and both parameters are finite.
+func NewLogNormal(mu, sigma float64) LogNormal {
+	if math.IsNaN(mu) || math.IsInf(mu, 0) {
+		panic(fmt.Sprintf("dist: LogNormal: mu must be finite, got %g", mu))
+	}
+	validatePositive("sigma", "LogNormal", sigma)
+	return LogNormal{Mu: mu, Sigma: sigma}
+}
+
+// NewLogNormalFromMoments returns the LogNormal law whose own mean and
+// standard deviation equal the given values — the paper parameterizes
+// Section 3.2.4 through these "starred" moments mu* and sigma*.
+func NewLogNormalFromMoments(mean, stddev float64) LogNormal {
+	validatePositive("mean", "LogNormalFromMoments", mean)
+	validatePositive("stddev", "LogNormalFromMoments", stddev)
+	v := math.Log1p(stddev * stddev / (mean * mean)) // sigma^2
+	return LogNormal{Mu: math.Log(mean) - 0.5*v, Sigma: math.Sqrt(v)}
+}
+
+func (l LogNormal) String() string {
+	return fmt.Sprintf("LogNormal(mu=%g, sigma=%g)", l.Mu, l.Sigma)
+}
+
+// PDF returns the density at x (0 for x <= 0).
+func (l LogNormal) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return specfun.NormPDF(z) / (x * l.Sigma)
+}
+
+// LogPDF returns log(PDF(x)).
+func (l LogNormal) LogPDF(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return specfun.LogNormPDF(z) - math.Log(x) - math.Log(l.Sigma)
+}
+
+// CDF returns Phi((ln x - mu)/sigma).
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return specfun.NormCDF((math.Log(x) - l.Mu) / l.Sigma)
+}
+
+// Quantile returns exp(mu + sigma*Phi^{-1}(p)).
+func (l LogNormal) Quantile(p float64) float64 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	if p == 0 {
+		return 0
+	}
+	return math.Exp(l.Mu + l.Sigma*specfun.NormQuantile(p))
+}
+
+// Mean returns exp(mu + sigma^2/2).
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + 0.5*l.Sigma*l.Sigma) }
+
+// Variance returns (exp(sigma^2)-1) exp(2mu+sigma^2).
+func (l LogNormal) Variance() float64 {
+	s2 := l.Sigma * l.Sigma
+	return math.Expm1(s2) * math.Exp(2*l.Mu+s2)
+}
+
+// Support returns [0, inf).
+func (l LogNormal) Support() (float64, float64) { return 0, math.Inf(1) }
+
+// Sample draws a variate.
+func (l LogNormal) Sample(r *rng.Source) float64 { return r.LogNormal(l.Mu, l.Sigma) }

@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"reskit/internal/rng"
+)
+
+// Mixture is a finite mixture of continuous laws. Checkpoint-duration
+// traces are frequently bimodal — a fast mode when the parallel file
+// system is idle and a slow mode under contention — and a two-component
+// Normal mixture truncated to [a, b] captures that while remaining fully
+// usable by the generic preemptible optimizer.
+type Mixture struct {
+	components []Continuous
+	weights    []float64
+	cumWeights []float64
+	mean       float64
+	variance   float64
+}
+
+// NewMixture builds the mixture of the given components with the given
+// positive weights (normalized internally). At least one component is
+// required and the slices must have equal length.
+func NewMixture(components []Continuous, weights []float64) *Mixture {
+	if len(components) == 0 || len(components) != len(weights) {
+		panic(fmt.Sprintf("dist: Mixture requires matching non-empty components/weights, got %d/%d",
+			len(components), len(weights)))
+	}
+	var total float64
+	for i, w := range weights {
+		if !(w > 0) || math.IsInf(w, 0) || math.IsNaN(w) {
+			panic(fmt.Sprintf("dist: Mixture weight %d must be positive and finite, got %g", i, w))
+		}
+		if components[i] == nil {
+			panic(fmt.Sprintf("dist: Mixture component %d is nil", i))
+		}
+		total += w
+	}
+	m := &Mixture{
+		components: append([]Continuous(nil), components...),
+		weights:    make([]float64, len(weights)),
+		cumWeights: make([]float64, len(weights)),
+	}
+	acc := 0.0
+	for i, w := range weights {
+		m.weights[i] = w / total
+		acc += w / total
+		m.cumWeights[i] = acc
+	}
+	// Moments: E[X] = sum w_i mu_i; E[X^2] = sum w_i (var_i + mu_i^2).
+	var m1, m2 float64
+	for i, c := range m.components {
+		mu := c.Mean()
+		m1 += m.weights[i] * mu
+		m2 += m.weights[i] * (c.Variance() + mu*mu)
+	}
+	m.mean = m1
+	m.variance = m2 - m1*m1
+	if m.variance < 0 {
+		m.variance = 0
+	}
+	return m
+}
+
+func (m *Mixture) String() string {
+	parts := make([]string, len(m.components))
+	for i, c := range m.components {
+		parts[i] = fmt.Sprintf("%.3g*%v", m.weights[i], c)
+	}
+	return "Mixture(" + strings.Join(parts, " + ") + ")"
+}
+
+// PDF returns the weighted component density.
+func (m *Mixture) PDF(x float64) float64 {
+	var s float64
+	for i, c := range m.components {
+		s += m.weights[i] * c.PDF(x)
+	}
+	return s
+}
+
+// LogPDF returns log(PDF(x)).
+func (m *Mixture) LogPDF(x float64) float64 {
+	p := m.PDF(x)
+	if p == 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(p)
+}
+
+// CDF returns the weighted component CDF.
+func (m *Mixture) CDF(x float64) float64 {
+	var s float64
+	for i, c := range m.components {
+		s += m.weights[i] * c.CDF(x)
+	}
+	return s
+}
+
+// Quantile inverts the CDF by bisection over the mixture support.
+func (m *Mixture) Quantile(p float64) float64 {
+	lo, hi := m.Support()
+	return quantileBisect(m.CDF, lo, hi, p)
+}
+
+// Mean returns the mixture mean.
+func (m *Mixture) Mean() float64 { return m.mean }
+
+// Variance returns the mixture variance.
+func (m *Mixture) Variance() float64 { return m.variance }
+
+// Support returns the union bounds of the component supports.
+func (m *Mixture) Support() (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range m.components {
+		cl, ch := c.Support()
+		lo = math.Min(lo, cl)
+		hi = math.Max(hi, ch)
+	}
+	return lo, hi
+}
+
+// Sample picks a component by weight and samples it.
+func (m *Mixture) Sample(r *rng.Source) float64 {
+	u := r.Float64()
+	for i, cw := range m.cumWeights {
+		if u <= cw {
+			return m.components[i].Sample(r)
+		}
+	}
+	return m.components[len(m.components)-1].Sample(r)
+}

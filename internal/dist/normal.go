@@ -1,0 +1,69 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/rng"
+	"reskit/internal/specfun"
+)
+
+// Normal is the Gaussian law N(Mu, Sigma^2). Truncated to [a, b] it is
+// the checkpoint-duration law of Section 3.2.3; truncated to [0, inf) it
+// is the paper's canonical D_C for the workflow scenario (Section 4.1);
+// untruncated it models task durations in Section 4.2.1.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// NewNormal returns N(mu, sigma^2). It panics unless sigma > 0 and both
+// parameters are finite.
+func NewNormal(mu, sigma float64) Normal {
+	if math.IsNaN(mu) || math.IsInf(mu, 0) {
+		panic(fmt.Sprintf("dist: Normal: mu must be finite, got %g", mu))
+	}
+	validatePositive("sigma", "Normal", sigma)
+	return Normal{Mu: mu, Sigma: sigma}
+}
+
+func (n Normal) String() string { return fmt.Sprintf("Normal(mu=%g, sigma=%g)", n.Mu, n.Sigma) }
+
+// PDF returns the Gaussian density at x.
+func (n Normal) PDF(x float64) float64 {
+	return specfun.NormPDF((x-n.Mu)/n.Sigma) / n.Sigma
+}
+
+// LogPDF returns log(PDF(x)).
+func (n Normal) LogPDF(x float64) float64 {
+	return specfun.LogNormPDF((x-n.Mu)/n.Sigma) - math.Log(n.Sigma)
+}
+
+// CDF returns Phi((x-mu)/sigma).
+func (n Normal) CDF(x float64) float64 {
+	return specfun.NormCDF((x - n.Mu) / n.Sigma)
+}
+
+// Quantile returns mu + sigma*Phi^{-1}(p).
+func (n Normal) Quantile(p float64) float64 {
+	return n.Mu + n.Sigma*specfun.NormQuantile(p)
+}
+
+// Mean returns mu.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// Variance returns sigma^2.
+func (n Normal) Variance() float64 { return n.Sigma * n.Sigma }
+
+// Support returns the whole real line.
+func (n Normal) Support() (float64, float64) { return math.Inf(-1), math.Inf(1) }
+
+// Sample draws a variate.
+func (n Normal) Sample(r *rng.Source) float64 { return r.NormalMS(n.Mu, n.Sigma) }
+
+// SumIID returns N(y*mu, y*sigma^2), the continuous relaxation of the law
+// of S_n used by the static strategy (Section 4.2.1).
+func (n Normal) SumIID(y float64) Continuous {
+	validatePositive("y", "Normal.SumIID", y)
+	return Normal{Mu: y * n.Mu, Sigma: math.Sqrt(y) * n.Sigma}
+}

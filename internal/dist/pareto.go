@@ -1,0 +1,87 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/rng"
+)
+
+// Pareto is the Pareto (type I) law with scale Xm > 0 and shape
+// Alpha > 0: P(X > x) = (Xm/x)^Alpha for x >= Xm. It models
+// heavy-tailed checkpoint durations (e.g. contended parallel file
+// systems); truncated to [a, b] it is a stress-test D_C for the generic
+// optimizer of the preemptible scenario.
+type Pareto struct {
+	Xm    float64 // scale (minimum value)
+	Alpha float64 // tail index
+}
+
+// NewPareto returns Pareto(xm, alpha), both positive.
+func NewPareto(xm, alpha float64) Pareto {
+	validatePositive("scale xm", "Pareto", xm)
+	validatePositive("shape alpha", "Pareto", alpha)
+	return Pareto{Xm: xm, Alpha: alpha}
+}
+
+func (p Pareto) String() string { return fmt.Sprintf("Pareto(xm=%g, alpha=%g)", p.Xm, p.Alpha) }
+
+// PDF returns alpha xm^alpha / x^{alpha+1} for x >= xm.
+func (p Pareto) PDF(x float64) float64 {
+	if x < p.Xm {
+		return 0
+	}
+	return p.Alpha * math.Pow(p.Xm, p.Alpha) / math.Pow(x, p.Alpha+1)
+}
+
+// LogPDF returns log(PDF(x)).
+func (p Pareto) LogPDF(x float64) float64 {
+	if x < p.Xm {
+		return math.Inf(-1)
+	}
+	return math.Log(p.Alpha) + p.Alpha*math.Log(p.Xm) - (p.Alpha+1)*math.Log(x)
+}
+
+// CDF returns 1 - (xm/x)^alpha.
+func (p Pareto) CDF(x float64) float64 {
+	if x <= p.Xm {
+		return 0
+	}
+	return 1 - math.Pow(p.Xm/x, p.Alpha)
+}
+
+// Quantile returns xm / (1-p)^{1/alpha}.
+func (p Pareto) Quantile(q float64) float64 {
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	if q == 1 {
+		return math.Inf(1)
+	}
+	return p.Xm / math.Pow(1-q, 1/p.Alpha)
+}
+
+// Mean returns alpha xm / (alpha - 1) for alpha > 1, +Inf otherwise.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// Variance returns the Pareto variance for alpha > 2, +Inf otherwise.
+func (p Pareto) Variance() float64 {
+	if p.Alpha <= 2 {
+		return math.Inf(1)
+	}
+	a := p.Alpha
+	return p.Xm * p.Xm * a / ((a - 1) * (a - 1) * (a - 2))
+}
+
+// Support returns [xm, inf).
+func (p Pareto) Support() (float64, float64) { return p.Xm, math.Inf(1) }
+
+// Sample draws a variate by inversion.
+func (p Pareto) Sample(r *rng.Source) float64 {
+	return p.Xm / math.Pow(r.Float64Open(), 1/p.Alpha)
+}

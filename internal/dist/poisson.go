@@ -1,0 +1,59 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/rng"
+	"reskit/internal/specfun"
+)
+
+// Poisson is the Poisson law with mean Lambda on the nonnegative
+// integers. It models discretized task durations in Sections 4.2.3 and
+// 4.3.3 of the paper; the sum of n IID Poisson(lambda) variables is
+// Poisson(n*lambda).
+type Poisson struct {
+	Lambda float64
+}
+
+// NewPoisson returns Poisson(lambda), lambda > 0.
+func NewPoisson(lambda float64) Poisson {
+	validatePositive("lambda", "Poisson", lambda)
+	return Poisson{Lambda: lambda}
+}
+
+func (p Poisson) String() string { return fmt.Sprintf("Poisson(lambda=%g)", p.Lambda) }
+
+// PMF returns e^{-lambda} lambda^k / k!.
+func (p Poisson) PMF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	return math.Exp(p.LogPMF(k))
+}
+
+// LogPMF returns log(PMF(k)).
+func (p Poisson) LogPMF(k int) float64 {
+	return specfun.LogPoissonPMF(k, p.Lambda)
+}
+
+// CDF returns P(X <= floor(x)) through the incomplete-gamma identity.
+func (p Poisson) CDF(x float64) float64 {
+	return specfun.PoissonCDF(x, p.Lambda)
+}
+
+// Mean returns lambda.
+func (p Poisson) Mean() float64 { return p.Lambda }
+
+// Variance returns lambda.
+func (p Poisson) Variance() float64 { return p.Lambda }
+
+// Sample draws a variate.
+func (p Poisson) Sample(r *rng.Source) int { return r.Poisson(p.Lambda) }
+
+// SumIID returns Poisson(y*lambda), the law of the sum of y IID copies
+// (Section 4.2.3), valid for any real y > 0.
+func (p Poisson) SumIID(y float64) Discrete {
+	validatePositive("y", "Poisson.SumIID", y)
+	return Poisson{Lambda: y * p.Lambda}
+}

@@ -1,0 +1,96 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/rng"
+)
+
+// Triangular is the triangular law on [A, B] with mode M — a common
+// three-point-estimate model for checkpoint durations when only
+// (min, typical, max) are known from operators rather than full traces.
+// Its support is already bounded, so like the Uniform law it needs no
+// further truncation to serve as the D_C of Section 3.
+type Triangular struct {
+	A, M, B float64
+}
+
+// NewTriangular returns the triangular law with minimum a, mode m and
+// maximum b (a <= m <= b, a < b).
+func NewTriangular(a, m, b float64) Triangular {
+	if !(a < b) || !(a <= m && m <= b) || math.IsNaN(a) || math.IsNaN(m) || math.IsNaN(b) ||
+		math.IsInf(a, 0) || math.IsInf(b, 0) {
+		panic(fmt.Sprintf("dist: Triangular requires a <= m <= b with a < b, got (%g, %g, %g)", a, m, b))
+	}
+	return Triangular{A: a, M: m, B: b}
+}
+
+func (t Triangular) String() string {
+	return fmt.Sprintf("Triangular(%g, %g, %g)", t.A, t.M, t.B)
+}
+
+// PDF returns the density at x.
+func (t Triangular) PDF(x float64) float64 {
+	switch {
+	case x < t.A || x > t.B:
+		return 0
+	case x < t.M:
+		return 2 * (x - t.A) / ((t.B - t.A) * (t.M - t.A))
+	case x == t.M:
+		return 2 / (t.B - t.A)
+	default:
+		return 2 * (t.B - x) / ((t.B - t.A) * (t.B - t.M))
+	}
+}
+
+// LogPDF returns log(PDF(x)).
+func (t Triangular) LogPDF(x float64) float64 {
+	p := t.PDF(x)
+	if p == 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(p)
+}
+
+// CDF returns P(X <= x).
+func (t Triangular) CDF(x float64) float64 {
+	switch {
+	case x <= t.A:
+		return 0
+	case x >= t.B:
+		return 1
+	case x <= t.M:
+		d := x - t.A
+		return d * d / ((t.B - t.A) * (t.M - t.A))
+	default:
+		d := t.B - x
+		return 1 - d*d/((t.B-t.A)*(t.B-t.M))
+	}
+}
+
+// Quantile inverts the CDF in closed form.
+func (t Triangular) Quantile(p float64) float64 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	fm := (t.M - t.A) / (t.B - t.A)
+	if p <= fm {
+		return t.A + math.Sqrt(p*(t.B-t.A)*(t.M-t.A))
+	}
+	return t.B - math.Sqrt((1-p)*(t.B-t.A)*(t.B-t.M))
+}
+
+// Mean returns (A + M + B) / 3.
+func (t Triangular) Mean() float64 { return (t.A + t.M + t.B) / 3 }
+
+// Variance returns the triangular variance.
+func (t Triangular) Variance() float64 {
+	return (t.A*t.A + t.M*t.M + t.B*t.B - t.A*t.M - t.A*t.B - t.M*t.B) / 18
+}
+
+// Support returns [A, B].
+func (t Triangular) Support() (float64, float64) { return t.A, t.B }
+
+// Sample draws a variate by inversion.
+func (t Triangular) Sample(r *rng.Source) float64 { return t.Quantile(r.Float64()) }

@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/rng"
+)
+
+// Uniform is the continuous uniform law on [A, B]. It is the first
+// checkpoint-duration law studied in Section 3.2.1 of the paper, where it
+// needs no further truncation: its support already is [a, b].
+type Uniform struct {
+	A, B float64
+}
+
+// NewUniform returns the Uniform law on [a, b]. It panics unless a < b
+// and both are finite.
+func NewUniform(a, b float64) Uniform {
+	if !(a < b) || math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsNaN(a) || math.IsNaN(b) {
+		panic(fmt.Sprintf("dist: Uniform requires finite a < b, got [%g, %g]", a, b))
+	}
+	return Uniform{A: a, B: b}
+}
+
+func (u Uniform) String() string { return fmt.Sprintf("Uniform[%g, %g]", u.A, u.B) }
+
+// PDF returns 1/(B-A) inside [A, B] and 0 outside.
+func (u Uniform) PDF(x float64) float64 {
+	if x < u.A || x > u.B {
+		return 0
+	}
+	return 1 / (u.B - u.A)
+}
+
+// LogPDF returns the logarithm of PDF.
+func (u Uniform) LogPDF(x float64) float64 {
+	if x < u.A || x > u.B {
+		return math.Inf(-1)
+	}
+	return -math.Log(u.B - u.A)
+}
+
+// CDF returns P(X <= x).
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.A:
+		return 0
+	case x >= u.B:
+		return 1
+	default:
+		return (x - u.A) / (u.B - u.A)
+	}
+}
+
+// Quantile returns A + p*(B-A).
+func (u Uniform) Quantile(p float64) float64 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	return u.A + p*(u.B-u.A)
+}
+
+// Mean returns (A+B)/2.
+func (u Uniform) Mean() float64 { return 0.5 * (u.A + u.B) }
+
+// Variance returns (B-A)^2/12.
+func (u Uniform) Variance() float64 {
+	d := u.B - u.A
+	return d * d / 12
+}
+
+// Support returns [A, B].
+func (u Uniform) Support() (float64, float64) { return u.A, u.B }
+
+// Sample draws a variate.
+func (u Uniform) Sample(r *rng.Source) float64 { return r.Uniform(u.A, u.B) }

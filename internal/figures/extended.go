@@ -1,0 +1,185 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/core"
+	"reskit/internal/dist"
+	"reskit/internal/plot"
+)
+
+// Extended returns the repository's own ablation figures, beyond the ten
+// the paper prints. They carry no paper reference values (Check is
+// vacuous); EXPERIMENTS.md discusses the measured shapes.
+func Extended() []Figure {
+	return []Figure{ExtGainVsSpread(), ExtAdaptivityVsCV(), ExtDPValueFunction(), ExtMisspecification()}
+}
+
+// ExtGainVsSpread quantifies the Section 3 take-away as a curve: the
+// gain of the optimal instant over the pessimistic X=b plan as a
+// function of the half-width s of a Uniform checkpoint law centered at
+// 4, for R=10. Below s=2 the instance is in the Figure 1(b) boundary
+// regime (gain exactly 1); beyond it the Figure 1(a) regime opens up.
+func ExtGainVsSpread() Figure {
+	const points = 120
+	xs := make([]float64, points+1)
+	ys := make([]float64, points+1)
+	for i := 0; i <= points; i++ {
+		s := 0.2 + (3.4-0.2)*float64(i)/points
+		p := core.NewPreemptible(10, dist.NewUniform(4-s, 4+s))
+		xs[i] = s
+		ys[i] = p.Gain()
+	}
+	return Figure{
+		ID:    "ext1",
+		Title: "Ext 1: optimal/pessimistic gain vs checkpoint spread (Uniform[4-s, 4+s], R=10)",
+		Plot: plot.Plot{
+			Title:  "Gain vs checkpoint-duration spread",
+			XLabel: "s (half-width of the Uniform support)",
+			YLabel: "E(W(X_opt)) / E(W(b))",
+			Series: []plot.Series{{Name: "gain", X: xs, Y: ys}},
+			VLines: []plot.VLine{{X: 2, Label: "interior regime opens"}},
+		},
+		Reference: map[string]float64{},
+		Measured: map[string]float64{
+			"gain@s=0.5": gainAtSpread(0.5),
+			"gain@s=3":   gainAtSpread(3),
+		},
+	}
+}
+
+func gainAtSpread(s float64) float64 {
+	return core.NewPreemptible(10, dist.NewUniform(4-s, 4+s)).Gain()
+}
+
+// ExtAdaptivityVsCV measures how much exact adaptivity (the DP optimum)
+// buys over the best static plan as task durations grow more variable:
+// Gamma tasks with mean 3 and coefficient of variation cv, the Figure 8
+// checkpoint law, R=29. Entirely analytic (no Monte-Carlo): the static
+// value is E(n_opt), the adaptive value is the DP solution.
+func ExtAdaptivityVsCV() Figure {
+	cvs := []float64{0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 1.0}
+	ckpt := paperCkptLaw(5, 0.4)
+	xs := make([]float64, len(cvs))
+	stat := make([]float64, len(cvs))
+	dp := make([]float64, len(cvs))
+	for i, cv := range cvs {
+		k := 1 / (cv * cv)
+		theta := 3 * cv * cv
+		task := dist.NewGamma(k, theta)
+		xs[i] = cv
+		stat[i] = core.NewStatic(29, task, ckpt).Optimize().ENOpt
+		dp[i] = core.NewDP(29, task, ckpt, 1024).Solve().Value
+	}
+	fig := Figure{
+		ID:    "ext2",
+		Title: "Ext 2: adaptive (DP) vs static expected work as task variability grows",
+		Plot: plot.Plot{
+			Title:  "Adaptivity pays under variability (Gamma tasks, mean 3, R=29)",
+			XLabel: "task coefficient of variation",
+			YLabel: "expected saved work",
+			Series: []plot.Series{
+				{Name: "DP optimum (adaptive)", X: xs, Y: dp},
+				{Name: "static n_opt", X: xs, Y: stat},
+			},
+		},
+		Reference: map[string]float64{},
+		Measured: map[string]float64{
+			"dp@cv=0.1":     dp[0],
+			"static@cv=0.1": stat[0],
+			"dp@cv=1":       dp[len(dp)-1],
+			"static@cv=1":   stat[len(stat)-1],
+		},
+	}
+	return fig
+}
+
+// ExtDPValueFunction plots the DP value function V(w) on the Figure 8
+// instance with both thresholds marked: the DP policy switch and the
+// paper's myopic W_int. Their proximity is the visual form of the V7
+// optimality-gap experiment.
+func ExtDPValueFunction() Figure {
+	task := dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1))
+	ckpt := paperCkptLaw(5, 0.4)
+	sol := core.NewDP(29, task, ckpt, 2048).Solve()
+	dyn := core.NewDynamic(29, task, ckpt)
+
+	// Thin the grid for plotting.
+	var xs, ys []float64
+	for i := 0; i < len(sol.Grid); i += 8 {
+		xs = append(xs, sol.Grid[i])
+		ys = append(ys, sol.V[i])
+	}
+	fig := Figure{
+		ID:    "ext3",
+		Title: "Ext 3: DP value function and thresholds (Fig 8 instance)",
+		Plot: plot.Plot{
+			Title:  "V(w): optimal expected saved work from state w",
+			XLabel: "w (accumulated work = elapsed time)",
+			YLabel: "V(w)",
+			Series: []plot.Series{{Name: "V(w)", X: xs, Y: ys}},
+			VLines: []plot.VLine{
+				{X: sol.Threshold, Label: fmt.Sprintf("DP threshold %.3g", sol.Threshold)},
+			},
+		},
+		Reference: map[string]float64{},
+		Measured: map[string]float64{
+			"V(0)":         sol.Value,
+			"dp_threshold": sol.Threshold,
+		},
+	}
+	if w, err := dyn.Intersection(); err == nil {
+		fig.Measured["W_int"] = w
+		fig.Plot.VLines = append(fig.Plot.VLines,
+			plot.VLine{X: w, Label: fmt.Sprintf("myopic W_int %.3g", w)})
+	}
+	return fig
+}
+
+// ExtMisspecification plots how much of the optimal expected work
+// survives when the checkpoint-duration mean is misestimated by delta
+// (the planner assumes N(mu+delta, sigma) truncated to the same [a, b]
+// as the N(mu, sigma) truth). It quantifies how accurate the
+// trace-learned D_C needs to be.
+func ExtMisspecification() Figure {
+	const (
+		r     = 10.0
+		mu    = 3.5
+		sigma = 1.0
+		a, b  = 1.0, 6.0
+	)
+	truth := core.NewPreemptible(r, dist.Truncate(dist.NewNormal(mu, sigma), a, b))
+	const points = 80
+	xs := make([]float64, points+1)
+	ys := make([]float64, points+1)
+	for i := 0; i <= points; i++ {
+		delta := -2 + 4*float64(i)/points
+		assumed := core.NewPreemptible(r, dist.Truncate(dist.NewNormal(mu+delta, sigma), a, b))
+		xs[i] = delta
+		ys[i] = core.MisspecificationLoss(truth, assumed)
+	}
+	return Figure{
+		ID:    "ext4",
+		Title: "Ext 4: robustness to a misestimated checkpoint mean (Fig 3a instance)",
+		Plot: plot.Plot{
+			Title:  "Fraction of optimal E(W) achieved vs mean error",
+			XLabel: "delta (assumed - true checkpoint mean)",
+			YLabel: "achieved / optimal",
+			Series: []plot.Series{{Name: "robustness", X: xs, Y: ys}},
+			VLines: []plot.VLine{{X: 0, Label: "perfect knowledge"}},
+		},
+		Reference: map[string]float64{},
+		Measured: map[string]float64{
+			"loss@-1": lossAtDelta(truth, mu, sigma, a, b, -1),
+			"loss@0":  lossAtDelta(truth, mu, sigma, a, b, 0),
+			"loss@+1": lossAtDelta(truth, mu, sigma, a, b, 1),
+			"loss@-2": lossAtDelta(truth, mu, sigma, a, b, -2),
+		},
+	}
+}
+
+func lossAtDelta(truth *core.Preemptible, mu, sigma, a, b, delta float64) float64 {
+	assumed := core.NewPreemptible(truth.R, dist.Truncate(dist.NewNormal(mu+delta, sigma), a, b))
+	return core.MisspecificationLoss(truth, assumed)
+}

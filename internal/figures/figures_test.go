@@ -1,0 +1,130 @@
+package figures
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAllFiguresReproduceWithinTolerance(t *testing.T) {
+	figs := All()
+	if len(figs) != 14 {
+		t.Fatalf("expected 14 figures (10 paper figures, 1a-4b counted separately), got %d", len(figs))
+	}
+	seen := map[string]bool{}
+	for i := range figs {
+		f := &figs[i]
+		if seen[f.ID] {
+			t.Errorf("duplicate figure id %s", f.ID)
+		}
+		seen[f.ID] = true
+		if bad := f.Check(); len(bad) > 0 {
+			t.Errorf("%s: %s", f.ID, strings.Join(bad, "; "))
+		}
+	}
+}
+
+func TestFigureSeriesNonEmpty(t *testing.T) {
+	for _, f := range All() {
+		if len(f.Plot.Series) == 0 {
+			t.Errorf("%s: no series", f.ID)
+			continue
+		}
+		for _, s := range f.Plot.Series {
+			if len(s.X) < 10 || len(s.X) != len(s.Y) {
+				t.Errorf("%s/%s: bad series (%d x, %d y)", f.ID, s.Name, len(s.X), len(s.Y))
+			}
+		}
+	}
+}
+
+func TestDynamicFiguresHaveTwoSeries(t *testing.T) {
+	for _, f := range []Figure{Fig8(), Fig9(), Fig10()} {
+		if len(f.Plot.Series) != 2 {
+			t.Errorf("%s: want 2 series, got %d", f.ID, len(f.Plot.Series))
+		}
+		if _, ok := f.Measured["W_int"]; !ok {
+			t.Errorf("%s: W_int not measured", f.ID)
+		}
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	f := Fig5()
+	keys := f.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Errorf("keys not sorted: %v", keys)
+		}
+	}
+}
+
+func TestCheckDetectsMismatch(t *testing.T) {
+	f := Fig1a()
+	f.Measured["X_opt"] = 99 // sabotage
+	if len(f.Check()) == 0 {
+		t.Errorf("Check missed a mismatch")
+	}
+	delete(f.Measured, "E(W(b))")
+	found := false
+	for _, m := range f.Check() {
+		if strings.Contains(m, "no measured value") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Check missed a missing measurement")
+	}
+}
+
+func TestExtendedFigures(t *testing.T) {
+	figs := Extended()
+	if len(figs) != 4 {
+		t.Fatalf("expected 4 extended figures, got %d", len(figs))
+	}
+	for i := range figs {
+		f := &figs[i]
+		if len(f.Plot.Series) == 0 || len(f.Plot.Series[0].X) < 5 {
+			t.Errorf("%s: empty series", f.ID)
+		}
+		if len(f.Measured) == 0 {
+			t.Errorf("%s: no measured values", f.ID)
+		}
+	}
+	// Ext1: gain is 1 in the boundary regime and grows past s=2.
+	e1 := figs[0]
+	if g := e1.Measured["gain@s=0.5"]; g < 1-1e-9 || g > 1+1e-9 {
+		t.Errorf("ext1: gain@0.5 = %g, want 1 (boundary regime)", g)
+	}
+	if g := e1.Measured["gain@s=3"]; g < 1.05 {
+		t.Errorf("ext1: gain@3 = %g, want > 1.05", g)
+	}
+	// Ext2: DP >= static everywhere, and the gap widens with cv.
+	e2 := figs[1]
+	gapLow := e2.Measured["dp@cv=0.1"] - e2.Measured["static@cv=0.1"]
+	gapHigh := e2.Measured["dp@cv=1"] - e2.Measured["static@cv=1"]
+	if gapLow < -0.1 || gapHigh < gapLow {
+		t.Errorf("ext2: gaps %g -> %g should be nonnegative and widening", gapLow, gapHigh)
+	}
+	// Ext3: thresholds close together, V(0) sane.
+	e3 := figs[2]
+	if math.Abs(e3.Measured["dp_threshold"]-e3.Measured["W_int"]) > 1.5 {
+		t.Errorf("ext3: thresholds far apart: %+v", e3.Measured)
+	}
+	if v := e3.Measured["V(0)"]; v < 20 || v > 24 {
+		t.Errorf("ext3: V(0) = %g out of range", v)
+	}
+	// Ext4: perfect knowledge loses nothing; gross errors lose something;
+	// everything stays in (0, 1].
+	e4 := figs[3]
+	if l := e4.Measured["loss@0"]; math.Abs(l-1) > 1e-9 {
+		t.Errorf("ext4: loss@0 = %g", l)
+	}
+	if l := e4.Measured["loss@-2"]; l >= 1 || l <= 0 {
+		t.Errorf("ext4: loss@-2 = %g", l)
+	}
+	if e4.Measured["loss@-2"] > e4.Measured["loss@-1"] {
+		t.Errorf("ext4: bigger error should lose at least as much: %g vs %g",
+			e4.Measured["loss@-2"], e4.Measured["loss@-1"])
+	}
+}

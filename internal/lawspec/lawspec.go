@@ -1,0 +1,178 @@
+// Package lawspec parses the compact distribution syntax shared by the
+// command-line tools:
+//
+//	uniform:A,B            uniform on [A, B]
+//	exp:RATE               Exponential with the given rate (mean 1/RATE)
+//	norm:MU,SIGMA          Normal
+//	lognorm:MU,SIGMA       LogNormal (underlying Normal parameters)
+//	gamma:K,THETA          Gamma with shape K and scale THETA
+//	weibull:K,LAMBDA       Weibull
+//	pareto:XM,ALPHA        Pareto type I (heavy tail)
+//	tri:A,M,B              triangular with mode M on [A, B]
+//	beta:ALPHA,BETA        Beta on [0, 1] (rescale via @[LO,HI]-style Affine in code)
+//	det:V                  point mass at V
+//	poisson:LAMBDA         Poisson (discrete)
+//
+// Any continuous law may carry a truncation suffix "@[LO,HI]"; HI may be
+// "inf". Examples:
+//
+//	exp:0.5@[1,5]          the paper's Figure 2(a) checkpoint law
+//	norm:5,0.4@[0,inf]     the Section 4 checkpoint law
+package lawspec
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"reskit/internal/dist"
+)
+
+// Parse parses a continuous law spec.
+func Parse(spec string) (dist.Continuous, error) {
+	body, trunc, hasTrunc := strings.Cut(spec, "@")
+	base, err := parseBase(body)
+	if err != nil {
+		return nil, err
+	}
+	if !hasTrunc {
+		return base, nil
+	}
+	lo, hi, err := parseBounds(trunc)
+	if err != nil {
+		return nil, fmt.Errorf("lawspec: %q: %w", spec, err)
+	}
+	var t dist.Continuous
+	err = capturePanic(func() { t = dist.Truncate(base, lo, hi) })
+	if err != nil {
+		return nil, fmt.Errorf("lawspec: %q: %w", spec, err)
+	}
+	return t, nil
+}
+
+// ParseDiscrete parses a discrete law spec (currently poisson:LAMBDA).
+func ParseDiscrete(spec string) (dist.Discrete, error) {
+	name, argStr, ok := strings.Cut(spec, ":")
+	if !ok || name != "poisson" {
+		return nil, fmt.Errorf("lawspec: %q: only poisson:LAMBDA is a discrete law", spec)
+	}
+	args, err := parseArgs(argStr, 1)
+	if err != nil {
+		return nil, fmt.Errorf("lawspec: %q: %w", spec, err)
+	}
+	var p dist.Poisson
+	if err := capturePanic(func() { p = dist.NewPoisson(args[0]) }); err != nil {
+		return nil, fmt.Errorf("lawspec: %q: %w", spec, err)
+	}
+	return p, nil
+}
+
+func parseBase(body string) (dist.Continuous, error) {
+	name, argStr, ok := strings.Cut(body, ":")
+	if !ok {
+		return nil, fmt.Errorf("lawspec: %q: expected NAME:ARGS", body)
+	}
+	var want int
+	switch name {
+	case "exp", "det":
+		want = 1
+	case "uniform", "norm", "lognorm", "gamma", "weibull", "pareto":
+		want = 2
+	case "tri":
+		want = 3
+	case "beta":
+		want = 2
+	case "poisson":
+		return nil, fmt.Errorf("lawspec: poisson is discrete; use it only where a discrete law is accepted")
+	default:
+		return nil, fmt.Errorf("lawspec: unknown law %q", name)
+	}
+	args, err := parseArgs(argStr, want)
+	if err != nil {
+		return nil, fmt.Errorf("lawspec: %q: %w", body, err)
+	}
+	var d dist.Continuous
+	err = capturePanic(func() {
+		switch name {
+		case "uniform":
+			d = dist.NewUniform(args[0], args[1])
+		case "exp":
+			d = dist.NewExponential(args[0])
+		case "norm":
+			d = dist.NewNormal(args[0], args[1])
+		case "lognorm":
+			d = dist.NewLogNormal(args[0], args[1])
+		case "gamma":
+			d = dist.NewGamma(args[0], args[1])
+		case "weibull":
+			d = dist.NewWeibull(args[0], args[1])
+		case "pareto":
+			d = dist.NewPareto(args[0], args[1])
+		case "tri":
+			d = dist.NewTriangular(args[0], args[1], args[2])
+		case "beta":
+			d = dist.NewBeta(args[0], args[1])
+		case "det":
+			d = dist.NewDeterministic(args[0])
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lawspec: %q: %w", body, err)
+	}
+	return d, nil
+}
+
+func parseArgs(s string, want int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != want {
+		return nil, fmt.Errorf("expected %d arguments, got %d", want, len(parts))
+	}
+	args := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("argument %d: %w", i+1, err)
+		}
+		args[i] = v
+	}
+	return args, nil
+}
+
+func parseBounds(s string) (lo, hi float64, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("truncation must look like [LO,HI]")
+	}
+	inner := s[1 : len(s)-1]
+	loStr, hiStr, ok := strings.Cut(inner, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("truncation must look like [LO,HI]")
+	}
+	lo, err = strconv.ParseFloat(strings.TrimSpace(loStr), 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad lower bound: %w", err)
+	}
+	hiStr = strings.TrimSpace(hiStr)
+	if hiStr == "inf" || hiStr == "+inf" {
+		return lo, math.Inf(1), nil
+	}
+	hi, err = strconv.ParseFloat(hiStr, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad upper bound: %w", err)
+	}
+	return lo, hi, nil
+}
+
+// capturePanic runs f and converts a panic (the dist constructors panic
+// on invalid parameters) into an error, which is the right shape for a
+// CLI boundary.
+func capturePanic(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	f()
+	return nil
+}

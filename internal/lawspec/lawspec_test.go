@@ -1,0 +1,116 @@
+package lawspec
+
+import (
+	"math"
+	"testing"
+
+	"reskit/internal/dist"
+)
+
+func TestParseValidSpecs(t *testing.T) {
+	cases := []struct {
+		spec string
+		mean float64
+		tol  float64
+	}{
+		{"uniform:1,7.5", 4.25, 1e-12},
+		{"exp:0.5", 2, 1e-12},
+		{"norm:3,0.5", 3, 1e-12},
+		{"lognorm:0,0.5", math.Exp(0.125), 1e-12},
+		{"gamma:2,1.5", 3, 1e-12},
+		{"weibull:1,2", 2, 1e-12},
+		{"det:4.2", 4.2, 1e-12},
+		{"norm:5,0.4@[0,inf]", 5, 1e-6},
+		{"exp:0.5@[1,5]", 2.374, 0.01},
+	}
+	for _, c := range cases {
+		d, err := Parse(c.spec)
+		if err != nil {
+			t.Fatalf("%q: %v", c.spec, err)
+		}
+		if math.Abs(d.Mean()-c.mean) > c.tol {
+			t.Errorf("%q: mean %g, want %g", c.spec, d.Mean(), c.mean)
+		}
+	}
+}
+
+func TestParseTruncationBounds(t *testing.T) {
+	d, err := Parse("exp:0.5@[1,5]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := d.Support()
+	if lo != 1 || hi != 5 {
+		t.Errorf("support [%g, %g]", lo, hi)
+	}
+	d, err = Parse("norm:5,0.4@[0, inf]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hi = d.Support()
+	if !math.IsInf(hi, 1) {
+		t.Errorf("hi %g, want +inf", hi)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"nolaw",
+		"mystery:1,2",
+		"uniform:1",         // wrong arity
+		"uniform:1,2,3",     // wrong arity
+		"norm:a,b",          // not numbers
+		"exp:-1",            // invalid parameter
+		"uniform:2,1",       // a >= b
+		"exp:0.5@1,5",       // missing brackets
+		"exp:0.5@[1]",       // missing comma
+		"exp:0.5@[x,5]",     // bad bound
+		"exp:0.5@[5,1]",     // reversed bounds
+		"uniform:0,1@[5,6]", // zero mass
+		"poisson:3",         // discrete in continuous position
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("%q: expected error", spec)
+		}
+	}
+}
+
+func TestParseDiscrete(t *testing.T) {
+	d, err := ParseDiscrete("poisson:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.(dist.Poisson); !ok || d.Mean() != 3 {
+		t.Errorf("got %v", d)
+	}
+	for _, spec := range []string{"poisson:0", "poisson:1,2", "norm:0,1", "poisson"} {
+		if _, err := ParseDiscrete(spec); err == nil {
+			t.Errorf("%q: expected error", spec)
+		}
+	}
+}
+
+func TestParseExtraLaws(t *testing.T) {
+	d, err := Parse("tri:1,4,7.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Mean()-(1+4+7.5)/3) > 1e-12 {
+		t.Errorf("tri mean %g", d.Mean())
+	}
+	d, err = Parse("pareto:2,3.5@[2,9]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := d.Support()
+	if lo != 2 || hi != 9 {
+		t.Errorf("truncated pareto support [%g, %g]", lo, hi)
+	}
+	for _, bad := range []string{"tri:1,2", "tri:3,2,4", "pareto:0,1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("%q: expected error", bad)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package optimize
+
+import "math"
+
+// invPhi is 1/phi where phi is the golden ratio.
+const invPhi = 0.6180339887498948482045868343656381
+
+// MaxResult reports the location and value of a maximum found by one of
+// the maximizers.
+type MaxResult struct {
+	X float64 // argmax estimate
+	F float64 // objective value at X
+}
+
+// GoldenSection maximizes f on [a, b] by golden-section search. It is
+// guaranteed to converge to the maximum of a unimodal objective and to a
+// local maximum otherwise. The abscissa is resolved to xtol.
+func GoldenSection(f func(float64) float64, a, b, xtol float64) MaxResult {
+	if xtol <= 0 {
+		xtol = 1e-10
+	}
+	if a > b {
+		a, b = b, a
+	}
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for b-a > xtol {
+		if f1 < f2 {
+			a = x1
+			x1, f1 = x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		} else {
+			b = x2
+			x2, f2 = x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		}
+	}
+	x := 0.5 * (a + b)
+	return MaxResult{X: x, F: f(x)}
+}
+
+// BrentMax maximizes f on [a, b] using Brent's method (golden-section with
+// successive parabolic interpolation). Converges superlinearly on smooth
+// unimodal objectives such as the concave expected-work curves of
+// Section 3 of the paper.
+func BrentMax(f func(float64) float64, a, b, xtol float64) MaxResult {
+	if xtol <= 0 {
+		xtol = 1e-10
+	}
+	if a > b {
+		a, b = b, a
+	}
+	neg := func(x float64) float64 { return -f(x) }
+	x, fx := brentMinCore(neg, a, b, xtol)
+	return MaxResult{X: x, F: -fx}
+}
+
+// brentMinCore is the classical Brent minimizer on [a, b].
+func brentMinCore(f func(float64) float64, a, b, tol float64) (float64, float64) {
+	const cgold = 0.3819660112501051 // 2 - phi
+	var d, e float64
+	x := a + cgold*(b-a)
+	w, v := x, x
+	fx := f(x)
+	fw, fv := fx, fx
+	for iter := 0; iter < 200; iter++ {
+		xm := 0.5 * (a + b)
+		tol1 := tol*math.Abs(x) + 1e-15
+		tol2 := 2 * tol1
+		if math.Abs(x-xm) <= tol2-0.5*(b-a) {
+			return x, fx
+		}
+		useGolden := true
+		if math.Abs(e) > tol1 {
+			// Parabolic fit through x, v, w.
+			r := (x - w) * (fx - fv)
+			q := (x - v) * (fx - fw)
+			p := (x-v)*q - (x-w)*r
+			q = 2 * (q - r)
+			if q > 0 {
+				p = -p
+			}
+			q = math.Abs(q)
+			etmp := e
+			e = d
+			if math.Abs(p) < math.Abs(0.5*q*etmp) && p > q*(a-x) && p < q*(b-x) {
+				d = p / q
+				u := x + d
+				if u-a < tol2 || b-u < tol2 {
+					d = math.Copysign(tol1, xm-x)
+				}
+				useGolden = false
+			}
+		}
+		if useGolden {
+			if x >= xm {
+				e = a - x
+			} else {
+				e = b - x
+			}
+			d = cgold * e
+		}
+		var u float64
+		if math.Abs(d) >= tol1 {
+			u = x + d
+		} else {
+			u = x + math.Copysign(tol1, d)
+		}
+		fu := f(u)
+		if fu <= fx {
+			if u >= x {
+				a = x
+			} else {
+				b = x
+			}
+			v, w, x = w, x, u
+			fv, fw, fx = fw, fx, fu
+		} else {
+			if u < x {
+				a = u
+			} else {
+				b = u
+			}
+			if fu <= fw || w == x {
+				v, w = w, u
+				fv, fw = fw, fu
+			} else if fu <= fv || v == x || v == w {
+				v, fv = u, fu
+			}
+		}
+	}
+	return x, fx
+}
+
+// MaxGridRefine maximizes f on [a, b] by evaluating a uniform grid of n
+// points (n >= 3) and then running golden-section search on the bracket
+// around the best grid point. It does not require unimodality as long as
+// the grid is fine enough to land in the basin of the global maximum.
+func MaxGridRefine(f func(float64) float64, a, b float64, n int, xtol float64) MaxResult {
+	if n < 3 {
+		n = 3
+	}
+	if a > b {
+		a, b = b, a
+	}
+	best, bestX := math.Inf(-1), a
+	step := (b - a) / float64(n-1)
+	for i := 0; i < n; i++ {
+		x := a + float64(i)*step
+		if v := f(x); v > best {
+			best, bestX = v, x
+		}
+	}
+	lo := math.Max(a, bestX-step)
+	hi := math.Min(b, bestX+step)
+	r := GoldenSection(f, lo, hi, xtol)
+	if r.F < best {
+		return MaxResult{X: bestX, F: best}
+	}
+	return r
+}
+
+// ArgmaxInt compares f at the floor and ceiling of y (both clamped to at
+// least lo) and returns the better integer. It implements the paper's
+// rule "n_opt is floor(y_opt) or ceil(y_opt), whichever gives the larger
+// value" (Sections 4.2.1–4.2.3).
+func ArgmaxInt(f func(int) float64, y float64, lo int) (int, float64) {
+	fl := int(math.Floor(y))
+	cl := int(math.Ceil(y))
+	if fl < lo {
+		fl = lo
+	}
+	if cl < lo {
+		cl = lo
+	}
+	if fl == cl {
+		return fl, f(fl)
+	}
+	vf, vc := f(fl), f(cl)
+	if vc > vf {
+		return cl, vc
+	}
+	return fl, vf
+}

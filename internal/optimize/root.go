@@ -1,0 +1,172 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned when f(a) and f(b) have the same sign, so no
+// root is guaranteed inside [a, b].
+var ErrNoBracket = errors.New("optimize: f(a) and f(b) do not bracket a root")
+
+// ErrMaxIterations is returned when an iterative method exhausts its
+// iteration budget before reaching the requested tolerance. The best
+// estimate so far is still returned alongside it.
+var ErrMaxIterations = errors.New("optimize: maximum iterations exceeded")
+
+// defaultXTol is the abscissa tolerance used when a non-positive tolerance
+// is supplied.
+const defaultXTol = 1e-12
+
+// Bisect finds a root of f in [a, b] by bisection. f(a) and f(b) must have
+// opposite signs. The returned x satisfies |interval| <= xtol.
+func Bisect(f func(float64) float64, a, b, xtol float64) (float64, error) {
+	if xtol <= 0 {
+		xtol = defaultXTol
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return math.NaN(), ErrNoBracket
+	}
+	for i := 0; i < 200; i++ {
+		m := 0.5 * (a + b)
+		if b-a <= xtol || m == a || m == b {
+			return m, nil
+		}
+		fm := f(m)
+		if fm == 0 {
+			return m, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return 0.5 * (a + b), ErrMaxIterations
+}
+
+// Brent finds a root of f in [a, b] with Brent's method (inverse quadratic
+// interpolation, secant, and bisection safeguards). f(a) and f(b) must
+// have opposite signs.
+func Brent(f func(float64) float64, a, b, xtol float64) (float64, error) {
+	if xtol <= 0 {
+		xtol = defaultXTol
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return math.NaN(), ErrNoBracket
+	}
+	c, fc := a, fa
+	d := b - a
+	e := d
+	for i := 0; i < 200; i++ {
+		if math.Abs(fc) < math.Abs(fb) {
+			a, b, c = b, c, b
+			fa, fb, fc = fb, fc, fb
+		}
+		const eps = 2.220446049250313e-16
+		tol1 := 2*eps*math.Abs(b) + 0.5*xtol
+		xm := 0.5 * (c - b)
+		if math.Abs(xm) <= tol1 || fb == 0 {
+			return b, nil
+		}
+		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
+			s := fb / fa
+			var p, q float64
+			if a == c {
+				p = 2 * xm * s
+				q = 1 - s
+			} else {
+				q = fa / fc
+				r := fb / fc
+				p = s * (2*xm*q*(q-r) - (b-a)*(r-1))
+				q = (q - 1) * (r - 1) * (s - 1)
+			}
+			if p > 0 {
+				q = -q
+			}
+			p = math.Abs(p)
+			if 2*p < math.Min(3*xm*q-math.Abs(tol1*q), math.Abs(e*q)) {
+				e = d
+				d = p / q
+			} else {
+				d = xm
+				e = d
+			}
+		} else {
+			d = xm
+			e = d
+		}
+		a, fa = b, fb
+		if math.Abs(d) > tol1 {
+			b += d
+		} else {
+			b += math.Copysign(tol1, xm)
+		}
+		fb = f(b)
+		if (fb > 0) == (fc > 0) {
+			c, fc = a, fa
+			d = b - a
+			e = d
+		}
+	}
+	return b, ErrMaxIterations
+}
+
+// NewtonSafe finds a root of f in the bracket [a, b] using Newton steps
+// from derivative df, falling back to bisection whenever a step leaves the
+// bracket or the derivative degenerates. f(a) and f(b) must have opposite
+// signs.
+func NewtonSafe(f, df func(float64) float64, a, b, xtol float64) (float64, error) {
+	if xtol <= 0 {
+		xtol = defaultXTol
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return math.NaN(), ErrNoBracket
+	}
+	x := 0.5 * (a + b)
+	for i := 0; i < 200; i++ {
+		fx := f(x)
+		if fx == 0 {
+			return x, nil
+		}
+		if math.Signbit(fx) == math.Signbit(fa) {
+			a, fa = x, fx
+		} else {
+			b = x
+		}
+		if b-a <= xtol {
+			return 0.5 * (a + b), nil
+		}
+		dfx := df(x)
+		xn := x - fx/dfx
+		if !(xn > a && xn < b) || dfx == 0 || math.IsNaN(xn) {
+			xn = 0.5 * (a + b)
+		}
+		if math.Abs(xn-x) <= xtol*(1+math.Abs(x)) {
+			return xn, nil
+		}
+		x = xn
+	}
+	return x, ErrMaxIterations
+}

@@ -1,0 +1,153 @@
+// Package planner answers the question one level above the paper: given
+// the task and checkpoint laws, the recovery cost and the platform's
+// constraints, which reservation length R should the user request in the
+// first place? The paper treats R as fixed ("R depends upon many
+// parameters provided both by the user … and the resource provider",
+// Section 2); planner makes that trade-off quantitative by sweeping
+// candidate lengths, running a deterministic Monte-Carlo campaign for
+// each, and scoring them under a configurable cost model.
+//
+// Longer reservations amortize the recovery and the final checkpoint
+// over more work but are typically harder to schedule (modeled as a
+// per-reservation wait cost) and riskier to lose; shorter ones bound the
+// loss but pay the fixed costs more often. The planner exposes the whole
+// frontier so the trade-off is visible, not just the winner.
+package planner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"reskit/internal/core"
+	"reskit/internal/dist"
+	"reskit/internal/rng"
+	"reskit/internal/sim"
+	"reskit/internal/strategy"
+)
+
+// CostModel prices a campaign.
+type CostModel struct {
+	// PerReservation is the fixed cost of obtaining one reservation
+	// (queue wait, scheduling overhead), in the same unit as machine
+	// time.
+	PerReservation float64
+	// PayPerUse, when true, bills TimeUsed instead of TimeReserved.
+	PayPerUse bool
+}
+
+// Cost prices one campaign result.
+func (m CostModel) Cost(c sim.CampaignResult) float64 {
+	base := c.TimeReserved
+	if m.PayPerUse {
+		base = c.TimeUsed
+	}
+	return base + m.PerReservation*float64(c.Reservations)
+}
+
+// Config describes a planning problem.
+type Config struct {
+	TotalWork float64         // work the application must commit
+	Task      dist.Continuous // IID task-duration law
+	Ckpt      dist.Continuous // checkpoint-duration law
+	Recovery  float64         // recovery cost per reservation after the first
+	Cost      CostModel       // campaign pricing
+
+	// Candidates are the reservation lengths to evaluate. Empty selects
+	// a geometric sweep between 4x and 64x the mean task duration.
+	Candidates []float64
+
+	// Trials is the Monte-Carlo campaigns per candidate (default 200).
+	Trials int
+	// Seed fixes the experiment (default 1).
+	Seed uint64
+}
+
+// Option is one evaluated candidate reservation length.
+type Option struct {
+	R            float64 // candidate reservation length
+	Cost         float64 // mean campaign cost under the cost model
+	Reservations float64 // mean reservations to completion
+	Utilization  float64 // mean committed work / reserved time
+	WorkPerCost  float64 // TotalWork / Cost — the planner's score
+	Completed    bool    // every trial completed
+}
+
+// Plan evaluates all candidates and returns them sorted by descending
+// WorkPerCost (best first). The dynamic strategy of Section 4.3 is used
+// inside every reservation.
+func Plan(cfg Config) ([]Option, error) {
+	if !(cfg.TotalWork > 0) {
+		return nil, fmt.Errorf("planner: TotalWork must be positive, got %g", cfg.TotalWork)
+	}
+	if cfg.Task == nil || cfg.Ckpt == nil {
+		return nil, fmt.Errorf("planner: Task and Ckpt laws are required")
+	}
+	if cfg.Recovery < 0 {
+		return nil, fmt.Errorf("planner: Recovery must be >= 0, got %g", cfg.Recovery)
+	}
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = 200
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	candidates := cfg.Candidates
+	if len(candidates) == 0 {
+		mean := cfg.Task.Mean()
+		if !(mean > 0) || math.IsInf(mean, 0) {
+			return nil, fmt.Errorf("planner: task law must have a positive finite mean for the default sweep")
+		}
+		for f := 4.0; f <= 64; f *= 2 {
+			candidates = append(candidates, f*mean)
+		}
+	}
+
+	opts := make([]Option, 0, len(candidates))
+	for i, r := range candidates {
+		if !(r > cfg.Recovery) {
+			return nil, fmt.Errorf("planner: candidate R=%g does not exceed the recovery %g", r, cfg.Recovery)
+		}
+		opt, err := evaluate(cfg, r, trials, seed+uint64(i)*1000)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, opt)
+	}
+	sort.Slice(opts, func(i, j int) bool { return opts[i].WorkPerCost > opts[j].WorkPerCost })
+	return opts, nil
+}
+
+// evaluate runs the Monte-Carlo campaign for one candidate length.
+func evaluate(cfg Config, r float64, trials int, seed uint64) (Option, error) {
+	dyn := core.NewDynamic(r, cfg.Task, cfg.Ckpt)
+	resCfg := sim.Config{
+		R:        r,
+		Recovery: cfg.Recovery,
+		Task:     cfg.Task,
+		Ckpt:     cfg.Ckpt,
+		Strategy: strategy.NewDynamic(dyn),
+	}
+	campaign := sim.CampaignConfig{Reservation: resCfg, TotalWork: cfg.TotalWork}
+
+	opt := Option{R: r, Completed: true}
+	var sumCost, sumRes, sumUtil float64
+	for t := 0; t < trials; t++ {
+		res := sim.RunCampaign(campaign, rng.NewStream(seed, uint64(t)))
+		sumCost += cfg.Cost.Cost(res)
+		sumRes += float64(res.Reservations)
+		sumUtil += res.Utilization()
+		if !res.Completed {
+			opt.Completed = false
+		}
+	}
+	opt.Cost = sumCost / float64(trials)
+	opt.Reservations = sumRes / float64(trials)
+	opt.Utilization = sumUtil / float64(trials)
+	if opt.Cost > 0 {
+		opt.WorkPerCost = cfg.TotalWork / opt.Cost
+	}
+	return opt, nil
+}

@@ -1,0 +1,175 @@
+package planner
+
+import (
+	"math"
+	"testing"
+
+	"reskit/internal/dist"
+)
+
+func plannerLaws() (task, ckpt dist.Continuous) {
+	return dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1)),
+		dist.Truncate(dist.NewNormal(5, 0.4), 0, math.Inf(1))
+}
+
+func TestPlanReturnsSortedFrontier(t *testing.T) {
+	task, ckpt := plannerLaws()
+	opts, err := Plan(Config{
+		TotalWork:  300,
+		Task:       task,
+		Ckpt:       ckpt,
+		Recovery:   1.5,
+		Candidates: []float64{15, 30, 60, 120},
+		Trials:     50,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 4 {
+		t.Fatalf("got %d options", len(opts))
+	}
+	for i := 1; i < len(opts); i++ {
+		if opts[i-1].WorkPerCost < opts[i].WorkPerCost {
+			t.Errorf("not sorted by score: %g then %g", opts[i-1].WorkPerCost, opts[i].WorkPerCost)
+		}
+	}
+	for _, o := range opts {
+		if !o.Completed {
+			t.Errorf("R=%g: campaign incomplete", o.R)
+		}
+		if o.Utilization <= 0 || o.Utilization > 1 {
+			t.Errorf("R=%g: utilization %g", o.R, o.Utilization)
+		}
+		if o.Cost <= 0 || o.Reservations < 1 {
+			t.Errorf("R=%g: cost %g reservations %g", o.R, o.Cost, o.Reservations)
+		}
+	}
+}
+
+func TestPlanLongerReservationsAmortizeFixedCosts(t *testing.T) {
+	// With a large per-reservation cost, longer reservations must win.
+	task, ckpt := plannerLaws()
+	opts, err := Plan(Config{
+		TotalWork:  300,
+		Task:       task,
+		Ckpt:       ckpt,
+		Recovery:   1.5,
+		Cost:       CostModel{PerReservation: 100},
+		Candidates: []float64{15, 120},
+		Trials:     50,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts[0].R != 120 {
+		t.Errorf("R=120 should win under heavy per-reservation cost; frontier: %+v", opts)
+	}
+}
+
+func TestPlanShortReservationsLoseToOverheads(t *testing.T) {
+	// A reservation barely longer than recovery + one task + checkpoint
+	// must score worse than a comfortable one even with no wait cost.
+	task, ckpt := plannerLaws()
+	opts, err := Plan(Config{
+		TotalWork:  200,
+		Task:       task,
+		Ckpt:       ckpt,
+		Recovery:   1.5,
+		Candidates: []float64{11, 60},
+		Trials:     50,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts[0].R != 60 {
+		t.Errorf("R=60 should beat R=11: %+v", opts)
+	}
+}
+
+func TestPlanDefaultSweep(t *testing.T) {
+	task, ckpt := plannerLaws()
+	opts, err := Plan(Config{
+		TotalWork: 100,
+		Task:      task,
+		Ckpt:      ckpt,
+		Trials:    20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x..64x mean(3): 12, 24, 48, 96, 192.
+	if len(opts) != 5 {
+		t.Errorf("default sweep size %d", len(opts))
+	}
+}
+
+func TestPlanPayPerUse(t *testing.T) {
+	task, ckpt := plannerLaws()
+	base := Config{
+		TotalWork:  150,
+		Task:       task,
+		Ckpt:       ckpt,
+		Candidates: []float64{60},
+		Trials:     40,
+		Seed:       9,
+	}
+	perRes, err := Plan(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payUse := base
+	payUse.Cost = CostModel{PayPerUse: true}
+	ppu, err := Plan(payUse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Billing only the time used can never cost more than billing the
+	// whole reservation.
+	if ppu[0].Cost > perRes[0].Cost+1e-9 {
+		t.Errorf("pay-per-use %g > pay-per-reservation %g", ppu[0].Cost, perRes[0].Cost)
+	}
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	task, ckpt := plannerLaws()
+	cfg := Config{
+		TotalWork:  100,
+		Task:       task,
+		Ckpt:       ckpt,
+		Candidates: []float64{30, 60},
+		Trials:     30,
+		Seed:       11,
+	}
+	a, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("option %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	task, ckpt := plannerLaws()
+	cases := []Config{
+		{TotalWork: 0, Task: task, Ckpt: ckpt},
+		{TotalWork: 10, Ckpt: ckpt},
+		{TotalWork: 10, Task: task},
+		{TotalWork: 10, Task: task, Ckpt: ckpt, Recovery: -1},
+		{TotalWork: 10, Task: task, Ckpt: ckpt, Recovery: 5, Candidates: []float64{4}},
+	}
+	for i, cfg := range cases {
+		if _, err := Plan(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

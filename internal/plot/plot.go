@@ -1,0 +1,264 @@
+// Package plot renders the figure series produced by internal/figures as
+// standalone SVG files, terminal ASCII charts and CSV tables, using only
+// the standard library. It intentionally implements just what the
+// paper's figures need: multi-series line plots with axes, tick labels,
+// a legend and vertical marker lines (for X_opt and W_int annotations).
+package plot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// VLine is a vertical marker (e.g. the optimal checkpoint instant).
+type VLine struct {
+	X     float64
+	Label string
+}
+
+// Plot is a multi-series line chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	VLines []VLine
+}
+
+// palette holds the stroke colors assigned to series in order.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// bounds returns the data range over all series and markers.
+func (p *Plot) bounds() (xMin, xMax, yMin, yMax float64, ok bool) {
+	xMin, yMin = math.Inf(1), math.Inf(1)
+	xMax, yMax = math.Inf(-1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	for _, v := range p.VLines {
+		xMin = math.Min(xMin, v.X)
+		xMax = math.Max(xMax, v.X)
+	}
+	if xMin > xMax || yMin > yMax {
+		return 0, 0, 0, 0, false
+	}
+	if xMin == xMax {
+		xMin, xMax = xMin-1, xMax+1
+	}
+	if yMin == yMax {
+		yMin, yMax = yMin-1, yMax+1
+	}
+	return xMin, xMax, yMin, yMax, true
+}
+
+// SVG writes the chart as a standalone SVG document.
+func (p *Plot) SVG(w io.Writer, width, height int) error {
+	if width < 160 {
+		width = 640
+	}
+	if height < 120 {
+		height = 420
+	}
+	xMin, xMax, yMin, yMax, ok := p.bounds()
+	if !ok {
+		return fmt.Errorf("plot: no data to render")
+	}
+	// Pad the y range slightly so curves do not hug the frame.
+	pad := 0.05 * (yMax - yMin)
+	yMin -= pad
+	yMax += pad
+
+	const marginL, marginR, marginT, marginB = 62, 16, 34, 46
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	px := func(x float64) float64 { return float64(marginL) + plotW*(x-xMin)/(xMax-xMin) }
+	py := func(y float64) float64 { return float64(marginT) + plotH*(1-(y-yMin)/(yMax-yMin)) }
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(bw, `<text x="%d" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">%s</text>`+"\n", width/2, escape(p.Title))
+
+	// Frame.
+	fmt.Fprintf(bw, `<rect x="%d" y="%d" width="%.1f" height="%.1f" fill="none" stroke="#444"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+
+	// Ticks: 6 on each axis.
+	for i := 0; i <= 5; i++ {
+		x := xMin + (xMax-xMin)*float64(i)/5
+		y := yMin + (yMax-yMin)*float64(i)/5
+		fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#444"/>`+"\n",
+			px(x), float64(marginT)+plotH, px(x), float64(marginT)+plotH+4)
+		fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px(x), float64(marginT)+plotH+16, fmtTick(x))
+		fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%d" y2="%.1f" stroke="#444"/>`+"\n",
+			float64(marginL)-4, py(y), marginL, py(y))
+		fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			float64(marginL)-7, py(y)+3, fmtTick(y))
+	}
+	// Axis labels.
+	fmt.Fprintf(bw, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+int(plotW/2), height-8, escape(p.XLabel))
+	fmt.Fprintf(bw, `<text x="14" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		marginT+int(plotH/2), marginT+int(plotH/2), escape(p.YLabel))
+
+	// Vertical markers.
+	for _, v := range p.VLines {
+		fmt.Fprintf(bw, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="#999" stroke-dasharray="4 3"/>`+"\n",
+			px(v.X), marginT, px(v.X), float64(marginT)+plotH)
+		fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" fill="#666">%s</text>`+"\n",
+			px(v.X)+3, float64(marginT)+12, escape(v.Label))
+	}
+
+	// Series.
+	for si, s := range p.Series {
+		color := palette[si%len(palette)]
+		var sb strings.Builder
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%.2f,%.2f", px(s.X[i]), py(s.Y[i]))
+		}
+		fmt.Fprintf(bw, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n", sb.String(), color)
+		// Legend row.
+		ly := marginT + 14 + 16*si
+		fmt.Fprintf(bw, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			marginL+8, ly, marginL+30, ly, color)
+		fmt.Fprintf(bw, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			marginL+36, ly+4, escape(s.Name))
+	}
+	fmt.Fprintln(bw, "</svg>")
+	return bw.Flush()
+}
+
+// ASCII renders the chart as a text grid (width x height characters).
+func (p *Plot) ASCII(w io.Writer, width, height int) error {
+	if width < 20 {
+		width = 72
+	}
+	if height < 6 {
+		height = 20
+	}
+	xMin, xMax, yMin, yMax, ok := p.bounds()
+	if !ok {
+		return fmt.Errorf("plot: no data to render")
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte("*o+x#@")
+	for si, s := range p.Series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			cx := int(float64(width-1) * (s.X[i] - xMin) / (xMax - xMin))
+			cy := height - 1 - int(float64(height-1)*(s.Y[i]-yMin)/(yMax-yMin))
+			if cx >= 0 && cx < width && cy >= 0 && cy < height {
+				grid[cy][cx] = mark
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s\n", p.Title)
+	for _, row := range grid {
+		fmt.Fprintf(bw, "|%s|\n", string(row))
+	}
+	fmt.Fprintf(bw, "x: [%s, %s] %s | y: [%s, %s] %s\n",
+		fmtTick(xMin), fmtTick(xMax), p.XLabel, fmtTick(yMin), fmtTick(yMax), p.YLabel)
+	for si, s := range p.Series {
+		fmt.Fprintf(bw, "  %c %s\n", marks[si%len(marks)], s.Name)
+	}
+	return bw.Flush()
+}
+
+// CSV writes the series as columns x,<series1>,<series2>,... assuming all
+// series share the x grid of the first; series on different grids are
+// emitted as separate blocks.
+func (p *Plot) CSV(w io.Writer) error {
+	if len(p.Series) == 0 {
+		return fmt.Errorf("plot: no data to render")
+	}
+	bw := bufio.NewWriter(w)
+	shared := true
+	first := p.Series[0]
+	for _, s := range p.Series[1:] {
+		if len(s.X) != len(first.X) {
+			shared = false
+			break
+		}
+		for i := range s.X {
+			if s.X[i] != first.X[i] {
+				shared = false
+				break
+			}
+		}
+	}
+	if shared {
+		fmt.Fprintf(bw, "x")
+		for _, s := range p.Series {
+			fmt.Fprintf(bw, ",%s", csvName(s.Name))
+		}
+		fmt.Fprintln(bw)
+		for i := range first.X {
+			fmt.Fprintf(bw, "%.10g", first.X[i])
+			for _, s := range p.Series {
+				fmt.Fprintf(bw, ",%.10g", s.Y[i])
+			}
+			fmt.Fprintln(bw)
+		}
+	} else {
+		for _, s := range p.Series {
+			fmt.Fprintf(bw, "# series: %s\nx,y\n", s.Name)
+			for i := range s.X {
+				fmt.Fprintf(bw, "%.10g,%.10g\n", s.X[i], s.Y[i])
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// escape makes a string safe for SVG text content.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// csvName strips commas from series names for CSV headers.
+func csvName(s string) string { return strings.ReplaceAll(s, ",", ";") }
+
+// fmtTick formats an axis tick compactly.
+func fmtTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a != 0 && (a < 0.01 || a >= 1e5):
+		return fmt.Sprintf("%.2g", v)
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

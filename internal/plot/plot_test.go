@@ -1,0 +1,131 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func samplePlot() *Plot {
+	return &Plot{
+		Title:  "test <plot>",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "linear", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+			{Name: "quadratic", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 4, 9}},
+		},
+		VLines: []VLine{{X: 1.5, Label: "marker"}},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := samplePlot().SVG(&buf, 640, 420); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "test &lt;plot&gt;", "marker",
+		"linear", "quadratic", "stroke-dasharray",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(s, "<polyline") != 2 {
+		t.Errorf("expected 2 polylines")
+	}
+}
+
+func TestSVGDefaultsAndEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := samplePlot().SVG(&buf, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	empty := &Plot{Title: "empty"}
+	if err := empty.SVG(&buf, 640, 420); err == nil {
+		t.Errorf("empty plot should error")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := samplePlot().ASCII(&buf, 60, 15); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "*") || !strings.Contains(s, "o") {
+		t.Errorf("ASCII missing series marks:\n%s", s)
+	}
+	if !strings.Contains(s, "linear") {
+		t.Errorf("ASCII missing legend")
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// title + 15 grid rows + 1 range row + 2 legend rows
+	if len(lines) != 19 {
+		t.Errorf("line count %d", len(lines))
+	}
+}
+
+func TestCSVSharedGrid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := samplePlot().CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "x,linear,quadratic" {
+		t.Errorf("header %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Errorf("row count %d", len(lines))
+	}
+	if lines[3] != "2,2,4" {
+		t.Errorf("row %q", lines[3])
+	}
+}
+
+func TestCSVSeparateGrids(t *testing.T) {
+	p := &Plot{
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1}, Y: []float64{5, 6}},
+			{Name: "b", X: []float64{0, 0.5, 1}, Y: []float64{1, 2, 3}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := p.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Count(s, "# series:") != 2 {
+		t.Errorf("expected two blocks:\n%s", s)
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	p := &Plot{
+		Series: []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{3, 3}}},
+	}
+	var buf bytes.Buffer
+	if err := p.SVG(&buf, 300, 200); err != nil {
+		t.Fatal(err) // constant y must not divide by zero
+	}
+	if err := p.ASCII(&buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		0.5:    "0.5",
+		123:    "123",
+		1e-5:   "1e-05",
+		123456: "1.2e+05",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

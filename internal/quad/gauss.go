@@ -1,0 +1,78 @@
+package quad
+
+import (
+	"math"
+	"sync"
+)
+
+// legendreRule holds Gauss–Legendre nodes and weights on [-1, 1].
+type legendreRule struct {
+	nodes   []float64
+	weights []float64
+}
+
+var (
+	legendreMu    sync.Mutex
+	legendreCache = map[int]*legendreRule{}
+)
+
+// legendre returns the n-point Gauss–Legendre rule, computing and caching
+// it on first use. Nodes are roots of P_n found by Newton iteration from
+// the Chebyshev-based initial guess; weights are 2 / ((1-x^2) P'_n(x)^2).
+func legendre(n int) *legendreRule {
+	legendreMu.Lock()
+	defer legendreMu.Unlock()
+	if r, ok := legendreCache[n]; ok {
+		return r
+	}
+	r := &legendreRule{
+		nodes:   make([]float64, n),
+		weights: make([]float64, n),
+	}
+	for i := 0; i < (n+1)/2; i++ {
+		// Initial guess (Abramowitz & Stegun 22.16.6 flavor).
+		x := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(n) + 0.5))
+		var dp float64
+		for iter := 0; iter < 100; iter++ {
+			p0, p1 := 1.0, x
+			for k := 2; k <= n; k++ {
+				p0, p1 = p1, ((2*float64(k)-1)*x*p1-(float64(k)-1)*p0)/float64(k)
+			}
+			// Derivative via the standard identity.
+			dp = float64(n) * (x*p1 - p0) / (x*x - 1)
+			dx := p1 / dp
+			x -= dx
+			if math.Abs(dx) <= 1e-16*(1+math.Abs(x)) {
+				break
+			}
+		}
+		w := 2 / ((1 - x*x) * dp * dp)
+		r.nodes[i] = -x
+		r.weights[i] = w
+		r.nodes[n-1-i] = x
+		r.weights[n-1-i] = w
+	}
+	legendreCache[n] = r
+	return r
+}
+
+// GaussLegendre integrates f over [a, b] with a fixed n-point
+// Gauss–Legendre rule (n >= 1). It is exact for polynomials of degree
+// 2n-1 and is the workhorse for the smooth inner integrals of the dynamic
+// strategy where adaptive error control would be wasted.
+func GaussLegendre(f func(float64) float64, a, b float64, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	if a == b {
+		return 0
+	}
+	r := legendre(n)
+	mid := 0.5 * (a + b)
+	half := 0.5 * (b - a)
+	var sum float64
+	for i := range r.nodes {
+		sum += r.weights[i] * f(mid+half*r.nodes[i])
+	}
+	return sum * half
+}

@@ -1,0 +1,257 @@
+package quad
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+type integral struct {
+	name string
+	f    func(float64) float64
+	a, b float64
+	want float64
+}
+
+func standardIntegrals() []integral {
+	return []integral{
+		{"x^2 on [0,1]", func(x float64) float64 { return x * x }, 0, 1, 1.0 / 3},
+		{"sin on [0,pi]", math.Sin, 0, math.Pi, 2},
+		{"exp on [0,1]", math.Exp, 0, 1, math.E - 1},
+		{"1/(1+x^2) on [-1,1]", func(x float64) float64 { return 1 / (1 + x*x) }, -1, 1, math.Pi / 2},
+		{"gaussian on [-8,8]", func(x float64) float64 {
+			return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+		}, -8, 8, 0.9999999999999988},
+		{"sqrt on [0,4]", math.Sqrt, 0, 4, 16.0 / 3},
+		{"x*exp(-x) on [0,20]", func(x float64) float64 { return x * math.Exp(-x) }, 0, 20,
+			1 - 21*math.Exp(-20)},
+	}
+}
+
+func TestSimpsonStandardIntegrals(t *testing.T) {
+	for _, in := range standardIntegrals() {
+		r := Simpson(in.f, in.a, in.b, 1e-12)
+		if math.Abs(r.Value-in.want) > 1e-9*(1+math.Abs(in.want)) {
+			t.Errorf("%s: got %.15g want %.15g (err est %g)", in.name, r.Value, in.want, r.AbsErr)
+		}
+	}
+}
+
+func TestKronrodStandardIntegrals(t *testing.T) {
+	for _, in := range standardIntegrals() {
+		r := Kronrod(in.f, in.a, in.b, 1e-13, 1e-12)
+		if math.Abs(r.Value-in.want) > 1e-10*(1+math.Abs(in.want)) {
+			t.Errorf("%s: got %.15g want %.15g (err est %g)", in.name, r.Value, in.want, r.AbsErr)
+		}
+	}
+}
+
+func TestGaussLegendreExactForPolynomials(t *testing.T) {
+	// n-point rule integrates degree 2n-1 exactly.
+	for n := 1; n <= 20; n++ {
+		deg := 2*n - 1
+		f := func(x float64) float64 { return math.Pow(x, float64(deg)) }
+		got := GaussLegendre(f, 0, 1, n)
+		want := 1 / (float64(deg) + 1)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("n=%d deg=%d: got %.15g want %.15g", n, deg, got, want)
+		}
+	}
+}
+
+func TestGaussLegendreGaussian(t *testing.T) {
+	f := func(x float64) float64 { return math.Exp(-x * x / 2) }
+	got := GaussLegendre(f, -10, 10, 64)
+	want := math.Sqrt(2 * math.Pi)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("got %.15g want %.15g", got, want)
+	}
+}
+
+func TestReversedAndDegenerateLimits(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if r := Simpson(f, 2, 2, 1e-10); r.Value != 0 {
+		t.Errorf("degenerate Simpson: %g", r.Value)
+	}
+	if r := Kronrod(f, 3, 3, 0, 0); r.Value != 0 {
+		t.Errorf("degenerate Kronrod: %g", r.Value)
+	}
+	fw := Kronrod(f, 0, 1, 0, 0).Value
+	bw := Kronrod(f, 1, 0, 0, 0).Value
+	if math.Abs(fw+bw) > 1e-14 {
+		t.Errorf("reversed limits: %g vs %g", fw, bw)
+	}
+	if GaussLegendre(f, 1, 1, 8) != 0 {
+		t.Errorf("degenerate GaussLegendre nonzero")
+	}
+}
+
+func TestSimpsonMatchesKronrodProperty(t *testing.T) {
+	// Random smooth integrands: a*sin(bx) + c*x^2 over random intervals.
+	f := func(ua, ub, uc, ulo, uhi float64) bool {
+		a := math.Mod(ua, 3)
+		b := math.Mod(ub, 3)
+		c := math.Mod(uc, 3)
+		lo := math.Mod(ulo, 5)
+		hi := lo + math.Abs(math.Mod(uhi, 5))
+		g := func(x float64) float64 { return a*math.Sin(b*x) + c*x*x }
+		s := Simpson(g, lo, hi, 1e-11).Value
+		k := Kronrod(g, lo, hi, 1e-12, 1e-11).Value
+		return math.Abs(s-k) <= 1e-7*(1+math.Abs(k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemiInfinite(t *testing.T) {
+	// Integral of e^{-x} over [0,inf) = 1.
+	r := SemiInfinite(func(x float64) float64 { return math.Exp(-x) }, 0, 1e-12, 1e-11)
+	if math.Abs(r.Value-1) > 1e-9 {
+		t.Errorf("int e^-x: got %.15g", r.Value)
+	}
+	// Integral of x e^{-x} over [0,inf) = 1 (Gamma(2)).
+	r = SemiInfinite(func(x float64) float64 { return x * math.Exp(-x) }, 0, 1e-12, 1e-11)
+	if math.Abs(r.Value-1) > 1e-9 {
+		t.Errorf("int x e^-x: got %.15g", r.Value)
+	}
+	// Shifted lower limit: int_2^inf e^{-x} = e^{-2}.
+	r = SemiInfinite(func(x float64) float64 { return math.Exp(-x) }, 2, 1e-13, 1e-12)
+	if math.Abs(r.Value-math.Exp(-2)) > 1e-10 {
+		t.Errorf("int_2 e^-x: got %.15g", r.Value)
+	}
+}
+
+func TestWholeLine(t *testing.T) {
+	// Standard normal density integrates to 1.
+	r := WholeLine(func(x float64) float64 {
+		return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+	}, 1e-12, 1e-11)
+	if math.Abs(r.Value-1) > 1e-9 {
+		t.Errorf("whole-line gaussian: got %.15g", r.Value)
+	}
+	// Cauchy-like: 1/(1+x^2) integrates to pi.
+	r = WholeLine(func(x float64) float64 { return 1 / (1 + x*x) }, 1e-12, 1e-11)
+	if math.Abs(r.Value-math.Pi) > 1e-8 {
+		t.Errorf("whole-line cauchy: got %.15g", r.Value)
+	}
+}
+
+func TestSumToTolerance(t *testing.T) {
+	// Geometric series sum_{k>=0} (1/2)^k = 2.
+	got := SumToTolerance(func(k int) float64 { return math.Pow(0.5, float64(k)) }, 0, 1e-16, 8, 0)
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("geometric: got %.15g", got)
+	}
+	// Poisson normalization: sum e^-5 5^k/k! = 1.
+	got = SumToTolerance(func(k int) float64 {
+		lg := 0.0
+		for i := 2; i <= k; i++ {
+			lg += math.Log(float64(i))
+		}
+		return math.Exp(-5 + float64(k)*math.Log(5) - lg)
+	}, 0, 1e-16, 8, 0)
+	if math.Abs(got-1) > 1e-10 {
+		t.Errorf("poisson norm: got %.15g", got)
+	}
+	// maxTerms respected.
+	calls := 0
+	SumToTolerance(func(k int) float64 { calls++; return 1 }, 0, 1e-16, 3, 100)
+	if calls != 100 {
+		t.Errorf("maxTerms not respected: %d calls", calls)
+	}
+}
+
+func TestKronrodErrorEstimateSane(t *testing.T) {
+	r := Kronrod(math.Sin, 0, math.Pi, 1e-13, 1e-12)
+	if r.AbsErr < 0 || r.AbsErr > 1e-6 {
+		t.Errorf("error estimate out of range: %g", r.AbsErr)
+	}
+	if r.NumEvals <= 0 {
+		t.Errorf("NumEvals not tracked")
+	}
+}
+
+func TestKronrodNarrowSpike(t *testing.T) {
+	// A narrow Gaussian spike inside a wide interval forces subdivision.
+	f := func(x float64) float64 {
+		d := x - 0.123
+		return math.Exp(-d * d / (2 * 1e-4))
+	}
+	want := math.Sqrt(2*math.Pi) * 1e-2 // sigma = 1e-2
+	r := Kronrod(f, -10, 10, 1e-13, 1e-11)
+	if math.Abs(r.Value-want) > 1e-8 {
+		t.Errorf("spike: got %.15g want %.15g", r.Value, want)
+	}
+}
+
+func TestTanhSinhSmoothIntegrals(t *testing.T) {
+	for _, in := range standardIntegrals() {
+		r := TanhSinh(in.f, in.a, in.b, 1e-12)
+		if math.Abs(r.Value-in.want) > 1e-9*(1+math.Abs(in.want)) {
+			t.Errorf("%s: got %.15g want %.15g", in.name, r.Value, in.want)
+		}
+	}
+}
+
+func TestTanhSinhEndpointSingularities(t *testing.T) {
+	// 1/sqrt(x) on (0, 1] integrates to 2 — Kronrod struggles, tanh-sinh nails it.
+	r := TanhSinh(func(x float64) float64 { return 1 / math.Sqrt(x) }, 0, 1, 1e-12)
+	if math.Abs(r.Value-2) > 1e-9 {
+		t.Errorf("1/sqrt(x): got %.15g", r.Value)
+	}
+	// log(x) on (0, 1]: integral = -1.
+	r = TanhSinh(math.Log, 0, 1, 1e-12)
+	if math.Abs(r.Value+1) > 1e-9 {
+		t.Errorf("log: got %.15g", r.Value)
+	}
+	// Beta(0.5, 0.5) density integrates to 1 despite both endpoints
+	// diverging. The x = 1 edge costs ~sqrt(ulp) of mass (see the
+	// TanhSinh doc comment), hence the looser bound.
+	r = TanhSinh(func(x float64) float64 {
+		return 1 / (math.Pi * math.Sqrt(x*(1-x)))
+	}, 0, 1, 1e-12)
+	if math.Abs(r.Value-1) > 1e-7 {
+		t.Errorf("arcsine density: got %.15g", r.Value)
+	}
+	// Gamma(k=0.4) density over [0, 40] ~ 1.
+	k := 0.4
+	lg, _ := math.Lgamma(k)
+	r = TanhSinh(func(x float64) float64 {
+		return math.Exp((k-1)*math.Log(x) - x - lg)
+	}, 0, 40, 1e-12)
+	if math.Abs(r.Value-1) > 1e-6 {
+		t.Errorf("gamma(0.4) density: got %.15g", r.Value)
+	}
+}
+
+func TestTanhSinhDegenerateAndReversed(t *testing.T) {
+	if r := TanhSinh(math.Sin, 2, 2, 0); r.Value != 0 {
+		t.Errorf("degenerate: %g", r.Value)
+	}
+	fw := TanhSinh(math.Exp, 0, 1, 1e-12).Value
+	bw := TanhSinh(math.Exp, 1, 0, 1e-12).Value
+	if math.Abs(fw+bw) > 1e-12 {
+		t.Errorf("reversed: %g vs %g", fw, bw)
+	}
+}
+
+func TestGaussLegendreCacheConcurrency(t *testing.T) {
+	// Concurrent first-time requests for many orders must not race
+	// (run with -race to verify).
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for n := 21 + g; n < 40; n += 3 {
+				v := GaussLegendre(func(x float64) float64 { return x * x }, 0, 1, n)
+				if math.Abs(v-1.0/3) > 1e-12 {
+					t.Errorf("n=%d: %g", n, v)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,90 @@
+package quad
+
+import "math"
+
+// TanhSinh integrates f over the finite interval [a, b] with the
+// double-exponential (tanh-sinh) rule, which converges exponentially
+// even when the integrand has integrable singularities at the endpoints
+// — e.g. the x^{k-1} blow-up of Gamma densities with shape k < 1, or the
+// Beta density edges, which defeat polynomial-based rules. Node
+// positions are computed as distances from the nearer endpoint
+// (delta = (b-a) e^{-2s}/(1+e^{-2s}) for s = pi/2 sinh t), so nodes
+// approach the singularity to within one ulp of the endpoint instead of
+// being rounded onto it. Levels are halved until the estimate
+// stabilizes to tol (defaultTol when tol <= 0).
+//
+// Accuracy limit: because f receives the absolute abscissa, a node
+// closer to a NONZERO endpoint than one ulp rounds onto it; f evaluated
+// there typically diverges and is treated as 0, losing the mass within
+// that last ulp (~sqrt(ulp) ~ 1e-8 for an inverse-square-root
+// singularity at x = 1). Singularities at x = 0 do not suffer this:
+// subnormals represent distances down to 5e-324.
+func TanhSinh(f func(float64) float64, a, b, tol float64) Result {
+	if tol <= 0 {
+		tol = defaultTol
+	}
+	if a == b {
+		return Result{}
+	}
+	sign := 1.0
+	if a > b {
+		a, b = b, a
+		sign = -1
+	}
+	half := 0.5 * (b - a)
+	mid := 0.5 * (a + b)
+
+	evals := 0
+	safe := func(x float64) float64 {
+		evals++
+		v := f(x)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return v
+	}
+
+	// nodePair evaluates the two symmetric nodes at parameter +-t > 0 and
+	// returns their weighted sum. The weight is
+	// w(t) = (pi/2) cosh(t) / cosh^2(s) = (pi/2) cosh(t) * 4 em/(1+em)^2
+	// with s = (pi/2) sinh(t) and em = e^{-2s}, overflow-free.
+	nodePair := func(t float64) float64 {
+		s := 0.5 * math.Pi * math.Sinh(t)
+		em := math.Exp(-2 * s)
+		onePlus := 1 + em
+		w := 0.5 * math.Pi * math.Cosh(t) * 4 * em / (onePlus * onePlus)
+		if w == 0 || math.IsNaN(w) {
+			return 0
+		}
+		delta := (b - a) * em / onePlus // distance from the endpoint
+		if delta == 0 {
+			return 0
+		}
+		return w * (safe(b-delta) + safe(a+delta))
+	}
+
+	const tMax = 6.5
+	h := 1.0
+	sum := 0.5 * math.Pi * safe(mid) // t = 0 node: w = pi/2
+	prev := math.Inf(1)
+	value := sum * h * half
+
+	for level := 0; level < 12; level++ {
+		if level > 0 {
+			h /= 2
+		}
+		stride := 1
+		if level > 0 {
+			stride = 2
+		}
+		for k := 1; float64(k)*h <= tMax; k += stride {
+			sum += nodePair(float64(k) * h)
+		}
+		value = sum * h * half
+		if level > 0 && math.Abs(value-prev) <= tol*(1+math.Abs(value)) {
+			return Result{Value: sign * value, AbsErr: math.Abs(value - prev), NumEvals: evals}
+		}
+		prev = value
+	}
+	return Result{Value: sign * value, AbsErr: math.Abs(value - prev), NumEvals: evals}
+}

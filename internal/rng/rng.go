@@ -1,0 +1,256 @@
+// Package rng provides the deterministic pseudo-random machinery used by
+// the Monte-Carlo side of the reservation-checkpointing library: a
+// xoshiro256++ generator seeded through SplitMix64, cheap independent
+// substreams for parallel simulation workers, and from-scratch samplers
+// for the Normal, Exponential, Gamma and Poisson laws (stdlib-only, no
+// gonum).
+//
+// Every simulation in this repository is reproducible: the same
+// (seed, stream) pair always yields the same variate sequence, and
+// parallel Monte-Carlo runs partition work by stream so the aggregate
+// result does not depend on scheduling.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a xoshiro256++ pseudo-random generator. It is NOT safe for
+// concurrent use; give each goroutine its own Source via NewStream.
+type Source struct {
+	s [4]uint64
+
+	// spare caches the second variate of the polar Normal method.
+	spare    float64
+	hasSpare bool
+}
+
+// splitMix64 advances the SplitMix64 state and returns the next value.
+// It is used only for seeding, per Blackman & Vigna's recommendation.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from the given seed. Distinct seeds give
+// statistically independent streams.
+func New(seed uint64) *Source {
+	var src Source
+	state := seed
+	for i := range src.s {
+		src.s[i] = splitMix64(&state)
+	}
+	// A xoshiro state of all zeros is invalid; SplitMix64 cannot produce
+	// four consecutive zeros, but guard anyway.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// NewStream returns the stream-th independent substream of the given
+// seed. It is the supported way to hand one generator to each of many
+// parallel simulation workers.
+func NewStream(seed, stream uint64) *Source {
+	// Mix the stream index into the seed with a distinct SplitMix64 pass
+	// so streams of the same seed are decorrelated.
+	state := seed ^ (stream+1)*0xd1342543de82ef95
+	mixed := splitMix64(&state)
+	return New(mixed)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 random bits.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform variate in the open interval (0, 1),
+// suitable for inverse-CDF transforms that reject the endpoints.
+func (r *Source) Float64Open() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	bound := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			hi, lo = bits.Mul64(r.Uint64(), bound)
+		}
+	}
+	return int(hi)
+}
+
+// Shuffle pseudo-randomly permutes the first n elements using swap.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Normal returns a variate from N(0, 1) via the Marsaglia polar method,
+// caching the paired variate.
+func (r *Source) Normal() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		factor := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * factor
+		r.hasSpare = true
+		return u * factor
+	}
+}
+
+// NormalMS returns a variate from N(mu, sigma^2).
+func (r *Source) NormalMS(mu, sigma float64) float64 {
+	return mu + sigma*r.Normal()
+}
+
+// Exponential returns a variate from the Exponential law with rate
+// lambda > 0 (mean 1/lambda), via inversion.
+func (r *Source) Exponential(lambda float64) float64 {
+	return -math.Log(r.Float64Open()) / lambda
+}
+
+// Gamma returns a variate from Gamma(shape k, scale theta) using the
+// Marsaglia–Tsang squeeze method, with the standard k<1 boosting step.
+func (r *Source) Gamma(k, theta float64) float64 {
+	if k <= 0 || theta <= 0 {
+		panic("rng: Gamma requires positive shape and scale")
+	}
+	if k < 1 {
+		// Boost: Gamma(k) = Gamma(k+1) * U^{1/k}.
+		u := r.Float64Open()
+		return r.Gamma(k+1, theta) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.Normal()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.Float64Open()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * theta
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * theta
+		}
+	}
+}
+
+// Poisson returns a variate from the Poisson law with mean lambda >= 0.
+// Small means use Knuth multiplication; large means use Atkinson's
+// logistic-envelope rejection, which has bounded expected cost for any
+// lambda.
+func (r *Source) Poisson(lambda float64) int {
+	switch {
+	case lambda < 0 || math.IsNaN(lambda):
+		panic("rng: Poisson requires lambda >= 0")
+	case lambda == 0:
+		return 0
+	case lambda < 30:
+		return r.poissonKnuth(lambda)
+	default:
+		return r.poissonAtkinson(lambda)
+	}
+}
+
+func (r *Source) poissonKnuth(lambda float64) int {
+	limit := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+func (r *Source) poissonAtkinson(lambda float64) int {
+	c := 0.767 - 3.36/lambda
+	beta := math.Pi / math.Sqrt(3*lambda)
+	alpha := beta * lambda
+	k := math.Log(c) - lambda - math.Log(beta)
+	for {
+		u := r.Float64Open()
+		x := (alpha - math.Log((1-u)/u)) / beta
+		n := int(math.Floor(x + 0.5))
+		if n < 0 {
+			continue
+		}
+		v := r.Float64Open()
+		y := alpha - beta*x
+		onePlus := 1 + math.Exp(y)
+		lhs := y + math.Log(v/(onePlus*onePlus))
+		lg, _ := math.Lgamma(float64(n) + 1)
+		rhs := k + float64(n)*math.Log(lambda) - lg
+		if lhs <= rhs {
+			return n
+		}
+	}
+}
+
+// Uniform returns a uniform variate in [lo, hi).
+func (r *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// LogNormal returns exp(N(mu, sigma^2)).
+func (r *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.NormalMS(mu, sigma))
+}
+
+// Weibull returns a variate from the Weibull law with shape k and scale
+// lambda, via inversion.
+func (r *Source) Weibull(k, lambda float64) float64 {
+	return lambda * math.Pow(-math.Log(r.Float64Open()), 1/k)
+}

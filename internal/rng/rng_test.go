@@ -1,0 +1,263 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// moments computes the sample mean and variance of n draws.
+func moments(n int, draw func() float64) (mean, variance float64) {
+	var m, m2 float64
+	for i := 1; i <= n; i++ {
+		x := draw()
+		d := x - m
+		m += d / float64(i)
+		m2 += d * (x - m)
+	}
+	return m, m2 / float64(n-1)
+}
+
+func TestDeterminismAndStreams(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide too often: %d", same)
+	}
+	s0 := NewStream(7, 0)
+	s1 := NewStream(7, 1)
+	if s0.Uint64() == s1.Uint64() {
+		t.Fatalf("substreams identical")
+	}
+	// Streams are themselves reproducible.
+	x := NewStream(7, 3).Uint64()
+	y := NewStream(7, 3).Uint64()
+	if x != y {
+		t.Fatalf("substream not reproducible")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100000; i++ {
+		u := r.Float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", u)
+		}
+	}
+	for i := 0; i < 100000; i++ {
+		u := r.Float64Open()
+		if u <= 0 || u >= 1 {
+			t.Fatalf("Float64Open out of (0,1): %g", u)
+		}
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	r := New(2)
+	mean, v := moments(200000, func() float64 { return r.Uniform(2, 5) })
+	if math.Abs(mean-3.5) > 0.01 {
+		t.Errorf("uniform mean %g", mean)
+	}
+	if math.Abs(v-9.0/12) > 0.02 {
+		t.Errorf("uniform variance %g", v)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(3)
+	const n, draws = 10, 200000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - want
+		chi2 += d * d / want
+	}
+	// 9 dof; P(chi2 > 27.9) ~ 0.001.
+	if chi2 > 27.9 {
+		t.Errorf("Intn chi2 = %g too large; counts %v", chi2, counts)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Intn(0) must panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(4)
+	mean, v := moments(400000, r.Normal)
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean %g", mean)
+	}
+	if math.Abs(v-1) > 0.02 {
+		t.Errorf("normal variance %g", v)
+	}
+	// Skewness must be near zero; kurtosis near 3. Use simpler check:
+	// P(|Z|<1.96) ~ 0.95.
+	r = New(5)
+	in := 0
+	const nDraw = 200000
+	for i := 0; i < nDraw; i++ {
+		if math.Abs(r.Normal()) < 1.959963984540054 {
+			in++
+		}
+	}
+	p := float64(in) / nDraw
+	if math.Abs(p-0.95) > 0.005 {
+		t.Errorf("normal coverage %g", p)
+	}
+}
+
+func TestNormalMSMoments(t *testing.T) {
+	r := New(6)
+	mean, v := moments(300000, func() float64 { return r.NormalMS(10, 2) })
+	if math.Abs(mean-10) > 0.02 || math.Abs(v-4) > 0.1 {
+		t.Errorf("NormalMS moments: mean %g var %g", mean, v)
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	r := New(7)
+	lambda := 0.5
+	mean, v := moments(300000, func() float64 { return r.Exponential(lambda) })
+	if math.Abs(mean-2) > 0.03 {
+		t.Errorf("exp mean %g", mean)
+	}
+	if math.Abs(v-4) > 0.15 {
+		t.Errorf("exp variance %g", v)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	cases := []struct{ k, theta float64 }{
+		{0.5, 1}, {1, 0.5}, {2.5, 2}, {9, 0.5}, {30, 1},
+	}
+	for _, c := range cases {
+		r := New(8)
+		mean, v := moments(300000, func() float64 { return r.Gamma(c.k, c.theta) })
+		wantMean := c.k * c.theta
+		wantVar := c.k * c.theta * c.theta
+		if math.Abs(mean-wantMean) > 0.02*(1+wantMean) {
+			t.Errorf("Gamma(%g,%g) mean %g want %g", c.k, c.theta, mean, wantMean)
+		}
+		if math.Abs(v-wantVar) > 0.05*(1+wantVar) {
+			t.Errorf("Gamma(%g,%g) var %g want %g", c.k, c.theta, v, wantVar)
+		}
+	}
+}
+
+func TestGammaPositivity(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 100000; i++ {
+		if r.Gamma(0.3, 2) <= 0 {
+			t.Fatalf("gamma variate not positive")
+		}
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, lambda := range []float64{0.3, 3, 12, 29.9, 30, 45, 300} {
+		r := New(10)
+		mean, v := moments(200000, func() float64 { return float64(r.Poisson(lambda)) })
+		if math.Abs(mean-lambda) > 0.03*(1+lambda) {
+			t.Errorf("Poisson(%g) mean %g", lambda, mean)
+		}
+		if math.Abs(v-lambda) > 0.06*(1+lambda) {
+			t.Errorf("Poisson(%g) var %g", lambda, v)
+		}
+	}
+	r := New(11)
+	if r.Poisson(0) != 0 {
+		t.Errorf("Poisson(0) must be 0")
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	r := New(12)
+	mu, sigma := 0.5, 0.4
+	mean, _ := moments(300000, func() float64 { return r.LogNormal(mu, sigma) })
+	want := math.Exp(mu + sigma*sigma/2)
+	if math.Abs(mean-want) > 0.02*want {
+		t.Errorf("lognormal mean %g want %g", mean, want)
+	}
+}
+
+func TestWeibullMoments(t *testing.T) {
+	r := New(13)
+	k, lambda := 2.0, 3.0
+	mean, _ := moments(300000, func() float64 { return r.Weibull(k, lambda) })
+	want := lambda * math.Gamma(1+1/k)
+	if math.Abs(mean-want) > 0.02*want {
+		t.Errorf("weibull mean %g want %g", mean, want)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(14)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		if seen[x] {
+			t.Fatalf("duplicate after shuffle: %v", xs)
+		}
+		seen[x] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("lost elements: %v", xs)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormal(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Normal()
+	}
+	_ = sink
+}
+
+func BenchmarkGamma(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Gamma(2.5, 1.5)
+	}
+	_ = sink
+}
+
+func BenchmarkPoissonLarge(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Poisson(300)
+	}
+	_ = sink
+}

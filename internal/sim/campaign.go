@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/rng"
+)
+
+// CampaignConfig describes a multi-reservation execution of an iterative
+// application with a known total amount of work, the setting motivating
+// the paper (Sections 1 and 2): the application is too long for a single
+// reservation, so it runs as a series of fixed-length reservations, each
+// starting with a recovery of the last committed checkpoint and ending
+// with a checkpoint decided by the configured strategy.
+type CampaignConfig struct {
+	Reservation     Config  // per-reservation setup; Recovery applies from the 2nd reservation on
+	TotalWork       float64 // work needed to complete the application
+	MaxReservations int     // safety cap (0 = auto)
+}
+
+// CampaignResult reports a full multi-reservation campaign.
+type CampaignResult struct {
+	Completed     bool    // the application committed TotalWork
+	Reservations  int     // reservations consumed
+	Committed     float64 // total committed work
+	TimeReserved  float64 // Reservations * R
+	TimeUsed      float64 // total machine time actually used
+	LostWork      float64 // work executed but never committed
+	FailedCkpts   int     // checkpoints cut by reservation ends
+	StalledRounds int     // reservations that committed no work
+}
+
+// Utilization returns committed work divided by reserved time — the
+// fraction of the paid-for allocation converted into saved progress.
+func (c CampaignResult) Utilization() float64 {
+	if c.TimeReserved == 0 {
+		return 0
+	}
+	return c.Committed / c.TimeReserved
+}
+
+// RunCampaign simulates the whole campaign with the given generator.
+func RunCampaign(cfg CampaignConfig, r *rng.Source) CampaignResult {
+	if !(cfg.TotalWork > 0) || math.IsNaN(cfg.TotalWork) || math.IsInf(cfg.TotalWork, 0) {
+		panic(fmt.Sprintf("sim: campaign TotalWork must be positive and finite, got %g", cfg.TotalWork))
+	}
+	cfg.Reservation.validate()
+
+	maxRes := cfg.MaxReservations
+	if maxRes <= 0 {
+		// Auto cap: generous multiple of the zero-overhead lower bound.
+		perRes := cfg.Reservation.R - cfg.Reservation.Recovery
+		if perRes <= 0 {
+			perRes = cfg.Reservation.R
+		}
+		maxRes = int(20*cfg.TotalWork/perRes) + 100
+	}
+
+	var res CampaignResult
+	for res.Reservations < maxRes && res.Committed < cfg.TotalWork {
+		rc := cfg.Reservation
+		if res.Reservations == 0 {
+			// Nothing to recover at the very first reservation.
+			rc.Recovery = 0
+			rc.RecoveryLaw = nil
+		}
+		run := Run(rc, r)
+		res.Reservations++
+		res.TimeReserved += rc.R
+		res.TimeUsed += run.TimeUsed
+		res.Committed += run.Saved
+		res.LostWork += run.Lost
+		res.FailedCkpts += run.FailedCkpts
+		if run.Saved == 0 {
+			res.StalledRounds++
+		}
+	}
+	res.Completed = res.Committed >= cfg.TotalWork
+	return res
+}
+
+// MonteCarloCampaign runs `trials` independent campaigns and averages
+// the headline metrics. Campaign trials are sequential within a worker
+// substream, parallel across workers.
+type CampaignAggregate struct {
+	Reservations float64 // mean reservations to completion
+	Utilization  float64 // mean utilization
+	LostWork     float64 // mean lost work
+	CompletedAll bool    // every trial completed
+	Trials       int
+}
+
+// MonteCarloCampaign estimates campaign metrics by simulation.
+func MonteCarloCampaign(cfg CampaignConfig, trials int, seed uint64) CampaignAggregate {
+	agg := CampaignAggregate{CompletedAll: true, Trials: trials}
+	if trials <= 0 {
+		return CampaignAggregate{}
+	}
+	src := rng.NewStream(seed, 0)
+	var sumRes, sumUtil, sumLost float64
+	for i := 0; i < trials; i++ {
+		r := RunCampaign(cfg, src)
+		sumRes += float64(r.Reservations)
+		sumUtil += r.Utilization()
+		sumLost += r.LostWork
+		if !r.Completed {
+			agg.CompletedAll = false
+		}
+	}
+	agg.Reservations = sumRes / float64(trials)
+	agg.Utilization = sumUtil / float64(trials)
+	agg.LostWork = sumLost / float64(trials)
+	return agg
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"reskit/internal/rng"
+	"reskit/internal/stats"
+)
+
+// Aggregate accumulates the distributions of the per-run metrics over a
+// Monte-Carlo experiment.
+type Aggregate struct {
+	Saved       stats.Summary // committed work per reservation
+	Lost        stats.Summary // lost work per reservation
+	Tasks       stats.Summary // tasks completed per reservation
+	Checkpoints stats.Summary // successful checkpoints per reservation
+	Failures    stats.Summary // fail-stop errors per reservation
+	TimeUsed    stats.Summary // machine time consumed per reservation
+	FailedRuns  int64         // runs with at least one failed checkpoint
+	ZeroRuns    int64         // runs that saved no work at all
+	Trials      int64
+}
+
+// merge folds another aggregate into a.
+func (a *Aggregate) merge(o Aggregate) {
+	a.Saved.Merge(o.Saved)
+	a.Lost.Merge(o.Lost)
+	a.Tasks.Merge(o.Tasks)
+	a.Checkpoints.Merge(o.Checkpoints)
+	a.Failures.Merge(o.Failures)
+	a.TimeUsed.Merge(o.TimeUsed)
+	a.FailedRuns += o.FailedRuns
+	a.ZeroRuns += o.ZeroRuns
+	a.Trials += o.Trials
+}
+
+// add folds one run into the aggregate.
+func (a *Aggregate) add(r RunResult) {
+	a.Saved.Add(r.Saved)
+	a.Lost.Add(r.Lost)
+	a.Tasks.Add(float64(r.Tasks))
+	a.Checkpoints.Add(float64(r.Checkpoints))
+	a.Failures.Add(float64(r.Failures))
+	a.TimeUsed.Add(r.TimeUsed)
+	if r.FailedCkpts > 0 {
+		a.FailedRuns++
+	}
+	if r.Saved == 0 {
+		a.ZeroRuns++
+	}
+	a.Trials++
+}
+
+// Workers returns a sensible default worker count for Monte-Carlo runs.
+func Workers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// mcBlockSize is the number of trials bound to one rng substream. Work
+// is partitioned into fixed blocks rather than per-worker shares so the
+// result is bit-identical for any worker count: block b always uses
+// stream b, and block aggregates are merged in block order.
+const mcBlockSize = 2048
+
+// MonteCarlo runs `trials` independent reservations of cfg across
+// `workers` goroutines (Workers() when workers <= 0) and merges the
+// results. Trials are partitioned into fixed-size blocks, each drawing
+// from its own rng substream of seed, and block results are reduced in
+// deterministic order — the aggregate depends only on (cfg, trials,
+// seed), never on the worker count or goroutine scheduling.
+func MonteCarlo(cfg Config, trials int, seed uint64, workers int) Aggregate {
+	return monteCarloRunner(cfg, trials, seed, workers, Run)
+}
+
+// MonteCarloOracle is MonteCarlo with the clairvoyant scheduler.
+func MonteCarloOracle(cfg Config, trials int, seed uint64, workers int) Aggregate {
+	return monteCarloRunner(cfg, trials, seed, workers, RunOracle)
+}
+
+func monteCarloRunner(cfg Config, trials int, seed uint64, workers int,
+	run func(Config, *rng.Source) RunResult) Aggregate {
+
+	cfg.validate()
+	if trials <= 0 {
+		return Aggregate{}
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+
+	numBlocks := (trials + mcBlockSize - 1) / mcBlockSize
+	if workers > numBlocks {
+		workers = numBlocks
+	}
+	parts := make([]Aggregate, numBlocks)
+	blocks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range blocks {
+				lo := b * mcBlockSize
+				hi := lo + mcBlockSize
+				if hi > trials {
+					hi = trials
+				}
+				src := rng.NewStream(seed, uint64(b))
+				for i := lo; i < hi; i++ {
+					parts[b].add(run(cfg, src))
+				}
+			}
+		}()
+	}
+	for b := 0; b < numBlocks; b++ {
+		blocks <- b
+	}
+	close(blocks)
+	wg.Wait()
+
+	var total Aggregate
+	for _, p := range parts {
+		total.merge(p)
+	}
+	return total
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"reskit/internal/core"
+	"reskit/internal/rng"
+	"reskit/internal/stats"
+)
+
+// PreemptibleAggregate summarizes a Monte-Carlo experiment for the
+// Section 3 scenario.
+type PreemptibleAggregate struct {
+	Work      stats.Summary // saved work per trial (0 on checkpoint failure)
+	Successes int64         // trials whose checkpoint completed in time
+	Trials    int64
+}
+
+// SuccessRate returns the fraction of trials whose checkpoint completed.
+func (a PreemptibleAggregate) SuccessRate() float64 {
+	if a.Trials == 0 {
+		return 0
+	}
+	return float64(a.Successes) / float64(a.Trials)
+}
+
+// RunPreemptibleOnce simulates one reservation of the preemptible
+// scenario with the checkpoint started x seconds before the end: it
+// samples the checkpoint duration C and returns R - x when C <= x, and 0
+// otherwise — the realized W(X) of Section 3.1.
+func RunPreemptibleOnce(p *core.Preemptible, x float64, r *rng.Source) float64 {
+	c := p.C.Sample(r)
+	if c <= x && x <= p.R {
+		return p.R - x
+	}
+	return 0
+}
+
+// MonteCarloPreemptible estimates E(W(X)) by simulation: `trials`
+// independent reservations with the checkpoint started x before the end,
+// split across `workers` parallel substreams of seed.
+func MonteCarloPreemptible(p *core.Preemptible, x float64, trials int, seed uint64, workers int) PreemptibleAggregate {
+	return preemptibleRunner(trials, seed, workers,
+		func(src *rng.Source) (float64, bool) {
+			c := p.C.Sample(src)
+			if c <= x && x <= p.R {
+				return p.R - x, true
+			}
+			return 0, false
+		})
+}
+
+// MonteCarloPreemptibleOracle simulates the clairvoyant policy that
+// observes the realized checkpoint duration C and starts the checkpoint
+// exactly C seconds before the end, saving R - C every time. It is the
+// per-trial upper bound on any X policy.
+func MonteCarloPreemptibleOracle(p *core.Preemptible, trials int, seed uint64, workers int) PreemptibleAggregate {
+	return preemptibleRunner(trials, seed, workers,
+		func(src *rng.Source) (float64, bool) {
+			c := p.C.Sample(src)
+			if c > p.R {
+				return 0, false
+			}
+			return p.R - c, true
+		})
+}
+
+func preemptibleRunner(trials int, seed uint64, workers int,
+	trial func(*rng.Source) (float64, bool)) PreemptibleAggregate {
+
+	if trials <= 0 {
+		return PreemptibleAggregate{}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type part struct {
+		work      stats.Summary
+		successes int64
+		trials    int64
+	}
+	// Fixed-size blocks, one rng substream per block: the aggregate is
+	// independent of the worker count (see MonteCarlo).
+	numBlocks := (trials + mcBlockSize - 1) / mcBlockSize
+	if workers > numBlocks {
+		workers = numBlocks
+	}
+	parts := make([]part, numBlocks)
+	blocks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range blocks {
+				lo := b * mcBlockSize
+				hi := lo + mcBlockSize
+				if hi > trials {
+					hi = trials
+				}
+				src := rng.NewStream(seed, uint64(b))
+				for i := lo; i < hi; i++ {
+					v, ok := trial(src)
+					parts[b].work.Add(v)
+					if ok {
+						parts[b].successes++
+					}
+					parts[b].trials++
+				}
+			}
+		}()
+	}
+	for b := 0; b < numBlocks; b++ {
+		blocks <- b
+	}
+	close(blocks)
+	wg.Wait()
+
+	var agg PreemptibleAggregate
+	for _, p := range parts {
+		agg.Work.Merge(p.work)
+		agg.Successes += p.successes
+		agg.Trials += p.trials
+	}
+	return agg
+}

@@ -1,0 +1,324 @@
+// Package sim executes the reservation model of Barbut et al. (FTXS'23):
+// single fixed-length reservations running either a preemptible
+// application (Section 3) or a chain of IID stochastic tasks with
+// boundary-only checkpoints (Section 4), under any strategy from
+// internal/strategy, plus multi-reservation campaigns with recovery cost
+// (Section 2 and Section 4.4) and a parallel Monte-Carlo harness.
+//
+// The simulator is the experimental companion the paper's conclusion
+// calls for: every analytical expectation in internal/core is validated
+// here against sampled trajectories.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/dist"
+	"reskit/internal/rng"
+	"reskit/internal/strategy"
+)
+
+// AfterPolicy selects what to do with leftover reservation time after a
+// successful checkpoint (Section 4.4 of the paper).
+type AfterPolicy int
+
+const (
+	// DropReservation releases the machine immediately after the first
+	// successful checkpoint — the right choice when the platform charges
+	// for time actually used.
+	DropReservation AfterPolicy = iota
+	// ContinueExecution keeps running tasks and checkpointing until the
+	// reservation is exhausted — squeezing the most work out of a
+	// pay-per-reservation allocation.
+	ContinueExecution
+)
+
+// String returns the policy name.
+func (a AfterPolicy) String() string {
+	switch a {
+	case DropReservation:
+		return "drop"
+	case ContinueExecution:
+		return "continue"
+	default:
+		return fmt.Sprintf("AfterPolicy(%d)", int(a))
+	}
+}
+
+// Config describes one workflow-reservation experiment.
+type Config struct {
+	R        float64           // reservation length
+	Recovery float64           // fixed recovery time consumed at reservation start
+	Task     dist.Continuous   // continuous task law (exclusive with TaskDisc)
+	TaskDisc dist.Discrete     // discrete task law
+	Ckpt     dist.Continuous   // checkpoint-duration law
+	Strategy strategy.Strategy // decision policy at task boundaries
+	After    AfterPolicy       // what to do after a successful checkpoint
+	MaxTasks int               // safety cap on tasks per reservation (0 = auto)
+
+	// RecoveryLaw, when set, replaces the fixed Recovery with a
+	// stochastic recovery duration sampled at reservation start — like
+	// the checkpoint itself, restoring state takes a variable time.
+	RecoveryLaw dist.Continuous
+
+	// FailureRate, when positive, injects fail-stop errors inside the
+	// reservation with exponential inter-arrival times of this rate —
+	// the paper's Section 5 future-work direction. A failure wipes the
+	// uncommitted work; the job then pays a recovery (Recovery or
+	// RecoveryLaw) to reload its last committed checkpoint and continues
+	// inside the same reservation. Zero keeps the paper's failure-free
+	// model.
+	FailureRate float64
+}
+
+// validate panics on structurally invalid configurations.
+func (c *Config) validate() {
+	if !(c.R > 0) || math.IsNaN(c.R) || math.IsInf(c.R, 0) {
+		panic(fmt.Sprintf("sim: R must be positive and finite, got %g", c.R))
+	}
+	if c.Recovery < 0 {
+		panic(fmt.Sprintf("sim: Recovery must be >= 0, got %g", c.Recovery))
+	}
+	if c.RecoveryLaw != nil {
+		if lo, _ := c.RecoveryLaw.Support(); lo < 0 {
+			panic(fmt.Sprintf("sim: RecoveryLaw support must start at >= 0, got %g", lo))
+		}
+	}
+	if c.FailureRate < 0 || math.IsNaN(c.FailureRate) || math.IsInf(c.FailureRate, 0) {
+		panic(fmt.Sprintf("sim: FailureRate must be finite and >= 0, got %g", c.FailureRate))
+	}
+	if (c.Task == nil) == (c.TaskDisc == nil) {
+		panic("sim: exactly one of Task and TaskDisc must be set")
+	}
+	if c.Ckpt == nil {
+		panic("sim: Ckpt must be set")
+	}
+	if c.Strategy == nil {
+		panic("sim: Strategy must be set")
+	}
+}
+
+// sampleRecovery returns the recovery time for one reservation.
+func (c *Config) sampleRecovery(r *rng.Source) float64 {
+	if c.RecoveryLaw != nil {
+		return c.RecoveryLaw.Sample(r)
+	}
+	return c.Recovery
+}
+
+// sampleTask draws one task duration.
+func (c *Config) sampleTask(r *rng.Source) float64 {
+	if c.TaskDisc != nil {
+		return float64(c.TaskDisc.Sample(r))
+	}
+	return c.Task.Sample(r)
+}
+
+// taskMean returns the mean task duration.
+func (c *Config) taskMean() float64 {
+	if c.TaskDisc != nil {
+		return c.TaskDisc.Mean()
+	}
+	return c.Task.Mean()
+}
+
+// maxTasks resolves the per-run task cap.
+func (c *Config) maxTasks() int {
+	if c.MaxTasks > 0 {
+		return c.MaxTasks
+	}
+	mean := c.taskMean()
+	if mean <= 0 {
+		return 100000
+	}
+	n := int(20*c.R/mean) + 1000
+	return n
+}
+
+// RunResult reports one simulated reservation.
+type RunResult struct {
+	Saved       float64 // work committed by successful checkpoints
+	Lost        float64 // uncommitted work wiped at the reservation end
+	Tasks       int     // tasks completed
+	Checkpoints int     // successful checkpoints
+	FailedCkpts int     // checkpoints cut short by the reservation end
+	Failures    int     // fail-stop errors that struck during the run
+	TimeUsed    float64 // machine time consumed (<= R)
+	CapHit      bool    // the MaxTasks safety cap stopped the run
+}
+
+// Run simulates one reservation under the configured strategy. The
+// returned RunResult is exact for the sampled trajectory: work is saved
+// only by checkpoints that complete strictly within the reservation.
+func Run(cfg Config, r *rng.Source) RunResult {
+	cfg.validate()
+	var res RunResult
+
+	elapsed := cfg.sampleRecovery(r)
+	if elapsed >= cfg.R {
+		// The recovery ate the whole reservation.
+		res.TimeUsed = cfg.R
+		return res
+	}
+	var work float64 // uncommitted work
+	tasksSinceCkpt := 0
+	taskCap := cfg.maxTasks()
+
+	// Pre-sample the next fail-stop instant (infinity when failure-free).
+	nextFail := math.Inf(1)
+	if cfg.FailureRate > 0 {
+		nextFail = elapsed + r.Exponential(cfg.FailureRate)
+	}
+	// fail handles one fail-stop error at time t: the uncommitted work
+	// is wiped and the job restarts from its last committed checkpoint
+	// after a recovery. It returns false when the reservation is over.
+	fail := func(t float64) bool {
+		res.Failures++
+		res.Lost += work
+		work = 0
+		tasksSinceCkpt = 0
+		elapsed = t + cfg.sampleRecovery(r)
+		if cfg.FailureRate > 0 {
+			nextFail = elapsed + r.Exponential(cfg.FailureRate)
+		}
+		return elapsed < cfg.R
+	}
+
+	for {
+		if res.Tasks >= taskCap {
+			res.CapHit = true
+			res.Lost += work
+			res.TimeUsed = elapsed
+			return res
+		}
+		st := strategy.State{
+			R:          cfg.R,
+			Elapsed:    elapsed,
+			Work:       work,
+			TasksDone:  tasksSinceCkpt,
+			Committed:  res.Saved,
+			Checkpoint: res.Checkpoints,
+		}
+		switch act := cfg.Strategy.Decide(st); act {
+		case strategy.Continue:
+			x := cfg.sampleTask(r)
+			if nextFail <= elapsed+x && nextFail < cfg.R {
+				// A fail-stop error strikes mid-task.
+				if !fail(nextFail) {
+					res.TimeUsed = cfg.R
+					return res
+				}
+				continue
+			}
+			if elapsed+x > cfg.R {
+				// The reservation ends mid-task: everything uncommitted
+				// is lost.
+				res.Lost += work
+				res.TimeUsed = cfg.R
+				return res
+			}
+			elapsed += x
+			work += x
+			res.Tasks++
+			tasksSinceCkpt++
+
+		case strategy.Checkpoint:
+			if work == 0 {
+				// Nothing to commit; treat as a drop.
+				res.TimeUsed = elapsed
+				return res
+			}
+			c := cfg.Ckpt.Sample(r)
+			if nextFail <= elapsed+c && nextFail < cfg.R {
+				// A fail-stop error strikes mid-checkpoint: nothing was
+				// committed.
+				res.FailedCkpts++
+				if !fail(nextFail) {
+					res.TimeUsed = cfg.R
+					return res
+				}
+				continue
+			}
+			if elapsed+c > cfg.R {
+				// The reservation ends mid-checkpoint.
+				res.FailedCkpts++
+				res.Lost += work
+				res.TimeUsed = cfg.R
+				return res
+			}
+			elapsed += c
+			res.Saved += work
+			work = 0
+			tasksSinceCkpt = 0
+			res.Checkpoints++
+			if cfg.After == DropReservation {
+				res.TimeUsed = elapsed
+				return res
+			}
+
+		case strategy.Stop:
+			res.Lost += work
+			res.TimeUsed = elapsed
+			return res
+
+		default:
+			panic(fmt.Sprintf("sim: unknown action %v", act))
+		}
+	}
+}
+
+// RunOracle simulates a clairvoyant scheduler for the same trajectory
+// model (failure-free: FailureRate is ignored, keeping the oracle an
+// upper bound for the paper's model): it pre-samples the task durations and, for every boundary, the
+// checkpoint duration that a checkpoint started there would take, then
+// commits at the boundary maximizing the saved work. It upper-bounds
+// every realizable single-checkpoint strategy.
+func RunOracle(cfg Config, r *rng.Source) RunResult {
+	cfg.validate()
+	var res RunResult
+
+	start := cfg.sampleRecovery(r)
+	if start >= cfg.R {
+		res.TimeUsed = cfg.R
+		return res
+	}
+
+	// Generate the trajectory up to the reservation end.
+	var sums []float64 // S_n for n = 1, 2, ...
+	var cs []float64   // checkpoint duration at boundary n
+	elapsed := start
+	taskCap := cfg.maxTasks()
+	for len(sums) < taskCap {
+		x := cfg.sampleTask(r)
+		if elapsed+x > cfg.R {
+			break
+		}
+		elapsed += x
+		sums = append(sums, elapsed-start)
+		cs = append(cs, cfg.Ckpt.Sample(r))
+	}
+	res.Tasks = len(sums)
+	res.CapHit = len(sums) == taskCap
+
+	// Choose the best boundary.
+	best := -1
+	for i, s := range sums {
+		if start+s+cs[i] <= cfg.R && (best < 0 || s > sums[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		res.Lost = 0
+		if len(sums) > 0 {
+			res.Lost = sums[len(sums)-1]
+		}
+		res.TimeUsed = cfg.R
+		return res
+	}
+	res.Saved = sums[best]
+	res.Checkpoints = 1
+	res.TimeUsed = start + sums[best] + cs[best]
+	res.Lost = sums[len(sums)-1] - sums[best]
+	return res
+}

@@ -1,0 +1,134 @@
+package solver
+
+import (
+	"math"
+
+	"reskit/internal/sparse"
+)
+
+// BiCGSTAB is the stabilized biconjugate gradient method of van der
+// Vorst — one of the nonstationary Krylov methods the paper names
+// explicitly among its motivating iterative applications. Unlike CG it
+// handles nonsymmetric systems.
+type BiCGSTAB struct {
+	base
+	r      []float64 // residual
+	rHat   []float64 // shadow residual (fixed)
+	p, v   []float64
+	s, t   []float64
+	rho    float64
+	alpha  float64
+	omega  float64
+	resNrm float64
+}
+
+// NewBiCGSTAB builds a BiCGSTAB solver for A x = b.
+func NewBiCGSTAB(a *sparse.CSR, b []float64) *BiCGSTAB {
+	s := &BiCGSTAB{base: newBase(a, b, "bicgstab")}
+	s.r = clone(s.b) // x0 = 0
+	s.rHat = clone(s.r)
+	s.p = make([]float64, a.N)
+	s.v = make([]float64, a.N)
+	s.s = make([]float64, a.N)
+	s.t = make([]float64, a.N)
+	s.rho, s.alpha, s.omega = 1, 1, 1
+	s.resNrm = sparse.Norm2(s.r)
+	return s
+}
+
+// Name implements Solver.
+func (s *BiCGSTAB) Name() string { return "bicgstab" }
+
+// Step implements Solver (one full BiCGSTAB iteration).
+func (s *BiCGSTAB) Step() float64 {
+	if s.resNrm == 0 {
+		s.iter++
+		return 0
+	}
+	rhoNew := sparse.Dot(s.rHat, s.r)
+	if rhoNew == 0 {
+		// Breakdown: restart with the current residual as shadow.
+		copy(s.rHat, s.r)
+		rhoNew = sparse.Dot(s.rHat, s.r)
+		if rhoNew == 0 {
+			s.iter++
+			return s.resNrm
+		}
+	}
+	if s.iter == 0 {
+		copy(s.p, s.r)
+	} else {
+		beta := (rhoNew / s.rho) * (s.alpha / s.omega)
+		for i := range s.p {
+			s.p[i] = s.r[i] + beta*(s.p[i]-s.omega*s.v[i])
+		}
+	}
+	s.rho = rhoNew
+	s.a.MulVec(s.p, s.v)
+	den := sparse.Dot(s.rHat, s.v)
+	if den == 0 {
+		s.iter++
+		return s.resNrm
+	}
+	s.alpha = s.rho / den
+	for i := range s.s {
+		s.s[i] = s.r[i] - s.alpha*s.v[i]
+	}
+	if n := sparse.Norm2(s.s); n < 1e-300 {
+		// Early convergence at the half step.
+		for i := range s.x {
+			s.x[i] += s.alpha * s.p[i]
+		}
+		copy(s.r, s.s)
+		s.resNrm = n
+		s.iter++
+		return n
+	}
+	s.a.MulVec(s.s, s.t)
+	tt := sparse.Dot(s.t, s.t)
+	if tt == 0 {
+		s.iter++
+		return s.resNrm
+	}
+	s.omega = sparse.Dot(s.t, s.s) / tt
+	for i := range s.x {
+		s.x[i] += s.alpha*s.p[i] + s.omega*s.s[i]
+	}
+	for i := range s.r {
+		s.r[i] = s.s[i] - s.omega*s.t[i]
+	}
+	s.resNrm = sparse.Norm2(s.r)
+	s.iter++
+	return s.resNrm
+}
+
+// Residual implements Solver using the recursively updated residual.
+func (s *BiCGSTAB) Residual() float64 {
+	if math.IsNaN(s.resNrm) {
+		return math.Inf(1)
+	}
+	return s.resNrm
+}
+
+// Snapshot implements Solver: state is (x, r, rHat, p, v) plus the
+// scalars (rho, alpha, omega, resNrm) and the iteration count.
+func (s *BiCGSTAB) Snapshot() Snapshot {
+	return Snapshot{
+		Method:    "bicgstab",
+		Iteration: s.iter,
+		Vectors:   [][]float64{clone(s.x), clone(s.r), clone(s.rHat), clone(s.p), clone(s.v)},
+		Scalars:   []float64{s.rho, s.alpha, s.omega, s.resNrm},
+	}
+}
+
+// Restore implements Solver.
+func (s *BiCGSTAB) Restore(sn Snapshot) {
+	mustMethod(sn, "bicgstab", 5, 4)
+	copy(s.x, sn.Vectors[0])
+	copy(s.r, sn.Vectors[1])
+	copy(s.rHat, sn.Vectors[2])
+	copy(s.p, sn.Vectors[3])
+	copy(s.v, sn.Vectors[4])
+	s.rho, s.alpha, s.omega, s.resNrm = sn.Scalars[0], sn.Scalars[1], sn.Scalars[2], sn.Scalars[3]
+	s.iter = sn.Iteration
+}

@@ -1,0 +1,84 @@
+package solver
+
+import (
+	"math"
+
+	"reskit/internal/sparse"
+)
+
+// CG is the Conjugate Gradient method for symmetric positive-definite
+// systems — the archetype of the Krylov solvers (GMRES, BiCGSTAB, GCR)
+// the paper cites as iterative workloads.
+type CG struct {
+	base
+	r   []float64 // residual vector
+	p   []float64 // search direction
+	ap  []float64 // A p scratch
+	rho float64   // r . r
+}
+
+// NewCG builds a Conjugate Gradient solver for A x = b (A must be
+// symmetric positive definite for guaranteed convergence).
+func NewCG(a *sparse.CSR, b []float64) *CG {
+	s := &CG{base: newBase(a, b, "cg")}
+	s.r = clone(s.b) // x0 = 0 so r0 = b
+	s.p = clone(s.r)
+	s.ap = make([]float64, a.N)
+	s.rho = sparse.Dot(s.r, s.r)
+	return s
+}
+
+// Name implements Solver.
+func (s *CG) Name() string { return "cg" }
+
+// Step implements Solver.
+func (s *CG) Step() float64 {
+	if s.rho == 0 {
+		// Already converged exactly.
+		s.iter++
+		return 0
+	}
+	s.a.MulVec(s.p, s.ap)
+	pap := sparse.Dot(s.p, s.ap)
+	if pap == 0 {
+		s.iter++
+		return math.Sqrt(s.rho)
+	}
+	alpha := s.rho / pap
+	for i := range s.x {
+		s.x[i] += alpha * s.p[i]
+		s.r[i] -= alpha * s.ap[i]
+	}
+	rhoNew := sparse.Dot(s.r, s.r)
+	beta := rhoNew / s.rho
+	for i := range s.p {
+		s.p[i] = s.r[i] + beta*s.p[i]
+	}
+	s.rho = rhoNew
+	s.iter++
+	return math.Sqrt(rhoNew)
+}
+
+// Residual implements Solver using the recursively updated residual,
+// which CG maintains exactly in exact arithmetic.
+func (s *CG) Residual() float64 { return math.Sqrt(s.rho) }
+
+// Snapshot implements Solver: CG state is (x, r, p, rho).
+func (s *CG) Snapshot() Snapshot {
+	return Snapshot{
+		Method:    "cg",
+		Iteration: s.iter,
+		Vectors:   [][]float64{clone(s.x), clone(s.r), clone(s.p)},
+		Scalars:   []float64{s.rho},
+	}
+}
+
+// Restore implements Solver.
+func (s *CG) Restore(sn Snapshot) {
+	mustMethod(sn, "cg", 3, 1)
+	copy(s.x, sn.Vectors[0])
+	copy(s.r, sn.Vectors[1])
+	copy(s.p, sn.Vectors[2])
+	s.rho = sn.Scalars[0]
+	s.iter = sn.Iteration
+}

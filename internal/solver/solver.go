@@ -1,0 +1,104 @@
+// Package solver implements the stationary and Krylov iterative methods
+// the paper names as the motivating workload for its workflow scenario
+// (Jacobi, Gauss–Seidel, SOR and Conjugate Gradient, Section 2), each
+// exposing the one-iteration-at-a-time stepping and state
+// snapshot/restore that checkpointing at task boundaries requires: one
+// solver iteration is one task of the linear workflow, and a Snapshot is
+// exactly "the data footprint to be saved at the end of an iteration".
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/sparse"
+)
+
+// Solver advances one iteration at a time toward the solution of
+// A x = b and can capture/restore its full state.
+type Solver interface {
+	// Name identifies the method.
+	Name() string
+	// Step performs one iteration and returns the new residual 2-norm.
+	Step() float64
+	// Residual returns the current residual 2-norm ||b - A x||.
+	Residual() float64
+	// Iteration returns the number of completed iterations.
+	Iteration() int
+	// Solution returns the current iterate (a live reference; copy
+	// before mutating).
+	Solution() []float64
+	// Snapshot deep-copies the solver state — the checkpoint payload.
+	Snapshot() Snapshot
+	// Restore replaces the solver state with a snapshot taken from the
+	// same solver configuration.
+	Restore(Snapshot)
+}
+
+// Snapshot is an opaque deep copy of a solver's mutable state.
+type Snapshot struct {
+	Method    string
+	Iteration int
+	Vectors   [][]float64
+	Scalars   []float64
+}
+
+// clone deep-copies a vector.
+func clone(v []float64) []float64 {
+	c := make([]float64, len(v))
+	copy(c, v)
+	return c
+}
+
+// SolveToTolerance steps the solver until the residual drops below tol
+// or maxIter iterations have run, returning the iterations used and
+// whether it converged.
+func SolveToTolerance(s Solver, tol float64, maxIter int) (iters int, converged bool) {
+	for i := 0; i < maxIter; i++ {
+		if s.Step() <= tol {
+			return s.Iteration(), true
+		}
+	}
+	return s.Iteration(), false
+}
+
+// base carries the pieces every concrete solver shares.
+type base struct {
+	a    *sparse.CSR
+	b    []float64
+	x    []float64
+	iter int
+	tmp  []float64
+}
+
+func newBase(a *sparse.CSR, b []float64, name string) base {
+	if a == nil {
+		panic("solver: nil matrix")
+	}
+	if len(b) != a.N {
+		panic(fmt.Sprintf("solver: %s: dimension mismatch (n=%d, len(b)=%d)", name, a.N, len(b)))
+	}
+	return base{
+		a:   a,
+		b:   clone(b),
+		x:   make([]float64, a.N),
+		tmp: make([]float64, a.N),
+	}
+}
+
+// Residual computes ||b - A x||_2.
+func (s *base) Residual() float64 {
+	s.a.MulVec(s.x, s.tmp)
+	var sum float64
+	for i := range s.tmp {
+		d := s.b[i] - s.tmp[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Iteration returns the completed iteration count.
+func (s *base) Iteration() int { return s.iter }
+
+// Solution returns the live iterate.
+func (s *base) Solution() []float64 { return s.x }

@@ -1,0 +1,316 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"reskit/internal/rng"
+	"reskit/internal/sparse"
+)
+
+// testSystem returns a Poisson2D system with a random smooth RHS and its
+// reference solution computed by heavily converged CG.
+func testSystem(k int, seed uint64) (*sparse.CSR, []float64, []float64) {
+	a := sparse.Poisson2D(k)
+	r := rng.New(seed)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = r.Uniform(0.5, 1.5)
+	}
+	ref := NewCG(a, b)
+	SolveToTolerance(ref, 1e-13, 10000)
+	x := make([]float64, a.N)
+	copy(x, ref.Solution())
+	return a, b, x
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestAllSolversConverge(t *testing.T) {
+	a, b, ref := testSystem(8, 1)
+	solvers := []Solver{
+		NewJacobi(a, b),
+		NewGaussSeidel(a, b),
+		NewSOR(a, b, 1.5),
+		NewCG(a, b),
+	}
+	for _, s := range solvers {
+		iters, ok := SolveToTolerance(s, 1e-10, 20000)
+		if !ok {
+			t.Fatalf("%s did not converge in %d iterations (residual %g)", s.Name(), iters, s.Residual())
+		}
+		if d := maxAbsDiff(s.Solution(), ref); d > 1e-7 {
+			t.Errorf("%s: solution off by %g", s.Name(), d)
+		}
+	}
+}
+
+func TestConvergenceSpeedOrdering(t *testing.T) {
+	// CG < SOR(1.5) < Gauss-Seidel < Jacobi in iteration count on the
+	// Poisson problem.
+	a, b, _ := testSystem(10, 2)
+	iter := func(s Solver) int {
+		n, ok := SolveToTolerance(s, 1e-8, 50000)
+		if !ok {
+			t.Fatalf("%s did not converge", s.Name())
+		}
+		return n
+	}
+	cg := iter(NewCG(a, b))
+	sor := iter(NewSOR(a, b, 1.5))
+	gs := iter(NewGaussSeidel(a, b))
+	jac := iter(NewJacobi(a, b))
+	if !(cg < sor && sor < gs && gs < jac) {
+		t.Errorf("iteration ordering violated: cg=%d sor=%d gs=%d jacobi=%d", cg, sor, gs, jac)
+	}
+	// Classical theory: Gauss-Seidel converges about twice as fast as
+	// Jacobi on this problem.
+	ratio := float64(jac) / float64(gs)
+	if ratio < 1.6 || ratio > 2.6 {
+		t.Errorf("jacobi/gs iteration ratio %g, expected ~2", ratio)
+	}
+}
+
+func TestSnapshotRestoreExactContinuation(t *testing.T) {
+	a, b, _ := testSystem(6, 3)
+	builders := []func() Solver{
+		func() Solver { return NewJacobi(a, b) },
+		func() Solver { return NewGaussSeidel(a, b) },
+		func() Solver { return NewSOR(a, b, 1.3) },
+		func() Solver { return NewCG(a, b) },
+	}
+	for _, build := range builders {
+		ref := build()
+		for i := 0; i < 20; i++ {
+			ref.Step()
+		}
+		refRes := ref.Residual()
+
+		// Run 10 steps, snapshot, run 10 more; then restore and redo.
+		s := build()
+		for i := 0; i < 10; i++ {
+			s.Step()
+		}
+		snap := s.Snapshot()
+		for i := 0; i < 10; i++ {
+			s.Step()
+		}
+		first := s.Residual()
+		if math.Abs(first-refRes) > 1e-14*(1+refRes) {
+			t.Errorf("%s: interrupted run diverged from reference", s.Name())
+		}
+		s.Restore(snap)
+		if s.Iteration() != 10 {
+			t.Errorf("%s: restored iteration %d", s.Name(), s.Iteration())
+		}
+		for i := 0; i < 10; i++ {
+			s.Step()
+		}
+		second := s.Residual()
+		if first != second {
+			t.Errorf("%s: restore+replay differs: %g vs %g", s.Name(), first, second)
+		}
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	a, b, _ := testSystem(4, 4)
+	s := NewCG(a, b)
+	s.Step()
+	snap := s.Snapshot()
+	before := snap.Vectors[0][0]
+	for i := 0; i < 5; i++ {
+		s.Step()
+	}
+	if snap.Vectors[0][0] != before {
+		t.Errorf("snapshot mutated by later steps")
+	}
+}
+
+func TestRestoreWrongMethodPanics(t *testing.T) {
+	a, b, _ := testSystem(4, 5)
+	j := NewJacobi(a, b)
+	c := NewCG(a, b)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("cross-method restore must panic")
+		}
+	}()
+	j.Restore(c.Snapshot())
+}
+
+func TestGaussSeidelIsSOROmega1(t *testing.T) {
+	a, b, _ := testSystem(5, 6)
+	gs := NewGaussSeidel(a, b)
+	sor := NewSOR(a, b, 1)
+	for i := 0; i < 30; i++ {
+		rg := gs.Step()
+		rs := sor.Step()
+		if rg != rs {
+			t.Fatalf("step %d: gs %g vs sor(1) %g", i, rg, rs)
+		}
+	}
+	if gs.Name() != "gauss-seidel" {
+		t.Errorf("name %q", gs.Name())
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	a := sparse.Poisson1D(3)
+	singular := sparse.NewFromTriplets(2, []int{0, 1}, []int{1, 0}, []float64{1, 1})
+	cases := []func(){
+		func() { NewJacobi(a, []float64{1}) },
+		func() { NewJacobi(nil, []float64{1}) },
+		func() { NewSOR(a, []float64{1, 2, 3}, 2.5) },
+		func() { NewSOR(a, []float64{1, 2, 3}, 0) },
+		func() { NewJacobi(singular, []float64{1, 1}) }, // zero diagonal
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCGResidualMatchesTrueResidual(t *testing.T) {
+	a, b, _ := testSystem(6, 7)
+	s := NewCG(a, b)
+	for i := 0; i < 15; i++ {
+		s.Step()
+	}
+	// Recursive residual vs recomputed ||b - Ax||.
+	tmp := make([]float64, a.N)
+	a.MulVec(s.Solution(), tmp)
+	var sum float64
+	for i := range tmp {
+		d := b[i] - tmp[i]
+		sum += d * d
+	}
+	if math.Abs(s.Residual()-math.Sqrt(sum)) > 1e-8*(1+s.Residual()) {
+		t.Errorf("recursive residual %g vs true %g", s.Residual(), math.Sqrt(sum))
+	}
+}
+
+// convectionDiffusion returns a nonsymmetric matrix: the 1-D
+// convection-diffusion stencil [-1-c, 2, -1+c].
+func convectionDiffusion(n int, c float64) *sparse.CSR {
+	var rows, cols []int
+	var vals []float64
+	for i := 0; i < n; i++ {
+		rows = append(rows, i)
+		cols = append(cols, i)
+		vals = append(vals, 2)
+		if i > 0 {
+			rows = append(rows, i)
+			cols = append(cols, i-1)
+			vals = append(vals, -1-c)
+		}
+		if i < n-1 {
+			rows = append(rows, i)
+			cols = append(cols, i+1)
+			vals = append(vals, -1+c)
+		}
+	}
+	return sparse.NewFromTriplets(n, rows, cols, vals)
+}
+
+func TestBiCGSTABSymmetricSystem(t *testing.T) {
+	a, b, ref := testSystem(8, 8)
+	s := NewBiCGSTAB(a, b)
+	iters, ok := SolveToTolerance(s, 1e-10, 5000)
+	if !ok {
+		t.Fatalf("did not converge in %d iterations (res %g)", iters, s.Residual())
+	}
+	if d := maxAbsDiff(s.Solution(), ref); d > 1e-7 {
+		t.Errorf("solution off by %g", d)
+	}
+}
+
+func TestBiCGSTABNonsymmetricSystem(t *testing.T) {
+	// CG is not applicable here; BiCGSTAB must still converge. Verify
+	// against the true residual.
+	a := convectionDiffusion(60, 0.4)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	s := NewBiCGSTAB(a, b)
+	if _, ok := SolveToTolerance(s, 1e-9, 10000); !ok {
+		t.Fatalf("nonsymmetric system did not converge (res %g)", s.Residual())
+	}
+	// True residual check. BiCGSTAB's recursively updated residual is
+	// known to drift a few orders of magnitude from the true residual in
+	// finite precision, so the bound here is looser than the stopping
+	// tolerance.
+	tmp := make([]float64, a.N)
+	a.MulVec(s.Solution(), tmp)
+	var sum float64
+	for i := range tmp {
+		d := b[i] - tmp[i]
+		sum += d * d
+	}
+	if math.Sqrt(sum) > 1e-4 {
+		t.Errorf("true residual %g", math.Sqrt(sum))
+	}
+}
+
+func TestBiCGSTABSnapshotRestore(t *testing.T) {
+	a := convectionDiffusion(40, 0.3)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = float64(i%5) + 1
+	}
+	s := NewBiCGSTAB(a, b)
+	for i := 0; i < 8; i++ {
+		s.Step()
+	}
+	snap := s.Snapshot()
+	for i := 0; i < 8; i++ {
+		s.Step()
+	}
+	first := s.Residual()
+	s.Restore(snap)
+	if s.Iteration() != 8 {
+		t.Errorf("restored iteration %d", s.Iteration())
+	}
+	for i := 0; i < 8; i++ {
+		s.Step()
+	}
+	if second := s.Residual(); first != second {
+		t.Errorf("restore+replay differs: %g vs %g", first, second)
+	}
+}
+
+func TestBiCGSTABFasterThanJacobiOnNonsymmetric(t *testing.T) {
+	a := convectionDiffusion(50, 0.3)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	bi := NewBiCGSTAB(a, b)
+	biIters, ok := SolveToTolerance(bi, 1e-8, 20000)
+	if !ok {
+		t.Fatalf("bicgstab did not converge")
+	}
+	ja := NewJacobi(a, b)
+	jaIters, ok := SolveToTolerance(ja, 1e-8, 50000)
+	if !ok {
+		t.Fatalf("jacobi did not converge")
+	}
+	if biIters >= jaIters {
+		t.Errorf("bicgstab (%d) should beat jacobi (%d)", biIters, jaIters)
+	}
+}

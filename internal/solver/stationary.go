@@ -1,0 +1,139 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/sparse"
+)
+
+// Jacobi is the Jacobi stationary method: x' = D^{-1} (b - (A - D) x).
+type Jacobi struct {
+	base
+	diag []float64
+	next []float64
+}
+
+// NewJacobi builds a Jacobi solver for A x = b. A must have a nonzero
+// diagonal.
+func NewJacobi(a *sparse.CSR, b []float64) *Jacobi {
+	s := &Jacobi{base: newBase(a, b, "jacobi")}
+	s.diag = a.Diag()
+	for i, d := range s.diag {
+		if d == 0 {
+			panic(fmt.Sprintf("solver: jacobi: zero diagonal at row %d", i))
+		}
+	}
+	s.next = make([]float64, a.N)
+	return s
+}
+
+// Name implements Solver.
+func (s *Jacobi) Name() string { return "jacobi" }
+
+// Step implements Solver.
+func (s *Jacobi) Step() float64 {
+	a := s.a
+	for r := 0; r < a.N; r++ {
+		sum := s.b[r]
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			c := a.ColIdx[k]
+			if c != r {
+				sum -= a.Val[k] * s.x[c]
+			}
+		}
+		s.next[r] = sum / s.diag[r]
+	}
+	s.x, s.next = s.next, s.x
+	s.iter++
+	return s.Residual()
+}
+
+// Snapshot implements Solver.
+func (s *Jacobi) Snapshot() Snapshot {
+	return Snapshot{Method: "jacobi", Iteration: s.iter, Vectors: [][]float64{clone(s.x)}}
+}
+
+// Restore implements Solver.
+func (s *Jacobi) Restore(sn Snapshot) {
+	mustMethod(sn, "jacobi", 1, 0)
+	copy(s.x, sn.Vectors[0])
+	s.iter = sn.Iteration
+}
+
+// SOR is the successive-over-relaxation method; Omega = 1 yields
+// Gauss–Seidel.
+type SOR struct {
+	base
+	diag  []float64
+	omega float64
+}
+
+// NewSOR builds an SOR solver with relaxation factor omega in (0, 2).
+func NewSOR(a *sparse.CSR, b []float64, omega float64) *SOR {
+	if !(omega > 0 && omega < 2) || math.IsNaN(omega) {
+		panic(fmt.Sprintf("solver: SOR requires omega in (0, 2), got %g", omega))
+	}
+	s := &SOR{base: newBase(a, b, "sor"), omega: omega}
+	s.diag = a.Diag()
+	for i, d := range s.diag {
+		if d == 0 {
+			panic(fmt.Sprintf("solver: sor: zero diagonal at row %d", i))
+		}
+	}
+	return s
+}
+
+// NewGaussSeidel builds the Gauss–Seidel solver (SOR with omega = 1).
+func NewGaussSeidel(a *sparse.CSR, b []float64) *SOR {
+	s := NewSOR(a, b, 1)
+	return s
+}
+
+// Name implements Solver.
+func (s *SOR) Name() string {
+	if s.omega == 1 {
+		return "gauss-seidel"
+	}
+	return fmt.Sprintf("sor(omega=%g)", s.omega)
+}
+
+// Step implements Solver.
+func (s *SOR) Step() float64 {
+	a := s.a
+	for r := 0; r < a.N; r++ {
+		sum := s.b[r]
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			c := a.ColIdx[k]
+			if c != r {
+				sum -= a.Val[k] * s.x[c]
+			}
+		}
+		gs := sum / s.diag[r]
+		s.x[r] += s.omega * (gs - s.x[r])
+	}
+	s.iter++
+	return s.Residual()
+}
+
+// Snapshot implements Solver.
+func (s *SOR) Snapshot() Snapshot {
+	return Snapshot{Method: "sor", Iteration: s.iter, Vectors: [][]float64{clone(s.x)}, Scalars: []float64{s.omega}}
+}
+
+// Restore implements Solver.
+func (s *SOR) Restore(sn Snapshot) {
+	mustMethod(sn, "sor", 1, 1)
+	copy(s.x, sn.Vectors[0])
+	s.iter = sn.Iteration
+}
+
+// mustMethod validates a snapshot's shape before restoring.
+func mustMethod(sn Snapshot, method string, nVec, nScal int) {
+	if sn.Method != method {
+		panic(fmt.Sprintf("solver: cannot restore %q snapshot into %s solver", sn.Method, method))
+	}
+	if len(sn.Vectors) != nVec || len(sn.Scalars) != nScal {
+		panic(fmt.Sprintf("solver: malformed %s snapshot (%d vectors, %d scalars)", method, len(sn.Vectors), len(sn.Scalars)))
+	}
+}

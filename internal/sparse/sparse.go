@@ -1,0 +1,197 @@
+// Package sparse provides the compressed-sparse-row matrices backing the
+// iterative-solver workload of the examples: the paper motivates its
+// workflow scenario with "iterative methods … for solving large sparse
+// linear systems" (Section 2), so the repository ships a real one.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is an N x N sparse matrix in compressed-sparse-row form.
+type CSR struct {
+	N      int
+	RowPtr []int     // length N+1
+	ColIdx []int     // column index of each stored entry
+	Val    []float64 // value of each stored entry
+}
+
+// NewFromTriplets assembles an n x n CSR matrix from coordinate triplets.
+// Duplicate (row, col) entries are summed. Indices out of range or
+// non-finite values panic.
+func NewFromTriplets(n int, rows, cols []int, vals []float64) *CSR {
+	if n <= 0 {
+		panic(fmt.Sprintf("sparse: invalid dimension %d", n))
+	}
+	if len(rows) != len(cols) || len(rows) != len(vals) {
+		panic("sparse: triplet slices must have equal length")
+	}
+	type entry struct {
+		r, c int
+		v    float64
+	}
+	es := make([]entry, 0, len(rows))
+	for i := range rows {
+		r, c, v := rows[i], cols[i], vals[i]
+		if r < 0 || r >= n || c < 0 || c >= n {
+			panic(fmt.Sprintf("sparse: index (%d, %d) out of range for n=%d", r, c, n))
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("sparse: non-finite value at (%d, %d)", r, c))
+		}
+		es = append(es, entry{r, c, v})
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].r != es[j].r {
+			return es[i].r < es[j].r
+		}
+		return es[i].c < es[j].c
+	})
+	m := &CSR{N: n, RowPtr: make([]int, n+1)}
+	for i := 0; i < len(es); {
+		j := i
+		v := 0.0
+		for j < len(es) && es[j].r == es[i].r && es[j].c == es[i].c {
+			v += es[j].v
+			j++
+		}
+		m.ColIdx = append(m.ColIdx, es[i].c)
+		m.Val = append(m.Val, v)
+		m.RowPtr[es[i].r+1]++
+		i = j
+	}
+	for r := 0; r < n; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// MulVec computes y = A x. y must have length N and must not alias x.
+func (m *CSR) MulVec(x, y []float64) {
+	if len(x) != m.N || len(y) != m.N {
+		panic(fmt.Sprintf("sparse: MulVec dimension mismatch (n=%d, len(x)=%d, len(y)=%d)", m.N, len(x), len(y)))
+	}
+	for r := 0; r < m.N; r++ {
+		var s float64
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		y[r] = s
+	}
+}
+
+// Diag returns the main diagonal as a dense vector (zeros where no entry
+// is stored).
+func (m *CSR) Diag() []float64 {
+	d := make([]float64, m.N)
+	for r := 0; r < m.N; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			if m.ColIdx[k] == r {
+				d[r] = m.Val[k]
+			}
+		}
+	}
+	return d
+}
+
+// At returns A[r, c] (zero if not stored). It is O(row nnz) and meant for
+// tests and small inspections, not inner loops.
+func (m *CSR) At(r, c int) float64 {
+	if r < 0 || r >= m.N || c < 0 || c >= m.N {
+		panic(fmt.Sprintf("sparse: At(%d, %d) out of range", r, c))
+	}
+	for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+		if m.ColIdx[k] == c {
+			return m.Val[k]
+		}
+	}
+	return 0
+}
+
+// Poisson1D returns the classic tridiagonal [-1, 2, -1] stiffness matrix
+// of the 1-D Poisson equation on n interior grid points. It is symmetric
+// positive definite — the canonical iterative-solver test problem.
+func Poisson1D(n int) *CSR {
+	var rows, cols []int
+	var vals []float64
+	for i := 0; i < n; i++ {
+		rows = append(rows, i)
+		cols = append(cols, i)
+		vals = append(vals, 2)
+		if i > 0 {
+			rows = append(rows, i)
+			cols = append(cols, i-1)
+			vals = append(vals, -1)
+		}
+		if i < n-1 {
+			rows = append(rows, i)
+			cols = append(cols, i+1)
+			vals = append(vals, -1)
+		}
+	}
+	return NewFromTriplets(n, rows, cols, vals)
+}
+
+// Poisson2D returns the 5-point-stencil Laplacian on a k x k interior
+// grid (dimension k*k), symmetric positive definite.
+func Poisson2D(k int) *CSR {
+	n := k * k
+	var rows, cols []int
+	var vals []float64
+	idx := func(i, j int) int { return i*k + j }
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			r := idx(i, j)
+			rows = append(rows, r)
+			cols = append(cols, r)
+			vals = append(vals, 4)
+			if i > 0 {
+				rows = append(rows, r)
+				cols = append(cols, idx(i-1, j))
+				vals = append(vals, -1)
+			}
+			if i < k-1 {
+				rows = append(rows, r)
+				cols = append(cols, idx(i+1, j))
+				vals = append(vals, -1)
+			}
+			if j > 0 {
+				rows = append(rows, r)
+				cols = append(cols, idx(i, j-1))
+				vals = append(vals, -1)
+			}
+			if j < k-1 {
+				rows = append(rows, r)
+				cols = append(cols, idx(i, j+1))
+				vals = append(vals, -1)
+			}
+		}
+	}
+	return NewFromTriplets(n, rows, cols, vals)
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of a and b (equal lengths required).
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("sparse: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewFromTriplets(t *testing.T) {
+	// [[2, -1], [-1, 2]] with a duplicate entry summed.
+	m := NewFromTriplets(2,
+		[]int{0, 0, 1, 1, 0},
+		[]int{0, 1, 0, 1, 0},
+		[]float64{1, -1, -1, 2, 1})
+	if m.NNZ() != 4 {
+		t.Fatalf("NNZ %d", m.NNZ())
+	}
+	if m.At(0, 0) != 2 || m.At(0, 1) != -1 || m.At(1, 0) != -1 || m.At(1, 1) != 2 {
+		t.Errorf("entries wrong")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := Poisson1D(4)
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 4)
+	m.MulVec(x, y)
+	// [2 -1 0 0; -1 2 -1 0; 0 -1 2 -1; 0 0 -1 2] * [1 2 3 4]
+	want := []float64{0, 0, 0, 5}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-14 {
+			t.Errorf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestDiag(t *testing.T) {
+	m := Poisson2D(3)
+	for i, d := range m.Diag() {
+		if d != 4 {
+			t.Errorf("diag[%d] = %g", i, d)
+		}
+	}
+}
+
+func TestPoisson2DStructure(t *testing.T) {
+	k := 4
+	m := Poisson2D(k)
+	if m.N != 16 {
+		t.Fatalf("N = %d", m.N)
+	}
+	// Symmetry.
+	for r := 0; r < m.N; r++ {
+		for kk := m.RowPtr[r]; kk < m.RowPtr[r+1]; kk++ {
+			c := m.ColIdx[kk]
+			if m.At(c, r) != m.Val[kk] {
+				t.Fatalf("asymmetric at (%d, %d)", r, c)
+			}
+		}
+	}
+	// Row sums: interior rows sum to 0, boundary rows are positive
+	// (diagonally dominant).
+	for r := 0; r < m.N; r++ {
+		var sum float64
+		for kk := m.RowPtr[r]; kk < m.RowPtr[r+1]; kk++ {
+			sum += m.Val[kk]
+		}
+		if sum < 0 {
+			t.Errorf("row %d sum %g < 0", r, sum)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Errorf("Norm2")
+	}
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Errorf("Dot")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewFromTriplets(0, nil, nil, nil) },
+		func() { NewFromTriplets(2, []int{5}, []int{0}, []float64{1}) },
+		func() { NewFromTriplets(2, []int{0}, []int{0}, []float64{math.NaN()}) },
+		func() { NewFromTriplets(2, []int{0, 1}, []int{0}, []float64{1}) },
+		func() { Poisson1D(2).MulVec([]float64{1}, []float64{1, 2}) },
+		func() { Poisson1D(2).At(5, 0) },
+		func() { Dot([]float64{1}, []float64{1, 2}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,127 @@
+package specfun
+
+import "math"
+
+// LogBeta returns log B(a, b) = lnGamma(a) + lnGamma(b) - lnGamma(a+b)
+// for a, b > 0.
+func LogBeta(a, b float64) float64 {
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	lab, _ := math.Lgamma(a + b)
+	return la + lb - lab
+}
+
+// BetaIncReg returns the regularized incomplete beta function
+//
+//	I_x(a, b) = 1/B(a,b) * Integral_0^x t^{a-1} (1-t)^{b-1} dt
+//
+// for a, b > 0 and x in [0, 1] — the CDF at x of a Beta(a, b) random
+// variable. Invalid arguments yield NaN.
+func BetaIncReg(a, b, x float64) float64 {
+	switch {
+	case math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(x) || a <= 0 || b <= 0 || x < 0 || x > 1:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x == 1:
+		return 1
+	}
+	// Prefactor x^a (1-x)^b / (a B(a,b)), computed in logs.
+	logPre := a*math.Log(x) + b*math.Log1p(-x) - LogBeta(a, b)
+	if x < (a+1)/(a+b+2) {
+		return Clamp01(math.Exp(logPre) * betaCF(a, b, x) / a)
+	}
+	return Clamp01(1 - math.Exp(logPre)*betaCF(b, a, 1-x)/b)
+}
+
+// betaCF evaluates the continued fraction of the incomplete beta
+// function by the modified Lentz method (Numerical Recipes betacf).
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 512
+		tiny    = 1e-300
+		eps     = 1e-16
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := 2 * float64(m)
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// BetaIncRegInv returns the x in [0, 1] solving I_x(a, b) = p — the
+// quantile function of the Beta(a, b) law — by bisection refined with
+// safeguarded Newton steps.
+func BetaIncRegInv(a, b, p float64) float64 {
+	switch {
+	case math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(p) || a <= 0 || b <= 0 || p < 0 || p > 1:
+		return math.NaN()
+	case p == 0:
+		return 0
+	case p == 1:
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	x := a / (a + b) // start at the mean
+	logB := LogBeta(a, b)
+	for i := 0; i < 200; i++ {
+		f := BetaIncReg(a, b, x) - p
+		if f > 0 {
+			hi = x
+		} else {
+			lo = x
+		}
+		// Newton step with the beta density.
+		logPDF := (a-1)*math.Log(x) + (b-1)*math.Log1p(-x) - logB
+		var xn float64
+		if pdf := math.Exp(logPDF); pdf > 0 && !math.IsInf(pdf, 0) {
+			xn = x - f/pdf
+		} else {
+			xn = math.NaN()
+		}
+		if !(xn > lo && xn < hi) {
+			xn = 0.5 * (lo + hi)
+		}
+		if math.Abs(xn-x) <= 1e-15*(1+x) {
+			return xn
+		}
+		x = xn
+	}
+	return x
+}

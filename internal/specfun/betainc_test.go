@@ -1,0 +1,87 @@
+package specfun
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogBeta(t *testing.T) {
+	// B(1,1)=1, B(2,3)=1/12, B(0.5,0.5)=pi.
+	almostEq(t, LogBeta(1, 1), 0, 1e-14, "logB(1,1)")
+	almostEq(t, LogBeta(2, 3), math.Log(1.0/12), 1e-13, "logB(2,3)")
+	almostEq(t, LogBeta(0.5, 0.5), math.Log(math.Pi), 1e-13, "logB(.5,.5)")
+}
+
+func TestBetaIncRegClosedForms(t *testing.T) {
+	// I_x(1,1) = x.
+	for _, x := range []float64{0, 0.2, 0.5, 0.9, 1} {
+		almostEq(t, BetaIncReg(1, 1, x), x, 1e-13, "I(1,1)")
+	}
+	// I_x(2,2) = 3x^2 - 2x^3.
+	for _, x := range []float64{0.1, 0.35, 0.5, 0.8} {
+		almostEq(t, BetaIncReg(2, 2, x), 3*x*x-2*x*x*x, 1e-12, "I(2,2)")
+	}
+	// I_x(1,b) = 1-(1-x)^b.
+	for _, x := range []float64{0.15, 0.6} {
+		almostEq(t, BetaIncReg(1, 4, x), 1-math.Pow(1-x, 4), 1e-12, "I(1,4)")
+	}
+	// I_x(0.5, 0.5) = 2/pi * asin(sqrt(x)) (arcsine law).
+	for _, x := range []float64{0.1, 0.5, 0.95} {
+		almostEq(t, BetaIncReg(0.5, 0.5, x), 2/math.Pi*math.Asin(math.Sqrt(x)), 1e-11, "arcsine")
+	}
+}
+
+func TestBetaIncRegSymmetry(t *testing.T) {
+	// I_x(a,b) = 1 - I_{1-x}(b,a).
+	prop := func(ua, ub, ux float64) bool {
+		a := 0.2 + math.Abs(math.Mod(ua, 10))
+		b := 0.2 + math.Abs(math.Mod(ub, 10))
+		x := math.Abs(math.Mod(ux, 1))
+		lhs := BetaIncReg(a, b, x)
+		rhs := 1 - BetaIncReg(b, a, 1-x)
+		return math.Abs(lhs-rhs) <= 1e-11
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetaIncRegMonotone(t *testing.T) {
+	prop := func(u1, u2 float64) bool {
+		x1 := math.Abs(math.Mod(u1, 1))
+		x2 := math.Abs(math.Mod(u2, 1))
+		lo, hi := math.Min(x1, x2), math.Max(x1, x2)
+		return BetaIncReg(2.5, 1.5, lo) <= BetaIncReg(2.5, 1.5, hi)+1e-14
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetaIncRegInvalid(t *testing.T) {
+	for _, bad := range [][3]float64{{0, 1, 0.5}, {1, -1, 0.5}, {1, 1, -0.1}, {1, 1, 1.1}} {
+		if !math.IsNaN(BetaIncReg(bad[0], bad[1], bad[2])) {
+			t.Errorf("BetaIncReg(%v) should be NaN", bad)
+		}
+	}
+}
+
+func TestBetaIncRegInvRoundTrip(t *testing.T) {
+	for _, ab := range [][2]float64{{1, 1}, {2, 2}, {0.5, 0.5}, {5, 2}, {0.8, 9}} {
+		for _, p := range []float64{1e-6, 0.01, 0.3, 0.5, 0.77, 0.99, 1 - 1e-8} {
+			x := BetaIncRegInv(ab[0], ab[1], p)
+			back := BetaIncReg(ab[0], ab[1], x)
+			// The deep upper tail is ill-conditioned (the density at the
+			// solution can be tiny); accept a looser absolute error there.
+			tol := 1e-9
+			if p > 1-1e-6 {
+				tol = 1e-7
+			}
+			almostEq(t, back, p, tol, "beta inv round trip")
+		}
+	}
+	if BetaIncRegInv(2, 3, 0) != 0 || BetaIncRegInv(2, 3, 1) != 1 {
+		t.Errorf("endpoints wrong")
+	}
+}

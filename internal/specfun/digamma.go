@@ -1,0 +1,59 @@
+package specfun
+
+import "math"
+
+// Digamma returns psi(x), the logarithmic derivative of the Gamma
+// function, for x > 0. Values at non-positive integers are poles and
+// return NaN; other negative arguments use the reflection formula.
+//
+// Digamma drives the Newton iteration in Gamma maximum-likelihood fitting
+// of task-duration traces (internal/trace).
+func Digamma(x float64) float64 {
+	if math.IsNaN(x) {
+		return math.NaN()
+	}
+	if x <= 0 {
+		if x == math.Floor(x) {
+			return math.NaN() // pole
+		}
+		// Reflection: psi(1-x) - psi(x) = pi*cot(pi*x).
+		return Digamma(1-x) - math.Pi/math.Tan(math.Pi*x)
+	}
+	var acc float64
+	// Recurrence psi(x) = psi(x+1) - 1/x until x is large enough for the
+	// asymptotic series.
+	for x < 12 {
+		acc -= 1 / x
+		x++
+	}
+	// Asymptotic expansion: ln x - 1/(2x) - sum B_{2n}/(2n x^{2n}).
+	inv := 1 / x
+	inv2 := inv * inv
+	series := inv2 * (1.0/12 - inv2*(1.0/120-inv2*(1.0/252-inv2*(1.0/240-inv2*(1.0/132-inv2*(691.0/32760))))))
+	return acc + math.Log(x) - 0.5*inv - series
+}
+
+// Trigamma returns psi'(x), the derivative of Digamma, for x > 0.
+func Trigamma(x float64) float64 {
+	if math.IsNaN(x) {
+		return math.NaN()
+	}
+	if x <= 0 {
+		if x == math.Floor(x) {
+			return math.NaN()
+		}
+		// Reflection: psi'(1-x) + psi'(x) = pi^2 / sin^2(pi*x).
+		s := math.Sin(math.Pi * x)
+		return math.Pi*math.Pi/(s*s) - Trigamma(1-x)
+	}
+	var acc float64
+	for x < 12 {
+		acc += 1 / (x * x)
+		x++
+	}
+	inv := 1 / x
+	inv2 := inv * inv
+	// 1/x + 1/(2x^2) + sum B_{2n}/x^{2n+1}.
+	series := inv * (1 + inv*(0.5+inv*(1.0/6-inv2*(1.0/30-inv2*(1.0/42-inv2*(1.0/30-inv2*(5.0/66)))))))
+	return acc + series
+}

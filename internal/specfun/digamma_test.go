@@ -1,0 +1,69 @@
+package specfun
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eulerGamma = 0.5772156649015328606065120900824024
+
+func TestDigammaKnownValues(t *testing.T) {
+	almostEq(t, Digamma(1), -eulerGamma, 1e-13, "psi(1)")
+	almostEq(t, Digamma(2), 1-eulerGamma, 1e-13, "psi(2)")
+	almostEq(t, Digamma(0.5), -eulerGamma-2*math.Ln2, 1e-13, "psi(1/2)")
+	almostEq(t, Digamma(10), 2.251752589066721107647456163885851, 1e-13, "psi(10)")
+}
+
+func TestDigammaRecurrenceProperty(t *testing.T) {
+	// psi(x+1) = psi(x) + 1/x.
+	f := func(u float64) bool {
+		x := 0.05 + math.Abs(math.Mod(u, 50))
+		return math.Abs(Digamma(x+1)-Digamma(x)-1/x) <= 1e-11*(1+math.Abs(Digamma(x)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigammaPoles(t *testing.T) {
+	for _, x := range []float64{0, -1, -2, -7} {
+		if !math.IsNaN(Digamma(x)) {
+			t.Fatalf("psi(%g) should be NaN (pole)", x)
+		}
+	}
+}
+
+func TestDigammaReflection(t *testing.T) {
+	// psi(1-x) - psi(x) = pi cot(pi x).
+	for _, x := range []float64{0.25, 0.4, 0.75} {
+		lhs := Digamma(1-x) - Digamma(x)
+		rhs := math.Pi / math.Tan(math.Pi*x)
+		almostEq(t, lhs, rhs, 1e-11, "digamma reflection")
+	}
+}
+
+func TestTrigammaKnownValues(t *testing.T) {
+	almostEq(t, Trigamma(1), math.Pi*math.Pi/6, 1e-12, "psi'(1)")
+	almostEq(t, Trigamma(0.5), math.Pi*math.Pi/2, 1e-12, "psi'(1/2)")
+	almostEq(t, Trigamma(2), math.Pi*math.Pi/6-1, 1e-12, "psi'(2)")
+}
+
+func TestTrigammaRecurrenceProperty(t *testing.T) {
+	// psi'(x+1) = psi'(x) - 1/x^2.
+	f := func(u float64) bool {
+		x := 0.05 + math.Abs(math.Mod(u, 50))
+		return math.Abs(Trigamma(x+1)-Trigamma(x)+1/(x*x)) <= 1e-10*(1+Trigamma(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrigammaIsDigammaDerivative(t *testing.T) {
+	for _, x := range []float64{0.7, 1.5, 3, 12} {
+		h := 1e-5
+		num := (Digamma(x+h) - Digamma(x-h)) / (2 * h)
+		almostEq(t, Trigamma(x), num, 1e-5, "psi' numeric check")
+	}
+}

@@ -1,0 +1,109 @@
+package specfun
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGammaIncPExponentialSpecialCase(t *testing.T) {
+	// P(1, x) = 1 - e^{-x} (Exponential CDF).
+	for _, x := range []float64{0, 0.1, 1, 2.5, 10, 50} {
+		almostEq(t, GammaIncP(1, x), -math.Expm1(-x), 1e-13, "P(1,x)")
+	}
+}
+
+func TestGammaIncPErlang(t *testing.T) {
+	// P(2, x) = 1 - (1+x) e^{-x}.
+	for _, x := range []float64{0.5, 1, 3, 8} {
+		want := 1 - (1+x)*math.Exp(-x)
+		almostEq(t, GammaIncP(2, x), want, 1e-13, "P(2,x)")
+	}
+	// P(3, x) = 1 - (1 + x + x^2/2) e^{-x}.
+	for _, x := range []float64{0.5, 2, 6} {
+		want := 1 - (1+x+x*x/2)*math.Exp(-x)
+		almostEq(t, GammaIncP(3, x), want, 1e-13, "P(3,x)")
+	}
+}
+
+func TestGammaIncHalfIntegerIsChiSquare(t *testing.T) {
+	// P(1/2, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.01, 0.25, 1, 4, 9} {
+		almostEq(t, GammaIncP(0.5, x), math.Erf(math.Sqrt(x)), 1e-13, "P(.5,x)=erf(sqrt x)")
+	}
+}
+
+func TestGammaIncComplement(t *testing.T) {
+	f := func(ua, ux float64) bool {
+		a := 0.05 + math.Abs(math.Mod(ua, 50))
+		x := math.Abs(math.Mod(ux, 100))
+		p := GammaIncP(a, x)
+		q := GammaIncQ(a, x)
+		return p >= 0 && p <= 1 && q >= 0 && q <= 1 && math.Abs(p+q-1) <= 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaIncMonotoneInX(t *testing.T) {
+	f := func(ua, u1, u2 float64) bool {
+		a := 0.05 + math.Abs(math.Mod(ua, 20))
+		x1 := math.Abs(math.Mod(u1, 60))
+		x2 := math.Abs(math.Mod(u2, 60))
+		lo, hi := math.Min(x1, x2), math.Max(x1, x2)
+		return GammaIncP(a, lo) <= GammaIncP(a, hi)+1e-13
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaIncInvalid(t *testing.T) {
+	if !math.IsNaN(GammaIncP(0, 1)) || !math.IsNaN(GammaIncP(-1, 1)) || !math.IsNaN(GammaIncP(1, -1)) {
+		t.Fatalf("invalid arguments must yield NaN")
+	}
+	if GammaIncP(3, 0) != 0 || GammaIncQ(3, 0) != 1 {
+		t.Fatalf("x=0 boundary wrong")
+	}
+}
+
+func TestGammaIncPInvRoundTrip(t *testing.T) {
+	for _, a := range []float64{0.3, 0.5, 1, 2, 5, 17.5, 100} {
+		for _, p := range []float64{1e-8, 0.01, 0.2, 0.5, 0.9, 0.999, 1 - 1e-9} {
+			x := GammaIncPInv(a, p)
+			back := GammaIncP(a, x)
+			almostEq(t, back, p, 1e-9, "P(a, Pinv(a,p)) round trip")
+		}
+	}
+	if GammaIncPInv(2, 0) != 0 || !math.IsInf(GammaIncPInv(2, 1), 1) {
+		t.Fatalf("quantile endpoints wrong")
+	}
+}
+
+func TestPoissonCDFAgainstDirectSum(t *testing.T) {
+	for _, lambda := range []float64{0.5, 3, 10, 30} {
+		sum := 0.0
+		for k := 0; k <= 60; k++ {
+			sum += math.Exp(LogPoissonPMF(k, lambda))
+			got := PoissonCDF(float64(k), lambda)
+			almostEq(t, got, sum, 1e-11, "Poisson CDF vs direct sum")
+		}
+	}
+	if PoissonCDF(-1, 3) != 0 {
+		t.Fatalf("negative k must give 0")
+	}
+	if PoissonCDF(5, 0) != 1 {
+		t.Fatalf("lambda=0 must give 1")
+	}
+}
+
+func TestLogPoissonPMFNormalization(t *testing.T) {
+	for _, lambda := range []float64{0.1, 1, 5, 25} {
+		sum := 0.0
+		for k := 0; k < 200; k++ {
+			sum += math.Exp(LogPoissonPMF(k, lambda))
+		}
+		almostEq(t, sum, 1, 1e-10, "Poisson PMF sums to 1")
+	}
+}

@@ -1,0 +1,106 @@
+package specfun
+
+import "math"
+
+// eInv is 1/e, the negated branch point of the Lambert W function.
+const eInv = 0.36787944117144232159552377016146087
+
+// LambertW0 returns the principal branch W0 of the Lambert W function:
+// the solution w >= -1 of w*exp(w) = z, defined for z >= -1/e.
+// It returns NaN for z < -1/e (up to a small tolerance around the branch
+// point, where -1 is returned).
+//
+// The optimal checkpoint instant under a truncated Exponential checkpoint
+// law (Section 3.2.2 of the paper) is
+//
+//	X_opt = min( (lambda*R + 1 - W0(exp(-lambda*a + lambda*R + 1))) / lambda, b ).
+//
+// For that use case prefer LambertWExpArg, which avoids overflow of the
+// exponential argument.
+func LambertW0(z float64) float64 {
+	switch {
+	case math.IsNaN(z):
+		return math.NaN()
+	case math.IsInf(z, 1):
+		return math.Inf(1)
+	case z < -eInv:
+		if z > -eInv-1e-12 {
+			return -1
+		}
+		return math.NaN()
+	case z == 0:
+		return 0
+	}
+
+	// Initial guess.
+	var w float64
+	switch {
+	case z < -0.32358170806015724: // close-ish to the branch point -1/e
+		// Series around the branch point in p = sqrt(2(e z + 1)).
+		p := math.Sqrt(2 * (math.E*z + 1))
+		w = -1 + p - p*p/3 + 11.0/72.0*p*p*p
+	case z < 0.5:
+		// Series guess near zero: W ~ z (1 - z + 3/2 z^2 ...).
+		w = z * (1 - z + 1.5*z*z)
+	case z < 2*math.E:
+		// ln(1+z) is within a few percent of W on this range and keeps
+		// the asymptotic guess (which needs ln ln z > 0) out of trouble.
+		w = math.Log(1 + z)
+	default:
+		// Asymptotic guess: W ~ ln z - ln ln z.
+		l1 := math.Log(z)
+		l2 := math.Log(l1)
+		w = l1 - l2 + l2/l1
+	}
+
+	return halleyW(w, z)
+}
+
+// halleyW runs Halley iterations for w*e^w = z starting from w0.
+func halleyW(w, z float64) float64 {
+	for i := 0; i < 64; i++ {
+		ew := math.Exp(w)
+		f := w*ew - z
+		if f == 0 {
+			return w
+		}
+		wp1 := w + 1
+		denom := ew*wp1 - (w+2)*f/(2*wp1)
+		dw := f / denom
+		w -= dw
+		if math.Abs(dw) <= 1e-16*(1+math.Abs(w)) {
+			return w
+		}
+	}
+	return w
+}
+
+// LambertWExpArg returns W0(exp(y)) for any real y, without forming
+// exp(y). For w > 0 this is the unique solution of w + log(w) = y; the
+// function remains accurate for y as large as 1e300 where exp(y)
+// overflows, and falls back to LambertW0(exp(y)) when y is small enough
+// for the direct evaluation to be exact.
+func LambertWExpArg(y float64) float64 {
+	if math.IsNaN(y) {
+		return math.NaN()
+	}
+	if math.IsInf(y, 1) {
+		return math.Inf(1)
+	}
+	// exp(y) is representable and the direct path is well-conditioned.
+	if y < 700 {
+		return LambertW0(math.Exp(y))
+	}
+	// Solve w + ln(w) = y by Newton, starting at the two-term asymptote.
+	// For y >= 700 convergence takes a handful of iterations.
+	w := y - math.Log(y)
+	for i := 0; i < 64; i++ {
+		f := w + math.Log(w) - y
+		dw := f / (1 + 1/w)
+		w -= dw
+		if math.Abs(dw) <= 1e-16*(1+math.Abs(w)) {
+			break
+		}
+	}
+	return w
+}

@@ -1,0 +1,73 @@
+package specfun
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLambertW0KnownValues(t *testing.T) {
+	almostEq(t, LambertW0(0), 0, 1e-16, "W(0)")
+	almostEq(t, LambertW0(math.E), 1, 1e-14, "W(e)")
+	almostEq(t, LambertW0(2*math.E*math.E), 2, 1e-14, "W(2e^2)")
+	almostEq(t, LambertW0(1), 0.5671432904097838, 1e-14, "W(1) omega constant")
+	almostEq(t, LambertW0(-eInv), -1, 1e-6, "W(-1/e) branch point")
+	almostEq(t, LambertW0(10), 1.7455280027406994, 1e-13, "W(10)")
+	almostEq(t, LambertW0(-0.2), -0.2591711018190738, 1e-12, "W(-0.2)")
+	almostEq(t, LambertW0(-0.35), -0.7166388164560739, 1e-8, "W(-0.35) near branch")
+}
+
+func TestLambertW0Invalid(t *testing.T) {
+	if !math.IsNaN(LambertW0(-1)) {
+		t.Fatalf("W0(-1) must be NaN")
+	}
+	if !math.IsInf(LambertW0(math.Inf(1)), 1) {
+		t.Fatalf("W0(+inf) must be +inf")
+	}
+	if !math.IsNaN(LambertW0(math.NaN())) {
+		t.Fatalf("W0(NaN) must be NaN")
+	}
+}
+
+func TestLambertW0DefiningProperty(t *testing.T) {
+	f := func(u float64) bool {
+		z := math.Abs(math.Mod(u, 1e6)) // z in [0, 1e6)
+		w := LambertW0(z)
+		return math.Abs(w*math.Exp(w)-z) <= 1e-10*(1+z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLambertWExpArgMatchesDirect(t *testing.T) {
+	for _, y := range []float64{-5, -1, 0, 1, 2, 10, 100, 650} {
+		almostEq(t, LambertWExpArg(y), LambertW0(math.Exp(y)), 1e-12, "W(e^y) vs direct")
+	}
+}
+
+func TestLambertWExpArgHugeArguments(t *testing.T) {
+	// For huge y, w + ln w = y must hold even though e^y overflows.
+	for _, y := range []float64{800, 1e4, 1e8, 1e15} {
+		w := LambertWExpArg(y)
+		if math.IsInf(w, 0) || math.IsNaN(w) {
+			t.Fatalf("W(e^%g) not finite: %v", y, w)
+		}
+		resid := w + math.Log(w) - y
+		if math.Abs(resid) > 1e-9*(1+y) {
+			t.Fatalf("W(e^%g): residual %g too large", y, resid)
+		}
+	}
+}
+
+func TestLambertWExpArgMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(math.Abs(a), 2000)
+		b = math.Mod(math.Abs(b), 2000)
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return LambertWExpArg(lo) <= LambertWExpArg(hi)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package specfun
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.IsNaN(got) != math.IsNaN(want) {
+		t.Fatalf("%s: got %v, want %v", msg, got, want)
+	}
+	if math.IsNaN(want) {
+		return
+	}
+	if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+		t.Fatalf("%s: got %.17g, want %.17g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func TestNormPDFKnownValues(t *testing.T) {
+	almostEq(t, NormPDF(0), 0.3989422804014327, 1e-15, "phi(0)")
+	almostEq(t, NormPDF(1), 0.24197072451914337, 1e-15, "phi(1)")
+	almostEq(t, NormPDF(-1), NormPDF(1), 1e-16, "phi symmetry")
+	almostEq(t, NormPDF(3), 0.0044318484119380075, 1e-14, "phi(3)")
+}
+
+func TestNormCDFKnownValues(t *testing.T) {
+	almostEq(t, NormCDF(0), 0.5, 1e-16, "Phi(0)")
+	almostEq(t, NormCDF(1), 0.8413447460685429, 1e-14, "Phi(1)")
+	almostEq(t, NormCDF(-1), 0.15865525393145705, 1e-14, "Phi(-1)")
+	almostEq(t, NormCDF(1.959963984540054), 0.975, 1e-13, "Phi(z_.975)")
+	almostEq(t, NormCDF(-6), 9.865876450376946e-10, 1e-12, "Phi(-6)")
+}
+
+func TestNormSFComplement(t *testing.T) {
+	for _, x := range []float64{-8, -3, -1, 0, 0.5, 2, 7} {
+		almostEq(t, NormSF(x), NormCDF(-x), 1e-15, "SF symmetry")
+	}
+}
+
+func TestLogNormCDFDeepTail(t *testing.T) {
+	// Reference: log Phi(-40) via Mills ratio, about -804.608...
+	got := LogNormCDF(-40)
+	// phi(-40)/40 * (1 - 1/1600 + ...) -> log = -800 - 0.5*ln(2pi) - ln 40 + log corr
+	want := -0.5*40*40 - 0.5*ln2Pi - math.Log(40) + math.Log(1-1.0/1600+3.0/1600/1600-15.0/math.Pow(1600, 3))
+	almostEq(t, got, want, 1e-12, "logPhi(-40)")
+	if !math.IsInf(LogNormCDF(math.Inf(-1)), -1) && LogNormCDF(-1e10) > -1e19 {
+		t.Fatalf("deep tail should be hugely negative")
+	}
+}
+
+func TestLogNormCDFMatchesDirect(t *testing.T) {
+	for _, x := range []float64{-37, -20, -5, -1.5, -0.5, 0, 1, 4, 10} {
+		almostEq(t, LogNormCDF(x), math.Log(NormCDF(x)), 1e-12, "logPhi consistency")
+	}
+}
+
+func TestNormQuantileKnownValues(t *testing.T) {
+	almostEq(t, NormQuantile(0.5), 0, 1e-15, "q(0.5)")
+	almostEq(t, NormQuantile(0.975), 1.959963984540054, 1e-12, "q(0.975)")
+	almostEq(t, NormQuantile(0.025), -1.959963984540054, 1e-12, "q(0.025)")
+	almostEq(t, NormQuantile(0.8413447460685429), 1, 1e-12, "q(Phi(1))")
+	if !math.IsInf(NormQuantile(0), -1) || !math.IsInf(NormQuantile(1), 1) {
+		t.Fatalf("quantile endpoints must be infinite")
+	}
+	if !math.IsNaN(NormQuantile(-0.1)) || !math.IsNaN(NormQuantile(1.1)) {
+		t.Fatalf("quantile outside [0,1] must be NaN")
+	}
+}
+
+func TestNormQuantileRoundTripProperty(t *testing.T) {
+	f := func(u float64) bool {
+		p := math.Abs(math.Mod(u, 1)) // p in [0,1)
+		if p == 0 {
+			p = 0.5
+		}
+		x := NormQuantile(p)
+		back := NormCDF(x)
+		return math.Abs(back-p) <= 1e-12*(1+p) || (p < 1e-300)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormCDFMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 50)
+		b = math.Mod(b, 50)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return NormCDF(lo) <= NormCDF(hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormCDFInterval(t *testing.T) {
+	almostEq(t, NormCDFInterval(-1, 1), 0.6826894921370859, 1e-13, "68-95 rule")
+	almostEq(t, NormCDFInterval(5, 6), NormSF(5)-NormSF(6), 1e-15, "right tail")
+	if NormCDFInterval(2, 1) != 0 {
+		t.Fatalf("reversed interval must be 0")
+	}
+	// Deep right tail must not cancel to zero.
+	if NormCDFInterval(10, 11) <= 0 {
+		t.Fatalf("deep right tail interval lost to cancellation")
+	}
+}

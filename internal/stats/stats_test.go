@@ -1,0 +1,292 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"reskit/internal/dist"
+	"reskit/internal/rng"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("mean %g", s.Mean())
+	}
+	// Population variance of this classic sample is 4; unbiased = 32/7.
+	if math.Abs(s.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("variance %g", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("extrema %g %g", s.Min(), s.Max())
+	}
+	if s.CI95() <= 0 {
+		t.Errorf("CI95 %g", s.CI95())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 {
+		t.Errorf("empty summary moments")
+	}
+	if !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Errorf("empty summary extrema")
+	}
+	if !math.IsInf(s.StdErr(), 1) {
+		t.Errorf("empty summary stderr")
+	}
+}
+
+func TestSummaryMergeEqualsSequential(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 50 + r.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormalMS(3, 2)
+		}
+		var whole Summary
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		var a, b Summary
+		cut := n / 3
+		for _, x := range xs[:cut] {
+			a.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		return a.N() == whole.N() &&
+			math.Abs(a.Mean()-whole.Mean()) < 1e-10 &&
+			math.Abs(a.Variance()-whole.Variance()) < 1e-8 &&
+			a.Min() == whole.Min() && a.Max() == whole.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMergeWithEmpty(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	a.Add(3)
+	a.Merge(b) // no-op
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Errorf("merge with empty changed summary")
+	}
+	b.Merge(a) // adopt
+	if b.N() != 2 || b.Mean() != 2 {
+		t.Errorf("empty.Merge(full) wrong")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 || Quantile(xs, 0.5) != 3 {
+		t.Errorf("quantiles wrong")
+	}
+	if math.Abs(Quantile(xs, 0.25)-2) > 1e-12 {
+		t.Errorf("q25 %g", Quantile(xs, 0.25))
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) || !math.IsNaN(Quantile(xs, -0.1)) {
+		t.Errorf("invalid inputs")
+	}
+	// Input must not be reordered.
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Errorf("input mutated: %v", ys)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%10) + 0.5)
+	}
+	for i, c := range h.Counts {
+		if c != 10 {
+			t.Errorf("bin %d: %d", i, c)
+		}
+	}
+	h.Add(-1)
+	h.Add(11)
+	h.Add(10) // boundary goes to last bin
+	under, over := h.Outliers()
+	if under != 1 || over != 1 {
+		t.Errorf("outliers %d %d", under, over)
+	}
+	if h.Counts[9] != 11 {
+		t.Errorf("boundary handling: %d", h.Counts[9])
+	}
+	d := h.Density()
+	var integral float64
+	for _, v := range d {
+		integral += v * 1.0
+	}
+	if math.Abs(integral-float64(101)/103) > 1e-12 {
+		t.Errorf("density integral %g", integral)
+	}
+}
+
+func TestKSAcceptsCorrectLaw(t *testing.T) {
+	laws := []dist.Continuous{
+		dist.NewNormal(3, 0.5),
+		dist.NewGamma(2, 1),
+		dist.NewUniform(1, 7.5),
+		dist.Truncate(dist.NewNormal(5, 0.4), 0, math.Inf(1)),
+		dist.Truncate(dist.NewExponential(0.5), 1, 5),
+		dist.NewLogNormal(0.5, 0.3),
+		dist.NewWeibull(1.5, 2),
+	}
+	for i, d := range laws {
+		r := rng.New(uint64(1000 + i))
+		sample := make([]float64, 5000)
+		for j := range sample {
+			sample[j] = d.Sample(r)
+		}
+		res := KolmogorovSmirnov(sample, d.CDF)
+		if res.PValue < 0.001 {
+			t.Errorf("%v: KS rejected its own sampler (D=%g, p=%g)", d, res.Statistic, res.PValue)
+		}
+	}
+}
+
+func TestKSRejectsWrongLaw(t *testing.T) {
+	d := dist.NewNormal(3, 0.5)
+	wrong := dist.NewNormal(3.2, 0.5)
+	r := rng.New(77)
+	sample := make([]float64, 5000)
+	for j := range sample {
+		sample[j] = d.Sample(r)
+	}
+	res := KolmogorovSmirnov(sample, wrong.CDF)
+	if res.PValue > 0.01 {
+		t.Errorf("KS failed to reject shifted law (p=%g)", res.PValue)
+	}
+}
+
+func TestKSEmptySample(t *testing.T) {
+	res := KolmogorovSmirnov(nil, func(float64) float64 { return 0.5 })
+	if !math.IsNaN(res.Statistic) {
+		t.Errorf("empty sample should give NaN")
+	}
+}
+
+func TestChiSquarePoissonSampler(t *testing.T) {
+	p := dist.NewPoisson(4)
+	r := rng.New(42)
+	const n = 100000
+	const kMax = 20
+	observed := make([]int64, kMax+1)
+	for i := 0; i < n; i++ {
+		k := p.Sample(r)
+		if k > kMax {
+			k = kMax
+		}
+		observed[k]++
+	}
+	expected := make([]float64, kMax+1)
+	var tail float64 = 1
+	for k := 0; k < kMax; k++ {
+		expected[k] = p.PMF(k) * n
+		tail -= p.PMF(k)
+	}
+	expected[kMax] = tail * n
+	res := ChiSquare(observed, expected, 5)
+	if res.PValue < 0.001 {
+		t.Errorf("chi-square rejected Poisson sampler: chi2=%g dof=%d p=%g",
+			res.Statistic, res.DoF, res.PValue)
+	}
+}
+
+func TestChiSquareRejectsWrongLaw(t *testing.T) {
+	// Counts from Poisson(4) tested against Poisson(5).
+	p := dist.NewPoisson(4)
+	q := dist.NewPoisson(5)
+	r := rng.New(43)
+	const n = 100000
+	const kMax = 20
+	observed := make([]int64, kMax+1)
+	for i := 0; i < n; i++ {
+		k := p.Sample(r)
+		if k > kMax {
+			k = kMax
+		}
+		observed[k]++
+	}
+	expected := make([]float64, kMax+1)
+	var tail float64 = 1
+	for k := 0; k < kMax; k++ {
+		expected[k] = q.PMF(k) * n
+		tail -= q.PMF(k)
+	}
+	expected[kMax] = tail * n
+	res := ChiSquare(observed, expected, 5)
+	if res.PValue > 1e-6 {
+		t.Errorf("chi-square failed to reject wrong Poisson (p=%g)", res.PValue)
+	}
+}
+
+func TestChiSquareDegenerate(t *testing.T) {
+	res := ChiSquare([]int64{5}, []float64{5}, 5)
+	if res.DoF != 0 || res.PValue != 1 {
+		t.Errorf("single-cell test should be vacuous: %+v", res)
+	}
+	res = ChiSquare([]int64{1, 2}, []float64{1}, 5)
+	if !math.IsNaN(res.Statistic) {
+		t.Errorf("mismatched lengths should give NaN")
+	}
+}
+
+func TestAndersonDarlingAcceptsCorrectLaw(t *testing.T) {
+	laws := []dist.Continuous{
+		dist.NewNormal(3, 0.5),
+		dist.NewGamma(2, 1),
+		dist.Truncate(dist.NewNormal(5, 0.4), 0, math.Inf(1)),
+		dist.NewWeibull(1.5, 2),
+	}
+	for i, d := range laws {
+		r := rng.New(uint64(2000 + i))
+		sample := make([]float64, 4000)
+		for j := range sample {
+			sample[j] = d.Sample(r)
+		}
+		res := AndersonDarling(sample, d.CDF)
+		if res.PValue < 0.001 {
+			t.Errorf("%v: AD rejected its own sampler (A2=%g, p=%g)", d, res.Statistic, res.PValue)
+		}
+	}
+}
+
+func TestAndersonDarlingRejectsWrongTail(t *testing.T) {
+	// A law with the right center but wrong tail: AD must catch it.
+	d := dist.NewGamma(2, 1)                 // mean 2, right-skewed
+	wrong := dist.NewNormal(2, math.Sqrt(2)) // same mean/variance, wrong tails
+	r := rng.New(88)
+	sample := make([]float64, 4000)
+	for j := range sample {
+		sample[j] = d.Sample(r)
+	}
+	res := AndersonDarling(sample, wrong.CDF)
+	if res.PValue > 0.01 {
+		t.Errorf("AD failed to reject wrong-tailed law (p=%g)", res.PValue)
+	}
+}
+
+func TestAndersonDarlingEmpty(t *testing.T) {
+	res := AndersonDarling(nil, func(float64) float64 { return 0.5 })
+	if !math.IsNaN(res.Statistic) {
+		t.Errorf("empty sample should give NaN")
+	}
+}

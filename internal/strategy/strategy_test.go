@@ -1,0 +1,206 @@
+package strategy
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"reskit/internal/core"
+	"reskit/internal/dist"
+)
+
+func TestActionString(t *testing.T) {
+	if Continue.String() != "continue" || Checkpoint.String() != "checkpoint" || Stop.String() != "stop" {
+		t.Errorf("action names wrong")
+	}
+	if !strings.Contains(Action(9).String(), "9") {
+		t.Errorf("unknown action formatting")
+	}
+}
+
+func TestStaticPolicy(t *testing.T) {
+	s := NewStatic(7)
+	if s.Decide(State{TasksDone: 6}) != Continue {
+		t.Errorf("should continue before n")
+	}
+	if s.Decide(State{TasksDone: 7}) != Checkpoint {
+		t.Errorf("should checkpoint at n")
+	}
+	if s.Decide(State{TasksDone: 12}) != Checkpoint {
+		t.Errorf("should checkpoint past n")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("NewStatic(0) must panic")
+		}
+	}()
+	NewStatic(0)
+}
+
+func TestDynamicPolicyMatchesCoreRule(t *testing.T) {
+	task := dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1))
+	ckpt := dist.Truncate(dist.NewNormal(5, 0.4), 0, math.Inf(1))
+	d := core.NewDynamic(29, task, ckpt)
+	pol := NewDynamic(d)
+
+	wInt, err := d.Intersection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := State{R: 29, Elapsed: wInt - 2, Work: wInt - 2, TasksDone: 5}
+	if pol.Decide(low) != Continue {
+		t.Errorf("below W_int must continue")
+	}
+	high := State{R: 29, Elapsed: wInt + 2, Work: wInt + 2, TasksDone: 8}
+	if pol.Decide(high) != Checkpoint {
+		t.Errorf("above W_int must checkpoint")
+	}
+	// Zero work: never checkpoint (nothing to save).
+	if pol.Decide(State{R: 29}) != Continue {
+		t.Errorf("zero work must continue")
+	}
+	// Zero work, no time left: stop.
+	if pol.Decide(State{R: 29, Elapsed: 29}) != Stop {
+		t.Errorf("exhausted reservation with nothing to save must stop")
+	}
+}
+
+func TestDynamicPolicyAfterEarlierCheckpoint(t *testing.T) {
+	// After an earlier checkpoint consumed time, the budget shrinks: a
+	// work level that would continue at elapsed==work may checkpoint when
+	// elapsed is much larger.
+	task := dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1))
+	ckpt := dist.Truncate(dist.NewNormal(5, 0.4), 0, math.Inf(1))
+	d := core.NewDynamic(29, task, ckpt)
+	pol := NewDynamic(d)
+
+	w := 9.0
+	fresh := State{R: 29, Elapsed: w, Work: w, TasksDone: 3}
+	if pol.Decide(fresh) != Continue {
+		t.Fatalf("w=9 at elapsed=9 should continue")
+	}
+	late := State{R: 29, Elapsed: 23.5, Work: w, TasksDone: 3, Committed: 9, Checkpoint: 1}
+	if pol.Decide(late) != Checkpoint {
+		t.Errorf("w=9 at elapsed=23.5 should checkpoint (budget ~5.5 ~ muC)")
+	}
+}
+
+func TestPessimisticPolicy(t *testing.T) {
+	p := NewPessimistic(4, 6)
+	if p.Decide(State{R: 29, Elapsed: 18, Work: 18}) != Continue {
+		t.Errorf("18+4+6 <= 29: continue")
+	}
+	if p.Decide(State{R: 29, Elapsed: 20, Work: 20}) != Checkpoint {
+		t.Errorf("20+4+6 > 29: checkpoint")
+	}
+	if p.Decide(State{R: 29, Elapsed: 20, Work: 0}) != Stop {
+		t.Errorf("nothing to save: stop")
+	}
+}
+
+func TestWorkThresholdPolicy(t *testing.T) {
+	w := NewWorkThreshold(20.3)
+	if w.Decide(State{Work: 20.0}) != Continue {
+		t.Errorf("below threshold")
+	}
+	if w.Decide(State{Work: 20.3}) != Checkpoint {
+		t.Errorf("at threshold")
+	}
+	if !strings.Contains(w.Name(), "20.3") {
+		t.Errorf("name %q", w.Name())
+	}
+}
+
+func TestNeverPolicy(t *testing.T) {
+	var n Never
+	if n.Decide(State{Work: 1e9}) != Continue {
+		t.Errorf("never must always continue")
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	s := State{R: 29, Elapsed: 11}
+	if s.Remaining() != 18 {
+		t.Errorf("remaining %g", s.Remaining())
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewPessimistic(0, 1) },
+		func() { NewPessimistic(1, math.Inf(1)) },
+		func() { NewWorkThreshold(-1) },
+		func() { NewWorkThreshold(math.NaN()) },
+		func() { NewDynamic(nil) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDynamicFastPathAgreesWithFullRule(t *testing.T) {
+	// The cached-threshold fast path (elapsed == work) must agree with
+	// the full expectation comparison everywhere except possibly within
+	// root-finding tolerance of W_int.
+	task := dist.NewGamma(1, 0.5)
+	ckpt := dist.Truncate(dist.NewNormal(2, 0.4), 0, math.Inf(1))
+	d := core.NewDynamic(10, task, ckpt)
+	pol := NewDynamic(d)
+	wInt, err := d.Intersection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 400; i++ {
+		w := 10 * float64(i) / 401
+		if math.Abs(w-wInt) < 1e-3 {
+			continue
+		}
+		fast := pol.Decide(State{R: 10, Elapsed: w, Work: w, TasksDone: 1})
+		slow := Continue
+		if d.ShouldCheckpointAt(w, w) {
+			slow = Checkpoint
+		}
+		if fast != slow {
+			t.Fatalf("w=%g: fast %v, slow %v (W_int=%g)", w, fast, slow, wInt)
+		}
+	}
+}
+
+func TestPeriodicPolicy(t *testing.T) {
+	p := NewPeriodic(10)
+	if p.Decide(State{Work: 9.9}) != Continue {
+		t.Errorf("below period must continue")
+	}
+	if p.Decide(State{Work: 10}) != Checkpoint {
+		t.Errorf("at period must checkpoint")
+	}
+	yd := NewYoungDaly(100, 2)
+	want := math.Sqrt(2 * 100 * 2)
+	if math.Abs(yd.P-want) > 1e-12 {
+		t.Errorf("Young/Daly period %g want %g", yd.P, want)
+	}
+	if !strings.Contains(yd.Name(), "periodic") {
+		t.Errorf("name %q", yd.Name())
+	}
+	for i, f := range []func(){
+		func() { NewPeriodic(0) },
+		func() { NewYoungDaly(-1, 2) },
+		func() { NewYoungDaly(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,289 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"reskit/internal/dist"
+	"reskit/internal/specfun"
+)
+
+// ErrTooFewObservations is returned when a fit needs more data.
+var ErrTooFewObservations = errors.New("trace: too few observations to fit")
+
+// Fit is the outcome of fitting one parametric family to a trace.
+type Fit struct {
+	Law       dist.Continuous // the fitted law
+	Family    string          // "normal", "lognormal", "exponential", "gamma", "weibull"
+	LogLik    float64         // maximized log-likelihood
+	NumParams int             // free parameters of the family
+	N         int             // observations used
+}
+
+// AIC returns the Akaike information criterion 2k - 2 lnL (lower is
+// better).
+func (f Fit) AIC() float64 { return 2*float64(f.NumParams) - 2*f.LogLik }
+
+// String formats the fit for reports.
+func (f Fit) String() string {
+	return fmt.Sprintf("%s: %v (logLik=%.4g, AIC=%.4g, n=%d)", f.Family, f.Law, f.LogLik, f.AIC(), f.N)
+}
+
+// logLik sums the log-density of the law over the sample.
+func logLik(law dist.Continuous, xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += law.LogPDF(x)
+	}
+	return s
+}
+
+// moments returns the sample mean and the biased (MLE) variance.
+func moments(xs []float64) (mean, varMLE float64) {
+	n := float64(len(xs))
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	for _, x := range xs {
+		d := x - mean
+		varMLE += d * d
+	}
+	varMLE /= n
+	return mean, varMLE
+}
+
+// FitNormal fits N(mu, sigma^2) by maximum likelihood (sample mean and
+// biased sample variance). At least two distinct observations are
+// required.
+func FitNormal(t *Trace) (Fit, error) {
+	xs := t.Durations
+	if len(xs) < 2 {
+		return Fit{}, ErrTooFewObservations
+	}
+	mean, v := moments(xs)
+	if v <= 0 {
+		return Fit{}, fmt.Errorf("trace: degenerate sample (zero variance)")
+	}
+	law := dist.NewNormal(mean, math.Sqrt(v))
+	return Fit{Law: law, Family: "normal", LogLik: logLik(law, xs), NumParams: 2, N: len(xs)}, nil
+}
+
+// FitLogNormal fits LogNormal(mu, sigma) by maximum likelihood on the
+// logarithms. All observations must be strictly positive.
+func FitLogNormal(t *Trace) (Fit, error) {
+	xs := t.Durations
+	if len(xs) < 2 {
+		return Fit{}, ErrTooFewObservations
+	}
+	logs := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return Fit{}, fmt.Errorf("trace: non-positive duration %g cannot be lognormal", x)
+		}
+		logs[i] = math.Log(x)
+	}
+	mean, v := moments(logs)
+	if v <= 0 {
+		return Fit{}, fmt.Errorf("trace: degenerate sample (zero log-variance)")
+	}
+	law := dist.NewLogNormal(mean, math.Sqrt(v))
+	return Fit{Law: law, Family: "lognormal", LogLik: logLik(law, xs), NumParams: 2, N: len(xs)}, nil
+}
+
+// FitExponential fits Exponential(rate) by maximum likelihood
+// (rate = 1/mean). All observations must be nonnegative with positive
+// mean.
+func FitExponential(t *Trace) (Fit, error) {
+	xs := t.Durations
+	if len(xs) < 1 {
+		return Fit{}, ErrTooFewObservations
+	}
+	mean, _ := moments(xs)
+	if mean <= 0 {
+		return Fit{}, fmt.Errorf("trace: non-positive mean %g", mean)
+	}
+	law := dist.NewExponential(1 / mean)
+	return Fit{Law: law, Family: "exponential", LogLik: logLik(law, xs), NumParams: 1, N: len(xs)}, nil
+}
+
+// FitGamma fits Gamma(k, theta) by maximum likelihood: the shape solves
+// ln(k) - psi(k) = ln(mean) - mean(ln x), found by Newton from the
+// Minka/Choi-Wette starting point; the scale is mean/k.
+func FitGamma(t *Trace) (Fit, error) {
+	xs := t.Durations
+	if len(xs) < 2 {
+		return Fit{}, ErrTooFewObservations
+	}
+	var sum, sumLog float64
+	for _, x := range xs {
+		if x <= 0 {
+			return Fit{}, fmt.Errorf("trace: non-positive duration %g cannot be gamma", x)
+		}
+		sum += x
+		sumLog += math.Log(x)
+	}
+	n := float64(len(xs))
+	mean := sum / n
+	s := math.Log(mean) - sumLog/n // s > 0 by Jensen unless degenerate
+	if s <= 0 {
+		return Fit{}, fmt.Errorf("trace: degenerate sample for gamma fit")
+	}
+	// Starting point (Minka 2002).
+	k := (3 - s + math.Sqrt((s-3)*(s-3)+24*s)) / (12 * s)
+	for i := 0; i < 100; i++ {
+		f := math.Log(k) - specfun.Digamma(k) - s
+		df := 1/k - specfun.Trigamma(k)
+		step := f / df
+		kn := k - step
+		if kn <= 0 {
+			kn = k / 2
+		}
+		if math.Abs(kn-k) <= 1e-12*(1+k) {
+			k = kn
+			break
+		}
+		k = kn
+	}
+	law := dist.NewGamma(k, mean/k)
+	return Fit{Law: law, Family: "gamma", LogLik: logLik(law, xs), NumParams: 2, N: len(xs)}, nil
+}
+
+// FitWeibull fits Weibull(k, lambda) by maximum likelihood: the shape
+// solves the standard profile equation by Newton iteration; the scale
+// follows in closed form.
+func FitWeibull(t *Trace) (Fit, error) {
+	xs := t.Durations
+	if len(xs) < 2 {
+		return Fit{}, ErrTooFewObservations
+	}
+	var sumLog float64
+	for _, x := range xs {
+		if x <= 0 {
+			return Fit{}, fmt.Errorf("trace: non-positive duration %g cannot be weibull", x)
+		}
+		sumLog += math.Log(x)
+	}
+	n := float64(len(xs))
+	meanLog := sumLog / n
+
+	// Profile equation: g(k) = sum(x^k ln x)/sum(x^k) - 1/k - meanLog = 0.
+	g := func(k float64) float64 {
+		var sk, skl float64
+		for _, x := range xs {
+			xk := math.Pow(x, k)
+			sk += xk
+			skl += xk * math.Log(x)
+		}
+		return skl/sk - 1/k - meanLog
+	}
+	// g is increasing in k; bracket and bisect/Newton-free for
+	// robustness.
+	lo, hi := 1e-3, 1.0
+	for g(hi) < 0 && hi < 1e4 {
+		hi *= 2
+	}
+	k := hi
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if g(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-12*(1+hi) {
+			break
+		}
+		k = 0.5 * (lo + hi)
+	}
+	var sk float64
+	for _, x := range xs {
+		sk += math.Pow(x, k)
+	}
+	lambda := math.Pow(sk/n, 1/k)
+	law := dist.NewWeibull(k, lambda)
+	return Fit{Law: law, Family: "weibull", LogLik: logLik(law, xs), NumParams: 2, N: len(xs)}, nil
+}
+
+// FitAll fits every family that accepts the sample and returns the fits
+// sorted by ascending AIC (best first). Families that fail (e.g.
+// lognormal with zero durations) are skipped; an error is returned only
+// when no family fits.
+func FitAll(t *Trace) ([]Fit, error) {
+	fitters := []func(*Trace) (Fit, error){
+		FitNormal, FitLogNormal, FitExponential, FitGamma, FitWeibull,
+	}
+	var fits []Fit
+	for _, f := range fitters {
+		if fit, err := f(t); err == nil && !math.IsNaN(fit.LogLik) && !math.IsInf(fit.LogLik, 0) {
+			fits = append(fits, fit)
+		}
+	}
+	if len(fits) == 0 {
+		return nil, fmt.Errorf("trace: no parametric family fits the sample")
+	}
+	sort.Slice(fits, func(i, j int) bool { return fits[i].AIC() < fits[j].AIC() })
+	return fits, nil
+}
+
+// FitBest returns the AIC-best fit of FitAll.
+func FitBest(t *Trace) (Fit, error) {
+	fits, err := FitAll(t)
+	if err != nil {
+		return Fit{}, err
+	}
+	return fits[0], nil
+}
+
+// CheckpointLaw builds the D_C of Section 3 from a trace: it fits the
+// AIC-best family and truncates it to [a, b]. When a or b is NaN the
+// corresponding bound defaults to the observed minimum (times 0.95) or
+// maximum (times 1.05), mirroring how C_min and C_max would be estimated
+// from the log itself.
+func CheckpointLaw(t *Trace, a, b float64) (*dist.Truncated, Fit, error) {
+	fit, err := FitBest(t)
+	if err != nil {
+		return nil, Fit{}, err
+	}
+	lo, hi := t.Range()
+	if math.IsNaN(a) {
+		a = 0.95 * lo
+	}
+	if math.IsNaN(b) {
+		b = 1.05 * hi
+	}
+	if !(a < b) || a <= 0 {
+		return nil, Fit{}, fmt.Errorf("trace: invalid truncation bounds [%g, %g]", a, b)
+	}
+	return dist.Truncate(fit.Law, a, b), fit, nil
+}
+
+// FitPoisson fits a Poisson law to integer-valued durations by maximum
+// likelihood (lambda = sample mean). It returns an error when any
+// observation is not a nonnegative integer (within 1e-9) — the Poisson
+// task model of Sections 4.2.3/4.3.3 assumes discretized time.
+func FitPoisson(t *Trace) (dist.Poisson, float64, error) {
+	xs := t.Durations
+	if len(xs) < 1 {
+		return dist.Poisson{}, 0, ErrTooFewObservations
+	}
+	var sum float64
+	for _, x := range xs {
+		if x < 0 || math.Abs(x-math.Round(x)) > 1e-9 {
+			return dist.Poisson{}, 0, fmt.Errorf("trace: duration %g is not a nonnegative integer", x)
+		}
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean <= 0 {
+		return dist.Poisson{}, 0, fmt.Errorf("trace: all-zero sample cannot be Poisson-fitted")
+	}
+	law := dist.NewPoisson(mean)
+	var ll float64
+	for _, x := range xs {
+		ll += law.LogPMF(int(math.Round(x)))
+	}
+	return law, ll, nil
+}

@@ -1,0 +1,145 @@
+// Package trace turns logs of past checkpoint (or task) durations into
+// probability laws usable by the checkpoint-placement solvers. The
+// paper's introduction observes that the checkpoint-duration law "can be
+// learned from traces of previous checkpoints"; this package provides the
+// full loop: record durations, persist them as CSV or JSON, fit the
+// parametric families studied by the paper (Normal, LogNormal,
+// Exponential, Gamma, Weibull) by maximum likelihood, select the best
+// family by AIC, and truncate the winner to the observed (or a
+// user-chosen) support to obtain the D_C of Section 3.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Trace is a log of observed durations, in seconds.
+type Trace struct {
+	// Name labels the trace (e.g. the application or file set).
+	Name string `json:"name"`
+	// Durations are the observed values, in order of observation.
+	Durations []float64 `json:"durations"`
+	// RecordedAt is an optional capture timestamp.
+	RecordedAt time.Time `json:"recorded_at,omitempty"`
+}
+
+// Add appends one observation. Non-finite or negative values are
+// rejected with an error, since durations are physical times.
+func (t *Trace) Add(d float64) error {
+	if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+		return fmt.Errorf("trace: invalid duration %g", d)
+	}
+	t.Durations = append(t.Durations, d)
+	return nil
+}
+
+// Len returns the number of observations.
+func (t *Trace) Len() int { return len(t.Durations) }
+
+// Range returns the smallest and largest observation; it panics on an
+// empty trace.
+func (t *Trace) Range() (lo, hi float64) {
+	if len(t.Durations) == 0 {
+		panic("trace: Range of empty trace")
+	}
+	lo, hi = t.Durations[0], t.Durations[0]
+	for _, d := range t.Durations[1:] {
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	return lo, hi
+}
+
+// Mean returns the sample mean (0 on empty trace).
+func (t *Trace) Mean() float64 {
+	if len(t.Durations) == 0 {
+		return 0
+	}
+	var s float64
+	for _, d := range t.Durations {
+		s += d
+	}
+	return s / float64(len(t.Durations))
+}
+
+// WriteCSV writes the trace as lines of one duration each, preceded by a
+// comment header carrying the name.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# trace: %s\n", t.Name); err != nil {
+		return err
+	}
+	for _, d := range t.Durations {
+		if _, err := fmt.Fprintf(bw, "%.17g\n", d); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or any file with one
+// duration per line; '#' lines are comments, the first of which may name
+// the trace).
+func ReadCSV(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" {
+			continue
+		}
+		if strings.HasPrefix(s, "#") {
+			if t.Name == "" {
+				if rest, ok := strings.CutPrefix(s, "# trace:"); ok {
+					t.Name = strings.TrimSpace(rest)
+				}
+			}
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if err := t.Add(v); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WriteJSON writes the trace as a single JSON object.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadJSON parses a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, err
+	}
+	for _, d := range t.Durations {
+		if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+			return nil, fmt.Errorf("trace: invalid duration %g in JSON", d)
+		}
+	}
+	return &t, nil
+}

@@ -1,0 +1,305 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"reskit/internal/dist"
+	"reskit/internal/rng"
+)
+
+func sampleTrace(t *testing.T, law dist.Continuous, n int, seed uint64) *Trace {
+	t.Helper()
+	r := rng.New(seed)
+	tr := &Trace{Name: "synthetic"}
+	for i := 0; i < n; i++ {
+		if err := tr.Add(law.Sample(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestAddRejectsInvalid(t *testing.T) {
+	var tr Trace
+	for _, v := range []float64{math.NaN(), math.Inf(1), -0.1} {
+		if err := tr.Add(v); err == nil {
+			t.Errorf("Add(%g) should fail", v)
+		}
+	}
+	if err := tr.Add(0); err != nil {
+		t.Errorf("Add(0) should be allowed: %v", err)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len %d", tr.Len())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := &Trace{Name: "ckpt-io", Durations: []float64{1.5, 2.25, 3.125, 0.5}}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "ckpt-io" {
+		t.Errorf("name %q", back.Name)
+	}
+	if len(back.Durations) != 4 {
+		t.Fatalf("len %d", len(back.Durations))
+	}
+	for i, d := range back.Durations {
+		if d != tr.Durations[i] {
+			t.Errorf("duration %d: %g vs %g", i, d, tr.Durations[i])
+		}
+	}
+}
+
+func TestCSVBadInput(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("1.5\nnot-a-number\n")); err == nil {
+		t.Errorf("expected parse error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1.5\n-3\n")); err == nil {
+		t.Errorf("expected negative-duration error")
+	}
+	tr, err := ReadCSV(strings.NewReader("# comment\n\n  2.5  \n"))
+	if err != nil || tr.Len() != 1 || tr.Durations[0] != 2.5 {
+		t.Errorf("whitespace/comment handling: %v %v", tr, err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := &Trace{Name: "json", Durations: []float64{4, 5, 6}}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "json" || len(back.Durations) != 3 {
+		t.Errorf("round trip: %+v", back)
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"durations":[-1]}`)); err == nil {
+		t.Errorf("negative duration must fail validation")
+	}
+}
+
+func TestRangeAndMean(t *testing.T) {
+	tr := &Trace{Durations: []float64{3, 1, 4, 1, 5}}
+	lo, hi := tr.Range()
+	if lo != 1 || hi != 5 {
+		t.Errorf("range [%g, %g]", lo, hi)
+	}
+	if math.Abs(tr.Mean()-2.8) > 1e-12 {
+		t.Errorf("mean %g", tr.Mean())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Range of empty trace must panic")
+		}
+	}()
+	(&Trace{}).Range()
+}
+
+func TestFitNormalRecoversParameters(t *testing.T) {
+	tr := sampleTrace(t, dist.NewNormal(5, 0.4), 20000, 1)
+	fit, err := FitNormal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := fit.Law.(dist.Normal)
+	if math.Abs(n.Mu-5) > 0.02 || math.Abs(n.Sigma-0.4) > 0.02 {
+		t.Errorf("recovered %v", n)
+	}
+}
+
+func TestFitLogNormalRecoversParameters(t *testing.T) {
+	tr := sampleTrace(t, dist.NewLogNormal(1, 0.5), 20000, 2)
+	fit, err := FitLogNormal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := fit.Law.(dist.LogNormal)
+	if math.Abs(l.Mu-1) > 0.02 || math.Abs(l.Sigma-0.5) > 0.02 {
+		t.Errorf("recovered %v", l)
+	}
+}
+
+func TestFitExponentialRecoversRate(t *testing.T) {
+	tr := sampleTrace(t, dist.NewExponential(0.5), 20000, 3)
+	fit, err := FitExponential(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := fit.Law.(dist.Exponential)
+	if math.Abs(e.Lambda-0.5) > 0.02 {
+		t.Errorf("recovered rate %g", e.Lambda)
+	}
+}
+
+func TestFitGammaRecoversParameters(t *testing.T) {
+	for _, c := range []struct{ k, theta float64 }{{2.5, 1.5}, {1, 0.5}, {9, 0.25}} {
+		tr := sampleTrace(t, dist.NewGamma(c.k, c.theta), 30000, 4)
+		fit, err := FitGamma(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := fit.Law.(dist.Gamma)
+		if math.Abs(g.K-c.k) > 0.1*c.k || math.Abs(g.Theta-c.theta) > 0.1*c.theta {
+			t.Errorf("Gamma(%g,%g): recovered %v", c.k, c.theta, g)
+		}
+	}
+}
+
+func TestFitWeibullRecoversParameters(t *testing.T) {
+	tr := sampleTrace(t, dist.NewWeibull(1.8, 2.5), 30000, 5)
+	fit, err := FitWeibull(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := fit.Law.(dist.Weibull)
+	if math.Abs(w.K-1.8) > 0.1 || math.Abs(w.Lambda-2.5) > 0.1 {
+		t.Errorf("recovered %v", w)
+	}
+}
+
+func TestFitBestSelectsTrueFamily(t *testing.T) {
+	cases := []struct {
+		law  dist.Continuous
+		want string
+	}{
+		{dist.NewGamma(2.5, 1.5), "gamma"},
+		{dist.NewLogNormal(0.3, 0.9), "lognormal"},
+		{dist.NewNormal(20, 1.5), "normal"},
+	}
+	for i, c := range cases {
+		tr := sampleTrace(t, c.law, 30000, uint64(10+i))
+		best, err := FitBest(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.Family != c.want {
+			t.Errorf("%v: selected %s (AIC %g)", c.law, best.Family, best.AIC())
+		}
+	}
+}
+
+func TestFitAllSortedByAIC(t *testing.T) {
+	tr := sampleTrace(t, dist.NewGamma(3, 1), 5000, 20)
+	fits, err := FitAll(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fits) < 4 {
+		t.Fatalf("only %d fits", len(fits))
+	}
+	for i := 1; i < len(fits); i++ {
+		if fits[i-1].AIC() > fits[i].AIC() {
+			t.Errorf("fits not sorted: %g > %g", fits[i-1].AIC(), fits[i].AIC())
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	short := &Trace{Durations: []float64{1}}
+	if _, err := FitNormal(short); err == nil {
+		t.Errorf("short trace must fail")
+	}
+	withZero := &Trace{Durations: []float64{0, 1, 2}}
+	if _, err := FitLogNormal(withZero); err == nil {
+		t.Errorf("zero duration must fail lognormal")
+	}
+	if _, err := FitGamma(withZero); err == nil {
+		t.Errorf("zero duration must fail gamma")
+	}
+	constant := &Trace{Durations: []float64{2, 2, 2}}
+	if _, err := FitNormal(constant); err == nil {
+		t.Errorf("constant trace must fail normal")
+	}
+}
+
+func TestCheckpointLawEndToEnd(t *testing.T) {
+	// Sample checkpoint durations from a truncated normal, learn D_C,
+	// and verify the learned law is close to the truth.
+	truth := dist.Truncate(dist.NewNormal(5, 0.6), 3, 7)
+	tr := sampleTrace(t, truth, 30000, 30)
+	learned, fit, err := CheckpointLaw(tr, math.NaN(), math.NaN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learned == nil || fit.N != 30000 {
+		t.Fatalf("bad fit result")
+	}
+	lo, hi := learned.Support()
+	tlo, thi := tr.Range()
+	if lo > tlo || hi < thi {
+		t.Errorf("support [%g,%g] does not cover observations [%g,%g]", lo, hi, tlo, thi)
+	}
+	// CDF agreement at a few quantiles.
+	for _, x := range []float64{4, 5, 6} {
+		if math.Abs(learned.CDF(x)-truth.CDF(x)) > 0.05 {
+			t.Errorf("CDF(%g): learned %g vs truth %g", x, learned.CDF(x), truth.CDF(x))
+		}
+	}
+	// Explicit bounds are respected.
+	learned2, _, err := CheckpointLaw(tr, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo2, hi2 := learned2.Support()
+	if lo2 != 3 || hi2 != 7 {
+		t.Errorf("explicit bounds ignored: [%g, %g]", lo2, hi2)
+	}
+	// Invalid bounds.
+	if _, _, err := CheckpointLaw(tr, 7, 3); err == nil {
+		t.Errorf("reversed bounds must fail")
+	}
+}
+
+func TestFitStringMentionsFamily(t *testing.T) {
+	tr := sampleTrace(t, dist.NewNormal(5, 1), 100, 40)
+	fit, err := FitNormal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fit.String(), "normal") {
+		t.Errorf("String %q", fit.String())
+	}
+}
+
+func TestFitPoisson(t *testing.T) {
+	src := dist.NewPoisson(3)
+	r := rng.New(50)
+	tr := &Trace{}
+	for i := 0; i < 20000; i++ {
+		if err := tr.Add(float64(src.Sample(r))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	law, ll, err := FitPoisson(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(law.Lambda-3) > 0.05 {
+		t.Errorf("recovered lambda %g", law.Lambda)
+	}
+	if ll >= 0 {
+		t.Errorf("log-likelihood %g should be negative", ll)
+	}
+	// Non-integer durations rejected.
+	bad := &Trace{Durations: []float64{1, 2.5}}
+	if _, _, err := FitPoisson(bad); err == nil {
+		t.Errorf("non-integer sample must fail")
+	}
+	zero := &Trace{Durations: []float64{0, 0}}
+	if _, _, err := FitPoisson(zero); err == nil {
+		t.Errorf("all-zero sample must fail")
+	}
+}

@@ -1,0 +1,19 @@
+package reskit
+
+import "reskit/internal/core"
+
+// Preemptible is the Section 3 problem: checkpoint at any instant of a
+// reservation of length R, with a stochastic checkpoint duration of
+// bounded support [a, b].
+type Preemptible = core.Preemptible
+
+// Solution reports an optimal checkpoint instant: start the checkpoint
+// X seconds before the end of the reservation.
+type Solution = core.Solution
+
+// NewPreemptible builds the Section 3 problem for reservation length r
+// and a checkpoint-duration law c with finite support [a, b], 0 < a < b
+// (build truncated laws with Truncate). It panics on invalid inputs.
+func NewPreemptible(r float64, c Continuous) *Preemptible {
+	return core.NewPreemptible(r, c)
+}

@@ -1,0 +1,123 @@
+// Package reskit is a Go implementation of the checkpoint-placement
+// strategies of Barbut, Benoit, Herault, Robert and Vivien, "When to
+// checkpoint at the end of a fixed-length reservation?" (FTXS'23, held
+// with SC 2023) — deciding when an application running inside a
+// fixed-length reservation should take its final checkpoint so that the
+// expected amount of saved work is maximized, when the checkpoint
+// duration (and, for task chains, the task durations) are stochastic.
+//
+// The package is a facade over the internal implementation and is the
+// only import a downstream user needs:
+//
+//   - Preemptible (Section 3 of the paper): the application can
+//     checkpoint at any instant; build one with NewPreemptible and a
+//     checkpoint-duration law of bounded support, then call OptimalX.
+//
+//   - Static and Dynamic (Section 4): the application is a chain of IID
+//     stochastic tasks and can checkpoint only between tasks. Static
+//     picks the optimal task count ahead of time; Dynamic decides after
+//     each task, and exposes the indifference point Intersection.
+//
+//   - Distributions: Uniform, Exponential, Normal, LogNormal, Gamma,
+//     Weibull, Poisson, Deterministic, generic truncation (Truncate),
+//     and Empirical laws learned from data.
+//
+//   - Simulation: reservation and campaign simulators with a parallel
+//     Monte-Carlo harness, the strategy implementations the paper
+//     compares (static, dynamic, pessimistic, oracle), and goodness
+//     statistics.
+//
+//   - Trace fitting: learn D_C (or the task law) from logs of past
+//     durations, with AIC model selection across the paper's families.
+//
+// Quickstart:
+//
+//	law := reskit.Truncate(reskit.Normal(5, 0.4), 3, 7) // C in [3, 7]
+//	prob := reskit.NewPreemptible(60, law)              // R = 60 s
+//	sol := prob.OptimalX()
+//	fmt.Printf("checkpoint %.2f s before the end\n", sol.X)
+package reskit
+
+import (
+	"math"
+
+	"reskit/internal/dist"
+	"reskit/internal/rng"
+)
+
+// Continuous is a continuous probability law (density, CDF, quantile,
+// moments, sampling). All laws constructed by this package implement it.
+type Continuous = dist.Continuous
+
+// Discrete is an integer-valued probability law.
+type Discrete = dist.Discrete
+
+// Summable is a continuous law closed under IID summation — the property
+// the static strategy needs (Normal, Gamma, Exponential, Deterministic).
+type Summable = dist.Summable
+
+// SummableDiscrete is the discrete analogue (Poisson).
+type SummableDiscrete = dist.SummableDiscrete
+
+// RNG is a deterministic random generator for sampling and simulation.
+type RNG = rng.Source
+
+// NewRNG returns a generator seeded with seed; identical seeds give
+// identical streams.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// NewRNGStream returns the stream-th independent substream of seed, for
+// handing one generator to each parallel worker.
+func NewRNGStream(seed, stream uint64) *RNG { return rng.NewStream(seed, stream) }
+
+// Uniform returns the uniform law on [a, b] — the Section 3.2.1
+// checkpoint-duration model, which needs no truncation.
+func Uniform(a, b float64) dist.Uniform { return dist.NewUniform(a, b) }
+
+// Exponential returns the Exponential law with the given rate
+// (mean 1/rate); truncate it to [a, b] for the Section 3.2.2 model.
+func Exponential(rate float64) dist.Exponential { return dist.NewExponential(rate) }
+
+// Normal returns the Gaussian law N(mu, sigma^2).
+func Normal(mu, sigma float64) dist.Normal { return dist.NewNormal(mu, sigma) }
+
+// LogNormal returns the law of exp(N(mu, sigma^2)).
+func LogNormal(mu, sigma float64) dist.LogNormal { return dist.NewLogNormal(mu, sigma) }
+
+// LogNormalFromMoments returns the LogNormal law with the given mean and
+// standard deviation (the mu* and sigma* parameterization of Section
+// 3.2.4).
+func LogNormalFromMoments(mean, stddev float64) dist.LogNormal {
+	return dist.NewLogNormalFromMoments(mean, stddev)
+}
+
+// Gamma returns the Gamma law with shape k and scale theta.
+func Gamma(k, theta float64) dist.Gamma { return dist.NewGamma(k, theta) }
+
+// Weibull returns the Weibull law with shape k and scale lambda.
+func Weibull(k, lambda float64) dist.Weibull { return dist.NewWeibull(k, lambda) }
+
+// Poisson returns the Poisson law with mean lambda (discrete task
+// durations, Sections 4.2.3 and 4.3.3).
+func Poisson(lambda float64) dist.Poisson { return dist.NewPoisson(lambda) }
+
+// Deterministic returns the point mass at v.
+func Deterministic(v float64) dist.Deterministic { return dist.NewDeterministic(v) }
+
+// Truncate conditions a law on [lo, hi] — the construction defining the
+// paper's checkpoint-duration law D_C (Section 3.1). Use
+// math.Inf(1) as hi for half-line truncations such as the Section 4
+// checkpoint law TruncatedNormal.
+func Truncate(base Continuous, lo, hi float64) *dist.Truncated {
+	return dist.Truncate(base, lo, hi)
+}
+
+// TruncatedNormal returns N(mu, sigma^2) truncated to [0, inf) — the
+// canonical checkpoint-duration law of the workflow scenario
+// (Section 4.1).
+func TruncatedNormal(mu, sigma float64) *dist.Truncated {
+	return dist.Truncate(dist.NewNormal(mu, sigma), 0, math.Inf(1))
+}
+
+// Empirical returns the model-free law of an observed sample.
+func Empirical(sample []float64) *dist.Empirical { return dist.NewEmpirical(sample) }

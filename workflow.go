@@ -1,0 +1,44 @@
+package reskit
+
+import "reskit/internal/core"
+
+// Static is the Section 4.2 problem: fix, before execution, the number
+// of IID stochastic tasks to run before the final checkpoint.
+type Static = core.Static
+
+// StaticSolution reports the static optimum (continuous relaxation
+// maximizer and the integer n_opt).
+type StaticSolution = core.StaticSolution
+
+// Dynamic is the Section 4.3 problem: decide after each task whether to
+// checkpoint now or run one more task.
+type Dynamic = core.Dynamic
+
+// ErrNoIntersection is returned by Dynamic.Intersection when the two
+// expected-work curves never cross inside (0, R).
+var ErrNoIntersection = core.ErrNoIntersection
+
+// NewStatic builds the static problem for a continuous task law (Normal,
+// Gamma, Exponential, Deterministic — anything Summable) and a
+// checkpoint law supported on [0, inf).
+func NewStatic(r float64, task Summable, ckpt Continuous) *Static {
+	return core.NewStatic(r, task, ckpt)
+}
+
+// NewStaticDiscrete builds the static problem for a discrete task law
+// (Poisson with discretized time, Section 4.2.3).
+func NewStaticDiscrete(r float64, task SummableDiscrete, ckpt Continuous) *Static {
+	return core.NewStaticDiscrete(r, task, ckpt)
+}
+
+// NewDynamic builds the dynamic problem for a continuous task law with
+// nonnegative support (e.g. TruncatedNormal, Gamma).
+func NewDynamic(r float64, task Continuous, ckpt Continuous) *Dynamic {
+	return core.NewDynamic(r, task, ckpt)
+}
+
+// NewDynamicDiscrete builds the dynamic problem for a discrete task law
+// (Poisson, Section 4.3.3).
+func NewDynamicDiscrete(r float64, task Discrete, ckpt Continuous) *Dynamic {
+	return core.NewDynamicDiscrete(r, task, ckpt)
+}
