@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures report clean
+.PHONY: all build vet test race bench benchjson figures report clean
 
 all: build vet test
 
@@ -16,10 +16,17 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/ ./internal/planner/ ./internal/quad/
+	$(GO) test -race ./internal/sim/ ./internal/planner/ ./internal/quad/ ./internal/core/ ./internal/dist/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# Refresh the BENCH_campaign.json throughput snapshot: campaign
+# Monte-Carlo with one worker vs all CPUs, checked bit-identical.
+benchjson:
+	$(GO) run ./cmd/simulate -campaign -R 29 -task 'norm:3,0.5@[0,inf]' \
+		-ckpt 'norm:5,0.4@[0,inf]' -recovery 1.5 -totalwork 500 \
+		-trials 400 -benchjson BENCH_campaign.json
 
 figures:
 	$(GO) run ./cmd/figures -out out/figures -extended

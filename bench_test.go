@@ -243,13 +243,44 @@ func BenchmarkCampaign(b *testing.B) {
 		},
 		TotalWork: 500,
 	}
-	var res reskit.CampaignResult
+	const trials = 200
+	reskit.MonteCarloCampaign(cfg, 1, 1, 1) // build the coefficient table outside the timing
+	b.ResetTimer()
+	var agg reskit.CampaignAggregate
 	for i := 0; i < b.N; i++ {
-		res = reskit.RunCampaign(cfg, reskit.NewRNG(uint64(i)+1))
+		agg = reskit.MonteCarloCampaign(cfg, trials, 1, 0)
 	}
-	b.ReportMetric(float64(res.Reservations), "reservations")
-	b.ReportMetric(res.Utilization(), "utilization")
-	if !res.Completed {
+	b.ReportMetric(agg.Reservations, "reservations")
+	b.ReportMetric(agg.Utilization, "utilization")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*trials), "ns/trial")
+	if !agg.CompletedAll {
+		b.Fatalf("campaign incomplete")
+	}
+}
+
+// BenchmarkCampaignSerial is the one-worker reference for
+// BenchmarkCampaign: the ns/trial ratio between the two is the
+// parallel speedup recorded in BENCH_campaign.json (make benchjson).
+func BenchmarkCampaignSerial(b *testing.B) {
+	task := reskit.TruncatedNormal(3, 0.5)
+	ckpt := reskit.TruncatedNormal(5, 0.4)
+	dyn := reskit.NewDynamic(29, task, ckpt)
+	cfg := reskit.CampaignConfig{
+		Reservation: reskit.SimConfig{
+			R: 29, Recovery: 1.5, Task: task, Ckpt: ckpt,
+			Strategy: reskit.DynamicStrategy(dyn),
+		},
+		TotalWork: 500,
+	}
+	const trials = 200
+	reskit.MonteCarloCampaign(cfg, 1, 1, 1)
+	b.ResetTimer()
+	var agg reskit.CampaignAggregate
+	for i := 0; i < b.N; i++ {
+		agg = reskit.MonteCarloCampaign(cfg, trials, 1, 1)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*trials), "ns/trial")
+	if !agg.CompletedAll {
 		b.Fatalf("campaign incomplete")
 	}
 }

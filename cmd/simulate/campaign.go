@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"reskit"
+	"reskit/internal/lawspec"
+)
+
+// runCampaignMode simulates the paper's multi-reservation campaign
+// setting (Sections 1-2): the application needs -totalwork units of
+// committed work and runs reservation after reservation under the
+// dynamic checkpoint strategy, with recovery from the second reservation
+// on. Trials are sharded across workers with a deterministic merge, so
+// the printed aggregate is bit-identical for any worker count.
+func runCampaignMode(out io.Writer, r, recovery, totalWork float64, taskSpec, taskDiscSpec string,
+	ckpt reskit.Continuous, trials int, seed uint64, workers int, benchJSON string) error {
+
+	if !(totalWork > 0) {
+		return errors.New("-totalwork must be positive")
+	}
+	base := reskit.SimConfig{R: r, Recovery: recovery, Ckpt: ckpt}
+	switch {
+	case taskSpec != "":
+		law, err := lawspec.Parse(taskSpec)
+		if err != nil {
+			return err
+		}
+		base.Task = law
+		base.Strategy = reskit.DynamicStrategy(reskit.NewDynamic(r, law, ckpt))
+		fmt.Fprintf(out, "campaign: R=%g, X ~ %v, C ~ %v, total work %g, %d trials\n\n",
+			r, law, ckpt, totalWork, trials)
+	case taskDiscSpec != "":
+		law, err := lawspec.ParseDiscrete(taskDiscSpec)
+		if err != nil {
+			return err
+		}
+		base.TaskDisc = law
+		base.Strategy = reskit.DynamicStrategy(reskit.NewDynamicDiscrete(r, law, ckpt))
+		fmt.Fprintf(out, "campaign: R=%g, X ~ %v (discrete), C ~ %v, total work %g, %d trials\n\n",
+			r, law, ckpt, totalWork, trials)
+	default:
+		return errors.New("-task or -taskdisc is required with -campaign")
+	}
+	cfg := reskit.CampaignConfig{Reservation: base, TotalWork: totalWork}
+
+	if benchJSON != "" {
+		return writeCampaignBench(out, cfg, trials, seed, benchJSON)
+	}
+
+	start := time.Now()
+	agg := reskit.MonteCarloCampaign(cfg, trials, seed, workers)
+	elapsed := time.Since(start)
+
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "mean reservations\t%.4g\n", agg.Reservations)
+	fmt.Fprintf(tw, "mean utilization\t%.4g\n", agg.Utilization)
+	fmt.Fprintf(tw, "mean lost work\t%.4g\n", agg.LostWork)
+	fmt.Fprintf(tw, "all completed\t%v\n", agg.CompletedAll)
+	fmt.Fprintf(tw, "wall time\t%v (%.0f trials/s)\n",
+		elapsed.Round(time.Millisecond), float64(trials)/elapsed.Seconds())
+	return tw.Flush()
+}
+
+// campaignBench is the BENCH_campaign.json schema: one snapshot of the
+// campaign Monte-Carlo throughput, serial vs parallel, that future perf
+// PRs are compared against.
+type campaignBench struct {
+	Benchmark        string  `json:"benchmark"`
+	Generated        string  `json:"generated"`
+	GoMaxProcs       int     `json:"gomaxprocs"`
+	Workers          int     `json:"workers"`
+	Trials           int     `json:"trials"`
+	Reservation      float64 `json:"reservation"`
+	TotalWork        float64 `json:"total_work"`
+	SerialSec        float64 `json:"serial_sec"`
+	ParallelSec      float64 `json:"parallel_sec"`
+	Speedup          float64 `json:"speedup"`
+	NsPerTrial       float64 `json:"ns_per_trial_parallel"`
+	MeanReservations float64 `json:"mean_reservations"`
+	MeanUtilization  float64 `json:"mean_utilization"`
+	BitIdentical     bool    `json:"bit_identical_across_workers"`
+}
+
+// writeCampaignBench times the campaign Monte-Carlo with one worker and
+// with all CPUs, checks the aggregates are bit-identical, and writes the
+// snapshot to path.
+func writeCampaignBench(out io.Writer, cfg reskit.CampaignConfig, trials int, seed uint64, path string) error {
+	workers := reskit.Workers()
+
+	// Warm-up builds the dynamic strategy's coefficient table outside the
+	// timed region so both runs measure pure simulation throughput.
+	reskit.MonteCarloCampaign(cfg, 1, seed, 1)
+
+	start := time.Now()
+	serial := reskit.MonteCarloCampaign(cfg, trials, seed, 1)
+	serialSec := time.Since(start).Seconds()
+
+	start = time.Now()
+	parallel := reskit.MonteCarloCampaign(cfg, trials, seed, workers)
+	parallelSec := time.Since(start).Seconds()
+
+	snap := campaignBench{
+		Benchmark:        "MonteCarloCampaign",
+		Generated:        time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		Workers:          workers,
+		Trials:           trials,
+		Reservation:      cfg.Reservation.R,
+		TotalWork:        cfg.TotalWork,
+		SerialSec:        serialSec,
+		ParallelSec:      parallelSec,
+		Speedup:          serialSec / parallelSec,
+		NsPerTrial:       parallelSec * 1e9 / float64(trials),
+		MeanReservations: parallel.Reservations,
+		MeanUtilization:  parallel.Utilization,
+		BitIdentical:     serial == parallel,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serial %.3fs, parallel %.3fs on %d workers (%.2fx), bit-identical %v -> %s\n",
+		serialSec, parallelSec, workers, snap.Speedup, snap.BitIdentical, path)
+	return nil
+}

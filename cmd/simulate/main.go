@@ -15,6 +15,15 @@
 // Preemptible validation (Figure 2a instance):
 //
 //	simulate -preempt -R 10 -ckpt 'exp:0.5@[1,5]' -trials 200000
+//
+// Multi-reservation campaign (Sections 1-2), sharded across all CPUs:
+//
+//	simulate -campaign -R 29 -task 'norm:3,0.5@[0,inf]' -ckpt 'norm:5,0.4@[0,inf]' \
+//	    -recovery 1.5 -totalwork 500 -trials 1000
+//
+// Add -benchjson BENCH_campaign.json to record a serial-vs-parallel
+// throughput snapshot, and -cpuprofile/-memprofile to profile any mode
+// with runtime/pprof.
 package main
 
 import (
@@ -52,6 +61,9 @@ func run(args []string, out io.Writer) (err error) {
 	taskSpec := fs.String("task", "", "continuous task law")
 	taskDiscSpec := fs.String("taskdisc", "", "discrete task law")
 	preempt := fs.Bool("preempt", false, "validate the preemptible scenario instead")
+	campaign := fs.Bool("campaign", false, "run a multi-reservation campaign Monte-Carlo instead")
+	totalWork := fs.Float64("totalwork", 500, "total application work for -campaign")
+	benchJSON := fs.String("benchjson", "", "with -campaign: write a serial-vs-parallel benchmark snapshot to this JSON file")
 	trials := fs.Int("trials", 100000, "Monte-Carlo trials")
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "parallel workers (0 = all CPUs)")
@@ -60,6 +72,8 @@ func run(args []string, out io.Writer) (err error) {
 	strategies := fs.String("strategies", "oracle,dynamic,static,threshold,pessimistic",
 		"comma-separated strategies to compare")
 	hist := fs.Bool("hist", false, "print an ASCII histogram of saved work for each strategy")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,6 +86,24 @@ func run(args []string, out io.Writer) (err error) {
 	ckpt, err := lawspec.Parse(*ckptSpec)
 	if err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		stop, err := startCPUProfile(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if werr := writeMemProfile(*memProfile); werr != nil && err == nil {
+				err = werr
+			}
+		}()
+	}
+	if *campaign {
+		return runCampaignMode(out, *r, *recovery, *totalWork, *taskSpec, *taskDiscSpec,
+			ckpt, *trials, *seed, *workers, *benchJSON)
 	}
 	if *preempt {
 		return runPreempt(out, *r, ckpt, *trials, *seed, *workers)

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -94,6 +97,91 @@ func TestYoungDalyRequiresFailrate(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "needs -failrate") {
 		t.Errorf("missing failrate hint:\n%s", buf.String())
+	}
+}
+
+func TestCampaignMode(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{
+		"-campaign", "-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+		"-recovery", "1.5", "-totalwork", "100", "-trials", "64", "-workers", "2",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"mean reservations", "mean utilization", "all completed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "all completed") && !strings.Contains(line, "true") {
+			t.Errorf("campaign did not complete: %q", line)
+		}
+	}
+}
+
+func TestCampaignBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var buf strings.Builder
+	err := run([]string{
+		"-campaign", "-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+		"-recovery", "1.5", "-totalwork", "100", "-trials", "64", "-benchjson", path,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	for _, key := range []string{"speedup", "serial_sec", "parallel_sec", "gomaxprocs",
+		"bit_identical_across_workers", "mean_utilization"} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("snapshot missing %q:\n%s", key, data)
+		}
+	}
+	if snap["bit_identical_across_workers"] != true {
+		t.Errorf("serial and parallel aggregates differ:\n%s", data)
+	}
+}
+
+func TestCampaignErrors(t *testing.T) {
+	cases := [][]string{
+		{"-campaign", "-R", "29", "-ckpt", "norm:5,0.4@[0,inf]"}, // no task
+		{"-campaign", "-R", "29", "-task", "gamma:1,1", "-ckpt", "norm:5,0.4@[0,inf]",
+			"-totalwork", "-3"}, // bad total work
+	}
+	for i, args := range cases {
+		var buf strings.Builder
+		if err := run(args, &buf); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var buf strings.Builder
+	err := run([]string{
+		"-R", "29", "-task", "gamma:1,1", "-ckpt", "norm:2,0.3@[0,inf]",
+		"-trials", "500", "-strategies", "static",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
 	}
 }
 

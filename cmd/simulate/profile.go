@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startCPUProfile begins writing a CPU profile to path and returns the
+// function that stops the profile and closes the file.
+func startCPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeMemProfile dumps the allocation profile to path.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation statistics
+	return pprof.WriteHeapProfile(f)
+}

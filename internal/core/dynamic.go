@@ -31,6 +31,11 @@ type Dynamic struct {
 	Task     dist.Continuous // D_X (truncated Normal, Gamma, ...)
 	TaskDisc dist.Discrete   // discrete D_X (Poisson)
 
+	// Batched views of Ckpt and Task (native or adapter) feeding the
+	// quadrature kernels; taskB is nil in the discrete case.
+	ckptB dist.BatchContinuous
+	taskB dist.BatchContinuous
+
 	// Lazily built coefficient table for O(1) generalized decisions
 	// (see ShouldCheckpointAt).
 	tableOnce      sync.Once
@@ -47,7 +52,10 @@ func NewDynamic(r float64, task dist.Continuous, ckpt dist.Continuous) *Dynamic 
 	if lo, _ := task.Support(); lo < 0 {
 		panic(fmt.Sprintf("core: NewDynamic: task law support must start at >= 0, got %g", lo))
 	}
-	return &Dynamic{R: r, Ckpt: ckpt, Task: task}
+	return &Dynamic{
+		R: r, Ckpt: ckpt, Task: task,
+		ckptB: dist.AsBatch(ckpt), taskB: dist.AsBatch(task),
+	}
 }
 
 // NewDynamicDiscrete builds the dynamic problem for a discrete task law
@@ -57,7 +65,7 @@ func NewDynamicDiscrete(r float64, task dist.Discrete, ckpt dist.Continuous) *Dy
 	if task == nil {
 		panic("core: NewDynamicDiscrete: task law must not be nil")
 	}
-	return &Dynamic{R: r, Ckpt: ckpt, TaskDisc: task}
+	return &Dynamic{R: r, Ckpt: ckpt, TaskDisc: task, ckptB: dist.AsBatch(ckpt)}
 }
 
 func validateDynamicCommon(r float64, ckpt dist.Continuous) {
@@ -95,8 +103,28 @@ func (d *Dynamic) ExpectedWorkContinue(w float64) float64 {
 	return d.expectedContinue(w, d.R-w)
 }
 
+// dynScratch holds the per-panel node buffers of the batched dynamic
+// integrands: remaining budgets, checkpoint CDF values, task densities.
+// Pooled so the adaptive quadrature underneath allocates nothing in
+// steady state.
+type dynScratch struct {
+	ws, cs, ps []float64
+}
+
+func (s *dynScratch) grow(n int) {
+	if cap(s.ws) < n {
+		s.ws = make([]float64, n)
+		s.cs = make([]float64, n)
+		s.ps = make([]float64, n)
+	}
+}
+
+var dynPool = sync.Pool{New: func() interface{} { return new(dynScratch) }}
+
 // expectedContinue evaluates E(W_+1) with an explicit remaining budget,
-// decoupling uncommitted work from elapsed time.
+// decoupling uncommitted work from elapsed time. The continuous case
+// feeds the batched quadrature kernel: one call per Kronrod panel covers
+// all 15 nodes of P(C <= budget-x) and f_X(x).
 func (d *Dynamic) expectedContinue(work, budget float64) float64 {
 	if budget <= 0 {
 		return 0
@@ -109,10 +137,26 @@ func (d *Dynamic) expectedContinue(work, budget float64) float64 {
 		}
 		return sum
 	}
-	integrand := func(x float64) float64 {
-		return (x + work) * d.ckptProb(budget-x) * d.Task.PDF(x)
+	s := dynPool.Get().(*dynScratch)
+	defer dynPool.Put(s)
+	integrand := func(xs, out []float64) {
+		n := len(xs)
+		s.grow(n)
+		ws, cs, ps := s.ws[:n], s.cs[:n], s.ps[:n]
+		for i, x := range xs {
+			ws[i] = budget - x
+		}
+		d.ckptB.CDFBatch(ws, cs)
+		d.taskB.PDFBatch(xs, ps)
+		for i, x := range xs {
+			c := cs[i]
+			if ws[i] <= 0 {
+				c = 0
+			}
+			out[i] = (x + work) * c * ps[i]
+		}
 	}
-	return quad.Kronrod(integrand, 0, budget, 1e-12, 1e-10).Value
+	return quad.KronrodBatch(integrand, 0, budget, 1e-12, 1e-10).Value
 }
 
 // ShouldCheckpoint reports whether, with work w accumulated, the expected
@@ -185,19 +229,22 @@ func (d *Dynamic) coefficientsAt(budget float64) (a, b float64) {
 	return a, b
 }
 
-// buildTable evaluates the exact coefficients on the budget grid.
+// buildTable evaluates the exact coefficients on the budget grid. Grid
+// points are independent integrals, so they are computed in parallel
+// across runtime.GOMAXPROCS(0) workers; each index is written exactly
+// once, making the table bit-identical for any worker count.
 func (d *Dynamic) buildTable() {
 	n := dynamicGridSize
 	d.tableA = make([]float64, n+1)
 	d.tableB = make([]float64, n+1)
-	for i := 1; i <= n; i++ {
+	parallelFor(1, n, func(i int) {
 		budget := d.R * float64(i) / float64(n)
 		d.tableA[i], d.tableB[i] = d.exactCoefficients(budget)
-	}
+	})
 }
 
-// exactCoefficients evaluates A(b) and B(b) by quadrature (or summation
-// for discrete task laws).
+// exactCoefficients evaluates A(b) and B(b) by batched quadrature (or
+// summation for discrete task laws).
 func (d *Dynamic) exactCoefficients(budget float64) (a, b float64) {
 	pc := d.ckptProb(budget)
 	if d.TaskDisc != nil {
@@ -211,11 +258,37 @@ func (d *Dynamic) exactCoefficients(budget float64) (a, b float64) {
 		}
 		return pc - sumP, sumXP
 	}
-	sumP := quad.Kronrod(func(x float64) float64 {
-		return d.ckptProb(budget-x) * d.Task.PDF(x)
+	s := dynPool.Get().(*dynScratch)
+	defer dynPool.Put(s)
+	// kernel fills cs/ps with P(C <= budget-x) and f_X(x) for a panel.
+	kernel := func(xs []float64) (cs, ps []float64) {
+		n := len(xs)
+		s.grow(n)
+		ws := s.ws[:n]
+		cs, ps = s.cs[:n], s.ps[:n]
+		for i, x := range xs {
+			ws[i] = budget - x
+		}
+		d.ckptB.CDFBatch(ws, cs)
+		d.taskB.PDFBatch(xs, ps)
+		for i := range xs {
+			if ws[i] <= 0 {
+				cs[i] = 0
+			}
+		}
+		return cs, ps
+	}
+	sumP := quad.KronrodBatch(func(xs, out []float64) {
+		cs, ps := kernel(xs)
+		for i := range xs {
+			out[i] = cs[i] * ps[i]
+		}
 	}, 0, budget, 1e-12, 1e-10).Value
-	sumXP := quad.Kronrod(func(x float64) float64 {
-		return x * d.ckptProb(budget-x) * d.Task.PDF(x)
+	sumXP := quad.KronrodBatch(func(xs, out []float64) {
+		cs, ps := kernel(xs)
+		for i, x := range xs {
+			out[i] = x * cs[i] * ps[i]
+		}
 	}, 0, budget, 1e-12, 1e-10).Value
 	return pc - sumP, sumXP
 }
@@ -228,20 +301,24 @@ func (d *Dynamic) Intersection() (float64, error) {
 	diff := func(w float64) float64 {
 		return d.ExpectedWorkCheckpoint(w) - d.ExpectedWorkContinue(w)
 	}
+	// Evaluate the scan grid in parallel, then locate the first sign
+	// change in deterministic (ascending) order and polish it with Brent.
 	const grid = 512
-	prev := diff(1e-9)
-	prevW := 1e-9
+	ws := make([]float64, grid+1)
+	vals := make([]float64, grid+1)
+	ws[0] = 1e-9
 	for i := 1; i <= grid; i++ {
-		w := d.R * float64(i) / float64(grid+1)
-		cur := diff(w)
-		if prev < 0 && cur >= 0 {
-			root, err := optimize.Brent(diff, prevW, w, 1e-10)
+		ws[i] = d.R * float64(i) / float64(grid+1)
+	}
+	parallelFor(0, grid, func(i int) { vals[i] = diff(ws[i]) })
+	for i := 1; i <= grid; i++ {
+		if vals[i-1] < 0 && vals[i] >= 0 {
+			root, err := optimize.Brent(diff, ws[i-1], ws[i], 1e-10)
 			if err != nil {
-				return 0.5 * (prevW + w), nil
+				return 0.5 * (ws[i-1] + ws[i]), nil
 			}
 			return root, nil
 		}
-		prev, prevW = cur, w
 	}
 	return 0, ErrNoIntersection
 }
@@ -255,11 +332,11 @@ func (d *Dynamic) Curves(n int) (ws, checkpoint, cont []float64) {
 	ws = make([]float64, n+1)
 	checkpoint = make([]float64, n+1)
 	cont = make([]float64, n+1)
-	for i := 0; i <= n; i++ {
+	parallelFor(0, n, func(i int) {
 		w := d.R * float64(i) / float64(n)
 		ws[i] = w
 		checkpoint[i] = d.ExpectedWorkCheckpoint(w)
 		cont[i] = d.ExpectedWorkContinue(w)
-	}
+	})
 	return ws, checkpoint, cont
 }

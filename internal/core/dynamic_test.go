@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"reskit/internal/dist"
+	"reskit/internal/quad"
 )
 
 func TestDynamicNormalFig8(t *testing.T) {
@@ -189,6 +190,62 @@ func TestCoefficientTableMatchesExactRule(t *testing.T) {
 						d.R, work, elapsed, ecExact, e1Exact)
 				}
 			}
+		}
+	}
+}
+
+func TestExpectedContinueBatchedMatchesScalarQuadrature(t *testing.T) {
+	// The batched kernel must reproduce the scalar integrand it replaced:
+	// integrate (x+work)*P(C<=budget-x)*f_X(x) with the plain scalar
+	// Kronrod path and compare.
+	cases := []*Dynamic{
+		NewDynamic(29, dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1)), paperCkpt(5, 0.4)),
+		NewDynamic(10, dist.NewGamma(1, 0.5), paperCkpt(2, 0.4)),
+		NewDynamic(12, dist.NewLogNormal(0.5, 0.4), dist.NewExponential(1.5)),
+	}
+	for _, d := range cases {
+		for _, work := range []float64{0, 2, 7} {
+			for _, budget := range []float64{0.5, 3, d.R / 2, d.R} {
+				scalar := quad.Kronrod(func(x float64) float64 {
+					return (x + work) * d.ckptProb(budget-x) * d.Task.PDF(x)
+				}, 0, budget, 1e-12, 1e-10).Value
+				got := d.expectedContinue(work, budget)
+				if math.Abs(got-scalar) > 1e-12*(1+math.Abs(scalar)) {
+					t.Errorf("R=%g work=%g budget=%g: batched %g vs scalar %g",
+						d.R, work, budget, got, scalar)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildTableParallelDeterministic(t *testing.T) {
+	// Two independently built coefficient tables must be bit-identical:
+	// parallel construction writes each grid index exactly once.
+	mk := func() *Dynamic {
+		return NewDynamic(29, dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1)), paperCkpt(5, 0.4))
+	}
+	d1, d2 := mk(), mk()
+	d1.tableOnce.Do(d1.buildTable)
+	d2.tableOnce.Do(d2.buildTable)
+	if len(d1.tableA) != len(d2.tableA) {
+		t.Fatalf("table sizes differ")
+	}
+	for i := range d1.tableA {
+		if d1.tableA[i] != d2.tableA[i] || d1.tableB[i] != d2.tableB[i] {
+			t.Fatalf("tables differ at %d: A %g vs %g, B %g vs %g",
+				i, d1.tableA[i], d2.tableA[i], d1.tableB[i], d2.tableB[i])
+		}
+	}
+}
+
+func TestCurvesParallelDeterministic(t *testing.T) {
+	d := NewDynamic(10, dist.NewGamma(1, 0.5), paperCkpt(2, 0.4))
+	ws1, ck1, ct1 := d.Curves(64)
+	ws2, ck2, ct2 := d.Curves(64)
+	for i := range ws1 {
+		if ws1[i] != ws2[i] || ck1[i] != ck2[i] || ct1[i] != ct2[i] {
+			t.Fatalf("Curves not deterministic at %d", i)
 		}
 	}
 }

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor runs body(i) for every i in [lo, hi], striped across
+// runtime.GOMAXPROCS(0) goroutines, and waits for completion. Iterations
+// must be independent; each index is executed exactly once, so results
+// written by index are deterministic regardless of the worker count.
+func parallelFor(lo, hi int, body func(i int)) {
+	n := hi - lo + 1
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := lo; i <= hi; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := lo + w; i <= hi; i += workers {
+				body(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

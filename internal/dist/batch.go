@@ -1,0 +1,199 @@
+package dist
+
+import (
+	"math"
+
+	"reskit/internal/specfun"
+)
+
+// BatchContinuous is a continuous law that can evaluate its density and
+// CDF at many points per call. Batched evaluation lets quadrature and
+// coefficient-table builds amortize per-point setup — truncation
+// constants, log-normalizers, interface dispatch — across a whole panel
+// of nodes. len(out) == len(xs) always holds; implementations must not
+// retain either slice, and out[i] must equal the scalar PDF(xs[i]) /
+// CDF(xs[i]) to within an ulp.
+type BatchContinuous interface {
+	Continuous
+
+	// PDFBatch writes PDF(xs[i]) into out[i] for every i.
+	PDFBatch(xs, out []float64)
+	// CDFBatch writes CDF(xs[i]) into out[i] for every i.
+	CDFBatch(xs, out []float64)
+}
+
+// AsBatch returns d itself when it already implements BatchContinuous,
+// and a generic scalar-fallback adapter otherwise, so callers can take
+// the batched path unconditionally.
+func AsBatch(d Continuous) BatchContinuous {
+	if b, ok := d.(BatchContinuous); ok {
+		return b
+	}
+	return scalarBatch{d}
+}
+
+// scalarBatch adapts any Continuous law to BatchContinuous by looping
+// over the scalar methods.
+type scalarBatch struct {
+	Continuous
+}
+
+func (s scalarBatch) PDFBatch(xs, out []float64) {
+	for i, x := range xs {
+		out[i] = s.PDF(x)
+	}
+}
+
+func (s scalarBatch) CDFBatch(xs, out []float64) {
+	for i, x := range xs {
+		out[i] = s.CDF(x)
+	}
+}
+
+// Compile-time checks: the laws on the hot quadrature paths implement the
+// native batched interface.
+var (
+	_ BatchContinuous = Normal{}
+	_ BatchContinuous = Gamma{}
+	_ BatchContinuous = LogNormal{}
+	_ BatchContinuous = Exponential{}
+	_ BatchContinuous = (*Truncated)(nil)
+)
+
+// PDFBatch writes the Gaussian density at every xs[i] into out[i].
+func (n Normal) PDFBatch(xs, out []float64) {
+	for i, x := range xs {
+		out[i] = specfun.NormPDF((x-n.Mu)/n.Sigma) / n.Sigma
+	}
+}
+
+// CDFBatch writes Phi((xs[i]-mu)/sigma) into out[i].
+func (n Normal) CDFBatch(xs, out []float64) {
+	for i, x := range xs {
+		out[i] = specfun.NormCDF((x - n.Mu) / n.Sigma)
+	}
+}
+
+// PDFBatch writes the Gamma density at every xs[i] into out[i], hoisting
+// the log-normalizer lgamma(k) + k*log(theta) out of the loop.
+func (g Gamma) PDFBatch(xs, out []float64) {
+	lg, _ := math.Lgamma(g.K)
+	logTheta := math.Log(g.Theta)
+	for i, x := range xs {
+		switch {
+		case x < 0:
+			out[i] = 0
+		case x == 0:
+			out[i] = g.PDF(0)
+		default:
+			out[i] = math.Exp((g.K-1)*math.Log(x) - x/g.Theta - lg - g.K*logTheta)
+		}
+	}
+}
+
+// CDFBatch writes the regularized incomplete gamma P(k, xs[i]/theta).
+func (g Gamma) CDFBatch(xs, out []float64) {
+	for i, x := range xs {
+		if x <= 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = specfun.GammaIncP(g.K, x/g.Theta)
+	}
+}
+
+// PDFBatch writes the LogNormal density at every xs[i] into out[i].
+func (l LogNormal) PDFBatch(xs, out []float64) {
+	for i, x := range xs {
+		if x <= 0 {
+			out[i] = 0
+			continue
+		}
+		z := (math.Log(x) - l.Mu) / l.Sigma
+		out[i] = specfun.NormPDF(z) / (x * l.Sigma)
+	}
+}
+
+// CDFBatch writes Phi((ln xs[i] - mu)/sigma) into out[i].
+func (l LogNormal) CDFBatch(xs, out []float64) {
+	for i, x := range xs {
+		if x <= 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = specfun.NormCDF((math.Log(x) - l.Mu) / l.Sigma)
+	}
+}
+
+// PDFBatch writes lambda*exp(-lambda*xs[i]) into out[i].
+func (e Exponential) PDFBatch(xs, out []float64) {
+	for i, x := range xs {
+		if x < 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = e.Lambda * math.Exp(-e.Lambda*x)
+	}
+}
+
+// CDFBatch writes 1 - exp(-lambda*xs[i]) into out[i].
+func (e Exponential) CDFBatch(xs, out []float64) {
+	for i, x := range xs {
+		if x <= 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = -math.Expm1(-e.Lambda * x)
+	}
+}
+
+// PDFBatch evaluates the truncated density at every xs[i], routing
+// through the base law's batched path when it has one so the truncation
+// constants are applied in a tight loop.
+func (t *Truncated) PDFBatch(xs, out []float64) {
+	if b, ok := t.Base.(BatchContinuous); ok {
+		b.PDFBatch(xs, out)
+		for i, x := range xs {
+			if x < t.Lo || x > t.Hi {
+				out[i] = 0
+				continue
+			}
+			out[i] /= t.mass
+		}
+		return
+	}
+	for i, x := range xs {
+		out[i] = t.PDF(x)
+	}
+}
+
+// CDFBatch evaluates the truncated CDF at every xs[i] through the base
+// law's batched path when available.
+func (t *Truncated) CDFBatch(xs, out []float64) {
+	b, ok := t.Base.(BatchContinuous)
+	if !ok {
+		for i, x := range xs {
+			out[i] = t.CDF(x)
+		}
+		return
+	}
+	b.CDFBatch(xs, out)
+	for i, x := range xs {
+		switch {
+		case x <= t.Lo:
+			out[i] = 0
+		case x >= t.Hi:
+			out[i] = 1
+		default:
+			v := (out[i] - t.fLo) / t.mass
+			switch {
+			case v < 0:
+				out[i] = 0
+			case v > 1:
+				out[i] = 1
+			default:
+				out[i] = v
+			}
+		}
+	}
+}

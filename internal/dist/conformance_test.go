@@ -115,6 +115,73 @@ func checkContinuous(t *testing.T, d Continuous) {
 	if d.Variance() > 0 && math.Abs(sv-d.Variance()) > 0.08*d.Variance()+1e-9 {
 		t.Errorf("%v: sample variance %g vs %g", d, sv, d.Variance())
 	}
+
+	// Batched evaluation must agree with the scalar path.
+	checkBatchAgreement(t, d)
+}
+
+// ulpClose reports whether a and b agree to 1-ulp scale (a few units in
+// the last place, or both non-finite the same way).
+func ulpClose(a, b float64) bool {
+	if a == b || (math.IsNaN(a) && math.IsNaN(b)) {
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	return math.Abs(a-b) <= 4e-16*math.Max(math.Abs(a), math.Abs(b))+1e-300
+}
+
+// checkBatchAgreement asserts that the law's batched PDF/CDF path (native
+// or adapter, via AsBatch) matches the scalar methods at probe points
+// inside, below, and above the support.
+func checkBatchAgreement(t *testing.T, d Continuous) {
+	t.Helper()
+	b := AsBatch(d)
+	lo, hi := d.Support()
+	wLo, wHi := lo, hi
+	if math.IsInf(wLo, -1) {
+		wLo = d.Quantile(1e-12)
+	}
+	if math.IsInf(wHi, 1) {
+		wHi = d.Quantile(1 - 1e-12)
+	}
+	const n = 257
+	span := wHi - wLo
+	xs := make([]float64, n)
+	pdf := make([]float64, n)
+	cdf := make([]float64, n)
+	for i := range xs {
+		xs[i] = wLo - 0.1*span + 1.2*span*float64(i)/(n-1)
+	}
+	b.PDFBatch(xs, pdf)
+	b.CDFBatch(xs, cdf)
+	for i, x := range xs {
+		if want := d.PDF(x); !ulpClose(pdf[i], want) {
+			t.Errorf("%v: PDFBatch(%g) = %g, scalar PDF = %g", d, x, pdf[i], want)
+		}
+		if want := d.CDF(x); !ulpClose(cdf[i], want) {
+			t.Errorf("%v: CDFBatch(%g) = %g, scalar CDF = %g", d, x, cdf[i], want)
+		}
+	}
+}
+
+// TestBatchFallbackPaths covers the branches the main conformance list
+// misses: the generic scalar adapter for a law with no native batch
+// methods, and a Truncated law whose base is not batch-capable.
+func TestBatchFallbackPaths(t *testing.T) {
+	for _, d := range []Continuous{
+		NewWeibull(1.5, 2),                  // AsBatch adapter
+		Truncate(NewWeibull(1.5, 2), .5, 4), // Truncated scalar-fallback branch
+		NewUniform(-1, 3),
+	} {
+		checkBatchAgreement(t, d)
+	}
+	// AsBatch must return native implementers unwrapped.
+	n := NewNormal(0, 1)
+	if _, ok := AsBatch(n).(Normal); !ok {
+		t.Errorf("AsBatch(Normal) wrapped a native batch implementation")
+	}
 }
 
 func TestConformanceAllLaws(t *testing.T) {

@@ -1,0 +1,155 @@
+package quad
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// batchOf adapts a scalar function into a BatchFunc for tests.
+func batchOf(f func(float64) float64) BatchFunc {
+	return func(xs, out []float64) {
+		for i, x := range xs {
+			out[i] = f(x)
+		}
+	}
+}
+
+func TestKronrodBatchMatchesScalar(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+		want float64 // analytic value
+	}{
+		{"exp", math.Exp, 0, 1, math.E - 1},
+		{"cos", math.Cos, 0, math.Pi / 2, 1},
+		{"gauss", func(x float64) float64 { return math.Exp(-x * x) }, -3, 3,
+			math.Sqrt(math.Pi) * (math.Erf(3))},
+		{"peak", func(x float64) float64 { return 1 / (1 + 1e4*x*x) }, -1, 1,
+			2 * math.Atan(100) / 100},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			scalar := Kronrod(tc.f, tc.a, tc.b, 1e-12, 1e-10)
+			batch := KronrodBatch(batchOf(tc.f), tc.a, tc.b, 1e-12, 1e-10)
+			if scalar.Value != batch.Value || scalar.AbsErr != batch.AbsErr ||
+				scalar.NumEvals != batch.NumEvals {
+				t.Errorf("batch result %+v differs from scalar %+v", batch, scalar)
+			}
+			if math.Abs(batch.Value-tc.want) > 1e-9*(1+math.Abs(tc.want)) {
+				t.Errorf("value %.15g, want %.15g", batch.Value, tc.want)
+			}
+		})
+	}
+}
+
+func TestKronrodBatchReversedAndEmpty(t *testing.T) {
+	fwd := KronrodBatch(batchOf(math.Exp), 0, 1, 0, 0)
+	rev := KronrodBatch(batchOf(math.Exp), 1, 0, 0, 0)
+	if fwd.Value != -rev.Value {
+		t.Errorf("reversed bounds: %g vs %g", fwd.Value, rev.Value)
+	}
+	if r := KronrodBatch(batchOf(math.Exp), 2, 2, 0, 0); r.Value != 0 || r.NumEvals != 0 {
+		t.Errorf("empty interval: %+v", r)
+	}
+}
+
+func TestGaussLegendreBatchMatchesScalar(t *testing.T) {
+	f := func(x float64) float64 { return x*x*x - 2*x + math.Sin(x) }
+	for _, n := range []int{1, 2, 5, 16, 64} {
+		scalar := GaussLegendre(f, -1.5, 2.5, n)
+		batch := GaussLegendreBatch(batchOf(f), -1.5, 2.5, n)
+		if scalar != batch {
+			t.Errorf("n=%d: batch %g differs from scalar %g", n, batch, scalar)
+		}
+	}
+	if v := GaussLegendreBatch(batchOf(f), 3, 3, 8); v != 0 {
+		t.Errorf("empty interval: %g", v)
+	}
+}
+
+// TestKronrodBatchZeroAllocSteadyState asserts the pooled workspace makes
+// repeated integration allocation-free after warm-up (the acceptance
+// criterion measured by BenchmarkKronrodBatchPanel).
+func TestKronrodBatchZeroAllocSteadyState(t *testing.T) {
+	f := BatchFunc(func(xs, out []float64) {
+		for i, x := range xs {
+			out[i] = math.Exp(-x * x)
+		}
+	})
+	KronrodBatch(f, 0, 4, 1e-12, 1e-10) // warm the pool
+	allocs := testing.AllocsPerRun(200, func() {
+		KronrodBatch(f, 0, 4, 1e-12, 1e-10)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state KronrodBatch allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
+func TestGaussLegendreBatchZeroAllocSteadyState(t *testing.T) {
+	f := BatchFunc(func(xs, out []float64) {
+		for i, x := range xs {
+			out[i] = math.Sin(x)
+		}
+	})
+	GaussLegendreBatch(f, 0, 2, 32) // warm pool and rule cache
+	allocs := testing.AllocsPerRun(200, func() {
+		GaussLegendreBatch(f, 0, 2, 32)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state GaussLegendreBatch allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
+// TestLegendreCacheConcurrent hammers the copy-on-write rule cache from
+// many goroutines; run under -race this proves lookups don't serialize
+// on a mutex yet stay safe.
+func TestLegendreCacheConcurrent(t *testing.T) {
+	orders := []int{3, 7, 15, 21, 33, 48, 64, 100}
+	var wg sync.WaitGroup
+	rules := make([][]*legendreRule, 16)
+	for g := 0; g < 16; g++ {
+		g := g
+		rules[g] = make([]*legendreRule, len(orders))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for i, n := range orders {
+					rules[g][i] = legendre(n)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for g := 1; g < 16; g++ {
+		for i := range orders {
+			if rules[g][i] != rules[0][i] {
+				t.Fatalf("goroutines observed different cached rules for n=%d", orders[i])
+			}
+		}
+	}
+}
+
+func BenchmarkKronrodBatchPanel(b *testing.B) {
+	f := BatchFunc(func(xs, out []float64) {
+		for i, x := range xs {
+			out[i] = math.Exp(-x*x) * math.Cos(3*x)
+		}
+	})
+	KronrodBatch(f, 0, 4, 1e-12, 1e-10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KronrodBatch(f, 0, 4, 1e-12, 1e-10)
+	}
+}
+
+func BenchmarkKronrodScalarPanel(b *testing.B) {
+	f := func(x float64) float64 { return math.Exp(-x*x) * math.Cos(3*x) }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Kronrod(f, 0, 4, 1e-12, 1e-10)
+	}
+}

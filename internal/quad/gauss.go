@@ -3,6 +3,7 @@ package quad
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // legendreRule holds Gauss–Legendre nodes and weights on [-1, 1].
@@ -11,20 +12,45 @@ type legendreRule struct {
 	weights []float64
 }
 
-var (
-	legendreMu    sync.Mutex
-	legendreCache = map[int]*legendreRule{}
-)
+// legendreCache is a copy-on-write map from rule order to rule: readers
+// take a lock-free atomic load, so concurrent table builds never
+// serialize on rule lookup. Writers clone the map and CAS it in; a lost
+// race merely recomputes an identical (immutable) rule.
+var legendreCache atomic.Pointer[map[int]*legendreRule]
 
 // legendre returns the n-point Gauss–Legendre rule, computing and caching
-// it on first use. Nodes are roots of P_n found by Newton iteration from
-// the Chebyshev-based initial guess; weights are 2 / ((1-x^2) P'_n(x)^2).
+// it on first use.
 func legendre(n int) *legendreRule {
-	legendreMu.Lock()
-	defer legendreMu.Unlock()
-	if r, ok := legendreCache[n]; ok {
-		return r
+	if m := legendreCache.Load(); m != nil {
+		if r, ok := (*m)[n]; ok {
+			return r
+		}
 	}
+	r := computeLegendre(n)
+	for {
+		old := legendreCache.Load()
+		var prev map[int]*legendreRule
+		if old != nil {
+			if exist, ok := (*old)[n]; ok {
+				return exist
+			}
+			prev = *old
+		}
+		next := make(map[int]*legendreRule, len(prev)+1)
+		for k, v := range prev {
+			next[k] = v
+		}
+		next[n] = r
+		if legendreCache.CompareAndSwap(old, &next) {
+			return r
+		}
+	}
+}
+
+// computeLegendre builds the n-point rule. Nodes are roots of P_n found
+// by Newton iteration from the Chebyshev-based initial guess; weights are
+// 2 / ((1-x^2) P'_n(x)^2).
+func computeLegendre(n int) *legendreRule {
 	r := &legendreRule{
 		nodes:   make([]float64, n),
 		weights: make([]float64, n),
@@ -52,7 +78,6 @@ func legendre(n int) *legendreRule {
 		r.nodes[n-1-i] = x
 		r.weights[n-1-i] = w
 	}
-	legendreCache[n] = r
 	return r
 }
 
@@ -74,5 +99,44 @@ func GaussLegendre(f func(float64) float64, a, b float64, n int) float64 {
 	for i := range r.nodes {
 		sum += r.weights[i] * f(mid+half*r.nodes[i])
 	}
+	return sum * half
+}
+
+// glWS carries the node/value buffers of one batched Gauss–Legendre
+// evaluation; pooled so repeated fixed-order integration allocates
+// nothing in steady state.
+type glWS struct {
+	xs, fs []float64
+}
+
+var glPool = sync.Pool{New: func() interface{} { return new(glWS) }}
+
+// GaussLegendreBatch is GaussLegendre for a batched integrand: one call
+// of f covers all n nodes, using pooled buffers.
+func GaussLegendreBatch(f BatchFunc, a, b float64, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	if a == b {
+		return 0
+	}
+	r := legendre(n)
+	ws := glPool.Get().(*glWS)
+	if cap(ws.xs) < n {
+		ws.xs = make([]float64, n)
+		ws.fs = make([]float64, n)
+	}
+	xs, fs := ws.xs[:n], ws.fs[:n]
+	mid := 0.5 * (a + b)
+	half := 0.5 * (b - a)
+	for i, x := range r.nodes {
+		xs[i] = mid + half*x
+	}
+	f(xs, fs)
+	var sum float64
+	for i, w := range r.weights {
+		sum += w * fs[i]
+	}
+	glPool.Put(ws)
 	return sum * half
 }

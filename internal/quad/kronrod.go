@@ -1,9 +1,17 @@
 package quad
 
 import (
-	"container/heap"
 	"math"
+	"sync"
 )
+
+// BatchFunc evaluates an integrand at every point of xs, writing f(xs[i])
+// into out[i]. len(out) == len(xs) always holds; implementations must not
+// retain either slice past the call. Batched integrands let distribution
+// laws amortize per-point setup (truncation constants, log-normalizers)
+// across all nodes of a quadrature panel, and let the adaptive driver run
+// without per-panel allocations.
+type BatchFunc func(xs, out []float64)
 
 // Gauss–Kronrod 7-15 pair: 15 Kronrod nodes on [-1, 1] (symmetric), the
 // odd-indexed ones being the embedded 7-point Gauss rule. Constants from
@@ -37,28 +45,48 @@ var (
 	}
 )
 
-// gk15 applies the 7-15 pair to f on [a, b] and returns the Kronrod
-// estimate and an error estimate following the QUADPACK heuristic.
-func gk15(f func(float64) float64, a, b float64) (value, errEst float64) {
+// kronrodWS is the reusable state of one adaptive Kronrod integration:
+// the 15-node position/value buffers handed to the batched integrand and
+// the panel heap backing array. Pooled so steady-state integration
+// allocates nothing.
+type kronrodWS struct {
+	xs   [15]float64
+	fv   [15]float64
+	heap []panel
+}
+
+var kronrodPool = sync.Pool{
+	New: func() interface{} {
+		return &kronrodWS{heap: make([]panel, 0, maxKronrodPanels+1)}
+	},
+}
+
+// gk15Batch applies the 7-15 pair to f on [a, b] with one batched call
+// covering all 15 nodes, and returns the Kronrod estimate and an error
+// estimate following the QUADPACK heuristic.
+func gk15Batch(f BatchFunc, a, b float64, ws *kronrodWS) (value, errEst float64) {
 	mid := 0.5 * (a + b)
 	half := 0.5 * (b - a)
 
-	var fv [15]float64
+	// Node layout mirrors the fv indexing: xs[i] descends from a for
+	// i < 7, xs[7] is the center, xs[14-i] ascends toward b.
 	for i, x := range gk15Nodes {
-		lo := f(mid - half*x)
-		hi := f(mid + half*x)
-		if math.IsNaN(lo) {
-			lo = 0
+		ws.xs[i] = mid - half*x
+		if i < 7 {
+			ws.xs[14-i] = mid + half*x
 		}
-		if math.IsNaN(hi) {
-			hi = 0
+	}
+	f(ws.xs[:], ws.fv[:])
+	return gk15FromValues(&ws.fv, half)
+}
+
+// gk15FromValues computes the Kronrod/Gauss estimates and the QUADPACK
+// error heuristic from the 15 node values (NaNs treated as 0).
+func gk15FromValues(fv *[15]float64, half float64) (value, errEst float64) {
+	for i, v := range fv {
+		if math.IsNaN(v) {
+			fv[i] = 0
 		}
-		if i == 7 { // center node counted once
-			fv[7] = lo
-			continue
-		}
-		fv[i] = lo
-		fv[14-i] = hi
 	}
 
 	var kron, gauss float64
@@ -84,7 +112,6 @@ func gk15(f func(float64) float64, a, b float64) (value, errEst float64) {
 	resAsc *= half
 	errEst = math.Abs(kron-gauss) * half
 	kron *= half
-	gauss *= half
 	if resAsc != 0 && errEst != 0 {
 		errEst = resAsc * math.Min(1, math.Pow(200*errEst/resAsc, 1.5))
 	}
@@ -94,13 +121,6 @@ func gk15(f func(float64) float64, a, b float64) (value, errEst float64) {
 	return kron, errEst
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // panel is one subinterval in the adaptive subdivision queue.
 type panel struct {
 	a, b   float64
@@ -108,18 +128,43 @@ type panel struct {
 	errEst float64
 }
 
-type panelHeap []panel
+// The panel queue is a hand-rolled max-heap on errEst: container/heap
+// would box every panel through interface{} and allocate on each push,
+// defeating the pooled workspace.
 
-func (h panelHeap) Len() int            { return len(h) }
-func (h panelHeap) Less(i, j int) bool  { return h[i].errEst > h[j].errEst }
-func (h panelHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *panelHeap) Push(x interface{}) { *h = append(*h, x.(panel)) }
-func (h *panelHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	p := old[n-1]
-	*h = old[:n-1]
-	return p
+func heapInit(h []panel) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		heapSiftDown(h, i)
+	}
+}
+
+func heapSiftDown(h []panel, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		big := l
+		if r := l + 1; r < len(h) && h[r].errEst > h[l].errEst {
+			big = r
+		}
+		if h[i].errEst >= h[big].errEst {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
+func heapSiftUp(h []panel, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].errEst >= h[i].errEst {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
 }
 
 // maxKronrodPanels caps the subdivision effort; the library's integrands
@@ -130,7 +175,22 @@ const maxKronrodPanels = 2048
 // adaptive Gauss–Kronrod (G7, K15) subdivision until the summed error
 // estimate falls below max(absTol, relTol*|integral|). Non-positive
 // tolerances default to 1e-12 absolute / 1e-10 relative.
+//
+// The scalar integrand is adapted onto the batched driver; callers on a
+// hot path should implement BatchFunc directly and use KronrodBatch.
 func Kronrod(f func(float64) float64, a, b, absTol, relTol float64) Result {
+	return KronrodBatch(func(xs, out []float64) {
+		for i, x := range xs {
+			out[i] = f(x)
+		}
+	}, a, b, absTol, relTol)
+}
+
+// KronrodBatch is Kronrod for a batched integrand: each adaptive panel
+// costs exactly one call of f covering all 15 Kronrod nodes, and the
+// driver reuses a pooled workspace so steady-state integration performs
+// zero heap allocations.
+func KronrodBatch(f BatchFunc, a, b, absTol, relTol float64) Result {
 	if absTol <= 0 {
 		absTol = 1e-12
 	}
@@ -145,45 +205,49 @@ func Kronrod(f func(float64) float64, a, b, absTol, relTol float64) Result {
 		a, b = b, a
 		sign = -1
 	}
+
+	ws := kronrodPool.Get().(*kronrodWS)
+	h := ws.heap[:0]
 	n := 0
-	wrapped := func(x float64) float64 {
-		n++
-		return f(x)
-	}
 
 	// Seed with several panels rather than one: a feature much narrower
 	// than the first panel's node spacing would otherwise be invisible to
 	// the error estimate and never trigger subdivision.
 	const seedPanels = 10
-	var h panelHeap
 	var total, totalErr float64
 	for i := 0; i < seedPanels; i++ {
 		pa := a + (b-a)*float64(i)/seedPanels
 		pb := a + (b-a)*float64(i+1)/seedPanels
-		v, e := gk15(wrapped, pa, pb)
+		v, e := gk15Batch(f, pa, pb, ws)
+		n += 15
 		h = append(h, panel{a: pa, b: pb, value: v, errEst: e})
 		total += v
 		totalErr += e
 	}
-	heap.Init(&h)
+	heapInit(h)
 
 	for len(h) < maxKronrodPanels {
 		if totalErr <= math.Max(absTol, relTol*math.Abs(total)) {
 			break
 		}
-		worst := heap.Pop(&h).(panel)
+		worst := h[0]
 		m := 0.5 * (worst.a + worst.b)
 		if m == worst.a || m == worst.b {
-			// Interval exhausted at machine precision; put it back and stop.
-			heap.Push(&h, worst)
+			// Interval exhausted at machine precision; stop refining.
 			break
 		}
-		lv, le := gk15(wrapped, worst.a, m)
-		rv, re := gk15(wrapped, m, worst.b)
+		lv, le := gk15Batch(f, worst.a, m, ws)
+		rv, re := gk15Batch(f, m, worst.b, ws)
+		n += 30
 		total += lv + rv - worst.value
 		totalErr += le + re - worst.errEst
-		heap.Push(&h, panel{worst.a, m, lv, le})
-		heap.Push(&h, panel{m, worst.b, rv, re})
+		h[0] = panel{worst.a, m, lv, le}
+		heapSiftDown(h, 0)
+		h = append(h, panel{m, worst.b, rv, re})
+		heapSiftUp(h, len(h)-1)
 	}
+
+	ws.heap = h[:0]
+	kronrodPool.Put(ws)
 	return Result{Value: sign * total, AbsErr: totalErr, NumEvals: n}
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"reskit/internal/rng"
 )
@@ -80,9 +81,8 @@ func RunCampaign(cfg CampaignConfig, r *rng.Source) CampaignResult {
 	return res
 }
 
-// MonteCarloCampaign runs `trials` independent campaigns and averages
-// the headline metrics. Campaign trials are sequential within a worker
-// substream, parallel across workers.
+// CampaignAggregate averages the headline metrics of a Monte-Carlo
+// campaign experiment.
 type CampaignAggregate struct {
 	Reservations float64 // mean reservations to completion
 	Utilization  float64 // mean utilization
@@ -91,20 +91,81 @@ type CampaignAggregate struct {
 	Trials       int
 }
 
-// MonteCarloCampaign estimates campaign metrics by simulation.
-func MonteCarloCampaign(cfg CampaignConfig, trials int, seed uint64) CampaignAggregate {
-	agg := CampaignAggregate{CompletedAll: true, Trials: trials}
+// campaignBlockSize is the number of campaign trials bound to one rng
+// substream. A campaign is one or two orders of magnitude heavier than a
+// single reservation, so blocks are much smaller than the per-run
+// mcBlockSize; as there, fixed blocks (block b always draws from stream
+// b, partial sums merged in block order) make the aggregate bit-identical
+// for any worker count.
+const campaignBlockSize = 32
+
+// campaignPartial accumulates one block's running sums.
+type campaignPartial struct {
+	res, util, lost float64
+	trials          int
+	allCompleted    bool
+}
+
+// MonteCarloCampaign runs `trials` independent campaigns of cfg across
+// `workers` goroutines (Workers() when workers <= 0) and averages the
+// headline metrics. Trials are partitioned into fixed-size blocks, each
+// drawing from its own rng substream of seed, and block sums are reduced
+// in deterministic order — the aggregate depends only on (cfg, trials,
+// seed), never on the worker count or goroutine scheduling.
+func MonteCarloCampaign(cfg CampaignConfig, trials int, seed uint64, workers int) CampaignAggregate {
 	if trials <= 0 {
 		return CampaignAggregate{}
 	}
-	src := rng.NewStream(seed, 0)
+	if workers <= 0 {
+		workers = Workers()
+	}
+
+	numBlocks := (trials + campaignBlockSize - 1) / campaignBlockSize
+	if workers > numBlocks {
+		workers = numBlocks
+	}
+	parts := make([]campaignPartial, numBlocks)
+	blocks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range blocks {
+				lo := b * campaignBlockSize
+				hi := lo + campaignBlockSize
+				if hi > trials {
+					hi = trials
+				}
+				src := rng.NewStream(seed, uint64(b))
+				p := campaignPartial{allCompleted: true}
+				for i := lo; i < hi; i++ {
+					r := RunCampaign(cfg, src)
+					p.res += float64(r.Reservations)
+					p.util += r.Utilization()
+					p.lost += r.LostWork
+					p.trials++
+					if !r.Completed {
+						p.allCompleted = false
+					}
+				}
+				parts[b] = p
+			}
+		}()
+	}
+	for b := 0; b < numBlocks; b++ {
+		blocks <- b
+	}
+	close(blocks)
+	wg.Wait()
+
+	agg := CampaignAggregate{CompletedAll: true, Trials: trials}
 	var sumRes, sumUtil, sumLost float64
-	for i := 0; i < trials; i++ {
-		r := RunCampaign(cfg, src)
-		sumRes += float64(r.Reservations)
-		sumUtil += r.Utilization()
-		sumLost += r.LostWork
-		if !r.Completed {
+	for _, p := range parts {
+		sumRes += p.res
+		sumUtil += p.util
+		sumLost += p.lost
+		if !p.allCompleted {
 			agg.CompletedAll = false
 		}
 	}

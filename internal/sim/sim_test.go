@@ -318,12 +318,41 @@ func TestMonteCarloCampaign(t *testing.T) {
 		},
 		TotalWork: 100,
 	}
-	agg := MonteCarloCampaign(cfg, 200, 5)
+	agg := MonteCarloCampaign(cfg, 200, 5, 0)
 	if !agg.CompletedAll {
 		t.Errorf("some campaigns failed")
 	}
 	if agg.Utilization <= 0.3 || agg.Utilization > 1 {
 		t.Errorf("mean utilization %g", agg.Utilization)
+	}
+	if agg.Trials != 200 || agg.Reservations <= 0 || agg.LostWork < 0 {
+		t.Errorf("aggregate fields implausible: %+v", agg)
+	}
+}
+
+func TestMonteCarloCampaignDeterminismAcrossWorkers(t *testing.T) {
+	dyn := core.NewDynamic(29, paperTask(), paperCkpt(5, 0.4))
+	cfg := CampaignConfig{
+		Reservation: Config{
+			R:        29,
+			Recovery: 1.5,
+			Task:     paperTask(),
+			Ckpt:     paperCkpt(5, 0.4),
+			Strategy: strategy.NewDynamic(dyn),
+		},
+		TotalWork: 100,
+	}
+	const trials = 150 // spans several blocks
+	a := MonteCarloCampaign(cfg, trials, 42, 1)
+	b := MonteCarloCampaign(cfg, trials, 42, 2)
+	c := MonteCarloCampaign(cfg, trials, 42, Workers())
+	if a != b || a != c {
+		t.Errorf("worker count changed the campaign aggregate:\n1: %+v\n2: %+v\n%d: %+v",
+			a, b, Workers(), c)
+	}
+	d := MonteCarloCampaign(cfg, trials, 43, 2)
+	if a.Utilization == d.Utilization && a.Reservations == d.Reservations {
+		t.Errorf("different seeds gave identical aggregates")
 	}
 }
 

@@ -108,6 +108,21 @@ type CampaignResult = sim.CampaignResult
 // RunCampaign simulates a whole multi-reservation campaign.
 func RunCampaign(cfg CampaignConfig, r *RNG) CampaignResult { return sim.RunCampaign(cfg, r) }
 
+// Workers returns the default Monte-Carlo worker count (all CPUs).
+func Workers() int { return sim.Workers() }
+
+// CampaignAggregate averages the headline metrics of a Monte-Carlo
+// campaign experiment.
+type CampaignAggregate = sim.CampaignAggregate
+
+// MonteCarloCampaign runs trials independent campaigns across workers
+// goroutines (all CPUs when workers <= 0). The aggregate is bit-identical
+// for any worker count: trials are sharded into fixed blocks, each on its
+// own rng substream, and block sums are merged in deterministic order.
+func MonteCarloCampaign(cfg CampaignConfig, trials int, seed uint64, workers int) CampaignAggregate {
+	return sim.MonteCarloCampaign(cfg, trials, seed, workers)
+}
+
 // PeriodicStrategy checkpoints every time the uncommitted work reaches
 // the period p — the classical policy for failure-prone execution.
 func PeriodicStrategy(p float64) Strategy { return strategy.NewPeriodic(p) }
