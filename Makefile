@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchjson figures report clean
+.PHONY: all build vet test race fuzz bench benchjson figures report clean
 
 all: build vet test
 
@@ -16,17 +16,31 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/ ./internal/planner/ ./internal/quad/ ./internal/core/ ./internal/dist/
+	$(GO) test -race ./...
+
+# Short native-fuzzing pass over the untrusted-input surfaces (trace
+# logs and law construction); run with a longer FUZZTIME to dig deeper.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzTraceFit -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -run='^$$' -fuzz=FuzzTruncate -fuzztime=$(FUZZTIME) ./internal/dist/
+	$(GO) test -run='^$$' -fuzz=FuzzTryEmpirical -fuzztime=$(FUZZTIME) ./internal/dist/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
-# Refresh the BENCH_campaign.json throughput snapshot: campaign
-# Monte-Carlo with one worker vs all CPUs, checked bit-identical.
+# Refresh the benchmark snapshots: BENCH_campaign.json (campaign
+# Monte-Carlo with one worker vs all CPUs, checked bit-identical) and
+# BENCH_faults.json (lost-work/completion trade-off over an MTBF grid
+# under injected fail-stop crashes).
 benchjson:
 	$(GO) run ./cmd/simulate -campaign -R 29 -task 'norm:3,0.5@[0,inf]' \
 		-ckpt 'norm:5,0.4@[0,inf]' -recovery 1.5 -totalwork 500 \
 		-trials 400 -benchjson BENCH_campaign.json
+	$(GO) run ./cmd/simulate -campaign -R 29 -task 'norm:3,0.5@[0,inf]' \
+		-ckpt 'norm:5,0.4@[0,inf]' -recovery 1.5 -totalwork 500 \
+		-trials 400 -faultsweep '20,50,100,200,500,1000' \
+		-benchjson BENCH_faults.json
 
 figures:
 	$(GO) run ./cmd/figures -out out/figures -extended

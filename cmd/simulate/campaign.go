@@ -1,12 +1,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -20,13 +23,14 @@ import (
 // dynamic checkpoint strategy, with recovery from the second reservation
 // on. Trials are sharded across workers with a deterministic merge, so
 // the printed aggregate is bit-identical for any worker count.
-func runCampaignMode(out io.Writer, r, recovery, totalWork float64, taskSpec, taskDiscSpec string,
-	ckpt reskit.Continuous, trials int, seed uint64, workers int, benchJSON string) error {
+func runCampaignMode(ctx context.Context, out io.Writer, r, recovery, totalWork float64, taskSpec, taskDiscSpec string,
+	ckpt reskit.Continuous, trials int, seed uint64, workers int, benchJSON string,
+	plan *reskit.FaultPlan, faultSweep string) error {
 
 	if !(totalWork > 0) {
 		return errors.New("-totalwork must be positive")
 	}
-	base := reskit.SimConfig{R: r, Recovery: recovery, Ckpt: ckpt}
+	base := reskit.SimConfig{R: r, Recovery: recovery, Ckpt: ckpt, Faults: plan}
 	switch {
 	case taskSpec != "":
 		law, err := lawspec.Parse(taskSpec)
@@ -50,23 +54,134 @@ func runCampaignMode(out io.Writer, r, recovery, totalWork float64, taskSpec, ta
 		return errors.New("-task or -taskdisc is required with -campaign")
 	}
 	cfg := reskit.CampaignConfig{Reservation: base, TotalWork: totalWork}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 
+	if faultSweep != "" {
+		return runFaultSweep(ctx, out, cfg, faultSweep, trials, seed, workers, benchJSON)
+	}
 	if benchJSON != "" {
 		return writeCampaignBench(out, cfg, trials, seed, benchJSON)
 	}
 
+	if plan.Active() {
+		fmt.Fprintf(out, "faults: %v\n\n", plan)
+	}
 	start := time.Now()
-	agg := reskit.MonteCarloCampaign(cfg, trials, seed, workers)
+	agg, mcErr := reskit.MonteCarloCampaignContext(ctx, cfg, trials, seed, workers)
 	elapsed := time.Since(start)
 
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "mean reservations\t%.4g\n", agg.Reservations)
 	fmt.Fprintf(tw, "mean utilization\t%.4g\n", agg.Utilization)
 	fmt.Fprintf(tw, "mean lost work\t%.4g\n", agg.LostWork)
+	if plan.Active() {
+		fmt.Fprintf(tw, "mean ckpt faults\t%.4g\n", agg.CkptFaults)
+		fmt.Fprintf(tw, "mean crashes\t%.4g\n", agg.Crashes)
+		fmt.Fprintf(tw, "mean revoked res\t%.4g\n", agg.RevokedRes)
+	}
+	fmt.Fprintf(tw, "completion rate\t%.4g\n", agg.CompletionRate)
 	fmt.Fprintf(tw, "all completed\t%v\n", agg.CompletedAll)
 	fmt.Fprintf(tw, "wall time\t%v (%.0f trials/s)\n",
-		elapsed.Round(time.Millisecond), float64(trials)/elapsed.Seconds())
+		elapsed.Round(time.Millisecond), float64(agg.Trials)/elapsed.Seconds())
+	if mcErr != nil {
+		fmt.Fprintf(tw, "interrupted\t-timeout hit after %d/%d trials\n", agg.Trials, trials)
+	}
 	return tw.Flush()
+}
+
+// runFaultSweep reruns the campaign over a grid of MTBF values (keeping
+// any other configured fault models fixed) and prints the trade-off the
+// fault models create: more frequent crashes mean more lost work, lower
+// utilization, and eventually campaigns that cannot finish within the
+// reservation cap.
+func runFaultSweep(ctx context.Context, out io.Writer, cfg reskit.CampaignConfig, sweep string,
+	trials int, seed uint64, workers int, benchJSON string) error {
+
+	var mtbfs []float64
+	for _, f := range strings.Split(sweep, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return fmt.Errorf("-faultsweep: bad MTBF %q: %w", f, err)
+		}
+		if !(v > 0) {
+			return fmt.Errorf("-faultsweep: MTBF must be positive, got %g", v)
+		}
+		mtbfs = append(mtbfs, v)
+	}
+
+	type sweepRow struct {
+		MTBF           float64 `json:"mtbf"`
+		LostWork       float64 `json:"mean_lost_work"`
+		Utilization    float64 `json:"mean_utilization"`
+		Reservations   float64 `json:"mean_reservations"`
+		Crashes        float64 `json:"mean_crashes"`
+		CompletionRate float64 `json:"completion_rate"`
+	}
+	rows := make([]sweepRow, 0, len(mtbfs))
+
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "MTBF\tE(lost)\tE(util)\tE(res)\tE(crashes)\tcompletion\n")
+	for _, m := range mtbfs {
+		c := cfg
+		p := &reskit.FaultPlan{}
+		if cfg.Reservation.Faults != nil {
+			*p = *cfg.Reservation.Faults
+		}
+		crash, err := reskit.CrashExponential(1 / m)
+		if err != nil {
+			return err
+		}
+		p.Crash = crash
+		c.Reservation.Faults = p
+		agg, mcErr := reskit.MonteCarloCampaignContext(ctx, c, trials, seed, workers)
+		if mcErr != nil {
+			fmt.Fprintf(tw, "%g\t(stopped by -timeout after %d/%d trials)\n", m, agg.Trials, trials)
+			break
+		}
+		rows = append(rows, sweepRow{
+			MTBF:           m,
+			LostWork:       agg.LostWork,
+			Utilization:    agg.Utilization,
+			Reservations:   agg.Reservations,
+			Crashes:        agg.Crashes,
+			CompletionRate: agg.CompletionRate,
+		})
+		fmt.Fprintf(tw, "%g\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\n",
+			m, agg.LostWork, agg.Utilization, agg.Reservations, agg.Crashes, agg.CompletionRate)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if benchJSON == "" {
+		return nil
+	}
+	snap := struct {
+		Benchmark   string     `json:"benchmark"`
+		Generated   string     `json:"generated"`
+		Trials      int        `json:"trials"`
+		Reservation float64    `json:"reservation"`
+		TotalWork   float64    `json:"total_work"`
+		Sweep       []sweepRow `json:"sweep"`
+	}{
+		Benchmark:   "CampaignFaultSweep",
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Trials:      trials,
+		Reservation: cfg.Reservation.R,
+		TotalWork:   cfg.TotalWork,
+		Sweep:       rows,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(benchJSON, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nfault-sweep snapshot -> %s\n", benchJSON)
+	return nil
 }
 
 // campaignBench is the BENCH_campaign.json schema: one snapshot of the

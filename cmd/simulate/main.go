@@ -27,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -69,6 +70,11 @@ func run(args []string, out io.Writer) (err error) {
 	workers := fs.Int("workers", 0, "parallel workers (0 = all CPUs)")
 	recovery := fs.Float64("recovery", 0, "recovery time at reservation start")
 	failRate := fs.Float64("failrate", 0, "fail-stop error rate inside the reservation (0 = failure-free)")
+	faultSpec := fs.String("faults", "", "fault plan, e.g. 'crash=exp:0.02,ckptfail=0.05,revoke=uniform:0.1'")
+	mtbf := fs.Float64("mtbf", 0, "shorthand for -faults 'crash=exp:1/MTBF' (exponential fail-stop crashes)")
+	ckptFailP := fs.Float64("ckptfail", 0, "shorthand for -faults 'ckptfail=P' (Bernoulli checkpoint-commit failures)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget; the Monte-Carlo stops cleanly at the deadline and reports the trials completed")
+	faultSweep := fs.String("faultsweep", "", "with -campaign: comma-separated MTBF grid; reruns the campaign at each MTBF and prints the lost-work/completion trade-off")
 	strategies := fs.String("strategies", "oracle,dynamic,static,threshold,pessimistic",
 		"comma-separated strategies to compare")
 	hist := fs.Bool("hist", false, "print an ASCII histogram of saved work for each strategy")
@@ -87,6 +93,39 @@ func run(args []string, out io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
+	plan, err := reskit.ParseFaults(*faultSpec)
+	if err != nil {
+		return err
+	}
+	if *mtbf != 0 {
+		if !(*mtbf > 0) {
+			return errors.New("-mtbf must be positive")
+		}
+		crash, err := reskit.CrashExponential(1 / *mtbf)
+		if err != nil {
+			return err
+		}
+		if plan == nil {
+			plan = &reskit.FaultPlan{}
+		}
+		plan.Crash = crash
+	}
+	if *ckptFailP != 0 {
+		ckptModel, err := reskit.CkptFailBernoulli(*ckptFailP)
+		if err != nil {
+			return err
+		}
+		if plan == nil {
+			plan = &reskit.FaultPlan{}
+		}
+		plan.Ckpt = ckptModel
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	if *cpuProfile != "" {
 		stop, err := startCPUProfile(*cpuProfile)
 		if err != nil {
@@ -102,13 +141,16 @@ func run(args []string, out io.Writer) (err error) {
 		}()
 	}
 	if *campaign {
-		return runCampaignMode(out, *r, *recovery, *totalWork, *taskSpec, *taskDiscSpec,
-			ckpt, *trials, *seed, *workers, *benchJSON)
+		return runCampaignMode(ctx, out, *r, *recovery, *totalWork, *taskSpec, *taskDiscSpec,
+			ckpt, *trials, *seed, *workers, *benchJSON, plan, *faultSweep)
+	}
+	if *faultSweep != "" {
+		return errors.New("-faultsweep requires -campaign")
 	}
 	if *preempt {
 		return runPreempt(out, *r, ckpt, *trials, *seed, *workers)
 	}
-	return runWorkflow(out, *r, *recovery, *failRate, *taskSpec, *taskDiscSpec, ckpt, *trials, *seed, *workers, *strategies, *hist)
+	return runWorkflow(ctx, out, *r, *recovery, *failRate, *taskSpec, *taskDiscSpec, ckpt, *trials, *seed, *workers, *strategies, *hist, plan)
 }
 
 func runPreempt(out io.Writer, r float64, ckpt reskit.Continuous, trials int, seed uint64, workers int) error {
@@ -136,10 +178,13 @@ func runPreempt(out io.Writer, r float64, ckpt reskit.Continuous, trials int, se
 	return tw.Flush()
 }
 
-func runWorkflow(out io.Writer, r, recovery, failRate float64, taskSpec, taskDiscSpec string, ckpt reskit.Continuous,
-	trials int, seed uint64, workers int, strategyList string, hist bool) error {
+func runWorkflow(ctx context.Context, out io.Writer, r, recovery, failRate float64, taskSpec, taskDiscSpec string, ckpt reskit.Continuous,
+	trials int, seed uint64, workers int, strategyList string, hist bool, plan *reskit.FaultPlan) error {
 
-	base := reskit.SimConfig{R: r, Recovery: recovery, Ckpt: ckpt, FailureRate: failRate}
+	base := reskit.SimConfig{R: r, Recovery: recovery, Ckpt: ckpt, FailureRate: failRate, Faults: plan}
+	if plan.Active() {
+		fmt.Fprintf(out, "faults: %v\n", plan)
+	}
 	var taskMeanLaw interface {
 		Mean() float64
 		Quantile(float64) float64
@@ -185,35 +230,42 @@ func runWorkflow(out io.Writer, r, recovery, failRate float64, taskSpec, taskDis
 	wInt, wErr := dynamic.Intersection()
 
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "strategy\tE(saved)\t±95%%\tE(tasks)\tE(ckpts)\tzero-runs\n")
+	faulty := plan.Active()
+	if faulty {
+		fmt.Fprintf(tw, "strategy\tE(saved)\t±95%%\tE(tasks)\tE(ckpts)\tE(ckptfaults)\tE(crashes)\trevoked\tzero-runs\n")
+	} else {
+		fmt.Fprintf(tw, "strategy\tE(saved)\t±95%%\tE(tasks)\tE(ckpts)\tzero-runs\n")
+	}
+	var interrupted error
 	for _, name := range strings.Split(strategyList, ",") {
 		name = strings.TrimSpace(name)
 		cfg := base
 		var agg reskit.SimAggregate
+		var mcErr error
 		switch name {
 		case "oracle":
 			cfg.Strategy = reskit.NeverStrategy()
 			agg = reskit.MonteCarloOracle(cfg, trials, seed, workers)
 		case "dynamic":
 			cfg.Strategy = reskit.DynamicStrategy(dynamic)
-			agg = reskit.MonteCarlo(cfg, trials, seed, workers)
+			agg, mcErr = reskit.MonteCarloContext(ctx, cfg, trials, seed, workers)
 		case "static":
 			cfg.Strategy = reskit.StaticStrategy(sol.NOpt)
-			agg = reskit.MonteCarlo(cfg, trials, seed, workers)
+			agg, mcErr = reskit.MonteCarloContext(ctx, cfg, trials, seed, workers)
 		case "threshold":
 			if wErr != nil {
 				fmt.Fprintf(tw, "%s\t(no intersection)\n", name)
 				continue
 			}
 			cfg.Strategy = reskit.ThresholdStrategy(wInt)
-			agg = reskit.MonteCarlo(cfg, trials, seed, workers)
+			agg, mcErr = reskit.MonteCarloContext(ctx, cfg, trials, seed, workers)
 		case "pessimistic":
 			cfg.Strategy = reskit.PessimisticStrategy(
 				taskMeanLaw.Quantile(0.9999), ckpt.Quantile(0.9999))
-			agg = reskit.MonteCarlo(cfg, trials, seed, workers)
+			agg, mcErr = reskit.MonteCarloContext(ctx, cfg, trials, seed, workers)
 		case "never":
 			cfg.Strategy = reskit.NeverStrategy()
-			agg = reskit.MonteCarlo(cfg, trials, seed, workers)
+			agg, mcErr = reskit.MonteCarloContext(ctx, cfg, trials, seed, workers)
 		case "youngdaly":
 			if failRate <= 0 {
 				fmt.Fprintf(tw, "%s\t(needs -failrate > 0)\n", name)
@@ -221,13 +273,27 @@ func runWorkflow(out io.Writer, r, recovery, failRate float64, taskSpec, taskDis
 			}
 			cfg.Strategy = reskit.YoungDalyStrategy(1/failRate, ckpt.Mean())
 			cfg.After = reskit.ContinueExecution
-			agg = reskit.MonteCarlo(cfg, trials, seed, workers)
+			agg, mcErr = reskit.MonteCarloContext(ctx, cfg, trials, seed, workers)
 		default:
 			return fmt.Errorf("unknown strategy %q", name)
 		}
-		fmt.Fprintf(tw, "%s\t%.5g\t%.2g\t%.4g\t%.3g\t%.2f%%\n",
-			name, agg.Saved.Mean(), agg.Saved.CI95(), agg.Tasks.Mean(), agg.Checkpoints.Mean(),
-			100*float64(agg.ZeroRuns)/float64(agg.Trials))
+		if agg.Trials > 0 {
+			zeroPct := 100 * float64(agg.ZeroRuns) / float64(agg.Trials)
+			if faulty {
+				fmt.Fprintf(tw, "%s\t%.5g\t%.2g\t%.4g\t%.3g\t%.3g\t%.3g\t%.2f%%\t%.2f%%\n",
+					name, agg.Saved.Mean(), agg.Saved.CI95(), agg.Tasks.Mean(), agg.Checkpoints.Mean(),
+					agg.CkptFaults.Mean(), agg.Failures.Mean(),
+					100*float64(agg.RevokedRuns)/float64(agg.Trials), zeroPct)
+			} else {
+				fmt.Fprintf(tw, "%s\t%.5g\t%.2g\t%.4g\t%.3g\t%.2f%%\n",
+					name, agg.Saved.Mean(), agg.Saved.CI95(), agg.Tasks.Mean(), agg.Checkpoints.Mean(), zeroPct)
+			}
+		}
+		if mcErr != nil {
+			interrupted = mcErr
+			fmt.Fprintf(tw, "%s\t(stopped by -timeout after %d/%d trials)\n", name, agg.Trials, trials)
+			break
+		}
 		if hist {
 			if err := printHistogram(tw, name, cfg, trials, seed, r); err != nil {
 				return err
@@ -236,6 +302,10 @@ func runWorkflow(out io.Writer, r, recovery, failRate float64, taskSpec, taskDis
 	}
 	if err := tw.Flush(); err != nil {
 		return err
+	}
+	if interrupted != nil {
+		fmt.Fprintf(out, "\nwall-clock budget hit (%v); remaining strategies skipped\n", interrupted)
+		return nil
 	}
 	fmt.Fprintf(out, "\nstatic n_opt = %d (E = %.5g analytic)\n", sol.NOpt, sol.ENOpt)
 	if wErr == nil {

@@ -198,3 +198,143 @@ func TestWorkflowHistogram(t *testing.T) {
 		t.Errorf("histogram bars missing:\n%s", buf.String())
 	}
 }
+
+func TestWorkflowFaultPlan(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{
+		"-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+		"-trials", "2000", "-strategies", "static,dynamic",
+		"-faults", "ckptfail=0.2,revoke=uniform:0.1", "-mtbf", "50",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"faults:", "crash~exp(rate=0.02)", "ckptfail(p=0.2)", "revoke~uniform(p=0.1)",
+		"E(ckptfaults)", "E(crashes)", "revoked"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWorkflowCkptFailShorthand(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{
+		"-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+		"-trials", "1000", "-strategies", "dynamic", "-ckptfail", "0.3",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"faults: ckptfail(p=0.3)", "E(ckptfaults)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCampaignWithFaults(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{
+		"-campaign", "-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+		"-recovery", "1.5", "-totalwork", "100", "-trials", "64", "-mtbf", "50",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"faults: crash~exp(rate=0.02)", "mean crashes", "mean ckpt faults",
+		"mean revoked res", "completion rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFaultSweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "faults.json")
+	var buf strings.Builder
+	err := run([]string{
+		"-campaign", "-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+		"-recovery", "1.5", "-totalwork", "100", "-trials", "64",
+		"-faultsweep", "50,200", "-benchjson", path,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"MTBF", "E(lost)", "completion"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Benchmark string `json:"benchmark"`
+		Sweep     []struct {
+			MTBF     float64 `json:"mtbf"`
+			LostWork float64 `json:"mean_lost_work"`
+		} `json:"sweep"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Benchmark != "CampaignFaultSweep" {
+		t.Errorf("benchmark = %q, want CampaignFaultSweep", snap.Benchmark)
+	}
+	if len(snap.Sweep) != 2 {
+		t.Fatalf("sweep has %d rows, want 2", len(snap.Sweep))
+	}
+	if snap.Sweep[0].MTBF != 50 || snap.Sweep[1].MTBF != 200 {
+		t.Errorf("sweep MTBFs = %g, %g; want 50, 200", snap.Sweep[0].MTBF, snap.Sweep[1].MTBF)
+	}
+	if !(snap.Sweep[0].LostWork > snap.Sweep[1].LostWork) {
+		t.Errorf("lost work not decreasing in MTBF: %g (MTBF 50) vs %g (MTBF 200)",
+			snap.Sweep[0].LostWork, snap.Sweep[1].LostWork)
+	}
+}
+
+func TestFaultFlagErrors(t *testing.T) {
+	cases := [][]string{
+		// -faultsweep without -campaign
+		{"-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+			"-faultsweep", "50,100"},
+		// malformed fault spec
+		{"-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+			"-faults", "crash=bogus:1"},
+		// out-of-range shorthand
+		{"-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+			"-ckptfail", "1.5"},
+		// negative MTBF
+		{"-campaign", "-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+			"-recovery", "1.5", "-totalwork", "100", "-mtbf", "-4"},
+		// bad sweep grid entry
+		{"-campaign", "-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+			"-recovery", "1.5", "-totalwork", "100", "-faultsweep", "50,zero"},
+	}
+	for i, args := range cases {
+		var buf strings.Builder
+		if err := run(args, &buf); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestWorkflowTimeout(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{
+		"-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+		"-trials", "50000000", "-strategies", "dynamic", "-timeout", "100ms",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "stopped by -timeout") {
+		t.Errorf("missing timeout marker:\n%s", buf.String())
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -37,8 +38,10 @@ type Dynamic struct {
 	taskB dist.BatchContinuous
 
 	// Lazily built coefficient table for O(1) generalized decisions
-	// (see ShouldCheckpointAt).
-	tableOnce      sync.Once
+	// (see ShouldCheckpointAt). Guarded by tableMu rather than a
+	// sync.Once so a build cancelled through Prebuild can be retried.
+	tableMu        sync.Mutex
+	tableBuilt     bool
 	tableA, tableB []float64
 }
 
@@ -213,7 +216,7 @@ const dynamicGridSize = 1024
 // coefficientsAt returns A(budget) and B(budget), building the lookup
 // table on first use.
 func (d *Dynamic) coefficientsAt(budget float64) (a, b float64) {
-	d.tableOnce.Do(d.buildTable)
+	d.ensureTable(context.Background()) //nolint:errcheck // background ctx never cancels
 	if budget >= d.R {
 		n := dynamicGridSize
 		return d.tableA[n], d.tableB[n]
@@ -229,18 +232,40 @@ func (d *Dynamic) coefficientsAt(budget float64) (a, b float64) {
 	return a, b
 }
 
-// buildTable evaluates the exact coefficients on the budget grid. Grid
-// points are independent integrals, so they are computed in parallel
-// across runtime.GOMAXPROCS(0) workers; each index is written exactly
-// once, making the table bit-identical for any worker count.
-func (d *Dynamic) buildTable() {
+// Prebuild computes the coefficient table eagerly, honoring ctx: grid
+// points are independent integrals evaluated across all CPUs, and on
+// cancellation the partial table is discarded (never recorded as built),
+// so a later Prebuild or decision call rebuilds it from scratch.
+// Decision paths that find the table already built never block on it.
+func (d *Dynamic) Prebuild(ctx context.Context) error {
+	return d.ensureTable(ctx)
+}
+
+// ensureTable builds the coefficient table on first use. Grid points are
+// independent integrals, so they are computed in parallel across
+// runtime.GOMAXPROCS(0) workers; each index is written exactly once,
+// making the table bit-identical for any worker count.
+func (d *Dynamic) ensureTable(ctx context.Context) error {
+	d.tableMu.Lock()
+	defer d.tableMu.Unlock()
+	if d.tableBuilt {
+		return nil
+	}
 	n := dynamicGridSize
-	d.tableA = make([]float64, n+1)
-	d.tableB = make([]float64, n+1)
-	parallelFor(1, n, func(i int) {
+	a := make([]float64, n+1)
+	b := make([]float64, n+1)
+	err := parallelForCtx(ctx, 1, n, func(i int) {
 		budget := d.R * float64(i) / float64(n)
-		d.tableA[i], d.tableB[i] = d.exactCoefficients(budget)
+		a[i], b[i] = d.exactCoefficients(budget)
 	})
+	if err != nil {
+		// Cancelled mid-build: drop the partial table so the next call
+		// starts clean.
+		return err
+	}
+	d.tableA, d.tableB = a, b
+	d.tableBuilt = true
+	return nil
 }
 
 // exactCoefficients evaluates A(b) and B(b) by batched quadrature (or

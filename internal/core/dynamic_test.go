@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -226,8 +227,12 @@ func TestBuildTableParallelDeterministic(t *testing.T) {
 		return NewDynamic(29, dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1)), paperCkpt(5, 0.4))
 	}
 	d1, d2 := mk(), mk()
-	d1.tableOnce.Do(d1.buildTable)
-	d2.tableOnce.Do(d2.buildTable)
+	if err := d1.Prebuild(context.Background()); err != nil {
+		t.Fatalf("Prebuild d1: %v", err)
+	}
+	if err := d2.Prebuild(context.Background()); err != nil {
+		t.Fatalf("Prebuild d2: %v", err)
+	}
 	if len(d1.tableA) != len(d2.tableA) {
 		t.Fatalf("table sizes differ")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -10,19 +11,37 @@ import (
 // must be independent; each index is executed exactly once, so results
 // written by index are deterministic regardless of the worker count.
 func parallelFor(lo, hi int, body func(i int)) {
+	parallelForCtx(context.Background(), lo, hi, body) //nolint:errcheck // background ctx never cancels
+}
+
+// parallelForCtx is parallelFor with cooperative cancellation: once ctx
+// is done, workers finish their current iteration and skip the rest, and
+// the ctx error is returned. Indices that did run were each executed
+// exactly once, so the caller can safely discard or retry the partial
+// result. A background context compiles to the zero-overhead fast path
+// (Done() is nil).
+func parallelForCtx(ctx context.Context, lo, hi int, body func(i int)) error {
 	n := hi - lo + 1
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
+	done := ctx.Done()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := lo; i <= hi; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			body(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -30,9 +49,17 @@ func parallelFor(lo, hi int, body func(i int)) {
 		go func(w int) {
 			defer wg.Done()
 			for i := lo + w; i <= hi; i += workers {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				body(i)
 			}
 		}(w)
 	}
 	wg.Wait()
+	return ctx.Err()
 }

@@ -35,9 +35,18 @@ func NewEmpirical(sample []float64) *Empirical {
 	sort.Float64s(s)
 	var m, m2 float64
 	for i, x := range s {
+		n := float64(i + 1)
 		d := x - m
-		m += d / float64(i+1)
-		m2 += d * (x - m)
+		// x - m can overflow for extreme (but finite) samples whose mean
+		// is itself representable; update the mean via scaled terms. The
+		// variance saturates to +Inf in that regime — it genuinely
+		// exceeds the float64 range — but must not become NaN.
+		m += x/n - m/n
+		if math.IsInf(d, 0) {
+			m2 = math.Inf(1)
+		} else {
+			m2 += d * (x - m)
+		}
 	}
 	return &Empirical{sorted: s, mean: m, varce: m2 / float64(len(s)-1)}
 }

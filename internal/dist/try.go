@@ -1,0 +1,75 @@
+package dist
+
+import "fmt"
+
+// The NewX constructors of this package panic on invalid parameters:
+// they sit on hot construction paths and their arguments are normally
+// program constants. The Try variants below wrap the same constructors
+// into error returns for callers whose parameters come from untrusted
+// input — fitted trace logs, CLI flags, config files — where a bad
+// observation must surface as an error, not a crash.
+
+// catch converts the constructor's panic (always a string or error from
+// this package's validation) into an error.
+func catch(errp *error) {
+	if r := recover(); r != nil {
+		switch v := r.(type) {
+		case error:
+			*errp = v
+		default:
+			*errp = fmt.Errorf("%v", v)
+		}
+	}
+}
+
+// TryTruncate is Truncate returning an error instead of panicking when
+// lo >= hi, a bound is NaN, or the base law has zero mass on [lo, hi].
+func TryTruncate(base Continuous, lo, hi float64) (t *Truncated, err error) {
+	defer catch(&err)
+	if base == nil {
+		return nil, fmt.Errorf("dist: Truncate: nil base law")
+	}
+	return Truncate(base, lo, hi), nil
+}
+
+// TryNewEmpirical is NewEmpirical returning an error instead of
+// panicking on fewer than two observations or non-finite values.
+func TryNewEmpirical(sample []float64) (e *Empirical, err error) {
+	defer catch(&err)
+	return NewEmpirical(sample), nil
+}
+
+// TryNewNormal is NewNormal returning an error instead of panicking on
+// non-finite mu or non-positive sigma.
+func TryNewNormal(mu, sigma float64) (d Normal, err error) {
+	defer catch(&err)
+	return NewNormal(mu, sigma), nil
+}
+
+// TryNewLogNormal is NewLogNormal returning an error instead of
+// panicking on non-finite mu or non-positive sigma.
+func TryNewLogNormal(mu, sigma float64) (d LogNormal, err error) {
+	defer catch(&err)
+	return NewLogNormal(mu, sigma), nil
+}
+
+// TryNewGamma is NewGamma returning an error instead of panicking on
+// non-positive shape or scale.
+func TryNewGamma(k, theta float64) (d Gamma, err error) {
+	defer catch(&err)
+	return NewGamma(k, theta), nil
+}
+
+// TryNewWeibull is NewWeibull returning an error instead of panicking
+// on non-positive shape or scale.
+func TryNewWeibull(k, lambda float64) (d Weibull, err error) {
+	defer catch(&err)
+	return NewWeibull(k, lambda), nil
+}
+
+// TryNewExponential is NewExponential returning an error instead of
+// panicking on a non-positive rate.
+func TryNewExponential(rate float64) (d Exponential, err error) {
+	defer catch(&err)
+	return NewExponential(rate), nil
+}

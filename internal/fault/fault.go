@@ -1,0 +1,421 @@
+// Package fault provides composable fault models for the reservation
+// simulator (internal/sim): checkpoint failures (Bernoulli per attempt or
+// duration-dependent hazard), mid-reservation fail-stop crashes with
+// Exponential or Weibull inter-arrival times, and early reservation
+// revocation (spot-style preemption of the allocation itself).
+//
+// The paper's model (Sections 3-4) is failure-free: the only uncertainty
+// is in the checkpoint and task durations. Real platforms — the setting
+// of the checkpointing-under-failures literature the paper cites — also
+// lose work to node crashes, aborted checkpoint writes, and revoked
+// reservations. A Plan bundles any subset of the three fault classes and
+// plugs into sim.Config.Faults.
+//
+// Determinism contract: every model draws variates exclusively from the
+// *rng.Source handed to it, in a fixed documented order, and keeps no
+// internal state. The simulator calls the models at fixed points of each
+// trajectory, so a (config, seed, stream) triple always produces the same
+// faults, and the sharded Monte-Carlo harness stays bit-identical for any
+// worker count.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"reskit/internal/rng"
+)
+
+// CkptModel decides whether one checkpoint attempt fails after running
+// for its full sampled duration (a failed attempt consumes the time but
+// commits nothing). Implementations draw exactly one uniform variate per
+// call.
+type CkptModel interface {
+	fmt.Stringer
+	// Fails reports whether a checkpoint attempt of duration d fails.
+	Fails(d float64, r *rng.Source) bool
+}
+
+// CkptBernoulli fails each checkpoint attempt independently with
+// probability P, regardless of its duration — the model for commit
+// failures dominated by a fixed-rate component (metadata races, transient
+// filesystem errors).
+type CkptBernoulli struct {
+	P float64 // failure probability per attempt, in [0, 1]
+}
+
+// NewCkptBernoulli validates and returns the model.
+func NewCkptBernoulli(p float64) (CkptBernoulli, error) {
+	if !(p >= 0 && p <= 1) { // also rejects NaN
+		return CkptBernoulli{}, fmt.Errorf("fault: checkpoint failure probability must be in [0, 1], got %g", p)
+	}
+	return CkptBernoulli{P: p}, nil
+}
+
+// String implements CkptModel.
+func (m CkptBernoulli) String() string { return fmt.Sprintf("ckptfail(p=%g)", m.P) }
+
+// Fails implements CkptModel.
+func (m CkptBernoulli) Fails(_ float64, r *rng.Source) bool {
+	return r.Float64() < m.P
+}
+
+// CkptHazard fails a checkpoint attempt of duration d with probability
+// 1 - exp(-Rate*d): the longer the write, the larger the window for a
+// media or network error to corrupt it. Rate is the per-second hazard.
+type CkptHazard struct {
+	Rate float64 // failure hazard per unit of checkpoint duration
+}
+
+// NewCkptHazard validates and returns the model.
+func NewCkptHazard(rate float64) (CkptHazard, error) {
+	if !(rate >= 0) || math.IsInf(rate, 0) {
+		return CkptHazard{}, fmt.Errorf("fault: checkpoint hazard rate must be finite and >= 0, got %g", rate)
+	}
+	return CkptHazard{Rate: rate}, nil
+}
+
+// String implements CkptModel.
+func (m CkptHazard) String() string { return fmt.Sprintf("ckpthazard(rate=%g)", m.Rate) }
+
+// Fails implements CkptModel.
+func (m CkptHazard) Fails(d float64, r *rng.Source) bool {
+	if d < 0 {
+		d = 0
+	}
+	return r.Float64() < -math.Expm1(-m.Rate*d)
+}
+
+// Arrival samples inter-arrival times of fail-stop crashes inside a
+// reservation. Arrivals form a renewal process: after each crash (and at
+// reservation start) the next gap is drawn independently.
+type Arrival interface {
+	fmt.Stringer
+	// Next returns the time until the next crash, measured from now.
+	Next(r *rng.Source) float64
+}
+
+// ExpArrival is the classical memoryless fail-stop model: crashes arrive
+// with Exponential(Rate) gaps, i.e. MTBF = 1/Rate.
+type ExpArrival struct {
+	Rate float64 // crashes per unit time
+}
+
+// NewExpArrival validates and returns the model.
+func NewExpArrival(rate float64) (ExpArrival, error) {
+	if !(rate > 0) || math.IsInf(rate, 0) {
+		return ExpArrival{}, fmt.Errorf("fault: crash rate must be positive and finite, got %g", rate)
+	}
+	return ExpArrival{Rate: rate}, nil
+}
+
+// String implements Arrival.
+func (a ExpArrival) String() string { return fmt.Sprintf("crash~exp(rate=%g)", a.Rate) }
+
+// Next implements Arrival.
+func (a ExpArrival) Next(r *rng.Source) float64 { return r.Exponential(a.Rate) }
+
+// WeibullArrival draws crash gaps from Weibull(Shape, Scale). Shape < 1
+// models infant-mortality platforms (bursty early failures), shape > 1
+// wear-out; shape 1 degenerates to ExpArrival with rate 1/Scale.
+type WeibullArrival struct {
+	Shape, Scale float64
+}
+
+// NewWeibullArrival validates and returns the model.
+func NewWeibullArrival(shape, scale float64) (WeibullArrival, error) {
+	if !(shape > 0) || !(scale > 0) || math.IsInf(shape, 0) || math.IsInf(scale, 0) {
+		return WeibullArrival{}, fmt.Errorf("fault: Weibull crash arrivals need positive finite shape and scale, got (%g, %g)", shape, scale)
+	}
+	return WeibullArrival{Shape: shape, Scale: scale}, nil
+}
+
+// String implements Arrival.
+func (a WeibullArrival) String() string {
+	return fmt.Sprintf("crash~weibull(k=%g, lambda=%g)", a.Shape, a.Scale)
+}
+
+// Next implements Arrival.
+func (a WeibullArrival) Next(r *rng.Source) float64 { return r.Weibull(a.Shape, a.Scale) }
+
+// Revocation truncates the reservation itself: spot-style platforms can
+// reclaim the allocation before its nominal end. The job is not told the
+// revocation instant in advance — strategies still observe the nominal R.
+type Revocation interface {
+	fmt.Stringer
+	// Horizon returns the effective reservation length for one run:
+	// min(R, revocation instant). It draws exactly one variate.
+	Horizon(R float64, r *rng.Source) float64
+}
+
+// ExpRevocation revokes the reservation at an Exponential(Rate) instant
+// (or never within the reservation, when the draw exceeds R).
+type ExpRevocation struct {
+	Rate float64 // revocations per unit time
+}
+
+// NewExpRevocation validates and returns the model.
+func NewExpRevocation(rate float64) (ExpRevocation, error) {
+	if !(rate > 0) || math.IsInf(rate, 0) {
+		return ExpRevocation{}, fmt.Errorf("fault: revocation rate must be positive and finite, got %g", rate)
+	}
+	return ExpRevocation{Rate: rate}, nil
+}
+
+// String implements Revocation.
+func (v ExpRevocation) String() string { return fmt.Sprintf("revoke~exp(rate=%g)", v.Rate) }
+
+// Horizon implements Revocation.
+func (v ExpRevocation) Horizon(R float64, r *rng.Source) float64 {
+	t := r.Exponential(v.Rate)
+	if t < R {
+		return t
+	}
+	return R
+}
+
+// UniformRevocation revokes with probability P, at an instant uniform on
+// (0, R) — the simplest bounded-support preemption model. It draws two
+// variates (the coin, then the instant) but only when P > 0.
+type UniformRevocation struct {
+	P float64 // revocation probability per reservation, in [0, 1]
+}
+
+// NewUniformRevocation validates and returns the model.
+func NewUniformRevocation(p float64) (UniformRevocation, error) {
+	if !(p >= 0 && p <= 1) {
+		return UniformRevocation{}, fmt.Errorf("fault: revocation probability must be in [0, 1], got %g", p)
+	}
+	return UniformRevocation{P: p}, nil
+}
+
+// String implements Revocation.
+func (v UniformRevocation) String() string { return fmt.Sprintf("revoke~uniform(p=%g)", v.P) }
+
+// Horizon implements Revocation.
+func (v UniformRevocation) Horizon(R float64, r *rng.Source) float64 {
+	if v.P <= 0 {
+		return R
+	}
+	if r.Float64() >= v.P {
+		return R
+	}
+	return R * r.Float64()
+}
+
+// Plan bundles the fault models active in one experiment. Any field may
+// be nil; a zero Plan injects nothing. The simulator samples, per
+// reservation, in this fixed order: recovery (outside the plan), then
+// Revoke.Horizon, then the first Crash gap; during execution it draws one
+// Crash gap after each crash and one CkptModel variate per completed
+// checkpoint attempt.
+type Plan struct {
+	Crash  Arrival    // fail-stop crashes inside the reservation
+	Ckpt   CkptModel  // per-attempt checkpoint failures
+	Revoke Revocation // early reservation revocation
+}
+
+// Active reports whether the plan injects any fault at all.
+func (p *Plan) Active() bool {
+	return p != nil && (p.Crash != nil || p.Ckpt != nil || p.Revoke != nil)
+}
+
+// String summarizes the active models.
+func (p *Plan) String() string {
+	if !p.Active() {
+		return "no faults"
+	}
+	var parts []string
+	if p.Crash != nil {
+		parts = append(parts, p.Crash.String())
+	}
+	if p.Ckpt != nil {
+		parts = append(parts, p.Ckpt.String())
+	}
+	if p.Revoke != nil {
+		parts = append(parts, p.Revoke.String())
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Validate checks the plan's models. A nil plan is valid.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	switch m := p.Crash.(type) {
+	case nil:
+	case ExpArrival:
+		if _, err := NewExpArrival(m.Rate); err != nil {
+			return err
+		}
+	case WeibullArrival:
+		if _, err := NewWeibullArrival(m.Shape, m.Scale); err != nil {
+			return err
+		}
+	}
+	switch m := p.Ckpt.(type) {
+	case nil:
+	case CkptBernoulli:
+		if _, err := NewCkptBernoulli(m.P); err != nil {
+			return err
+		}
+	case CkptHazard:
+		if _, err := NewCkptHazard(m.Rate); err != nil {
+			return err
+		}
+	}
+	switch m := p.Revoke.(type) {
+	case nil:
+	case ExpRevocation:
+		if _, err := NewExpRevocation(m.Rate); err != nil {
+			return err
+		}
+	case UniformRevocation:
+		if _, err := NewUniformRevocation(m.P); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Parse builds a Plan from a compact spec string, the syntax of the
+// simulate command's -faults flag: comma-separated key=value clauses
+//
+//	crash=exp:RATE          Exponential crash arrivals (MTBF = 1/RATE)
+//	crash=weibull:K,LAMBDA  Weibull crash arrivals
+//	ckptfail=P              Bernoulli checkpoint failure, probability P
+//	ckpthazard=RATE         duration-dependent checkpoint failure hazard
+//	revoke=exp:RATE         Exponential reservation revocation
+//	revoke=uniform:P        probability-P uniform revocation
+//
+// e.g. "crash=exp:0.02,ckptfail=0.05,revoke=exp:0.001". The empty string
+// and "none" parse to a nil plan.
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	// Clauses are comma-separated, but so are multi-parameter values
+	// (crash=weibull:K,LAMBDA): a segment without '=' continues the
+	// previous clause's parameter list.
+	var clauses []string
+	for _, seg := range strings.Split(spec, ",") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		if strings.Contains(seg, "=") || len(clauses) == 0 {
+			clauses = append(clauses, seg)
+		} else {
+			clauses[len(clauses)-1] += "," + seg
+		}
+	}
+	p := &Plan{}
+	for _, clause := range clauses {
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: clause %q is not key=value", clause)
+		}
+		switch key {
+		case "crash":
+			kind, args, _ := strings.Cut(val, ":")
+			switch kind {
+			case "exp":
+				rate, err := parseFloats(args, 1)
+				if err != nil {
+					return nil, fmt.Errorf("fault: crash=exp: %w", err)
+				}
+				m, err := NewExpArrival(rate[0])
+				if err != nil {
+					return nil, err
+				}
+				p.Crash = m
+			case "weibull":
+				ps, err := parseFloats(args, 2)
+				if err != nil {
+					return nil, fmt.Errorf("fault: crash=weibull: %w", err)
+				}
+				m, err := NewWeibullArrival(ps[0], ps[1])
+				if err != nil {
+					return nil, err
+				}
+				p.Crash = m
+			default:
+				return nil, fmt.Errorf("fault: unknown crash model %q (want exp or weibull)", kind)
+			}
+		case "ckptfail":
+			prob, err := parseFloats(val, 1)
+			if err != nil {
+				return nil, fmt.Errorf("fault: ckptfail: %w", err)
+			}
+			m, err := NewCkptBernoulli(prob[0])
+			if err != nil {
+				return nil, err
+			}
+			p.Ckpt = m
+		case "ckpthazard":
+			rate, err := parseFloats(val, 1)
+			if err != nil {
+				return nil, fmt.Errorf("fault: ckpthazard: %w", err)
+			}
+			m, err := NewCkptHazard(rate[0])
+			if err != nil {
+				return nil, err
+			}
+			p.Ckpt = m
+		case "revoke":
+			kind, args, _ := strings.Cut(val, ":")
+			switch kind {
+			case "exp":
+				rate, err := parseFloats(args, 1)
+				if err != nil {
+					return nil, fmt.Errorf("fault: revoke=exp: %w", err)
+				}
+				m, err := NewExpRevocation(rate[0])
+				if err != nil {
+					return nil, err
+				}
+				p.Revoke = m
+			case "uniform":
+				prob, err := parseFloats(args, 1)
+				if err != nil {
+					return nil, fmt.Errorf("fault: revoke=uniform: %w", err)
+				}
+				m, err := NewUniformRevocation(prob[0])
+				if err != nil {
+					return nil, err
+				}
+				p.Revoke = m
+			default:
+				return nil, fmt.Errorf("fault: unknown revoke model %q (want exp or uniform)", kind)
+			}
+		default:
+			return nil, fmt.Errorf("fault: unknown clause key %q (want crash, ckptfail, ckpthazard or revoke)", key)
+		}
+	}
+	if !p.Active() {
+		return nil, nil
+	}
+	return p, nil
+}
+
+// parseFloats parses exactly n comma-free colon-free floats from a
+// comma-separated list.
+func parseFloats(s string, n int) ([]float64, error) {
+	fields := strings.Split(s, ",")
+	if len(fields) != n {
+		return nil, fmt.Errorf("want %d parameter(s), got %q", n, s)
+	}
+	out := make([]float64, n)
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad parameter %q: %w", f, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,233 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"reskit/internal/rng"
+)
+
+func TestCkptBernoulliExtremes(t *testing.T) {
+	r := rng.New(1)
+	never, _ := NewCkptBernoulli(0)
+	always, _ := NewCkptBernoulli(1)
+	for i := 0; i < 1000; i++ {
+		if never.Fails(5, r) {
+			t.Fatal("p=0 must never fail")
+		}
+		if !always.Fails(5, r) {
+			t.Fatal("p=1 must always fail")
+		}
+	}
+}
+
+func TestCkptBernoulliRate(t *testing.T) {
+	m, err := NewCkptBernoulli(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	fails := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if m.Fails(1, r) {
+			fails++
+		}
+	}
+	if got := float64(fails) / n; math.Abs(got-0.3) > 0.01 {
+		t.Errorf("empirical failure rate %g, want ~0.3", got)
+	}
+}
+
+func TestCkptHazardDurationDependence(t *testing.T) {
+	m, err := NewCkptHazard(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	const n = 100000
+	count := func(d float64) float64 {
+		fails := 0
+		for i := 0; i < n; i++ {
+			if m.Fails(d, r) {
+				fails++
+			}
+		}
+		return float64(fails) / n
+	}
+	short, long := count(0.1), count(4)
+	wantShort := 1 - math.Exp(-0.5*0.1)
+	wantLong := 1 - math.Exp(-0.5*4)
+	if math.Abs(short-wantShort) > 0.01 {
+		t.Errorf("short-attempt failure rate %g, want ~%g", short, wantShort)
+	}
+	if math.Abs(long-wantLong) > 0.01 {
+		t.Errorf("long-attempt failure rate %g, want ~%g", long, wantLong)
+	}
+	zero, _ := NewCkptHazard(0)
+	if zero.Fails(100, r) {
+		t.Error("rate=0 must never fail")
+	}
+}
+
+func TestArrivalMeans(t *testing.T) {
+	r := rng.New(11)
+	exp, _ := NewExpArrival(0.25)
+	wb, _ := NewWeibullArrival(2, 3)
+	const n = 200000
+	var se, sw float64
+	for i := 0; i < n; i++ {
+		se += exp.Next(r)
+		sw += wb.Next(r)
+	}
+	if got, want := se/n, 4.0; math.Abs(got-want) > 0.05 {
+		t.Errorf("exp arrival mean %g, want ~%g", got, want)
+	}
+	// Weibull(2, 3) mean = 3*Gamma(1.5).
+	if got, want := sw/n, 3*math.Gamma(1.5); math.Abs(got-want) > 0.05 {
+		t.Errorf("weibull arrival mean %g, want ~%g", got, want)
+	}
+}
+
+func TestRevocationHorizon(t *testing.T) {
+	r := rng.New(5)
+	exp, _ := NewExpRevocation(0.1)
+	for i := 0; i < 1000; i++ {
+		if h := exp.Horizon(29, r); !(h > 0 && h <= 29) {
+			t.Fatalf("exp horizon %g outside (0, 29]", h)
+		}
+	}
+	never, _ := NewUniformRevocation(0)
+	always, _ := NewUniformRevocation(1)
+	for i := 0; i < 1000; i++ {
+		if h := never.Horizon(29, r); h != 29 {
+			t.Fatalf("p=0 revocation must keep the nominal horizon, got %g", h)
+		}
+		if h := always.Horizon(29, r); !(h >= 0 && h < 29) {
+			t.Fatalf("p=1 revocation horizon %g outside [0, 29)", h)
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	bad := []func() error{
+		func() error { _, err := NewCkptBernoulli(-0.1); return err },
+		func() error { _, err := NewCkptBernoulli(1.5); return err },
+		func() error { _, err := NewCkptBernoulli(math.NaN()); return err },
+		func() error { _, err := NewCkptHazard(-1); return err },
+		func() error { _, err := NewCkptHazard(math.Inf(1)); return err },
+		func() error { _, err := NewExpArrival(0); return err },
+		func() error { _, err := NewExpArrival(math.NaN()); return err },
+		func() error { _, err := NewWeibullArrival(0, 1); return err },
+		func() error { _, err := NewWeibullArrival(1, math.Inf(1)); return err },
+		func() error { _, err := NewExpRevocation(-2); return err },
+		func() error { _, err := NewUniformRevocation(2); return err },
+	}
+	for i, f := range bad {
+		if f() == nil {
+			t.Errorf("constructor case %d accepted invalid parameters", i)
+		}
+	}
+}
+
+func TestPlanActiveAndString(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Active() {
+		t.Error("nil plan must be inactive")
+	}
+	if got := nilPlan.String(); got != "no faults" {
+		t.Errorf("nil plan String = %q", got)
+	}
+	if (&Plan{}).Active() {
+		t.Error("zero plan must be inactive")
+	}
+	crash, _ := NewExpArrival(0.02)
+	ck, _ := NewCkptBernoulli(0.05)
+	p := &Plan{Crash: crash, Ckpt: ck}
+	if !p.Active() {
+		t.Error("plan with models must be active")
+	}
+	s := p.String()
+	if !strings.Contains(s, "crash~exp") || !strings.Contains(s, "ckptfail") {
+		t.Errorf("plan String %q misses its models", s)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	good := &Plan{Crash: ExpArrival{Rate: 1}, Ckpt: CkptHazard{Rate: 0.1}, Revoke: UniformRevocation{P: 0.2}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	for i, p := range []*Plan{
+		{Crash: ExpArrival{Rate: -1}},
+		{Crash: WeibullArrival{Shape: 0, Scale: 1}},
+		{Ckpt: CkptBernoulli{P: 2}},
+		{Ckpt: CkptHazard{Rate: math.NaN()}},
+		{Revoke: ExpRevocation{Rate: 0}},
+		{Revoke: UniformRevocation{P: -0.5}},
+	} {
+		if p.Validate() == nil {
+			t.Errorf("invalid plan case %d accepted", i)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	for _, spec := range []string{"", "none", " none "} {
+		p, err := Parse(spec)
+		if err != nil || p != nil {
+			t.Errorf("Parse(%q) = %v, %v; want nil, nil", spec, p, err)
+		}
+	}
+
+	p, err := Parse("crash=exp:0.02,ckptfail=0.05,revoke=uniform:0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := p.Crash.(ExpArrival); !ok || got.Rate != 0.02 {
+		t.Errorf("Crash = %#v, want ExpArrival{0.02}", p.Crash)
+	}
+	if got, ok := p.Ckpt.(CkptBernoulli); !ok || got.P != 0.05 {
+		t.Errorf("Ckpt = %#v, want CkptBernoulli{0.05}", p.Ckpt)
+	}
+	if got, ok := p.Revoke.(UniformRevocation); !ok || got.P != 0.1 {
+		t.Errorf("Revoke = %#v, want UniformRevocation{0.1}", p.Revoke)
+	}
+
+	p, err = Parse("crash=weibull:0.7,100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := p.Crash.(WeibullArrival); !ok || got.Shape != 0.7 || got.Scale != 100 {
+		t.Errorf("Crash = %#v, want WeibullArrival{0.7, 100}", p.Crash)
+	}
+
+	p, err = Parse("ckpthazard=0.3,revoke=exp:0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := p.Ckpt.(CkptHazard); !ok || got.Rate != 0.3 {
+		t.Errorf("Ckpt = %#v, want CkptHazard{0.3}", p.Ckpt)
+	}
+	if got, ok := p.Revoke.(ExpRevocation); !ok || got.Rate != 0.001 {
+		t.Errorf("Revoke = %#v, want ExpRevocation{0.001}", p.Revoke)
+	}
+
+	for _, spec := range []string{
+		"nonsense",
+		"crash=exp",
+		"crash=exp:abc",
+		"crash=normal:1",
+		"crash=weibull:1",
+		"ckptfail=1.5",
+		"ckptfail=0.1,0.2",
+		"revoke=uniform:-1",
+		"revoke=pareto:1",
+		"frobnicate=1",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted an invalid spec", spec)
+		}
+	}
+}

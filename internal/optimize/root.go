@@ -2,6 +2,7 @@ package optimize
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -14,12 +15,60 @@ var ErrNoBracket = errors.New("optimize: f(a) and f(b) do not bracket a root")
 // estimate so far is still returned alongside it.
 var ErrMaxIterations = errors.New("optimize: maximum iterations exceeded")
 
+// ErrNonFinite is the sentinel wrapped by ConvergenceError when the
+// objective returns NaN or Inf at a point the solver cannot route around.
+var ErrNonFinite = errors.New("optimize: objective returned a non-finite value")
+
+// ConvergenceError is the structured failure report of a root finder: it
+// names the method, carries the best abscissa estimate reached, the
+// iterations spent, and wraps the sentinel (ErrMaxIterations,
+// ErrNoBracket or ErrNonFinite) that errors.Is can match.
+type ConvergenceError struct {
+	Method string  // "bisect", "brent", "newton"
+	Best   float64 // best root estimate when the method gave up
+	Iters  int     // iterations consumed
+	Reason error   // sentinel: ErrMaxIterations, ErrNoBracket, ErrNonFinite
+}
+
+// Error implements error.
+func (e *ConvergenceError) Error() string {
+	return fmt.Sprintf("optimize: %s failed after %d iterations near x=%g: %v",
+		e.Method, e.Iters, e.Best, e.Reason)
+}
+
+// Unwrap exposes the sentinel to errors.Is.
+func (e *ConvergenceError) Unwrap() error { return e.Reason }
+
 // defaultXTol is the abscissa tolerance used when a non-positive tolerance
 // is supplied.
 const defaultXTol = 1e-12
 
+// evalFinite evaluates f at x; when the value is non-finite it probes a
+// few nudged abscissae inside [lo, hi] (the bracketed-bisection fallback
+// for integrands that divide by zero or overflow at isolated points) and
+// reports ok = false only when every probe is non-finite too.
+func evalFinite(f func(float64) float64, x, lo, hi float64) (fx float64, ok bool) {
+	fx = f(x)
+	if !math.IsNaN(fx) && !math.IsInf(fx, 0) {
+		return fx, true
+	}
+	span := hi - lo
+	for _, frac := range [...]float64{1e-9, -1e-9, 1e-6, -1e-6, 1e-3, -1e-3} {
+		xp := x + frac*span
+		if xp <= lo || xp >= hi {
+			continue
+		}
+		if v := f(xp); !math.IsNaN(v) && !math.IsInf(v, 0) {
+			return v, true
+		}
+	}
+	return fx, false
+}
+
 // Bisect finds a root of f in [a, b] by bisection. f(a) and f(b) must have
-// opposite signs. The returned x satisfies |interval| <= xtol.
+// opposite signs. The returned x satisfies |interval| <= xtol. Non-finite
+// midpoint values are routed around by probing nudged abscissae; when
+// that fails the error is a *ConvergenceError wrapping ErrNonFinite.
 func Bisect(f func(float64) float64, a, b, xtol float64) (float64, error) {
 	if xtol <= 0 {
 		xtol = defaultXTol
@@ -31,6 +80,9 @@ func Bisect(f func(float64) float64, a, b, xtol float64) (float64, error) {
 	if fb == 0 {
 		return b, nil
 	}
+	if math.IsNaN(fa) || math.IsNaN(fb) {
+		return math.NaN(), &ConvergenceError{Method: "bisect", Best: math.NaN(), Reason: ErrNonFinite}
+	}
 	if math.Signbit(fa) == math.Signbit(fb) {
 		return math.NaN(), ErrNoBracket
 	}
@@ -39,7 +91,10 @@ func Bisect(f func(float64) float64, a, b, xtol float64) (float64, error) {
 		if b-a <= xtol || m == a || m == b {
 			return m, nil
 		}
-		fm := f(m)
+		fm, ok := evalFinite(f, m, a, b)
+		if !ok {
+			return m, &ConvergenceError{Method: "bisect", Best: m, Iters: i, Reason: ErrNonFinite}
+		}
 		if fm == 0 {
 			return m, nil
 		}
@@ -49,7 +104,8 @@ func Bisect(f func(float64) float64, a, b, xtol float64) (float64, error) {
 			b = m
 		}
 	}
-	return 0.5 * (a + b), ErrMaxIterations
+	best := 0.5 * (a + b)
+	return best, &ConvergenceError{Method: "bisect", Best: best, Iters: 200, Reason: ErrMaxIterations}
 }
 
 // Brent finds a root of f in [a, b] with Brent's method (inverse quadratic
@@ -66,9 +122,13 @@ func Brent(f func(float64) float64, a, b, xtol float64) (float64, error) {
 	if fb == 0 {
 		return b, nil
 	}
+	if math.IsNaN(fa) || math.IsNaN(fb) {
+		return math.NaN(), &ConvergenceError{Method: "brent", Best: math.NaN(), Reason: ErrNonFinite}
+	}
 	if math.Signbit(fa) == math.Signbit(fb) {
 		return math.NaN(), ErrNoBracket
 	}
+	lo, hi := a, b
 	c, fc := a, fa
 	d := b - a
 	e := d
@@ -117,13 +177,34 @@ func Brent(f func(float64) float64, a, b, xtol float64) (float64, error) {
 			b += math.Copysign(tol1, xm)
 		}
 		fb = f(b)
+		if math.IsNaN(fb) || math.IsInf(fb, 0) {
+			// The interpolation step landed on a pole or overflow.
+			// Restart with plain bracketed bisection on the surviving
+			// sign-change interval [a, c] (the bracket before this
+			// step), which routes around isolated non-finite points.
+			blo, bhi := a, c
+			if blo > bhi {
+				blo, bhi = bhi, blo
+			}
+			if blo < lo {
+				blo = lo
+			}
+			if bhi > hi {
+				bhi = hi
+			}
+			x, err := Bisect(f, blo, bhi, xtol)
+			if err != nil {
+				return x, &ConvergenceError{Method: "brent", Best: x, Iters: i, Reason: ErrNonFinite}
+			}
+			return x, nil
+		}
 		if (fb > 0) == (fc > 0) {
 			c, fc = a, fa
 			d = b - a
 			e = d
 		}
 	}
-	return b, ErrMaxIterations
+	return b, &ConvergenceError{Method: "brent", Best: b, Iters: 200, Reason: ErrMaxIterations}
 }
 
 // NewtonSafe finds a root of f in the bracket [a, b] using Newton steps
@@ -141,12 +222,18 @@ func NewtonSafe(f, df func(float64) float64, a, b, xtol float64) (float64, error
 	if fb == 0 {
 		return b, nil
 	}
+	if math.IsNaN(fa) || math.IsNaN(fb) {
+		return math.NaN(), &ConvergenceError{Method: "newton", Best: math.NaN(), Reason: ErrNonFinite}
+	}
 	if math.Signbit(fa) == math.Signbit(fb) {
 		return math.NaN(), ErrNoBracket
 	}
 	x := 0.5 * (a + b)
 	for i := 0; i < 200; i++ {
-		fx := f(x)
+		fx, ok := evalFinite(f, x, a, b)
+		if !ok {
+			return x, &ConvergenceError{Method: "newton", Best: x, Iters: i, Reason: ErrNonFinite}
+		}
 		if fx == 0 {
 			return x, nil
 		}
@@ -160,7 +247,10 @@ func NewtonSafe(f, df func(float64) float64, a, b, xtol float64) (float64, error
 		}
 		dfx := df(x)
 		xn := x - fx/dfx
-		if !(xn > a && xn < b) || dfx == 0 || math.IsNaN(xn) {
+		// A degenerate, non-finite, or out-of-bracket Newton step falls
+		// back to bisection of the maintained bracket, so divergence to
+		// NaN is impossible: the iterate always stays inside [a, b].
+		if !(xn > a && xn < b) || dfx == 0 || math.IsNaN(dfx) || math.IsNaN(xn) {
 			xn = 0.5 * (a + b)
 		}
 		if math.Abs(xn-x) <= xtol*(1+math.Abs(x)) {
@@ -168,5 +258,5 @@ func NewtonSafe(f, df func(float64) float64, a, b, xtol float64) (float64, error
 		}
 		x = xn
 	}
-	return x, ErrMaxIterations
+	return x, &ConvergenceError{Method: "newton", Best: x, Iters: 200, Reason: ErrMaxIterations}
 }

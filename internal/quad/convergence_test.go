@@ -1,0 +1,113 @@
+package quad
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimpsonConvergedCleanRun(t *testing.T) {
+	res := Simpson(math.Exp, 0, 1, 1e-10)
+	if !res.Converged {
+		t.Error("smooth integrand did not converge")
+	}
+	if res.BadEvals != 0 {
+		t.Errorf("BadEvals = %d, want 0", res.BadEvals)
+	}
+	if err := res.Err(); err != nil {
+		t.Errorf("Err() = %v, want nil", err)
+	}
+	if math.Abs(res.Value-(math.E-1)) > 1e-9 {
+		t.Errorf("value = %g, want e-1", res.Value)
+	}
+}
+
+func TestSimpsonCountsBadEvals(t *testing.T) {
+	// NaN at the left endpoint (e.g. 0/0 at the boundary of a density):
+	// sanitized to 0, counted, and reported through Err.
+	f := func(x float64) float64 {
+		if x == 0 {
+			return math.NaN()
+		}
+		return math.Sqrt(x)
+	}
+	res := Simpson(f, 0, 1, 1e-10)
+	if res.BadEvals == 0 {
+		t.Error("NaN evaluation not counted")
+	}
+	if math.IsNaN(res.Value) {
+		t.Error("NaN leaked into the estimate")
+	}
+	err := res.Err()
+	if err == nil {
+		t.Fatal("Err() = nil despite bad evaluations")
+	}
+	if _, ok := err.(*ConvergenceError); !ok {
+		t.Fatalf("Err() %T is not a *ConvergenceError", err)
+	}
+	if math.Abs(res.Value-2.0/3.0) > 1e-6 {
+		t.Errorf("value = %g, want ~2/3", res.Value)
+	}
+}
+
+func TestSimpsonEmptyInterval(t *testing.T) {
+	res := Simpson(math.Exp, 2, 2, 1e-10)
+	if !res.Converged || res.Err() != nil || res.Value != 0 {
+		t.Errorf("empty interval: %+v, Err %v", res, res.Err())
+	}
+}
+
+func TestKronrodConvergedCleanRun(t *testing.T) {
+	res := Kronrod(math.Cos, 0, 1, 1e-12, 1e-10)
+	if !res.Converged {
+		t.Error("smooth integrand did not converge")
+	}
+	if res.BadEvals != 0 {
+		t.Errorf("BadEvals = %d, want 0", res.BadEvals)
+	}
+	if err := res.Err(); err != nil {
+		t.Errorf("Err() = %v, want nil", err)
+	}
+	if math.Abs(res.Value-math.Sin(1)) > 1e-12 {
+		t.Errorf("value = %g, want sin(1)", res.Value)
+	}
+}
+
+func TestKronrodCountsBadEvals(t *testing.T) {
+	f := func(x float64) float64 {
+		if math.Abs(x-0.37) < 1e-4 {
+			return math.NaN()
+		}
+		return x * x
+	}
+	res := Kronrod(f, 0, 1, 1e-12, 1e-10)
+	if res.BadEvals == 0 {
+		t.Skip("no quadrature node fell on the NaN strip")
+	}
+	if math.IsNaN(res.Value) {
+		t.Error("NaN leaked into the estimate")
+	}
+	if res.Err() == nil {
+		t.Error("Err() = nil despite bad evaluations")
+	}
+}
+
+func TestKronrodEmptyInterval(t *testing.T) {
+	res := Kronrod(math.Exp, 3, 3, 1e-12, 1e-10)
+	if !res.Converged || res.Err() != nil || res.Value != 0 {
+		t.Errorf("empty interval: %+v, Err %v", res, res.Err())
+	}
+}
+
+func TestConvergenceErrorMessages(t *testing.T) {
+	withBad := &ConvergenceError{Value: 1, AbsErr: 0.1, NumEvals: 100, BadEvals: 3}
+	if msg := withBad.Error(); msg == "" {
+		t.Error("empty message for bad-eval error")
+	}
+	budget := &ConvergenceError{Value: 1, AbsErr: 0.1, NumEvals: 100}
+	if msg := budget.Error(); msg == "" {
+		t.Error("empty message for budget error")
+	}
+	if withBad.Error() == budget.Error() {
+		t.Error("bad-eval and budget failures render identically")
+	}
+}

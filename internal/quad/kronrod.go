@@ -77,15 +77,33 @@ func gk15Batch(f BatchFunc, a, b float64, ws *kronrodWS) (value, errEst float64)
 		}
 	}
 	f(ws.xs[:], ws.fv[:])
+	value, errEst, _ = gk15FromValues(&ws.fv, half)
+	return value, errEst
+}
+
+// gk15BatchCounted is gk15Batch reporting how many node values were
+// non-finite and sanitized to 0.
+func gk15BatchCounted(f BatchFunc, a, b float64, ws *kronrodWS) (value, errEst float64, bad int) {
+	mid := 0.5 * (a + b)
+	half := 0.5 * (b - a)
+	for i, x := range gk15Nodes {
+		ws.xs[i] = mid - half*x
+		if i < 7 {
+			ws.xs[14-i] = mid + half*x
+		}
+	}
+	f(ws.xs[:], ws.fv[:])
 	return gk15FromValues(&ws.fv, half)
 }
 
 // gk15FromValues computes the Kronrod/Gauss estimates and the QUADPACK
-// error heuristic from the 15 node values (NaNs treated as 0).
-func gk15FromValues(fv *[15]float64, half float64) (value, errEst float64) {
+// error heuristic from the 15 node values (non-finite values treated as
+// 0 and counted in bad).
+func gk15FromValues(fv *[15]float64, half float64) (value, errEst float64, bad int) {
 	for i, v := range fv {
 		if math.IsNaN(v) {
 			fv[i] = 0
+			bad++
 		}
 	}
 
@@ -118,7 +136,7 @@ func gk15FromValues(fv *[15]float64, half float64) (value, errEst float64) {
 	if resAbs > 1e-290 {
 		errEst = math.Max(errEst, 50*2.22e-16*resAbs)
 	}
-	return kron, errEst
+	return kron, errEst, bad
 }
 
 // panel is one subinterval in the adaptive subdivision queue.
@@ -198,7 +216,7 @@ func KronrodBatch(f BatchFunc, a, b, absTol, relTol float64) Result {
 		relTol = 1e-10
 	}
 	if a == b {
-		return Result{}
+		return Result{Converged: true}
 	}
 	sign := 1.0
 	if a > b {
@@ -208,7 +226,7 @@ func KronrodBatch(f BatchFunc, a, b, absTol, relTol float64) Result {
 
 	ws := kronrodPool.Get().(*kronrodWS)
 	h := ws.heap[:0]
-	n := 0
+	n, bad := 0, 0
 
 	// Seed with several panels rather than one: a feature much narrower
 	// than the first panel's node spacing would otherwise be invisible to
@@ -218,16 +236,19 @@ func KronrodBatch(f BatchFunc, a, b, absTol, relTol float64) Result {
 	for i := 0; i < seedPanels; i++ {
 		pa := a + (b-a)*float64(i)/seedPanels
 		pb := a + (b-a)*float64(i+1)/seedPanels
-		v, e := gk15Batch(f, pa, pb, ws)
+		v, e, nb := gk15BatchCounted(f, pa, pb, ws)
 		n += 15
+		bad += nb
 		h = append(h, panel{a: pa, b: pb, value: v, errEst: e})
 		total += v
 		totalErr += e
 	}
 	heapInit(h)
 
+	converged := false
 	for len(h) < maxKronrodPanels {
 		if totalErr <= math.Max(absTol, relTol*math.Abs(total)) {
+			converged = true
 			break
 		}
 		worst := h[0]
@@ -236,9 +257,10 @@ func KronrodBatch(f BatchFunc, a, b, absTol, relTol float64) Result {
 			// Interval exhausted at machine precision; stop refining.
 			break
 		}
-		lv, le := gk15Batch(f, worst.a, m, ws)
-		rv, re := gk15Batch(f, m, worst.b, ws)
+		lv, le, lb := gk15BatchCounted(f, worst.a, m, ws)
+		rv, re, rb := gk15BatchCounted(f, m, worst.b, ws)
 		n += 30
+		bad += lb + rb
 		total += lv + rv - worst.value
 		totalErr += le + re - worst.errEst
 		h[0] = panel{worst.a, m, lv, le}
@@ -247,7 +269,13 @@ func KronrodBatch(f BatchFunc, a, b, absTol, relTol float64) Result {
 		heapSiftUp(h, len(h)-1)
 	}
 
+	if !converged {
+		// The loop can also exit because the subdivision budget or
+		// machine precision was exhausted; re-check the tolerance so a
+		// last refinement that landed below it still counts.
+		converged = totalErr <= math.Max(absTol, relTol*math.Abs(total))
+	}
 	ws.heap = h[:0]
 	kronrodPool.Put(ws)
-	return Result{Value: sign * total, AbsErr: totalErr, NumEvals: n}
+	return Result{Value: sign * total, AbsErr: totalErr, NumEvals: n, BadEvals: bad, Converged: converged}
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -20,6 +21,28 @@ type CampaignConfig struct {
 	MaxReservations int     // safety cap (0 = auto)
 }
 
+// Validate checks the campaign parameters and the embedded reservation
+// configuration, returning a descriptive error instead of the silent
+// infinite or NaN campaign that non-finite or non-positive inputs used
+// to produce. RunCampaign panics on invalid configurations; call
+// Validate first when the configuration comes from untrusted input.
+func (c *CampaignConfig) Validate() error {
+	if !(c.TotalWork > 0) || math.IsInf(c.TotalWork, 0) { // !(NaN > 0) is true
+		return fmt.Errorf("sim: campaign TotalWork must be positive and finite, got %g", c.TotalWork)
+	}
+	if c.MaxReservations < 0 {
+		return fmt.Errorf("sim: campaign MaxReservations must be >= 0, got %d", c.MaxReservations)
+	}
+	return c.Reservation.Validate()
+}
+
+// validate panics on structurally invalid configurations.
+func (c *CampaignConfig) validate() {
+	if err := c.Validate(); err != nil {
+		panic(err.Error())
+	}
+}
+
 // CampaignResult reports a full multi-reservation campaign.
 type CampaignResult struct {
 	Completed     bool    // the application committed TotalWork
@@ -29,6 +52,9 @@ type CampaignResult struct {
 	TimeUsed      float64 // total machine time actually used
 	LostWork      float64 // work executed but never committed
 	FailedCkpts   int     // checkpoints cut by reservation ends
+	CkptFaults    int     // checkpoint attempts that completed but failed to commit (injected faults)
+	Crashes       int     // fail-stop errors across all reservations
+	RevokedRes    int     // reservations revoked before their nominal end
 	StalledRounds int     // reservations that committed no work
 }
 
@@ -43,10 +69,16 @@ func (c CampaignResult) Utilization() float64 {
 
 // RunCampaign simulates the whole campaign with the given generator.
 func RunCampaign(cfg CampaignConfig, r *rng.Source) CampaignResult {
-	if !(cfg.TotalWork > 0) || math.IsNaN(cfg.TotalWork) || math.IsInf(cfg.TotalWork, 0) {
-		panic(fmt.Sprintf("sim: campaign TotalWork must be positive and finite, got %g", cfg.TotalWork))
-	}
-	cfg.Reservation.validate()
+	res, _ := runCampaign(cfg, r, nil)
+	return res
+}
+
+// runCampaign is RunCampaign with an optional cancellation channel: when
+// done is closed, the campaign stops cleanly at the next reservation
+// boundary and reports interrupted = true. The partial result is
+// well-formed (all sums cover exactly the reservations that ran).
+func runCampaign(cfg CampaignConfig, r *rng.Source, done <-chan struct{}) (res CampaignResult, interrupted bool) {
+	cfg.validate()
 
 	maxRes := cfg.MaxReservations
 	if maxRes <= 0 {
@@ -58,8 +90,14 @@ func RunCampaign(cfg CampaignConfig, r *rng.Source) CampaignResult {
 		maxRes = int(20*cfg.TotalWork/perRes) + 100
 	}
 
-	var res CampaignResult
 	for res.Reservations < maxRes && res.Committed < cfg.TotalWork {
+		if done != nil {
+			select {
+			case <-done:
+				return res, true
+			default:
+			}
+		}
 		rc := cfg.Reservation
 		if res.Reservations == 0 {
 			// Nothing to recover at the very first reservation.
@@ -73,22 +111,31 @@ func RunCampaign(cfg CampaignConfig, r *rng.Source) CampaignResult {
 		res.Committed += run.Saved
 		res.LostWork += run.Lost
 		res.FailedCkpts += run.FailedCkpts
+		res.CkptFaults += run.CkptFaults
+		res.Crashes += run.Failures
+		if run.Revoked {
+			res.RevokedRes++
+		}
 		if run.Saved == 0 {
 			res.StalledRounds++
 		}
 	}
 	res.Completed = res.Committed >= cfg.TotalWork
-	return res
+	return res, false
 }
 
 // CampaignAggregate averages the headline metrics of a Monte-Carlo
 // campaign experiment.
 type CampaignAggregate struct {
-	Reservations float64 // mean reservations to completion
-	Utilization  float64 // mean utilization
-	LostWork     float64 // mean lost work
-	CompletedAll bool    // every trial completed
-	Trials       int
+	Reservations   float64 // mean reservations to completion
+	Utilization    float64 // mean utilization
+	LostWork       float64 // mean lost work
+	CkptFaults     float64 // mean failed checkpoint commits (injected faults)
+	Crashes        float64 // mean fail-stop errors
+	RevokedRes     float64 // mean revoked reservations
+	CompletionRate float64 // fraction of trials that committed TotalWork
+	CompletedAll   bool    // every trial completed
+	Trials         int     // trials accounted (fewer than requested after cancellation)
 }
 
 // campaignBlockSize is the number of campaign trials bound to one rng
@@ -101,9 +148,11 @@ const campaignBlockSize = 32
 
 // campaignPartial accumulates one block's running sums.
 type campaignPartial struct {
-	res, util, lost float64
-	trials          int
-	allCompleted    bool
+	res, util, lost     float64
+	ckptFaults, crashes float64
+	revoked             float64
+	completed           int
+	trials              int
 }
 
 // MonteCarloCampaign runs `trials` independent campaigns of cfg across
@@ -113,8 +162,21 @@ type campaignPartial struct {
 // in deterministic order — the aggregate depends only on (cfg, trials,
 // seed), never on the worker count or goroutine scheduling.
 func MonteCarloCampaign(cfg CampaignConfig, trials int, seed uint64, workers int) CampaignAggregate {
+	agg, _ := MonteCarloCampaignContext(context.Background(), cfg, trials, seed, workers)
+	return agg
+}
+
+// MonteCarloCampaignContext is MonteCarloCampaign with cooperative
+// cancellation: when ctx is cancelled (or its deadline passes), workers
+// stop at the next reservation boundary — within milliseconds — and the
+// call returns the well-formed aggregate of every fully completed trial
+// alongside ctx.Err(). Trials interrupted mid-campaign are discarded so
+// the averages stay exact. Without cancellation the result is
+// bit-identical to MonteCarloCampaign and the error is nil.
+func MonteCarloCampaignContext(ctx context.Context, cfg CampaignConfig, trials int, seed uint64, workers int) (CampaignAggregate, error) {
+	cfg.validate()
 	if trials <= 0 {
-		return CampaignAggregate{}
+		return CampaignAggregate{}, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = Workers()
@@ -124,6 +186,7 @@ func MonteCarloCampaign(cfg CampaignConfig, trials int, seed uint64, workers int
 	if workers > numBlocks {
 		workers = numBlocks
 	}
+	done := ctx.Done()
 	parts := make([]campaignPartial, numBlocks)
 	blocks := make(chan int)
 	var wg sync.WaitGroup
@@ -138,39 +201,61 @@ func MonteCarloCampaign(cfg CampaignConfig, trials int, seed uint64, workers int
 					hi = trials
 				}
 				src := rng.NewStream(seed, uint64(b))
-				p := campaignPartial{allCompleted: true}
+				var p campaignPartial
 				for i := lo; i < hi; i++ {
-					r := RunCampaign(cfg, src)
+					r, interrupted := runCampaign(cfg, src, done)
+					if interrupted {
+						break
+					}
 					p.res += float64(r.Reservations)
 					p.util += r.Utilization()
 					p.lost += r.LostWork
-					p.trials++
-					if !r.Completed {
-						p.allCompleted = false
+					p.ckptFaults += float64(r.CkptFaults)
+					p.crashes += float64(r.Crashes)
+					p.revoked += float64(r.RevokedRes)
+					if r.Completed {
+						p.completed++
 					}
+					p.trials++
 				}
 				parts[b] = p
 			}
 		}()
 	}
+dispatch:
 	for b := 0; b < numBlocks; b++ {
-		blocks <- b
+		select {
+		case blocks <- b:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(blocks)
 	wg.Wait()
 
-	agg := CampaignAggregate{CompletedAll: true, Trials: trials}
-	var sumRes, sumUtil, sumLost float64
+	var agg CampaignAggregate
+	var sum campaignPartial
 	for _, p := range parts {
-		sumRes += p.res
-		sumUtil += p.util
-		sumLost += p.lost
-		if !p.allCompleted {
-			agg.CompletedAll = false
-		}
+		sum.res += p.res
+		sum.util += p.util
+		sum.lost += p.lost
+		sum.ckptFaults += p.ckptFaults
+		sum.crashes += p.crashes
+		sum.revoked += p.revoked
+		sum.completed += p.completed
+		sum.trials += p.trials
 	}
-	agg.Reservations = sumRes / float64(trials)
-	agg.Utilization = sumUtil / float64(trials)
-	agg.LostWork = sumLost / float64(trials)
-	return agg
+	agg.Trials = sum.trials
+	if sum.trials > 0 {
+		n := float64(sum.trials)
+		agg.Reservations = sum.res / n
+		agg.Utilization = sum.util / n
+		agg.LostWork = sum.lost / n
+		agg.CkptFaults = sum.ckptFaults / n
+		agg.Crashes = sum.crashes / n
+		agg.RevokedRes = sum.revoked / n
+		agg.CompletionRate = float64(sum.completed) / n
+		agg.CompletedAll = sum.completed == sum.trials
+	}
+	return agg, ctx.Err()
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -16,8 +17,10 @@ type Aggregate struct {
 	Tasks       stats.Summary // tasks completed per reservation
 	Checkpoints stats.Summary // successful checkpoints per reservation
 	Failures    stats.Summary // fail-stop errors per reservation
+	CkptFaults  stats.Summary // failed checkpoint commits per reservation (injected faults)
 	TimeUsed    stats.Summary // machine time consumed per reservation
 	FailedRuns  int64         // runs with at least one failed checkpoint
+	RevokedRuns int64         // runs whose reservation was revoked early
 	ZeroRuns    int64         // runs that saved no work at all
 	Trials      int64
 }
@@ -29,8 +32,10 @@ func (a *Aggregate) merge(o Aggregate) {
 	a.Tasks.Merge(o.Tasks)
 	a.Checkpoints.Merge(o.Checkpoints)
 	a.Failures.Merge(o.Failures)
+	a.CkptFaults.Merge(o.CkptFaults)
 	a.TimeUsed.Merge(o.TimeUsed)
 	a.FailedRuns += o.FailedRuns
+	a.RevokedRuns += o.RevokedRuns
 	a.ZeroRuns += o.ZeroRuns
 	a.Trials += o.Trials
 }
@@ -42,9 +47,13 @@ func (a *Aggregate) add(r RunResult) {
 	a.Tasks.Add(float64(r.Tasks))
 	a.Checkpoints.Add(float64(r.Checkpoints))
 	a.Failures.Add(float64(r.Failures))
+	a.CkptFaults.Add(float64(r.CkptFaults))
 	a.TimeUsed.Add(r.TimeUsed)
 	if r.FailedCkpts > 0 {
 		a.FailedRuns++
+	}
+	if r.Revoked {
+		a.RevokedRuns++
 	}
 	if r.Saved == 0 {
 		a.ZeroRuns++
@@ -74,20 +83,31 @@ const mcBlockSize = 2048
 // deterministic order — the aggregate depends only on (cfg, trials,
 // seed), never on the worker count or goroutine scheduling.
 func MonteCarlo(cfg Config, trials int, seed uint64, workers int) Aggregate {
-	return monteCarloRunner(cfg, trials, seed, workers, Run)
+	agg, _ := monteCarloRunner(context.Background(), cfg, trials, seed, workers, Run)
+	return agg
+}
+
+// MonteCarloContext is MonteCarlo with cooperative cancellation: when ctx
+// is cancelled (or its deadline passes), workers stop at the next trial
+// boundary and the call returns the well-formed aggregate of every
+// completed trial alongside ctx.Err(). Without cancellation the result
+// is bit-identical to MonteCarlo and the error is nil.
+func MonteCarloContext(ctx context.Context, cfg Config, trials int, seed uint64, workers int) (Aggregate, error) {
+	return monteCarloRunner(ctx, cfg, trials, seed, workers, Run)
 }
 
 // MonteCarloOracle is MonteCarlo with the clairvoyant scheduler.
 func MonteCarloOracle(cfg Config, trials int, seed uint64, workers int) Aggregate {
-	return monteCarloRunner(cfg, trials, seed, workers, RunOracle)
+	agg, _ := monteCarloRunner(context.Background(), cfg, trials, seed, workers, RunOracle)
+	return agg
 }
 
-func monteCarloRunner(cfg Config, trials int, seed uint64, workers int,
-	run func(Config, *rng.Source) RunResult) Aggregate {
+func monteCarloRunner(ctx context.Context, cfg Config, trials int, seed uint64, workers int,
+	run func(Config, *rng.Source) RunResult) (Aggregate, error) {
 
 	cfg.validate()
 	if trials <= 0 {
-		return Aggregate{}
+		return Aggregate{}, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = Workers()
@@ -97,6 +117,7 @@ func monteCarloRunner(cfg Config, trials int, seed uint64, workers int,
 	if workers > numBlocks {
 		workers = numBlocks
 	}
+	done := ctx.Done()
 	parts := make([]Aggregate, numBlocks)
 	blocks := make(chan int)
 	var wg sync.WaitGroup
@@ -112,13 +133,25 @@ func monteCarloRunner(cfg Config, trials int, seed uint64, workers int,
 				}
 				src := rng.NewStream(seed, uint64(b))
 				for i := lo; i < hi; i++ {
+					if done != nil {
+						select {
+						case <-done:
+							return
+						default:
+						}
+					}
 					parts[b].add(run(cfg, src))
 				}
 			}
 		}()
 	}
+dispatch:
 	for b := 0; b < numBlocks; b++ {
-		blocks <- b
+		select {
+		case blocks <- b:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(blocks)
 	wg.Wait()
@@ -127,5 +160,5 @@ func monteCarloRunner(cfg Config, trials int, seed uint64, workers int,
 	for _, p := range parts {
 		total.merge(p)
 	}
-	return total
+	return total, ctx.Err()
 }

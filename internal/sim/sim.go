@@ -8,6 +8,12 @@
 // The simulator is the experimental companion the paper's conclusion
 // calls for: every analytical expectation in internal/core is validated
 // here against sampled trajectories.
+//
+// Beyond the paper's failure-free model, Config.Faults plugs in the
+// composable fault models of internal/fault — fail-stop crashes,
+// checkpoint-commit failures, and spot-style reservation revocation —
+// with per-trajectory deterministic sampling, so every experiment
+// (including sharded Monte-Carlo) stays bit-identical for a fixed seed.
 package sim
 
 import (
@@ -15,6 +21,7 @@ import (
 	"math"
 
 	"reskit/internal/dist"
+	"reskit/internal/fault"
 	"reskit/internal/rng"
 	"reskit/internal/strategy"
 )
@@ -68,34 +75,62 @@ type Config struct {
 	// uncommitted work; the job then pays a recovery (Recovery or
 	// RecoveryLaw) to reload its last committed checkpoint and continues
 	// inside the same reservation. Zero keeps the paper's failure-free
-	// model.
+	// model. Exclusive with Faults.Crash, which generalizes it.
 	FailureRate float64
+
+	// Faults, when non-nil, injects the bundled fault models of
+	// internal/fault: crash arrivals (generalizing FailureRate to
+	// Weibull gaps), per-attempt checkpoint failures that consume time
+	// but commit nothing, and early reservation revocation. Strategies
+	// are never told the revocation instant — they observe the nominal R.
+	Faults *fault.Plan
+}
+
+// Validate checks the configuration and returns a descriptive error for
+// non-finite or out-of-range parameters, missing laws, or conflicting
+// fault settings. Run panics on invalid configurations; call Validate
+// first when the configuration comes from untrusted input (CLI flags,
+// config files).
+func (c *Config) Validate() error {
+	if !(c.R > 0) || math.IsInf(c.R, 0) { // !(NaN > 0) is true
+		return fmt.Errorf("sim: R must be positive and finite, got %g", c.R)
+	}
+	if !(c.Recovery >= 0) || math.IsInf(c.Recovery, 0) {
+		return fmt.Errorf("sim: Recovery must be finite and >= 0, got %g", c.Recovery)
+	}
+	if c.RecoveryLaw != nil {
+		if lo, _ := c.RecoveryLaw.Support(); lo < 0 {
+			return fmt.Errorf("sim: RecoveryLaw support must start at >= 0, got %g", lo)
+		}
+	}
+	if !(c.FailureRate >= 0) || math.IsInf(c.FailureRate, 0) {
+		return fmt.Errorf("sim: FailureRate must be finite and >= 0, got %g", c.FailureRate)
+	}
+	if (c.Task == nil) == (c.TaskDisc == nil) {
+		return fmt.Errorf("sim: exactly one of Task and TaskDisc must be set")
+	}
+	if c.Ckpt == nil {
+		return fmt.Errorf("sim: Ckpt must be set")
+	}
+	if c.Strategy == nil {
+		return fmt.Errorf("sim: Strategy must be set")
+	}
+	if c.MaxTasks < 0 {
+		return fmt.Errorf("sim: MaxTasks must be >= 0, got %d", c.MaxTasks)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if c.FailureRate > 0 && c.Faults.Active() && c.Faults.Crash != nil {
+		return fmt.Errorf("sim: FailureRate and Faults.Crash are exclusive crash processes; set one")
+	}
+	return nil
 }
 
 // validate panics on structurally invalid configurations.
 func (c *Config) validate() {
-	if !(c.R > 0) || math.IsNaN(c.R) || math.IsInf(c.R, 0) {
-		panic(fmt.Sprintf("sim: R must be positive and finite, got %g", c.R))
-	}
-	if c.Recovery < 0 {
-		panic(fmt.Sprintf("sim: Recovery must be >= 0, got %g", c.Recovery))
-	}
-	if c.RecoveryLaw != nil {
-		if lo, _ := c.RecoveryLaw.Support(); lo < 0 {
-			panic(fmt.Sprintf("sim: RecoveryLaw support must start at >= 0, got %g", lo))
-		}
-	}
-	if c.FailureRate < 0 || math.IsNaN(c.FailureRate) || math.IsInf(c.FailureRate, 0) {
-		panic(fmt.Sprintf("sim: FailureRate must be finite and >= 0, got %g", c.FailureRate))
-	}
-	if (c.Task == nil) == (c.TaskDisc == nil) {
-		panic("sim: exactly one of Task and TaskDisc must be set")
-	}
-	if c.Ckpt == nil {
-		panic("sim: Ckpt must be set")
-	}
-	if c.Strategy == nil {
-		panic("sim: Strategy must be set")
+	if err := c.Validate(); err != nil {
+		panic(err.Error())
 	}
 }
 
@@ -143,32 +178,56 @@ type RunResult struct {
 	Tasks       int     // tasks completed
 	Checkpoints int     // successful checkpoints
 	FailedCkpts int     // checkpoints cut short by the reservation end
+	CkptFaults  int     // checkpoint attempts that ran to completion but failed to commit (injected faults)
 	Failures    int     // fail-stop errors that struck during the run
+	Revoked     bool    // the reservation was revoked before its nominal end
 	TimeUsed    float64 // machine time consumed (<= R)
 	CapHit      bool    // the MaxTasks safety cap stopped the run
 }
 
 // Run simulates one reservation under the configured strategy. The
 // returned RunResult is exact for the sampled trajectory: work is saved
-// only by checkpoints that complete strictly within the reservation.
+// only by checkpoints that complete strictly within the reservation (and,
+// under Config.Faults, survive the checkpoint-failure model).
+//
+// Fault sampling order per reservation (see the fault package's
+// determinism contract): recovery, revocation horizon, first crash gap;
+// then one crash gap after each crash and one checkpoint-failure variate
+// per completed checkpoint attempt.
 func Run(cfg Config, r *rng.Source) RunResult {
 	cfg.validate()
 	var res RunResult
 
+	// horizon is the effective reservation end: the nominal R, unless a
+	// revocation model truncates it. Strategies still observe R.
+	horizon := cfg.R
+	var plan *fault.Plan
+	if cfg.Faults.Active() {
+		plan = cfg.Faults
+	}
+
 	elapsed := cfg.sampleRecovery(r)
-	if elapsed >= cfg.R {
-		// The recovery ate the whole reservation.
-		res.TimeUsed = cfg.R
+	if plan != nil && plan.Revoke != nil {
+		horizon = plan.Revoke.Horizon(cfg.R, r)
+		res.Revoked = horizon < cfg.R
+	}
+	if elapsed >= horizon {
+		// The recovery ate the whole (possibly revoked) reservation.
+		res.TimeUsed = horizon
 		return res
 	}
 	var work float64 // uncommitted work
 	tasksSinceCkpt := 0
+	attemptsSinceCommit := 0 // failed checkpoint attempts since the last commit
 	taskCap := cfg.maxTasks()
+	ckptAttempts := 0 // total checkpoint attempts, capped like tasks
 
-	// Pre-sample the next fail-stop instant (infinity when failure-free).
+	// Pre-sample the next fail-stop instant (infinity when crash-free).
 	nextFail := math.Inf(1)
 	if cfg.FailureRate > 0 {
 		nextFail = elapsed + r.Exponential(cfg.FailureRate)
+	} else if plan != nil && plan.Crash != nil {
+		nextFail = elapsed + plan.Crash.Next(r)
 	}
 	// fail handles one fail-stop error at time t: the uncommitted work
 	// is wiped and the job restarts from its last committed checkpoint
@@ -178,44 +237,48 @@ func Run(cfg Config, r *rng.Source) RunResult {
 		res.Lost += work
 		work = 0
 		tasksSinceCkpt = 0
+		attemptsSinceCommit = 0
 		elapsed = t + cfg.sampleRecovery(r)
 		if cfg.FailureRate > 0 {
 			nextFail = elapsed + r.Exponential(cfg.FailureRate)
+		} else if plan != nil && plan.Crash != nil {
+			nextFail = elapsed + plan.Crash.Next(r)
 		}
-		return elapsed < cfg.R
+		return elapsed < horizon
 	}
 
 	for {
-		if res.Tasks >= taskCap {
+		if res.Tasks >= taskCap || ckptAttempts >= taskCap {
 			res.CapHit = true
 			res.Lost += work
 			res.TimeUsed = elapsed
 			return res
 		}
 		st := strategy.State{
-			R:          cfg.R,
-			Elapsed:    elapsed,
-			Work:       work,
-			TasksDone:  tasksSinceCkpt,
-			Committed:  res.Saved,
-			Checkpoint: res.Checkpoints,
+			R:              cfg.R,
+			Elapsed:        elapsed,
+			Work:           work,
+			TasksDone:      tasksSinceCkpt,
+			Committed:      res.Saved,
+			Checkpoint:     res.Checkpoints,
+			FailedAttempts: attemptsSinceCommit,
 		}
 		switch act := cfg.Strategy.Decide(st); act {
 		case strategy.Continue:
 			x := cfg.sampleTask(r)
-			if nextFail <= elapsed+x && nextFail < cfg.R {
+			if nextFail <= elapsed+x && nextFail < horizon {
 				// A fail-stop error strikes mid-task.
 				if !fail(nextFail) {
-					res.TimeUsed = cfg.R
+					res.TimeUsed = horizon
 					return res
 				}
 				continue
 			}
-			if elapsed+x > cfg.R {
+			if elapsed+x > horizon {
 				// The reservation ends mid-task: everything uncommitted
 				// is lost.
 				res.Lost += work
-				res.TimeUsed = cfg.R
+				res.TimeUsed = horizon
 				return res
 			}
 			elapsed += x
@@ -230,27 +293,39 @@ func Run(cfg Config, r *rng.Source) RunResult {
 				return res
 			}
 			c := cfg.Ckpt.Sample(r)
-			if nextFail <= elapsed+c && nextFail < cfg.R {
+			ckptAttempts++
+			if nextFail <= elapsed+c && nextFail < horizon {
 				// A fail-stop error strikes mid-checkpoint: nothing was
 				// committed.
 				res.FailedCkpts++
 				if !fail(nextFail) {
-					res.TimeUsed = cfg.R
+					res.TimeUsed = horizon
 					return res
 				}
 				continue
 			}
-			if elapsed+c > cfg.R {
+			if elapsed+c > horizon {
 				// The reservation ends mid-checkpoint.
 				res.FailedCkpts++
 				res.Lost += work
-				res.TimeUsed = cfg.R
+				res.TimeUsed = horizon
 				return res
+			}
+			if plan != nil && plan.Ckpt != nil && plan.Ckpt.Fails(c, r) {
+				// The attempt ran to completion but the commit failed:
+				// the time is gone, the in-memory state (and thus the
+				// uncommitted work) survives. The strategy decides again
+				// with FailedAttempts incremented.
+				elapsed += c
+				res.CkptFaults++
+				attemptsSinceCommit++
+				continue
 			}
 			elapsed += c
 			res.Saved += work
 			work = 0
 			tasksSinceCkpt = 0
+			attemptsSinceCommit = 0
 			res.Checkpoints++
 			if cfg.After == DropReservation {
 				res.TimeUsed = elapsed
@@ -269,11 +344,12 @@ func Run(cfg Config, r *rng.Source) RunResult {
 }
 
 // RunOracle simulates a clairvoyant scheduler for the same trajectory
-// model (failure-free: FailureRate is ignored, keeping the oracle an
-// upper bound for the paper's model): it pre-samples the task durations and, for every boundary, the
-// checkpoint duration that a checkpoint started there would take, then
-// commits at the boundary maximizing the saved work. It upper-bounds
-// every realizable single-checkpoint strategy.
+// model (failure-free: FailureRate and Faults are ignored, keeping the
+// oracle an upper bound for the paper's model): it pre-samples the task
+// durations and, for every boundary, the checkpoint duration that a
+// checkpoint started there would take, then commits at the boundary
+// maximizing the saved work. It upper-bounds every realizable
+// single-checkpoint strategy.
 func RunOracle(cfg Config, r *rng.Source) RunResult {
 	cfg.validate()
 	var res RunResult

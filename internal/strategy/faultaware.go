@@ -1,0 +1,97 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/core"
+	"reskit/internal/dist"
+)
+
+// Failure-aware policies. The paper's strategies assume every checkpoint
+// that fits inside the reservation commits; under the fault models of
+// internal/fault that is no longer true — commits can fail (consuming
+// their duration), crashes can wipe uncommitted work, and the
+// reservation itself can be revoked early. The policies below hedge
+// against those faults while degrading to their fault-free counterparts
+// when no fault strikes.
+
+// Retry wraps an inner policy with bounded retry-on-checkpoint-failure:
+// when the previous checkpoint attempt at this boundary failed to commit
+// (State.FailedAttempts > 0), Retry attempts again immediately as long as
+// the remaining-time budget still fits one more attempt and the attempt
+// cap is not exhausted; otherwise the inner policy decides. With no
+// failed attempt pending, the inner policy decides as usual.
+type Retry struct {
+	Inner Strategy
+	// Budget is the reservation time one retry must fit into — typically
+	// a high quantile of the checkpoint law, so a retry is attempted only
+	// when it has a realistic chance to complete.
+	Budget float64
+	// MaxAttempts caps the failed attempts per boundary (0 = unbounded;
+	// the simulator still enforces its global attempt cap).
+	MaxAttempts int
+}
+
+// NewRetry validates and returns the retry wrapper.
+func NewRetry(inner Strategy, budget float64, maxAttempts int) Retry {
+	if inner == nil {
+		panic("strategy: NewRetry: nil inner strategy")
+	}
+	if !(budget > 0) || math.IsInf(budget, 1) || math.IsNaN(budget) {
+		panic(fmt.Sprintf("strategy: NewRetry requires a positive finite budget, got %g", budget))
+	}
+	if maxAttempts < 0 {
+		panic(fmt.Sprintf("strategy: NewRetry requires maxAttempts >= 0, got %d", maxAttempts))
+	}
+	return Retry{Inner: inner, Budget: budget, MaxAttempts: maxAttempts}
+}
+
+// Name implements Strategy.
+func (rt Retry) Name() string {
+	return fmt.Sprintf("retry(%s, budget=%.4g, max=%d)", rt.Inner.Name(), rt.Budget, rt.MaxAttempts)
+}
+
+// Decide implements Strategy.
+func (rt Retry) Decide(st State) Action {
+	if st.FailedAttempts > 0 && st.Work > 0 {
+		withinCap := rt.MaxAttempts <= 0 || st.FailedAttempts < rt.MaxAttempts
+		if withinCap && st.Remaining() >= rt.Budget {
+			return Checkpoint
+		}
+	}
+	return rt.Inner.Decide(st)
+}
+
+// MarginDynamic is the paper's dynamic rule evaluated against a
+// pessimistically inflated checkpoint law: every checkpoint duration is
+// scaled by (1 + Margin), so the rule checkpoints earlier than the
+// fault-free optimum. The inflation hedges against injected faults — a
+// failed commit or a crash costs a replay, and committing earlier bounds
+// the work at risk — at the price of slightly suboptimal behavior when no
+// fault strikes.
+type MarginDynamic struct {
+	Dynamic
+	Margin float64
+}
+
+// NewMarginDynamic builds the margin-padded dynamic policy for a
+// continuous task law: the decision problem is core.Dynamic with the
+// checkpoint law scaled by (1 + margin). Margin must be finite and >= 0;
+// margin 0 reproduces the plain dynamic policy.
+func NewMarginDynamic(r float64, task, ckpt dist.Continuous, margin float64) MarginDynamic {
+	if !(margin >= 0) || math.IsInf(margin, 1) {
+		panic(fmt.Sprintf("strategy: NewMarginDynamic requires finite margin >= 0, got %g", margin))
+	}
+	inflated := ckpt
+	if margin > 0 {
+		inflated = dist.NewAffine(ckpt, 1+margin, 0)
+	}
+	return MarginDynamic{
+		Dynamic: NewDynamic(core.NewDynamic(r, task, inflated)),
+		Margin:  margin,
+	}
+}
+
+// Name implements Strategy.
+func (m MarginDynamic) Name() string { return fmt.Sprintf("dynamic(margin=%g%%)", 100*m.Margin) }

@@ -1,0 +1,136 @@
+package strategy
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"reskit/internal/core"
+	"reskit/internal/dist"
+)
+
+func TestRetryDecidesCheckpointAfterFailedAttempt(t *testing.T) {
+	rt := NewRetry(NewWorkThreshold(20), 6, 3)
+	st := State{R: 29, Elapsed: 10, Work: 5, FailedAttempts: 1}
+	if got := rt.Decide(st); got != Checkpoint {
+		t.Errorf("failed attempt with budget left: got %v, want Checkpoint", got)
+	}
+}
+
+func TestRetryDelegatesWithoutFailure(t *testing.T) {
+	rt := NewRetry(NewWorkThreshold(20), 6, 3)
+	// No failed attempt pending: inner threshold policy decides.
+	below := State{R: 29, Elapsed: 10, Work: 5}
+	if got := rt.Decide(below); got != Continue {
+		t.Errorf("below threshold: got %v, want Continue (inner decision)", got)
+	}
+	above := State{R: 29, Elapsed: 10, Work: 25}
+	if got := rt.Decide(above); got != Checkpoint {
+		t.Errorf("above threshold: got %v, want Checkpoint (inner decision)", got)
+	}
+}
+
+func TestRetryRespectsBudgetAndCap(t *testing.T) {
+	rt := NewRetry(Never{}, 6, 2)
+	// Remaining time below the budget: no retry, inner (Never) continues.
+	tight := State{R: 29, Elapsed: 25, Work: 5, FailedAttempts: 1}
+	if got := rt.Decide(tight); got != Continue {
+		t.Errorf("budget exhausted: got %v, want inner Continue", got)
+	}
+	// Attempt cap reached: no retry.
+	capped := State{R: 29, Elapsed: 10, Work: 5, FailedAttempts: 2}
+	if got := rt.Decide(capped); got != Continue {
+		t.Errorf("attempt cap reached: got %v, want inner Continue", got)
+	}
+	// Unbounded attempts retry for as long as the budget fits.
+	unbounded := NewRetry(Never{}, 6, 0)
+	many := State{R: 29, Elapsed: 10, Work: 5, FailedAttempts: 50}
+	if got := unbounded.Decide(many); got != Checkpoint {
+		t.Errorf("unbounded retry: got %v, want Checkpoint", got)
+	}
+	// Nothing uncommitted: nothing to retry.
+	empty := State{R: 29, Elapsed: 10, Work: 0, FailedAttempts: 1}
+	if got := rt.Decide(empty); got != Continue {
+		t.Errorf("no work: got %v, want inner Continue", got)
+	}
+}
+
+func TestRetryConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"nil inner":       func() { NewRetry(nil, 6, 0) },
+		"zero budget":     func() { NewRetry(Never{}, 0, 0) },
+		"NaN budget":      func() { NewRetry(Never{}, math.NaN(), 0) },
+		"infinite budget": func() { NewRetry(Never{}, math.Inf(1), 0) },
+		"negative cap":    func() { NewRetry(Never{}, 6, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewRetry did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMarginDynamicZeroMarginMatchesDynamic(t *testing.T) {
+	task := dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1))
+	ckpt := dist.Truncate(dist.NewNormal(5, 0.4), 0, math.Inf(1))
+	plain := NewDynamic(core.NewDynamic(29, task, ckpt))
+	margin := NewMarginDynamic(29, task, ckpt, 0)
+	for _, st := range []State{
+		{R: 29, Elapsed: 5, Work: 5},
+		{R: 29, Elapsed: 15, Work: 14},
+		{R: 29, Elapsed: 22, Work: 21},
+		{R: 29, Elapsed: 28, Work: 27},
+	} {
+		if got, want := margin.Decide(st), plain.Decide(st); got != want {
+			t.Errorf("state %+v: margin-0 decision %v != plain dynamic %v", st, got, want)
+		}
+	}
+}
+
+func TestMarginDynamicCheckpointsEarlier(t *testing.T) {
+	task := dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1))
+	ckpt := dist.Truncate(dist.NewNormal(5, 0.4), 0, math.Inf(1))
+	plain := NewDynamic(core.NewDynamic(29, task, ckpt))
+	padded := NewMarginDynamic(29, task, ckpt, 0.5)
+	// Sweep work levels at a fixed elapsed time: the first work level at
+	// which each policy checkpoints. The padded policy, seeing 50% longer
+	// checkpoints, must not checkpoint later than the plain one.
+	first := func(s Strategy) float64 {
+		for w := 1.0; w <= 25; w += 0.5 {
+			if s.Decide(State{R: 29, Elapsed: w, Work: w}) == Checkpoint {
+				return w
+			}
+		}
+		return math.Inf(1)
+	}
+	fp, fm := first(plain), first(padded)
+	if fm > fp {
+		t.Errorf("margin policy first checkpoints at work %g, plain at %g; margin must not be later", fm, fp)
+	}
+	if !strings.Contains(padded.Name(), "margin=50%") {
+		t.Errorf("Name() = %q, want margin=50%% mentioned", padded.Name())
+	}
+}
+
+func TestMarginDynamicConstructorPanics(t *testing.T) {
+	task := dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1))
+	ckpt := dist.Truncate(dist.NewNormal(5, 0.4), 0, math.Inf(1))
+	for name, margin := range map[string]float64{
+		"negative": -0.1,
+		"NaN":      math.NaN(),
+		"infinite": math.Inf(1),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s margin: NewMarginDynamic did not panic", name)
+				}
+			}()
+			NewMarginDynamic(29, task, ckpt, margin)
+		}()
+	}
+}

@@ -61,6 +61,13 @@ type State struct {
 	TasksDone  int     // tasks completed since the last successful checkpoint
 	Committed  float64 // work already saved by earlier checkpoints this reservation
 	Checkpoint int     // number of successful checkpoints so far
+
+	// FailedAttempts counts checkpoint attempts since the last successful
+	// commit that ran to completion but failed (injected checkpoint
+	// faults, see internal/fault). Always zero in the paper's
+	// failure-free model; failure-aware policies use it to budget
+	// retries.
+	FailedAttempts int
 }
 
 // Remaining returns the reservation time left.

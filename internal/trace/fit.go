@@ -67,7 +67,12 @@ func FitNormal(t *Trace) (Fit, error) {
 	if v <= 0 {
 		return Fit{}, fmt.Errorf("trace: degenerate sample (zero variance)")
 	}
-	law := dist.NewNormal(mean, math.Sqrt(v))
+	// Extreme samples can overflow the moments; the Try constructor turns
+	// that into an error instead of a panic.
+	law, err := dist.TryNewNormal(mean, math.Sqrt(v))
+	if err != nil {
+		return Fit{}, err
+	}
 	return Fit{Law: law, Family: "normal", LogLik: logLik(law, xs), NumParams: 2, N: len(xs)}, nil
 }
 
@@ -89,7 +94,10 @@ func FitLogNormal(t *Trace) (Fit, error) {
 	if v <= 0 {
 		return Fit{}, fmt.Errorf("trace: degenerate sample (zero log-variance)")
 	}
-	law := dist.NewLogNormal(mean, math.Sqrt(v))
+	law, err := dist.TryNewLogNormal(mean, math.Sqrt(v))
+	if err != nil {
+		return Fit{}, err
+	}
 	return Fit{Law: law, Family: "lognormal", LogLik: logLik(law, xs), NumParams: 2, N: len(xs)}, nil
 }
 
@@ -105,7 +113,10 @@ func FitExponential(t *Trace) (Fit, error) {
 	if mean <= 0 {
 		return Fit{}, fmt.Errorf("trace: non-positive mean %g", mean)
 	}
-	law := dist.NewExponential(1 / mean)
+	law, err := dist.TryNewExponential(1 / mean)
+	if err != nil {
+		return Fit{}, err
+	}
 	return Fit{Law: law, Family: "exponential", LogLik: logLik(law, xs), NumParams: 1, N: len(xs)}, nil
 }
 
@@ -147,7 +158,10 @@ func FitGamma(t *Trace) (Fit, error) {
 		}
 		k = kn
 	}
-	law := dist.NewGamma(k, mean/k)
+	law, err := dist.TryNewGamma(k, mean/k)
+	if err != nil {
+		return Fit{}, err
+	}
 	return Fit{Law: law, Family: "gamma", LogLik: logLik(law, xs), NumParams: 2, N: len(xs)}, nil
 }
 
@@ -203,7 +217,10 @@ func FitWeibull(t *Trace) (Fit, error) {
 		sk += math.Pow(x, k)
 	}
 	lambda := math.Pow(sk/n, 1/k)
-	law := dist.NewWeibull(k, lambda)
+	law, err := dist.TryNewWeibull(k, lambda)
+	if err != nil {
+		return Fit{}, err
+	}
 	return Fit{Law: law, Family: "weibull", LogLik: logLik(law, xs), NumParams: 2, N: len(xs)}, nil
 }
 
@@ -257,7 +274,14 @@ func CheckpointLaw(t *Trace, a, b float64) (*dist.Truncated, Fit, error) {
 	if !(a < b) || a <= 0 {
 		return nil, Fit{}, fmt.Errorf("trace: invalid truncation bounds [%g, %g]", a, b)
 	}
-	return dist.Truncate(fit.Law, a, b), fit, nil
+	// The bounds are derived from the trace, so a pathological sample
+	// (e.g. all observations far in the tail of the fitted law) can leave
+	// zero mass on [a, b]; surface that as an error, not a panic.
+	tr, err := dist.TryTruncate(fit.Law, a, b)
+	if err != nil {
+		return nil, Fit{}, fmt.Errorf("trace: checkpoint law: %w", err)
+	}
+	return tr, fit, nil
 }
 
 // FitPoisson fits a Poisson law to integer-valued durations by maximum

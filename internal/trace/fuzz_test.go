@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzTraceFit drives the full untrusted-input pipeline — CSV decoding,
+// parametric fitting with AIC selection, and checkpoint-law truncation —
+// with arbitrary bytes. Every outcome must be a value or an error; any
+// panic is a bug, since trace logs come from outside the program.
+func FuzzTraceFit(f *testing.F) {
+	f.Add("3.1\n2.9\n3.4\n3.0\n2.8\n")
+	f.Add("duration\n5\n5.5\n4.5\n")
+	f.Add("1e300\n1e300\n1e-300\n")
+	f.Add("0\n0\n0\n")
+	f.Add("-1\n2\n3\n")
+	f.Add("nan\ninf\n1\n")
+	f.Add("")
+	f.Add(",,,\n1;2;3\n")
+	f.Add("9007199254740993\n9007199254740993\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		fits, err := FitAll(tr)
+		if err != nil {
+			return
+		}
+		for _, fit := range fits {
+			if fit.Law == nil {
+				t.Fatalf("FitAll returned a nil law for %q", data)
+			}
+			// The selected laws must stay usable on their own sample.
+			for _, x := range tr.Durations {
+				if v := fit.Law.CDF(x); math.IsNaN(v) || v < 0 || v > 1 {
+					t.Fatalf("%s fit: CDF(%g) = %g out of [0, 1]", fit.Family, x, v)
+				}
+			}
+		}
+		// Deriving D_C from the fitted law must error, not panic, even
+		// when the trace-derived bounds are degenerate.
+		if _, _, err := CheckpointLaw(tr, math.NaN(), math.NaN()); err != nil {
+			return
+		}
+	})
+}
