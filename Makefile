@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench benchjson figures report clean
+.PHONY: all build vet test race fuzz bench benchjson obs-demo figures report clean
 
 all: build vet test
 
@@ -41,6 +41,17 @@ benchjson:
 		-ckpt 'norm:5,0.4@[0,inf]' -recovery 1.5 -totalwork 500 \
 		-trials 400 -faultsweep '20,50,100,200,500,1000' \
 		-benchjson BENCH_faults.json
+
+# Observability demo: a fault-injected campaign with live progress, a
+# JSONL event trace (1 trial in 200), a metrics snapshot, and a live
+# expvar/pprof endpoint on 127.0.0.1:6060 while it runs.
+obs-demo:
+	mkdir -p out
+	$(GO) run ./cmd/simulate -campaign -R 29 -task 'norm:3,0.5@[0,inf]' \
+		-ckpt 'norm:5,0.4@[0,inf]' -recovery 1.5 -totalwork 500 \
+		-trials 2000 -mtbf 100 -progress -listen 127.0.0.1:6060 \
+		-trace out/trace.jsonl -tracesample 200 -metrics out/metrics.json
+	@echo "metrics -> out/metrics.json, trace -> out/trace.jsonl"
 
 figures:
 	$(GO) run ./cmd/figures -out out/figures -extended

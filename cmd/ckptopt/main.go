@@ -74,9 +74,11 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-func solvePreempt(out io.Writer, r float64, ckpt reskit.Continuous) (err error) {
-	defer recoverToError(&err)
-	p := reskit.NewPreemptible(r, ckpt)
+func solvePreempt(out io.Writer, r float64, ckpt reskit.Continuous) error {
+	p, err := reskit.TryNewPreemptible(r, ckpt)
+	if err != nil {
+		return err
+	}
 	sol := p.OptimalX()
 	pess := p.Pessimistic()
 	a, b := p.Bounds()
@@ -93,8 +95,7 @@ func solvePreempt(out io.Writer, r float64, ckpt reskit.Continuous) (err error) 
 	return nil
 }
 
-func solveStatic(out io.Writer, r float64, taskSpec, taskDiscSpec string, ckpt reskit.Continuous) (err error) {
-	defer recoverToError(&err)
+func solveStatic(out io.Writer, r float64, taskSpec, taskDiscSpec string, ckpt reskit.Continuous) error {
 	var s *reskit.Static
 	switch {
 	case taskSpec != "":
@@ -106,7 +107,9 @@ func solveStatic(out io.Writer, r float64, taskSpec, taskDiscSpec string, ckpt r
 		if !ok {
 			return fmt.Errorf("task law %v does not support IID summation; use norm, gamma, exp or det", law)
 		}
-		s = reskit.NewStatic(r, task, ckpt)
+		if s, err = reskit.TryNewStatic(r, task, ckpt); err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "static problem: R=%g, X ~ %v, C ~ %v\n", r, law, ckpt)
 	case taskDiscSpec != "":
 		law, err := lawspec.ParseDiscrete(taskDiscSpec)
@@ -117,7 +120,9 @@ func solveStatic(out io.Writer, r float64, taskSpec, taskDiscSpec string, ckpt r
 		if !ok {
 			return fmt.Errorf("task law %v does not support IID summation", law)
 		}
-		s = reskit.NewStaticDiscrete(r, task, ckpt)
+		if s, err = reskit.TryNewStaticDiscrete(r, task, ckpt); err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "static problem: R=%g, X ~ %v (discrete), C ~ %v\n", r, law, ckpt)
 	default:
 		return errors.New("static mode needs -task or -taskdisc")
@@ -129,8 +134,7 @@ func solveStatic(out io.Writer, r float64, taskSpec, taskDiscSpec string, ckpt r
 	return nil
 }
 
-func solveDynamic(out io.Writer, r float64, taskSpec, taskDiscSpec string, ckpt reskit.Continuous) (err error) {
-	defer recoverToError(&err)
+func solveDynamic(out io.Writer, r float64, taskSpec, taskDiscSpec string, ckpt reskit.Continuous) error {
 	var d *reskit.Dynamic
 	switch {
 	case taskSpec != "":
@@ -138,14 +142,18 @@ func solveDynamic(out io.Writer, r float64, taskSpec, taskDiscSpec string, ckpt 
 		if err != nil {
 			return err
 		}
-		d = reskit.NewDynamic(r, law, ckpt)
+		if d, err = reskit.TryNewDynamic(r, law, ckpt); err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "dynamic problem: R=%g, X ~ %v, C ~ %v\n", r, law, ckpt)
 	case taskDiscSpec != "":
 		law, err := lawspec.ParseDiscrete(taskDiscSpec)
 		if err != nil {
 			return err
 		}
-		d = reskit.NewDynamicDiscrete(r, law, ckpt)
+		if d, err = reskit.TryNewDynamicDiscrete(r, law, ckpt); err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "dynamic problem: R=%g, X ~ %v (discrete), C ~ %v\n", r, law, ckpt)
 	default:
 		return errors.New("dynamic mode needs -task or -taskdisc")
@@ -161,8 +169,7 @@ func solveDynamic(out io.Writer, r float64, taskSpec, taskDiscSpec string, ckpt 
 
 // solveMulti compares the single-checkpoint DP optimum with the
 // multi-checkpoint optimum (Section 4.4 made exact).
-func solveMulti(out io.Writer, r float64, taskSpec string, ckpt reskit.Continuous) (err error) {
-	defer recoverToError(&err)
+func solveMulti(out io.Writer, r float64, taskSpec string, ckpt reskit.Continuous) error {
 	if taskSpec == "" {
 		return errors.New("multi mode needs -task")
 	}
@@ -170,8 +177,16 @@ func solveMulti(out io.Writer, r float64, taskSpec string, ckpt reskit.Continuou
 	if err != nil {
 		return err
 	}
-	single := reskit.NewDP(r, law, ckpt, 2048).Solve()
-	multi := reskit.NewMultiDP(r, law, ckpt, 512).Solve()
+	dp, err := reskit.TryNewDP(r, law, ckpt, 2048)
+	if err != nil {
+		return err
+	}
+	mdp, err := reskit.TryNewMultiDP(r, law, ckpt, 512)
+	if err != nil {
+		return err
+	}
+	single := dp.Solve()
+	multi := mdp.Solve()
 	fmt.Fprintf(out, "multi-checkpoint problem: R=%g, X ~ %v, C ~ %v\n", r, law, ckpt)
 	fmt.Fprintf(out, "  single checkpoint (DP optimum):   %.6g expected committed work\n", single.Value)
 	fmt.Fprintf(out, "  repeated checkpoints (2-D DP):    %.6g expected committed work\n", multi.Value)
@@ -181,12 +196,4 @@ func solveMulti(out io.Writer, r float64, taskSpec string, ckpt reskit.Continuou
 	}
 	fmt.Fprintf(out, "  value of re-checkpointing (§4.4): %+.2f%%\n", gain)
 	return nil
-}
-
-// recoverToError converts constructor panics (invalid problem setups)
-// into CLI errors.
-func recoverToError(err *error) {
-	if r := recover(); r != nil {
-		*err = fmt.Errorf("%v", r)
-	}
 }

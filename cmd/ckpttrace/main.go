@@ -124,12 +124,7 @@ func runFit(args []string, stdout io.Writer) error {
 	return nil
 }
 
-func runSolve(args []string, stdout io.Writer) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("%v", r)
-		}
-	}()
+func runSolve(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
 	in := fs.String("in", "", "input CSV trace (default stdin)")
 	r := fs.Float64("R", 0, "reservation length (required)")
@@ -150,7 +145,10 @@ func runSolve(args []string, stdout io.Writer) (err error) {
 		return err
 	}
 	fmt.Fprintf(stdout, "learned D_C: %v (family %s, AIC %.5g)\n", law, fit.Family, fit.AIC())
-	p := reskit.NewPreemptible(*r, law)
+	p, err := reskit.TryNewPreemptible(*r, law)
+	if err != nil {
+		return err
+	}
 	sol := p.OptimalX()
 	fmt.Fprintf(stdout, "R = %g: checkpoint %.5g s before the end (E(W) = %.5g, gain %.4gx over pessimistic)\n",
 		*r, sol.X, sol.ExpectedWork, p.Gain())

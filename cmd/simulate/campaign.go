@@ -25,20 +25,25 @@ import (
 // the printed aggregate is bit-identical for any worker count.
 func runCampaignMode(ctx context.Context, out io.Writer, r, recovery, totalWork float64, taskSpec, taskDiscSpec string,
 	ckpt reskit.Continuous, trials int, seed uint64, workers int, benchJSON string,
-	plan *reskit.FaultPlan, faultSweep string) error {
+	plan *reskit.FaultPlan, faultSweep string, ob *simObs) error {
 
 	if !(totalWork > 0) {
 		return errors.New("-totalwork must be positive")
 	}
 	base := reskit.SimConfig{R: r, Recovery: recovery, Ckpt: ckpt, Faults: plan}
+	ob.attach(&base)
 	switch {
 	case taskSpec != "":
 		law, err := lawspec.Parse(taskSpec)
 		if err != nil {
 			return err
 		}
+		dyn, err := reskit.TryNewDynamic(r, law, ckpt)
+		if err != nil {
+			return err
+		}
 		base.Task = law
-		base.Strategy = reskit.DynamicStrategy(reskit.NewDynamic(r, law, ckpt))
+		base.Strategy = ob.counted(reskit.DynamicStrategy(dyn))
 		fmt.Fprintf(out, "campaign: R=%g, X ~ %v, C ~ %v, total work %g, %d trials\n\n",
 			r, law, ckpt, totalWork, trials)
 	case taskDiscSpec != "":
@@ -46,8 +51,12 @@ func runCampaignMode(ctx context.Context, out io.Writer, r, recovery, totalWork 
 		if err != nil {
 			return err
 		}
+		dyn, err := reskit.TryNewDynamicDiscrete(r, law, ckpt)
+		if err != nil {
+			return err
+		}
 		base.TaskDisc = law
-		base.Strategy = reskit.DynamicStrategy(reskit.NewDynamicDiscrete(r, law, ckpt))
+		base.Strategy = ob.counted(reskit.DynamicStrategy(dyn))
 		fmt.Fprintf(out, "campaign: R=%g, X ~ %v (discrete), C ~ %v, total work %g, %d trials\n\n",
 			r, law, ckpt, totalWork, trials)
 	default:
@@ -62,7 +71,7 @@ func runCampaignMode(ctx context.Context, out io.Writer, r, recovery, totalWork 
 		return runFaultSweep(ctx, out, cfg, faultSweep, trials, seed, workers, benchJSON)
 	}
 	if benchJSON != "" {
-		return writeCampaignBench(out, cfg, trials, seed, benchJSON)
+		return writeCampaignBench(out, cfg, trials, seed, benchJSON, ob)
 	}
 
 	if plan.Active() {
@@ -202,12 +211,17 @@ type campaignBench struct {
 	MeanReservations float64 `json:"mean_reservations"`
 	MeanUtilization  float64 `json:"mean_utilization"`
 	BitIdentical     bool    `json:"bit_identical_across_workers"`
+
+	// Metrics embeds the observability snapshot (trial, fault,
+	// integrand-eval and strategy-decision counters) when any
+	// observability flag was active during the benchmark run.
+	Metrics *reskit.ObsSnapshot `json:"metrics,omitempty"`
 }
 
 // writeCampaignBench times the campaign Monte-Carlo with one worker and
 // with all CPUs, checks the aggregates are bit-identical, and writes the
 // snapshot to path.
-func writeCampaignBench(out io.Writer, cfg reskit.CampaignConfig, trials int, seed uint64, path string) error {
+func writeCampaignBench(out io.Writer, cfg reskit.CampaignConfig, trials int, seed uint64, path string, ob *simObs) error {
 	workers := reskit.Workers()
 
 	// Warm-up builds the dynamic strategy's coefficient table outside the
@@ -237,6 +251,7 @@ func writeCampaignBench(out io.Writer, cfg reskit.CampaignConfig, trials int, se
 		MeanReservations: parallel.Reservations,
 		MeanUtilization:  parallel.Utilization,
 		BitIdentical:     serial == parallel,
+		Metrics:          ob.snapshot(),
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

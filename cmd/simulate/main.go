@@ -50,12 +50,11 @@ func main() {
 	}
 }
 
+// run executes one CLI invocation. Invalid inputs surface as errors
+// (constructors are the TryNew* variants, laws are parsed); there is
+// deliberately no recover() here — a panic that reaches this frame is a
+// programming bug and should crash loudly with its stack trace.
 func run(args []string, out io.Writer) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("%v", r)
-		}
-	}()
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	r := fs.Float64("R", 0, "reservation length (required)")
 	ckptSpec := fs.String("ckpt", "", "checkpoint-duration law (required)")
@@ -80,6 +79,11 @@ func run(args []string, out io.Writer) (err error) {
 	hist := fs.Bool("hist", false, "print an ASCII histogram of saved work for each strategy")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
+	progress := fs.Bool("progress", false, "print live trials/sec progress to stderr")
+	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot (counters, histograms) to this file on exit")
+	listenAddr := fs.String("listen", "", "serve live expvar metrics and pprof on this address (e.g. :6060)")
+	tracePath := fs.String("trace", "", "stream sampled per-trial events (task ends, checkpoints, faults) to this JSONL file")
+	traceEvery := fs.Int64("tracesample", 1000, "with -trace: record one trial in every N (<=1 traces all; sampling is by trial index, deterministic)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -140,9 +144,25 @@ func run(args []string, out io.Writer) (err error) {
 			}
 		}()
 	}
+	// A single Monte-Carlo (campaign mode) has a known trial total for the
+	// progress ETA; the workflow mode runs one Monte-Carlo per strategy, so
+	// progress renders counts and rate without a percentage.
+	progressTotal := int64(0)
+	if *campaign && *faultSweep == "" && *benchJSON == "" {
+		progressTotal = int64(*trials)
+	}
+	ob, err := setupObs(out, *progress, *metricsPath, *listenAddr, *tracePath, *traceEvery, *r, progressTotal)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := ob.finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	if *campaign {
 		return runCampaignMode(ctx, out, *r, *recovery, *totalWork, *taskSpec, *taskDiscSpec,
-			ckpt, *trials, *seed, *workers, *benchJSON, plan, *faultSweep)
+			ckpt, *trials, *seed, *workers, *benchJSON, plan, *faultSweep, ob)
 	}
 	if *faultSweep != "" {
 		return errors.New("-faultsweep requires -campaign")
@@ -150,11 +170,14 @@ func run(args []string, out io.Writer) (err error) {
 	if *preempt {
 		return runPreempt(out, *r, ckpt, *trials, *seed, *workers)
 	}
-	return runWorkflow(ctx, out, *r, *recovery, *failRate, *taskSpec, *taskDiscSpec, ckpt, *trials, *seed, *workers, *strategies, *hist, plan)
+	return runWorkflow(ctx, out, *r, *recovery, *failRate, *taskSpec, *taskDiscSpec, ckpt, *trials, *seed, *workers, *strategies, *hist, plan, ob)
 }
 
 func runPreempt(out io.Writer, r float64, ckpt reskit.Continuous, trials int, seed uint64, workers int) error {
-	p := reskit.NewPreemptible(r, ckpt)
+	p, err := reskit.TryNewPreemptible(r, ckpt)
+	if err != nil {
+		return err
+	}
 	sol := p.OptimalX()
 	pess := p.Pessimistic()
 	fmt.Fprintf(out, "preemptible: R=%g, C ~ %v, %d trials\n\n", r, ckpt, trials)
@@ -179,9 +202,10 @@ func runPreempt(out io.Writer, r float64, ckpt reskit.Continuous, trials int, se
 }
 
 func runWorkflow(ctx context.Context, out io.Writer, r, recovery, failRate float64, taskSpec, taskDiscSpec string, ckpt reskit.Continuous,
-	trials int, seed uint64, workers int, strategyList string, hist bool, plan *reskit.FaultPlan) error {
+	trials int, seed uint64, workers int, strategyList string, hist bool, plan *reskit.FaultPlan, ob *simObs) error {
 
 	base := reskit.SimConfig{R: r, Recovery: recovery, Ckpt: ckpt, FailureRate: failRate, Faults: plan}
+	ob.attach(&base)
 	if plan.Active() {
 		fmt.Fprintf(out, "faults: %v\n", plan)
 	}
@@ -199,13 +223,18 @@ func runWorkflow(ctx context.Context, out io.Writer, r, recovery, failRate float
 		}
 		base.Task = law
 		taskMeanLaw = law
-		dynamic = reskit.NewDynamic(r, law, ckpt)
+		if dynamic, err = reskit.TryNewDynamic(r, law, ckpt); err != nil {
+			return err
+		}
 		if s, ok := law.(reskit.Summable); ok {
-			static = reskit.NewStatic(r, s, ckpt)
+			static, err = reskit.TryNewStatic(r, s, ckpt)
 		} else {
 			// Truncated laws are not Summable; approximate the static
 			// problem with a Normal matching the first two moments.
-			static = reskit.NewStatic(r, reskit.Normal(law.Mean(), math.Sqrt(law.Variance())), ckpt)
+			static, err = reskit.TryNewStatic(r, reskit.Normal(law.Mean(), math.Sqrt(law.Variance())), ckpt)
+		}
+		if err != nil {
+			return err
 		}
 		fmt.Fprintf(out, "workflow: R=%g, X ~ %v, C ~ %v, %d trials\n\n", r, law, ckpt, trials)
 	case taskDiscSpec != "":
@@ -214,9 +243,13 @@ func runWorkflow(ctx context.Context, out io.Writer, r, recovery, failRate float
 			return err
 		}
 		base.TaskDisc = law
-		dynamic = reskit.NewDynamicDiscrete(r, law, ckpt)
+		if dynamic, err = reskit.TryNewDynamicDiscrete(r, law, ckpt); err != nil {
+			return err
+		}
 		if s, ok := law.(reskit.SummableDiscrete); ok {
-			static = reskit.NewStaticDiscrete(r, s, ckpt)
+			if static, err = reskit.TryNewStaticDiscrete(r, s, ckpt); err != nil {
+				return err
+			}
 		} else {
 			return fmt.Errorf("discrete law %v does not support the static strategy", law)
 		}
@@ -247,31 +280,35 @@ func runWorkflow(ctx context.Context, out io.Writer, r, recovery, failRate float
 			cfg.Strategy = reskit.NeverStrategy()
 			agg = reskit.MonteCarloOracle(cfg, trials, seed, workers)
 		case "dynamic":
-			cfg.Strategy = reskit.DynamicStrategy(dynamic)
+			cfg.Strategy = ob.counted(reskit.DynamicStrategy(dynamic))
 			agg, mcErr = reskit.MonteCarloContext(ctx, cfg, trials, seed, workers)
 		case "static":
-			cfg.Strategy = reskit.StaticStrategy(sol.NOpt)
+			cfg.Strategy = ob.counted(reskit.StaticStrategy(sol.NOpt))
 			agg, mcErr = reskit.MonteCarloContext(ctx, cfg, trials, seed, workers)
 		case "threshold":
 			if wErr != nil {
 				fmt.Fprintf(tw, "%s\t(no intersection)\n", name)
 				continue
 			}
-			cfg.Strategy = reskit.ThresholdStrategy(wInt)
+			cfg.Strategy = ob.counted(reskit.ThresholdStrategy(wInt))
 			agg, mcErr = reskit.MonteCarloContext(ctx, cfg, trials, seed, workers)
 		case "pessimistic":
-			cfg.Strategy = reskit.PessimisticStrategy(
+			pess, perr := reskit.TryPessimisticStrategy(
 				taskMeanLaw.Quantile(0.9999), ckpt.Quantile(0.9999))
+			if perr != nil {
+				return perr
+			}
+			cfg.Strategy = ob.counted(pess)
 			agg, mcErr = reskit.MonteCarloContext(ctx, cfg, trials, seed, workers)
 		case "never":
-			cfg.Strategy = reskit.NeverStrategy()
+			cfg.Strategy = ob.counted(reskit.NeverStrategy())
 			agg, mcErr = reskit.MonteCarloContext(ctx, cfg, trials, seed, workers)
 		case "youngdaly":
 			if failRate <= 0 {
 				fmt.Fprintf(tw, "%s\t(needs -failrate > 0)\n", name)
 				continue
 			}
-			cfg.Strategy = reskit.YoungDalyStrategy(1/failRate, ckpt.Mean())
+			cfg.Strategy = ob.counted(reskit.YoungDalyStrategy(1/failRate, ckpt.Mean()))
 			cfg.After = reskit.ContinueExecution
 			agg, mcErr = reskit.MonteCarloContext(ctx, cfg, trials, seed, workers)
 		default:

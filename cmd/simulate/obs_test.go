@@ -1,0 +1,280 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"reskit"
+)
+
+// TestMalformedCkptExitsCleanly runs the real binary (the test executable
+// re-executing main) with a malformed -ckpt law and checks that it exits
+// with status 1 and a one-line error — no panic, no stack trace.
+func TestMalformedCkptExitsCleanly(t *testing.T) {
+	if os.Getenv("SIMULATE_REEXEC") == "1" {
+		os.Args = []string{"simulate", "-R", "10", "-ckpt", "bogus:1,2"}
+		main()
+		t.Fatal("main returned instead of exiting") // unreachable on success
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestMalformedCkptExitsCleanly")
+	cmd.Env = append(os.Environ(), "SIMULATE_REEXEC=1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit error, got %v (output %q)", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (output %q)", code, out)
+	}
+	if !bytes.Contains(out, []byte("simulate:")) {
+		t.Errorf("stderr should carry the simulate: error prefix, got %q", out)
+	}
+	for _, forbidden := range []string{"panic:", "goroutine "} {
+		if bytes.Contains(out, []byte(forbidden)) {
+			t.Errorf("malformed input must not produce a stack trace, got %q", out)
+		}
+	}
+}
+
+// panicWriter simulates a programming bug in the output path.
+type panicWriter struct{}
+
+func (panicWriter) Write([]byte) (int, error) { panic("writer bug") }
+
+// TestRunDoesNotSwallowPanics verifies the CLI no longer recovers
+// arbitrary panics: a bug that panics must propagate to the caller.
+func TestRunDoesNotSwallowPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic was swallowed; run must let programming bugs crash")
+		}
+		if s := fmt.Sprint(r); !strings.Contains(s, "writer bug") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	_ = run([]string{
+		"-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+		"-trials", "10", "-seed", "1",
+	}, panicWriter{})
+}
+
+// TestMetricsSnapshotFile checks the -metrics JSON carries the trial,
+// fault, integrand-eval and strategy-decision counters.
+func TestMetricsSnapshotFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+		"-trials", "400", "-seed", "7", "-mtbf", "40",
+		"-strategies", "dynamic,static",
+		"-metrics", path,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap reskit.ObsSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	for _, name := range []string{
+		"sim.trials", "sim.tasks", "sim.checkpoints", "sim.crashes",
+		"quad.evals", "strategy.dynamic.continue", "strategy.dynamic.checkpoint",
+	} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %q = %d, want > 0 (have %v)", name, snap.Counters[name], keys(snap.Counters))
+		}
+	}
+	// Two strategies x 400 trials each.
+	if got := snap.Counters["sim.trials"]; got != 800 {
+		t.Errorf("sim.trials = %d, want 800", got)
+	}
+	if h, ok := snap.Hists["sim.saved_work"]; !ok || h.Count != 800 {
+		t.Errorf("sim.saved_work histogram count = %+v, want 800 samples", h)
+	}
+}
+
+func keys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestMetricsDoNotPerturbResults runs the same workflow with and without
+// the observability layer and requires byte-identical stdout.
+func TestMetricsDoNotPerturbResults(t *testing.T) {
+	args := []string{
+		"-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+		"-trials", "300", "-seed", "3", "-mtbf", "25", "-strategies", "dynamic,static,never",
+	}
+	var bare bytes.Buffer
+	if err := run(args, &bare); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.json")
+	var observed bytes.Buffer
+	if err := run(append(append([]string{}, args...), "-metrics", path), &observed); err != nil {
+		t.Fatal(err)
+	}
+	if bare.String() != observed.String() {
+		t.Errorf("observability changed the results:\nbare:\n%s\nobserved:\n%s", bare.String(), observed.String())
+	}
+}
+
+// TestCampaignBenchEmbedsMetrics checks the benchjson snapshot gains a
+// metrics block when observability is on, and omits it when off.
+func TestCampaignBenchEmbedsMetrics(t *testing.T) {
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "bench.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-campaign", "-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+		"-recovery", "1.5", "-totalwork", "120", "-trials", "60", "-seed", "2",
+		"-benchjson", bench, "-metrics", filepath.Join(dir, "m.json"),
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Metrics *reskit.ObsSnapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Metrics == nil {
+		t.Fatal("benchjson should embed the metrics snapshot when -metrics is active")
+	}
+	if snap.Metrics.Counters["sim.campaigns"] <= 0 {
+		t.Errorf("sim.campaigns = %d, want > 0", snap.Metrics.Counters["sim.campaigns"])
+	}
+}
+
+// TestTraceJSONL checks the -trace output: one JSON object per line,
+// trial indices matching the deterministic sampling rule.
+func TestTraceJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+		"-trials", "200", "-seed", "5", "-strategies", "dynamic",
+		"-trace", path, "-tracesample", "50",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines++
+		var ev struct {
+			Trial int64   `json:"trial"`
+			Kind  string  `json:"kind"`
+			T     float64 `json:"t"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v (%q)", lines, err, sc.Text())
+		}
+		if ev.Trial%50 != 0 || ev.Trial < 0 || ev.Trial >= 200 {
+			t.Fatalf("trial %d outside the 1-in-50 sample of [0,200)", ev.Trial)
+		}
+		if ev.Kind == "" {
+			t.Fatalf("line %d has no event kind", lines)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("trace file is empty")
+	}
+}
+
+// TestListenServesDebugVars starts the debug endpoint on an ephemeral
+// port and fetches /debug/vars and a pprof page through it.
+func TestListenServesDebugVars(t *testing.T) {
+	var buf bytes.Buffer
+	ob, err := setupObs(&buf, false, "", "127.0.0.1:0", "", 1000, 29, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ob.finish()
+
+	// The printed line carries the actual bound address.
+	line := strings.TrimSpace(buf.String())
+	const prefix = "observability: http://"
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected announcement %q", line)
+	}
+	addr := strings.Fields(strings.TrimPrefix(line, prefix))[0]
+	addr = strings.TrimSuffix(addr, "/debug/vars")
+
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars: status %d", resp.StatusCode)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+	if _, ok := vars["reskit"]; !ok {
+		t.Error("/debug/vars should publish the reskit metrics snapshot")
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline: status %d", resp.StatusCode)
+	}
+}
+
+// TestProgressFlagRuns exercises the -progress reporter end to end (the
+// output goes to stderr; here we only require a clean run).
+func TestProgressFlagRuns(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-campaign", "-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+		"-recovery", "1.5", "-totalwork", "120", "-trials", "40", "-seed", "2",
+		"-progress",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mean reservations") {
+		t.Errorf("campaign output missing: %q", buf.String())
+	}
+}

@@ -1,0 +1,51 @@
+// Package examples_test smoke-tests every example program: each must
+// build, run to completion with exit status 0, and print something.
+// This keeps the examples honest as the API evolves — a signature change
+// that breaks an example now fails `go test ./examples` instead of being
+// discovered by a reader.
+package examples_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func exampleDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no example directories found")
+	}
+	return dirs
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run full Monte-Carlo experiments; skipped in -short mode")
+	}
+	for _, dir := range exampleDirs(t) {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./"+filepath.ToSlash(dir))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s printed nothing", dir)
+			}
+		})
+	}
+}

@@ -1,9 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"math"
-
 	"reskit/internal/dist"
 )
 
@@ -32,22 +29,11 @@ type DP struct {
 // grid steps (>= 16; 2048 gives ~3 decimal digits on the paper's
 // instances).
 func NewDP(r float64, task, ckpt dist.Continuous, steps int) *DP {
-	if !(r > 0) || math.IsNaN(r) || math.IsInf(r, 0) {
-		panic(fmt.Sprintf("core: DP: R must be positive and finite, got %g", r))
+	d, err := TryNewDP(r, task, ckpt, steps)
+	if err != nil {
+		panic(err.Error())
 	}
-	if task == nil || ckpt == nil {
-		panic("core: DP: task and checkpoint laws must be set")
-	}
-	if lo, _ := task.Support(); lo < 0 {
-		panic(fmt.Sprintf("core: DP: task support starts below 0 (%g)", lo))
-	}
-	if lo, _ := ckpt.Support(); lo < 0 {
-		panic(fmt.Sprintf("core: DP: checkpoint support starts below 0 (%g)", lo))
-	}
-	if steps < 16 {
-		steps = 2048
-	}
-	return &DP{R: r, Task: task, Ckpt: ckpt, steps: steps}
+	return d
 }
 
 // DPSolution reports the solved dynamic program.

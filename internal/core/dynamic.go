@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"errors"
-	"fmt"
 	"math"
 	"sync"
 
@@ -48,39 +47,21 @@ type Dynamic struct {
 // NewDynamic builds the dynamic problem for a continuous task law
 // (Sections 4.3.1 truncated Normal and 4.3.2 Gamma).
 func NewDynamic(r float64, task dist.Continuous, ckpt dist.Continuous) *Dynamic {
-	validateDynamicCommon(r, ckpt)
-	if task == nil {
-		panic("core: NewDynamic: task law must not be nil")
+	d, err := TryNewDynamic(r, task, ckpt)
+	if err != nil {
+		panic(err.Error())
 	}
-	if lo, _ := task.Support(); lo < 0 {
-		panic(fmt.Sprintf("core: NewDynamic: task law support must start at >= 0, got %g", lo))
-	}
-	return &Dynamic{
-		R: r, Ckpt: ckpt, Task: task,
-		ckptB: dist.AsBatch(ckpt), taskB: dist.AsBatch(task),
-	}
+	return d
 }
 
 // NewDynamicDiscrete builds the dynamic problem for a discrete task law
 // (Section 4.3.3 Poisson).
 func NewDynamicDiscrete(r float64, task dist.Discrete, ckpt dist.Continuous) *Dynamic {
-	validateDynamicCommon(r, ckpt)
-	if task == nil {
-		panic("core: NewDynamicDiscrete: task law must not be nil")
+	d, err := TryNewDynamicDiscrete(r, task, ckpt)
+	if err != nil {
+		panic(err.Error())
 	}
-	return &Dynamic{R: r, Ckpt: ckpt, TaskDisc: task, ckptB: dist.AsBatch(ckpt)}
-}
-
-func validateDynamicCommon(r float64, ckpt dist.Continuous) {
-	if !(r > 0) || math.IsNaN(r) || math.IsInf(r, 0) {
-		panic(fmt.Sprintf("core: Dynamic: R must be positive and finite, got %g", r))
-	}
-	if ckpt == nil {
-		panic("core: Dynamic: checkpoint law must not be nil")
-	}
-	if lo, _ := ckpt.Support(); lo < 0 {
-		panic(fmt.Sprintf("core: Dynamic: checkpoint law support must start at >= 0, got %g", lo))
-	}
+	return d
 }
 
 // ckptProb returns P(C <= w), zero for w <= 0.

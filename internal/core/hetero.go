@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"math"
 
 	"reskit/internal/dist"
@@ -39,24 +38,11 @@ type Heterogeneous struct {
 // NewHeterogeneous builds the general instance. Every task needs both
 // laws, with nonnegative supports.
 func NewHeterogeneous(r float64, tasks []TaskSpec) *Heterogeneous {
-	if !(r > 0) || math.IsNaN(r) || math.IsInf(r, 0) {
-		panic(fmt.Sprintf("core: Heterogeneous: R must be positive and finite, got %g", r))
+	h, err := TryNewHeterogeneous(r, tasks)
+	if err != nil {
+		panic(err.Error())
 	}
-	if len(tasks) == 0 {
-		panic("core: Heterogeneous: empty task chain")
-	}
-	for i, t := range tasks {
-		if t.Duration == nil || t.Ckpt == nil {
-			panic(fmt.Sprintf("core: Heterogeneous: task %d is missing a law", i))
-		}
-		if lo, _ := t.Duration.Support(); lo < 0 {
-			panic(fmt.Sprintf("core: Heterogeneous: task %d duration support starts below 0", i))
-		}
-		if lo, _ := t.Ckpt.Support(); lo < 0 {
-			panic(fmt.Sprintf("core: Heterogeneous: task %d checkpoint support starts below 0", i))
-		}
-	}
-	return &Heterogeneous{R: r, Tasks: tasks}
+	return h
 }
 
 // Len returns the number of tasks in the chain.

@@ -1,9 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"math"
-
 	"reskit/internal/dist"
 )
 
@@ -34,22 +31,11 @@ type MultiDP struct {
 // Grids beyond ~512 steps get slow (O(steps^3) work); 256 resolves the
 // paper's instances to ~1%.
 func NewMultiDP(r float64, task, ckpt dist.Continuous, steps int) *MultiDP {
-	if !(r > 0) || math.IsNaN(r) || math.IsInf(r, 0) {
-		panic(fmt.Sprintf("core: MultiDP: R must be positive and finite, got %g", r))
+	m, err := TryNewMultiDP(r, task, ckpt, steps)
+	if err != nil {
+		panic(err.Error())
 	}
-	if task == nil || ckpt == nil {
-		panic("core: MultiDP: task and checkpoint laws must be set")
-	}
-	if lo, _ := task.Support(); lo < 0 {
-		panic(fmt.Sprintf("core: MultiDP: task support starts below 0 (%g)", lo))
-	}
-	if lo, _ := ckpt.Support(); lo < 0 {
-		panic(fmt.Sprintf("core: MultiDP: checkpoint support starts below 0 (%g)", lo))
-	}
-	if steps < 16 {
-		steps = 256
-	}
-	return &MultiDP{R: r, Task: task, Ckpt: ckpt, steps: steps}
+	return m
 }
 
 // MultiDPSolution reports the solved two-dimensional program.

@@ -26,17 +26,11 @@ type Preemptible struct {
 // truncated laws), and the reservation must satisfy R > a — otherwise not
 // even the fastest possible checkpoint fits.
 func NewPreemptible(r float64, c dist.Continuous) *Preemptible {
-	if !(r > 0) || math.IsNaN(r) || math.IsInf(r, 0) {
-		panic(fmt.Sprintf("core: Preemptible: R must be positive and finite, got %g", r))
+	p, err := TryNewPreemptible(r, c)
+	if err != nil {
+		panic(err.Error())
 	}
-	a, b := c.Support()
-	if !(0 < a && a < b) || math.IsInf(b, 1) {
-		panic(fmt.Sprintf("core: Preemptible: checkpoint law must have finite support [a, b] with 0 < a < b, got [%g, %g]", a, b))
-	}
-	if !(r > a) {
-		panic(fmt.Sprintf("core: Preemptible: R = %g leaves no room for the minimum checkpoint a = %g", r, a))
-	}
-	return &Preemptible{R: r, C: c, a: a, b: b}
+	return p
 }
 
 // Bounds returns the support [a, b] of the checkpoint-duration law.

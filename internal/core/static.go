@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math"
 
 	"reskit/internal/dist"
@@ -29,33 +28,21 @@ type Static struct {
 // NewStatic builds the static problem for a continuous task law
 // (Sections 4.2.1 Normal and 4.2.2 Gamma).
 func NewStatic(r float64, task dist.Summable, ckpt dist.Continuous) *Static {
-	validateStaticCommon(r, ckpt)
-	if task == nil {
-		panic("core: NewStatic: task law must not be nil")
+	s, err := TryNewStatic(r, task, ckpt)
+	if err != nil {
+		panic(err.Error())
 	}
-	return &Static{R: r, Ckpt: ckpt, Task: task}
+	return s
 }
 
 // NewStaticDiscrete builds the static problem for a discrete task law
 // (Section 4.2.3 Poisson, with task durations in integer time units).
 func NewStaticDiscrete(r float64, task dist.SummableDiscrete, ckpt dist.Continuous) *Static {
-	validateStaticCommon(r, ckpt)
-	if task == nil {
-		panic("core: NewStaticDiscrete: task law must not be nil")
+	s, err := TryNewStaticDiscrete(r, task, ckpt)
+	if err != nil {
+		panic(err.Error())
 	}
-	return &Static{R: r, Ckpt: ckpt, TaskDisc: task}
-}
-
-func validateStaticCommon(r float64, ckpt dist.Continuous) {
-	if !(r > 0) || math.IsNaN(r) || math.IsInf(r, 0) {
-		panic(fmt.Sprintf("core: Static: R must be positive and finite, got %g", r))
-	}
-	if ckpt == nil {
-		panic("core: Static: checkpoint law must not be nil")
-	}
-	if lo, _ := ckpt.Support(); lo < 0 {
-		panic(fmt.Sprintf("core: Static: checkpoint law support must start at >= 0, got %g", lo))
-	}
+	return s
 }
 
 // ckptProb returns P(C <= w), zero for w <= 0. With the paper's

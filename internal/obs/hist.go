@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Hist is a lock-free streaming histogram over equal-width buckets on
+// [Lo, Hi): every Observe is a handful of atomic adds, so many workers
+// can feed one histogram without serializing. Observations below Lo and
+// at-or-above Hi land in dedicated underflow/overflow buckets, NaN in its
+// own reject bucket; the sum (for the running mean) excludes NaN only.
+// A nil *Hist is a no-op.
+type Hist struct {
+	lo, hi  float64
+	invW    float64 // buckets / (hi - lo), hoisted out of the hot path
+	buckets []atomic.Int64
+	under   atomic.Int64
+	over    atomic.Int64
+	nan     atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum via CAS
+}
+
+// NewHist returns a streaming histogram with the given bounds and bucket
+// count. It panics unless lo < hi and buckets >= 1.
+func NewHist(lo, hi float64, buckets int) *Hist {
+	if !(lo < hi) || buckets < 1 {
+		panic(fmt.Sprintf("obs: invalid histogram [%g, %g] x %d", lo, hi, buckets))
+	}
+	return &Hist{
+		lo:      lo,
+		hi:      hi,
+		invW:    float64(buckets) / (hi - lo),
+		buckets: make([]atomic.Int64, buckets),
+	}
+}
+
+// Observe folds one observation into the histogram.
+func (h *Hist) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	switch {
+	case math.IsNaN(x):
+		h.nan.Add(1)
+		return
+	case x < h.lo:
+		h.under.Add(1)
+	case x >= h.hi:
+		h.over.Add(1)
+	default:
+		i := int((x - h.lo) * h.invW)
+		if i >= len(h.buckets) { // rounding at the upper edge
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		neu := math.Float64bits(math.Float64frombits(old) + x)
+		if h.sumBits.CompareAndSwap(old, neu) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a Hist, JSON-ready.
+type HistSnapshot struct {
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	Counts []int64 `json:"counts"`
+	Under  int64   `json:"under"`
+	Over   int64   `json:"over"`
+	NaN    int64   `json:"nan,omitempty"`
+	Count  int64   `json:"count"`
+	Mean   float64 `json:"mean"`
+}
+
+// Snapshot copies the current state. Concurrent Observes may straddle the
+// copy; each individual bucket value is still consistent.
+func (h *Hist) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Lo:     h.lo,
+		Hi:     h.hi,
+		Counts: make([]int64, len(h.buckets)),
+		Under:  h.under.Load(),
+		Over:   h.over.Load(),
+		NaN:    h.nan.Load(),
+		Count:  h.count.Load(),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	if s.Count > 0 {
+		s.Mean = math.Float64frombits(h.sumBits.Load()) / float64(s.Count)
+	}
+	return s
+}

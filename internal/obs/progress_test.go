@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer makes bytes.Buffer safe for the reporter goroutine + test
+// goroutine pair.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestProgressRender(t *testing.T) {
+	p := NewProgress(&bytes.Buffer{}, "campaign", 1000, time.Second)
+	base := time.Unix(100, 0)
+	p.started = base // as if Start had run at the base instant
+	p.Add(250)
+	p.now = func() time.Time { return base.Add(10 * time.Second) } // 25 trials/s
+	line := p.Render()
+	for _, want := range []string{"campaign:", "250/1000", "25.0%", "25 trials/s", "ETA 30s"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("render %q missing %q", line, want)
+		}
+	}
+}
+
+func TestProgressRenderUnknownTotal(t *testing.T) {
+	p := NewProgress(&bytes.Buffer{}, "mc", 0, time.Second)
+	p.Add(5)
+	if line := p.Render(); !strings.Contains(line, "5 trials") || strings.Contains(line, "%") {
+		t.Errorf("unexpected render for unknown total: %q", line)
+	}
+}
+
+func TestProgressStopWritesFinalLine(t *testing.T) {
+	var buf syncBuffer
+	p := NewProgress(&buf, "campaign", 10, 10*time.Millisecond)
+	p.Start(context.Background())
+	p.Add(10)
+	time.Sleep(35 * time.Millisecond)
+	p.Stop()
+	p.Stop() // idempotent
+	out := buf.String()
+	if !strings.Contains(out, "10/10") {
+		t.Errorf("final line missing completion: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("final line not newline-terminated: %q", out)
+	}
+}
+
+func TestProgressCancellationStopsReporter(t *testing.T) {
+	var buf syncBuffer
+	p := NewProgress(&buf, "campaign", 100, time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	p.Start(ctx)
+	p.Add(1)
+	cancel()
+	p.Stop() // must not hang on the cancelled reporter
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// EventKind classifies one trace event inside a simulated reservation.
+type EventKind uint8
+
+// Trace event kinds emitted by internal/sim.
+const (
+	EvTaskEnd    EventKind = iota + 1 // a task completed (Value = task duration)
+	EvCkptStart                       // a checkpoint attempt started (Value = uncommitted work)
+	EvCkptCommit                      // a checkpoint committed (Value = work committed)
+	EvCkptFault                       // a completed attempt failed to commit (Value = work retained)
+	EvCrash                           // a fail-stop error struck (Value = work wiped)
+	EvRevocation                      // the reservation was revoked early (Value = effective horizon)
+	EvRunEnd                          // the reservation ended (Value = work saved)
+)
+
+// String returns the event-kind name used in JSONL traces.
+func (k EventKind) String() string {
+	switch k {
+	case EvTaskEnd:
+		return "task_end"
+	case EvCkptStart:
+		return "ckpt_start"
+	case EvCkptCommit:
+		return "ckpt_commit"
+	case EvCkptFault:
+		return "ckpt_fault"
+	case EvCrash:
+		return "crash"
+	case EvRevocation:
+		return "revocation"
+	case EvRunEnd:
+		return "run_end"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one timestamped occurrence inside a simulated reservation.
+// Time is simulation time within the reservation (not wall clock), so
+// traces are bit-reproducible across machines.
+type Event struct {
+	Trial int64     // global trial index within the Monte-Carlo experiment
+	Kind  EventKind // what happened
+	Time  float64   // simulation time inside the reservation
+	Value float64   // event-specific payload (see the kind constants)
+}
+
+// TraceSink receives simulation events. Implementations must be safe for
+// concurrent use: parallel Monte-Carlo workers share one sink.
+type TraceSink interface {
+	Event(Event)
+}
+
+// FuncSink adapts a function to TraceSink.
+type FuncSink func(Event)
+
+// Event implements TraceSink.
+func (f FuncSink) Event(e Event) { f(e) }
+
+// Sampled reports whether the given trial is selected by a 1-in-every
+// deterministic sampling policy. every <= 1 selects every trial. The
+// policy depends only on the trial index — never on randomness or
+// scheduling — so the sampled trial set is identical across runs and
+// worker counts, and full tracing of a million-trial campaign stays
+// affordable by construction.
+func Sampled(trial, every int64) bool {
+	return every <= 1 || trial%every == 0
+}
+
+// Collector is a TraceSink that retains every event, for tests.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Event implements TraceSink.
+func (c *Collector) Event(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the collected events.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// Len returns the number of collected events.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// jsonEvent is the JSONL wire format of an event.
+type jsonEvent struct {
+	Trial int64   `json:"trial"`
+	Kind  string  `json:"kind"`
+	Time  float64 `json:"t"`
+	Value float64 `json:"v"`
+}
+
+// JSONLSink streams events as one JSON object per line, buffered. Safe
+// for concurrent use; call Flush (or Close) before reading the output.
+type JSONLSink struct {
+	mu sync.Mutex
+	bw *bufio.Writer
+	c  io.Closer
+}
+
+// NewJSONLSink wraps w in a buffered JSONL event writer. If w is also an
+// io.Closer, Close closes it after flushing.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{bw: bufio.NewWriterSize(w, 1<<16)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Event implements TraceSink. Encoding errors are silently dropped here
+// and surfaced by Flush/Close — a tracing sink must never interrupt the
+// experiment it observes.
+func (s *JSONLSink) Event(e Event) {
+	data, err := json.Marshal(jsonEvent{Trial: e.Trial, Kind: e.Kind.String(), Time: e.Time, Value: e.Value})
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.bw.Write(data)
+	s.bw.WriteByte('\n')
+	s.mu.Unlock()
+}
+
+// Flush drains the buffer to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bw.Flush()
+}
+
+// Close flushes and, when the underlying writer is a Closer, closes it.
+func (s *JSONLSink) Close() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	if s.c != nil {
+		return s.c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package optimize
+
+import (
+	"sync/atomic"
+
+	"reskit/internal/obs"
+)
+
+// The package-global counters mirror quad.ObserveEvals: root finding runs
+// deep inside strategy constructors, so a process-global hook keeps the
+// numerical APIs free of plumbing. Disabled, each hook costs one atomic
+// load on an already-exceptional path.
+var (
+	nonFiniteRetries atomic.Pointer[obs.Counter]
+	bisectFallbacks  atomic.Pointer[obs.Counter]
+)
+
+// ObserveNonFiniteRetries installs c to count evaluations where the
+// objective returned NaN/Inf and the solver probed nudged abscissae to
+// route around it. Pass nil to disable.
+func ObserveNonFiniteRetries(c *obs.Counter) {
+	nonFiniteRetries.Store(c)
+}
+
+// ObserveBisectFallbacks installs c to count Brent iterations that landed
+// on a non-finite value and restarted with plain bracketed bisection.
+// Pass nil to disable.
+func ObserveBisectFallbacks(c *obs.Counter) {
+	bisectFallbacks.Store(c)
+}
+
+func countNonFiniteRetry() {
+	if c := nonFiniteRetries.Load(); c != nil {
+		c.Inc()
+	}
+}
+
+func countBisectFallback() {
+	if c := bisectFallbacks.Load(); c != nil {
+		c.Inc()
+	}
+}

@@ -52,6 +52,7 @@ func evalFinite(f func(float64) float64, x, lo, hi float64) (fx float64, ok bool
 	if !math.IsNaN(fx) && !math.IsInf(fx, 0) {
 		return fx, true
 	}
+	countNonFiniteRetry()
 	span := hi - lo
 	for _, frac := range [...]float64{1e-9, -1e-9, 1e-6, -1e-6, 1e-3, -1e-3} {
 		xp := x + frac*span
@@ -182,6 +183,7 @@ func Brent(f func(float64) float64, a, b, xtol float64) (float64, error) {
 			// Restart with plain bracketed bisection on the surviving
 			// sign-change interval [a, c] (the bracket before this
 			// step), which routes around isolated non-finite points.
+			countBisectFallback()
 			blo, bhi := a, c
 			if blo > bhi {
 				blo, bhi = bhi, blo

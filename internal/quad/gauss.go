@@ -99,6 +99,7 @@ func GaussLegendre(f func(float64) float64, a, b float64, n int) float64 {
 	for i := range r.nodes {
 		sum += r.weights[i] * f(mid+half*r.nodes[i])
 	}
+	countEvals(n)
 	return sum * half
 }
 
@@ -138,5 +139,6 @@ func GaussLegendreBatch(f BatchFunc, a, b float64, n int) float64 {
 		sum += w * fs[i]
 	}
 	glPool.Put(ws)
+	countEvals(n)
 	return sum * half
 }

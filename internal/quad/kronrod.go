@@ -277,5 +277,6 @@ func KronrodBatch(f BatchFunc, a, b, absTol, relTol float64) Result {
 	}
 	ws.heap = h[:0]
 	kronrodPool.Put(ws)
+	countEvals(n)
 	return Result{Value: sign * total, AbsErr: totalErr, NumEvals: n, BadEvals: bad, Converged: converged}
 }

@@ -1,0 +1,30 @@
+package quad
+
+import (
+	"sync/atomic"
+
+	"reskit/internal/obs"
+)
+
+// evalCounter, when set, receives the integrand-evaluation count of every
+// quadrature call in the package. It is process-global because quadrature
+// runs deep inside strategy constructors and coefficient-table builds
+// where threading an explicit handle through every call chain would
+// pollute otherwise-pure numerical APIs. Reads are a single atomic load,
+// so the disabled path costs nothing measurable per integration.
+var evalCounter atomic.Pointer[obs.Counter]
+
+// ObserveEvals installs c as the destination for integrand-evaluation
+// counts from all quadrature routines (Kronrod, Gauss–Legendre, Simpson,
+// tanh-sinh and the semi-infinite transforms built on them). Pass nil to
+// disable. Counting never affects numerical results.
+func ObserveEvals(c *obs.Counter) {
+	evalCounter.Store(c)
+}
+
+// countEvals reports n integrand evaluations to the installed counter.
+func countEvals(n int) {
+	if c := evalCounter.Load(); c != nil {
+		c.Add(int64(n))
+	}
+}

@@ -87,6 +87,7 @@ func Simpson(f func(float64) float64, a, b, tol float64) Result {
 	fm := eval(m)
 	whole := (b - a) / 6 * (fa + 4*fm + fb)
 	v, e := simpsonAux(eval, a, b, fa, fm, fb, whole, tol, maxSimpsonDepth)
+	countEvals(n)
 	return Result{Value: sign * v, AbsErr: e, NumEvals: n, BadEvals: bad, Converged: e <= tol}
 }
 

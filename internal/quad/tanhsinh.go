@@ -35,6 +35,7 @@ func TanhSinh(f func(float64) float64, a, b, tol float64) Result {
 	mid := 0.5 * (a + b)
 
 	evals := 0
+	defer func() { countEvals(evals) }()
 	safe := func(x float64) float64 {
 		evals++
 		v := f(x)

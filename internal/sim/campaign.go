@@ -187,6 +187,8 @@ func MonteCarloCampaignContext(ctx context.Context, cfg CampaignConfig, trials i
 		workers = numBlocks
 	}
 	done := ctx.Done()
+	ob := cfg.Reservation.Obs
+	tracing := ob != nil && ob.Trace != nil
 	parts := make([]campaignPartial, numBlocks)
 	blocks := make(chan int)
 	var wg sync.WaitGroup
@@ -194,6 +196,9 @@ func MonteCarloCampaignContext(ctx context.Context, cfg CampaignConfig, trials i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-goroutine config copy, so the per-trial index stamp for
+			// deterministic trace sampling never races other workers.
+			wcfg := cfg
 			for b := range blocks {
 				lo := b * campaignBlockSize
 				hi := lo + campaignBlockSize
@@ -203,10 +208,15 @@ func MonteCarloCampaignContext(ctx context.Context, cfg CampaignConfig, trials i
 				src := rng.NewStream(seed, uint64(b))
 				var p campaignPartial
 				for i := lo; i < hi; i++ {
-					r, interrupted := runCampaign(cfg, src, done)
+					if tracing {
+						wcfg.Reservation.trial = int64(i)
+					}
+					r, interrupted := runCampaign(wcfg, src, done)
 					if interrupted {
 						break
 					}
+					ob.tickCampaign()
+					ob.tickProgress(1)
 					p.res += float64(r.Reservations)
 					p.util += r.Utilization()
 					p.lost += r.LostWork
@@ -219,6 +229,7 @@ func MonteCarloCampaignContext(ctx context.Context, cfg CampaignConfig, trials i
 					p.trials++
 				}
 				parts[b] = p
+				ob.tickBlock()
 			}
 		}()
 	}

@@ -62,12 +62,10 @@ func (a *Aggregate) add(r RunResult) {
 }
 
 // Workers returns a sensible default worker count for Monte-Carlo runs.
+// runtime.GOMAXPROCS(0) is documented to be at least 1, so no floor is
+// needed.
 func Workers() int {
-	n := runtime.GOMAXPROCS(0)
-	if n < 1 {
-		return 1
-	}
-	return n
+	return runtime.GOMAXPROCS(0)
 }
 
 // mcBlockSize is the number of trials bound to one rng substream. Work
@@ -118,6 +116,7 @@ func monteCarloRunner(ctx context.Context, cfg Config, trials int, seed uint64, 
 		workers = numBlocks
 	}
 	done := ctx.Done()
+	tracing := cfg.Obs != nil && cfg.Obs.Trace != nil
 	parts := make([]Aggregate, numBlocks)
 	blocks := make(chan int)
 	var wg sync.WaitGroup
@@ -125,6 +124,10 @@ func monteCarloRunner(ctx context.Context, cfg Config, trials int, seed uint64, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-goroutine config copy: the trial index is stamped on it
+			// for deterministic trace sampling without racing the shared
+			// closure variable.
+			wcfg := cfg
 			for b := range blocks {
 				lo := b * mcBlockSize
 				hi := lo + mcBlockSize
@@ -140,8 +143,13 @@ func monteCarloRunner(ctx context.Context, cfg Config, trials int, seed uint64, 
 						default:
 						}
 					}
-					parts[b].add(run(cfg, src))
+					if tracing {
+						wcfg.trial = int64(i)
+					}
+					parts[b].add(run(wcfg, src))
+					wcfg.Obs.tickProgress(1)
 				}
+				wcfg.Obs.tickBlock()
 			}
 		}()
 	}

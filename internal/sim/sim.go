@@ -22,6 +22,7 @@ import (
 
 	"reskit/internal/dist"
 	"reskit/internal/fault"
+	"reskit/internal/obs"
 	"reskit/internal/rng"
 	"reskit/internal/strategy"
 )
@@ -84,6 +85,18 @@ type Config struct {
 	// but commit nothing, and early reservation revocation. Strategies
 	// are never told the revocation instant — they observe the nominal R.
 	Faults *fault.Plan
+
+	// Obs, when non-nil, streams per-run counters, sampled trace events
+	// and progress ticks to the observability layer (see Observer). The
+	// default nil costs one pointer check per run, and an attached
+	// observer never consumes randomness — aggregates are bit-identical
+	// with observation on or off.
+	Obs *Observer
+
+	// trial is the global Monte-Carlo trial index of this run, set by
+	// the parallel runners so trace sampling (Observer.TraceEvery) is
+	// deterministic by index regardless of worker scheduling.
+	trial int64
 }
 
 // Validate checks the configuration and returns a descriptive error for
@@ -195,7 +208,21 @@ type RunResult struct {
 // then one crash gap after each crash and one checkpoint-failure variate
 // per completed checkpoint attempt.
 func Run(cfg Config, r *rng.Source) RunResult {
+	res := runOne(cfg, r)
+	if cfg.Obs != nil {
+		cfg.Obs.record(res)
+		if tr := cfg.Obs.tracer(cfg.trial); tr != nil {
+			tr.Event(obs.Event{Trial: cfg.trial, Kind: obs.EvRunEnd, Time: res.TimeUsed, Value: res.Saved})
+		}
+	}
+	return res
+}
+
+// runOne is the uninstrumented body of Run, emitting trace events to the
+// trial's sampled sink (nil when tracing is off).
+func runOne(cfg Config, r *rng.Source) RunResult {
 	cfg.validate()
+	tr := cfg.Obs.tracer(cfg.trial)
 	var res RunResult
 
 	// horizon is the effective reservation end: the nominal R, unless a
@@ -210,6 +237,9 @@ func Run(cfg Config, r *rng.Source) RunResult {
 	if plan != nil && plan.Revoke != nil {
 		horizon = plan.Revoke.Horizon(cfg.R, r)
 		res.Revoked = horizon < cfg.R
+		if res.Revoked && tr != nil {
+			tr.Event(obs.Event{Trial: cfg.trial, Kind: obs.EvRevocation, Time: 0, Value: horizon})
+		}
 	}
 	if elapsed >= horizon {
 		// The recovery ate the whole (possibly revoked) reservation.
@@ -234,6 +264,9 @@ func Run(cfg Config, r *rng.Source) RunResult {
 	// after a recovery. It returns false when the reservation is over.
 	fail := func(t float64) bool {
 		res.Failures++
+		if tr != nil {
+			tr.Event(obs.Event{Trial: cfg.trial, Kind: obs.EvCrash, Time: t, Value: work})
+		}
 		res.Lost += work
 		work = 0
 		tasksSinceCkpt = 0
@@ -285,6 +318,9 @@ func Run(cfg Config, r *rng.Source) RunResult {
 			work += x
 			res.Tasks++
 			tasksSinceCkpt++
+			if tr != nil {
+				tr.Event(obs.Event{Trial: cfg.trial, Kind: obs.EvTaskEnd, Time: elapsed, Value: x})
+			}
 
 		case strategy.Checkpoint:
 			if work == 0 {
@@ -294,6 +330,9 @@ func Run(cfg Config, r *rng.Source) RunResult {
 			}
 			c := cfg.Ckpt.Sample(r)
 			ckptAttempts++
+			if tr != nil {
+				tr.Event(obs.Event{Trial: cfg.trial, Kind: obs.EvCkptStart, Time: elapsed, Value: work})
+			}
 			if nextFail <= elapsed+c && nextFail < horizon {
 				// A fail-stop error strikes mid-checkpoint: nothing was
 				// committed.
@@ -319,9 +358,15 @@ func Run(cfg Config, r *rng.Source) RunResult {
 				elapsed += c
 				res.CkptFaults++
 				attemptsSinceCommit++
+				if tr != nil {
+					tr.Event(obs.Event{Trial: cfg.trial, Kind: obs.EvCkptFault, Time: elapsed, Value: work})
+				}
 				continue
 			}
 			elapsed += c
+			if tr != nil {
+				tr.Event(obs.Event{Trial: cfg.trial, Kind: obs.EvCkptCommit, Time: elapsed, Value: work})
+			}
 			res.Saved += work
 			work = 0
 			tasksSinceCkpt = 0
@@ -351,6 +396,14 @@ func Run(cfg Config, r *rng.Source) RunResult {
 // maximizing the saved work. It upper-bounds every realizable
 // single-checkpoint strategy.
 func RunOracle(cfg Config, r *rng.Source) RunResult {
+	res := runOracleOne(cfg, r)
+	cfg.Obs.record(res)
+	return res
+}
+
+// runOracleOne is the uninstrumented body of RunOracle. The oracle makes
+// its decision retrospectively, so no mid-run trace events are emitted.
+func runOracleOne(cfg Config, r *rng.Source) RunResult {
 	cfg.validate()
 	var res RunResult
 

@@ -137,12 +137,15 @@ func Quantile(xs []float64, q float64) float64 {
 	return s[i] + frac*(s[i+1]-s[i])
 }
 
-// Histogram bins observations into equal-width cells over [Lo, Hi].
+// Histogram bins observations into equal-width cells over the closed
+// range [Lo, Hi]: the last bin is closed on both sides, so Add(Hi)
+// lands in Counts[len(Counts)-1], not in the overflow tally.
 type Histogram struct {
 	Lo, Hi float64
 	Counts []int64
 	under  int64
 	over   int64
+	nan    int64
 	total  int64
 }
 
@@ -154,10 +157,15 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}
 }
 
-// Add bins one observation.
+// Add bins one observation. x == Hi counts in the last bin (closed
+// range); x below Lo or above Hi counts as an outlier; NaN is rejected
+// into its own tally (a NaN would otherwise corrupt the bin index) and
+// reported by NaNs, not by Outliers.
 func (h *Histogram) Add(x float64) {
 	h.total++
 	switch {
+	case math.IsNaN(x):
+		h.nan++
 	case x < h.Lo:
 		h.under++
 	case x >= h.Hi:
@@ -175,11 +183,17 @@ func (h *Histogram) Add(x float64) {
 	}
 }
 
-// Total returns the number of observations added (including outliers).
+// Total returns the number of observations added (including outliers
+// and NaNs).
 func (h *Histogram) Total() int64 { return h.total }
 
-// Outliers returns the counts below Lo and at-or-above Hi.
+// Outliers returns the counts strictly below Lo and strictly above Hi.
+// The boundary Add(Hi) is in range (last bin), and NaNs are tallied
+// separately by NaNs.
 func (h *Histogram) Outliers() (under, over int64) { return h.under, h.over }
+
+// NaNs returns the number of NaN observations rejected by Add.
+func (h *Histogram) NaNs() int64 { return h.nan }
 
 // Density returns the normalized bin densities (integrating to the
 // in-range fraction of the data).

@@ -1,0 +1,51 @@
+package strategy
+
+import (
+	"reskit/internal/obs"
+)
+
+// Counted wraps a Strategy and tallies its decisions: every Decide call
+// increments the counter matching the returned action. The wrapped policy
+// sees exactly the same states and its decisions pass through unchanged,
+// so simulation results are bit-identical with or without the wrapper.
+// Nil counters are no-ops, so partial wiring is fine.
+type Counted struct {
+	S Strategy
+
+	Continues   *obs.Counter // Decide returned Continue
+	Checkpoints *obs.Counter // Decide returned Checkpoint
+	Stops       *obs.Counter // Decide returned Stop
+}
+
+// NewCounted wraps s with decision counters bound on reg under
+// "strategy.<name>." (using s.Name()). A nil registry yields a wrapper
+// with nil counters — still transparent, still free.
+func NewCounted(s Strategy, reg *obs.Registry) *Counted {
+	if s == nil {
+		panic("strategy: NewCounted: nil strategy")
+	}
+	prefix := "strategy." + s.Name() + "."
+	return &Counted{
+		S:           s,
+		Continues:   reg.Counter(prefix + "continue"),
+		Checkpoints: reg.Counter(prefix + "checkpoint"),
+		Stops:       reg.Counter(prefix + "stop"),
+	}
+}
+
+// Name implements Strategy, delegating to the wrapped policy.
+func (c *Counted) Name() string { return c.S.Name() }
+
+// Decide implements Strategy: delegate, count, pass through.
+func (c *Counted) Decide(st State) Action {
+	a := c.S.Decide(st)
+	switch a {
+	case Continue:
+		c.Continues.Inc()
+	case Checkpoint:
+		c.Checkpoints.Inc()
+	case Stop:
+		c.Stops.Inc()
+	}
+	return a
+}

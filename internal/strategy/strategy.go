@@ -21,7 +21,6 @@ package strategy
 
 import (
 	"fmt"
-	"math"
 
 	"reskit/internal/core"
 )
@@ -89,10 +88,11 @@ type Static struct {
 
 // NewStatic returns the fixed-count policy. It panics unless n >= 1.
 func NewStatic(n int) Static {
-	if n < 1 {
-		panic(fmt.Sprintf("strategy: Static requires n >= 1, got %d", n))
+	s, err := TryNewStatic(n)
+	if err != nil {
+		panic(err.Error())
 	}
-	return Static{N: n}
+	return s
 }
 
 // Name implements Strategy.
@@ -122,12 +122,9 @@ type Dynamic struct {
 
 // NewDynamic wraps a dynamic problem as a policy.
 func NewDynamic(d *core.Dynamic) Dynamic {
-	if d == nil {
-		panic("strategy: NewDynamic: nil problem")
-	}
-	pol := Dynamic{D: d}
-	if w, err := d.Intersection(); err == nil {
-		pol.wInt, pol.hasWInt = w, true
+	pol, err := TryNewDynamic(d)
+	if err != nil {
+		panic(err.Error())
 	}
 	return pol
 }
@@ -168,10 +165,11 @@ type Pessimistic struct {
 
 // NewPessimistic returns the worst-case-budgeting policy.
 func NewPessimistic(xMax, cMax float64) Pessimistic {
-	if !(xMax > 0) || !(cMax > 0) || math.IsInf(xMax, 1) || math.IsInf(cMax, 1) {
-		panic(fmt.Sprintf("strategy: Pessimistic requires finite positive bounds, got XMax=%g CMax=%g", xMax, cMax))
+	p, err := TryNewPessimistic(xMax, cMax)
+	if err != nil {
+		panic(err.Error())
 	}
-	return Pessimistic{XMax: xMax, CMax: cMax}
+	return p
 }
 
 // Name implements Strategy.
@@ -197,10 +195,11 @@ type WorkThreshold struct {
 
 // NewWorkThreshold returns the threshold policy.
 func NewWorkThreshold(w float64) WorkThreshold {
-	if !(w > 0) || math.IsInf(w, 1) || math.IsNaN(w) {
-		panic(fmt.Sprintf("strategy: WorkThreshold requires positive finite W, got %g", w))
+	t, err := TryNewWorkThreshold(w)
+	if err != nil {
+		panic(err.Error())
 	}
-	return WorkThreshold{W: w}
+	return t
 }
 
 // Name implements Strategy.
@@ -237,10 +236,11 @@ type Periodic struct {
 
 // NewPeriodic returns the fixed-period policy. It panics unless p > 0.
 func NewPeriodic(p float64) Periodic {
-	if !(p > 0) || math.IsInf(p, 1) || math.IsNaN(p) {
-		panic(fmt.Sprintf("strategy: Periodic requires positive finite period, got %g", p))
+	pp, err := TryNewPeriodic(p)
+	if err != nil {
+		panic(err.Error())
 	}
-	return Periodic{P: p}
+	return pp
 }
 
 // NewYoungDaly returns the periodic policy with the first-order
@@ -248,10 +248,11 @@ func NewPeriodic(p float64) Periodic {
 // time between fail-stop errors and meanCkpt the mean checkpoint
 // duration.
 func NewYoungDaly(mtbf, meanCkpt float64) Periodic {
-	if !(mtbf > 0) || !(meanCkpt > 0) {
-		panic(fmt.Sprintf("strategy: NewYoungDaly requires positive mtbf and meanCkpt, got (%g, %g)", mtbf, meanCkpt))
+	p, err := TryNewYoungDaly(mtbf, meanCkpt)
+	if err != nil {
+		panic(err.Error())
 	}
-	return NewPeriodic(math.Sqrt(2 * mtbf * meanCkpt))
+	return p
 }
 
 // Name implements Strategy.

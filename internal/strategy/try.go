@@ -1,0 +1,68 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+
+	"reskit/internal/core"
+)
+
+// Error-returning twins of the policy constructors, for callers turning
+// untrusted input (CLI flags, config files) into policies: same
+// validation, same message text, an error instead of a panic. The panic
+// constructors delegate here so the two can never drift.
+
+// TryNewStatic is NewStatic returning an error instead of panicking.
+func TryNewStatic(n int) (Static, error) {
+	if n < 1 {
+		return Static{}, fmt.Errorf("strategy: Static requires n >= 1, got %d", n)
+	}
+	return Static{N: n}, nil
+}
+
+// TryNewDynamic is NewDynamic returning an error instead of panicking.
+func TryNewDynamic(d *core.Dynamic) (Dynamic, error) {
+	if d == nil {
+		return Dynamic{}, fmt.Errorf("strategy: NewDynamic: nil problem")
+	}
+	pol := Dynamic{D: d}
+	if w, err := d.Intersection(); err == nil {
+		pol.wInt, pol.hasWInt = w, true
+	}
+	return pol, nil
+}
+
+// TryNewPessimistic is NewPessimistic returning an error instead of
+// panicking.
+func TryNewPessimistic(xMax, cMax float64) (Pessimistic, error) {
+	if !(xMax > 0) || !(cMax > 0) || math.IsInf(xMax, 1) || math.IsInf(cMax, 1) {
+		return Pessimistic{}, fmt.Errorf("strategy: Pessimistic requires finite positive bounds, got XMax=%g CMax=%g", xMax, cMax)
+	}
+	return Pessimistic{XMax: xMax, CMax: cMax}, nil
+}
+
+// TryNewWorkThreshold is NewWorkThreshold returning an error instead of
+// panicking.
+func TryNewWorkThreshold(w float64) (WorkThreshold, error) {
+	if !(w > 0) || math.IsInf(w, 1) || math.IsNaN(w) {
+		return WorkThreshold{}, fmt.Errorf("strategy: WorkThreshold requires positive finite W, got %g", w)
+	}
+	return WorkThreshold{W: w}, nil
+}
+
+// TryNewPeriodic is NewPeriodic returning an error instead of panicking.
+func TryNewPeriodic(p float64) (Periodic, error) {
+	if !(p > 0) || math.IsInf(p, 1) || math.IsNaN(p) {
+		return Periodic{}, fmt.Errorf("strategy: Periodic requires positive finite period, got %g", p)
+	}
+	return Periodic{P: p}, nil
+}
+
+// TryNewYoungDaly is NewYoungDaly returning an error instead of
+// panicking.
+func TryNewYoungDaly(mtbf, meanCkpt float64) (Periodic, error) {
+	if !(mtbf > 0) || !(meanCkpt > 0) {
+		return Periodic{}, fmt.Errorf("strategy: NewYoungDaly requires positive mtbf and meanCkpt, got (%g, %g)", mtbf, meanCkpt)
+	}
+	return TryNewPeriodic(math.Sqrt(2 * mtbf * meanCkpt))
+}
