@@ -19,12 +19,14 @@ race:
 	$(GO) test -race ./...
 
 # Short native-fuzzing pass over the untrusted-input surfaces (trace
-# logs and law construction); run with a longer FUZZTIME to dig deeper.
+# logs, law construction, and checkpoint snapshots); run with a longer
+# FUZZTIME to dig deeper (the nightly workflow uses 10m per target).
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzTraceFit -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzTruncate -fuzztime=$(FUZZTIME) ./internal/dist/
 	$(GO) test -run='^$$' -fuzz=FuzzTryEmpirical -fuzztime=$(FUZZTIME) ./internal/dist/
+	$(GO) test -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=$(FUZZTIME) ./internal/ckpt/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

@@ -17,6 +17,16 @@ import (
 	"reskit/internal/lawspec"
 )
 
+// ckptOpts carries the durable-run flags into campaign mode: where to
+// snapshot, how often, whether to restore first, and the configuration
+// fingerprint guarding against resuming under a different setup.
+type ckptOpts struct {
+	path        string
+	interval    time.Duration
+	resume      bool
+	fingerprint uint64
+}
+
 // runCampaignMode simulates the paper's multi-reservation campaign
 // setting (Sections 1-2): the application needs -totalwork units of
 // committed work and runs reservation after reservation under the
@@ -25,7 +35,7 @@ import (
 // the printed aggregate is bit-identical for any worker count.
 func runCampaignMode(ctx context.Context, out io.Writer, r, recovery, totalWork float64, taskSpec, taskDiscSpec string,
 	ckpt reskit.Continuous, trials int, seed uint64, workers int, benchJSON string,
-	plan *reskit.FaultPlan, faultSweep string, ob *simObs) error {
+	plan *reskit.FaultPlan, faultSweep string, ckOpts ckptOpts, ob *simObs) error {
 
 	if !(totalWork > 0) {
 		return errors.New("-totalwork must be positive")
@@ -77,9 +87,57 @@ func runCampaignMode(ctx context.Context, out io.Writer, r, recovery, totalWork 
 	if plan.Active() {
 		fmt.Fprintf(out, "faults: %v\n\n", plan)
 	}
+
+	// With -checkpoint, the run periodically snapshots its completed
+	// blocks; on -resume, an existing snapshot is validated against the
+	// current configuration and its blocks are restored instead of re-run.
+	// Any snapshot problem falls back to a fresh run with a printed
+	// warning — never a panic, never silently wrong numbers.
+	var ck *reskit.RunCheckpointer
+	if ckOpts.path != "" {
+		st := reskit.NewRunState(reskit.RunStateCampaign, ckOpts.fingerprint, seed, int64(trials), reskit.CampaignBlockSize)
+		if ckOpts.resume {
+			loaded, lerr := reskit.LoadRunState(ckOpts.path)
+			switch {
+			case errors.Is(lerr, os.ErrNotExist):
+				fmt.Fprintf(out, "resume: no snapshot at %s; starting fresh\n", ckOpts.path)
+			case lerr != nil:
+				fmt.Fprintf(out, "resume: snapshot unusable (%v); starting fresh\n", lerr)
+			default:
+				if cerr := loaded.Check(reskit.RunStateCampaign, ckOpts.fingerprint, seed, int64(trials), reskit.CampaignBlockSize); cerr != nil {
+					fmt.Fprintf(out, "resume: snapshot does not match this run (%v); starting fresh\n", cerr)
+				} else {
+					st = loaded
+					fmt.Fprintf(out, "resume: restoring %d/%d blocks from %s\n", st.Done(), st.NumBlocks, ckOpts.path)
+				}
+			}
+		}
+		ck = reskit.NewRunCheckpointer(ckOpts.path, ckOpts.interval, st)
+		ob.instrumentCkpt(ck)
+	}
+
 	start := time.Now()
-	agg, mcErr := reskit.MonteCarloCampaignContext(ctx, cfg, trials, seed, workers)
+	var agg reskit.CampaignAggregate
+	var mcErr error
+	if ck != nil {
+		agg, mcErr = reskit.MonteCarloCampaignCheckpointed(ctx, cfg, trials, seed, workers, ck)
+	} else {
+		agg, mcErr = reskit.MonteCarloCampaignContext(ctx, cfg, trials, seed, workers)
+	}
 	elapsed := time.Since(start)
+	if ck != nil {
+		// A restore error (malformed block payload) is a real failure, not
+		// an interruption: surface it instead of printing partial numbers.
+		if mcErr != nil && ctx.Err() == nil {
+			return mcErr
+		}
+		if ferr := ck.Flush(); ferr != nil {
+			return fmt.Errorf("checkpoint: writing final snapshot: %w", ferr)
+		}
+		if werr := ck.Err(); werr != nil {
+			fmt.Fprintf(out, "checkpoint: snapshot writes failed during the run: %v\n", werr)
+		}
+	}
 
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "mean reservations\t%.4g\n", agg.Reservations)
@@ -94,8 +152,19 @@ func runCampaignMode(ctx context.Context, out io.Writer, r, recovery, totalWork 
 	fmt.Fprintf(tw, "all completed\t%v\n", agg.CompletedAll)
 	fmt.Fprintf(tw, "wall time\t%v (%.0f trials/s)\n",
 		elapsed.Round(time.Millisecond), float64(agg.Trials)/elapsed.Seconds())
-	if mcErr != nil {
+	switch {
+	case mcErr != nil && ck != nil:
+		st := ck.State()
+		fmt.Fprintf(tw, "interrupted\t%d/%d blocks committed to %s; rerun with -resume to finish\n",
+			st.Done(), st.NumBlocks, ckOpts.path)
+	case mcErr != nil:
 		fmt.Fprintf(tw, "interrupted\t-timeout hit after %d/%d trials\n", agg.Trials, trials)
+	case ck != nil:
+		// The campaign completed: the snapshot has served its purpose, and
+		// leaving it around would only invite a stale -resume later.
+		if rerr := os.Remove(ckOpts.path); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+			fmt.Fprintf(tw, "checkpoint\tcompleted but could not remove %s: %v\n", ckOpts.path, rerr)
+		}
 	}
 	return tw.Flush()
 }
@@ -186,7 +255,7 @@ func runFaultSweep(ctx context.Context, out io.Writer, cfg reskit.CampaignConfig
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(benchJSON, append(data, '\n'), 0o644); err != nil {
+	if err := reskit.WriteFileAtomic(benchJSON, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "\nfault-sweep snapshot -> %s\n", benchJSON)
@@ -257,7 +326,7 @@ func writeCampaignBench(out io.Writer, cfg reskit.CampaignConfig, trials int, se
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	if err := reskit.WriteFileAtomic(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "serial %.3fs, parallel %.3fs on %d workers (%.2fx), bit-identical %v -> %s\n",

@@ -34,8 +34,11 @@ import (
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"reskit"
 	"reskit/internal/dist"
@@ -43,9 +46,21 @@ import (
 	"reskit/internal/stats"
 )
 
+// exitInterrupted is the exit code of a run cut short by SIGINT/SIGTERM:
+// workers drained cleanly and (with -checkpoint) the final snapshot plus
+// exact partial aggregates were written, so the run is resumable.
+const exitInterrupted = 3
+
+// errInterrupted marks a run stopped by a termination signal after a
+// graceful drain, distinguishing "resumable interruption" from failure.
+var errInterrupted = errors.New("interrupted by signal; partial results flushed")
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
+		if errors.Is(err, errInterrupted) {
+			os.Exit(exitInterrupted)
+		}
 		os.Exit(1)
 	}
 }
@@ -74,6 +89,9 @@ func run(args []string, out io.Writer) (err error) {
 	ckptFailP := fs.Float64("ckptfail", 0, "shorthand for -faults 'ckptfail=P' (Bernoulli checkpoint-commit failures)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget; the Monte-Carlo stops cleanly at the deadline and reports the trials completed")
 	faultSweep := fs.String("faultsweep", "", "with -campaign: comma-separated MTBF grid; reruns the campaign at each MTBF and prints the lost-work/completion trade-off")
+	checkpointPath := fs.String("checkpoint", "", "with -campaign: periodically snapshot run state to this file; an interrupted run can continue with -resume")
+	checkpointInterval := fs.Duration("checkpoint-interval", 10*time.Second, "with -checkpoint: minimum interval between snapshots")
+	resume := fs.Bool("resume", false, "with -checkpoint: restore completed blocks from the snapshot file and run only the missing ones")
 	strategies := fs.String("strategies", "oracle,dynamic,static,threshold,pessimistic",
 		"comma-separated strategies to compare")
 	hist := fs.Bool("hist", false, "print an ASCII histogram of saved work for each strategy")
@@ -124,12 +142,37 @@ func run(args []string, out io.Writer) (err error) {
 		}
 		plan.Ckpt = ckptModel
 	}
-	ctx := context.Background()
+	if *checkpointPath != "" {
+		if !*campaign {
+			return errors.New("-checkpoint requires -campaign")
+		}
+		if *faultSweep != "" || *benchJSON != "" {
+			return errors.New("-checkpoint is incompatible with -faultsweep and -benchjson")
+		}
+	}
+	if *resume && *checkpointPath == "" {
+		return errors.New("-resume requires -checkpoint")
+	}
+	// SIGINT/SIGTERM cancel the context: workers drain at the next block
+	// boundary, partial aggregates are reported exactly, and (with
+	// -checkpoint) a final snapshot lands on disk before the process exits
+	// with the distinct "interrupted but resumable" code.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	ctx := sigCtx
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// The interrupted exit code must fire even when the mode function
+	// finishes its partial report cleanly, so the signal check wraps every
+	// successful return below.
+	defer func() {
+		if err == nil && sigCtx.Err() != nil {
+			err = errInterrupted
+		}
+	}()
 	if *cpuProfile != "" {
 		stop, err := startCPUProfile(*cpuProfile)
 		if err != nil {
@@ -161,8 +204,28 @@ func run(args []string, out io.Writer) (err error) {
 		}
 	}()
 	if *campaign {
+		// The fingerprint ties a snapshot to the configuration facets that
+		// shape the result. Workers are deliberately excluded: resuming
+		// with a different worker count is legal and still bit-identical.
+		ck := ckptOpts{
+			path:     *checkpointPath,
+			interval: *checkpointInterval,
+			resume:   *resume,
+			fingerprint: reskit.ConfigFingerprint(
+				"campaign",
+				fmt.Sprintf("R=%g", *r),
+				fmt.Sprintf("recovery=%g", *recovery),
+				"task="+*taskSpec,
+				"taskdisc="+*taskDiscSpec,
+				"ckpt="+*ckptSpec,
+				fmt.Sprintf("totalwork=%g", *totalWork),
+				fmt.Sprintf("faults=%v", plan),
+				fmt.Sprintf("trials=%d", *trials),
+				fmt.Sprintf("seed=%d", *seed),
+			),
+		}
 		return runCampaignMode(ctx, out, *r, *recovery, *totalWork, *taskSpec, *taskDiscSpec,
-			ckpt, *trials, *seed, *workers, *benchJSON, plan, *faultSweep, ob)
+			ckpt, *trials, *seed, *workers, *benchJSON, plan, *faultSweep, ck, ob)
 	}
 	if *faultSweep != "" {
 		return errors.New("-faultsweep requires -campaign")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"expvar"
 	"fmt"
@@ -64,7 +65,10 @@ func setupObs(out io.Writer, progress bool, metricsPath, listenAddr, tracePath s
 	reskit.ObserveOptimize(o.reg)
 
 	if tracePath != "" {
-		f, err := os.Create(tracePath)
+		// The sink streams into an atomic temp file; its Close (in finish)
+		// commits the rename, so a crash mid-run never leaves a truncated
+		// trace at the destination path.
+		f, err := reskit.CreateFileAtomic(tracePath)
 		if err != nil {
 			return nil, fmt.Errorf("-trace: %w", err)
 		}
@@ -127,6 +131,15 @@ func (o *simObs) attach(cfg *reskit.SimConfig) {
 	}
 }
 
+// instrumentCkpt binds the checkpoint writer's snapshot/commit gauges on
+// the registry, so -metrics and /debug/vars show durable-run progress.
+// Safe on a nil *simObs.
+func (o *simObs) instrumentCkpt(w *reskit.RunCheckpointer) {
+	if o != nil {
+		w.Instrument(o.reg)
+	}
+}
+
 // counted wraps a strategy so every continue/checkpoint/stop decision
 // is tallied on the registry. Decisions are unchanged, so simulation
 // results stay bit-identical. Safe on a nil *simObs.
@@ -174,12 +187,10 @@ func (o *simObs) finish() error {
 		}
 	}
 	if o.metricsPath != "" {
-		f, err := os.Create(o.metricsPath)
+		var buf bytes.Buffer
+		err := o.reg.WriteJSON(&buf)
 		if err == nil {
-			err = o.reg.WriteJSON(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
+			err = reskit.WriteFileAtomic(o.metricsPath, buf.Bytes(), 0o644)
 		}
 		if err != nil && first == nil {
 			first = fmt.Errorf("-metrics: %w", err)

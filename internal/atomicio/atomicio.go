@@ -1,0 +1,121 @@
+// Package atomicio provides crash-safe file output: every artifact is
+// written to a temporary file in the destination directory, fsynced, and
+// renamed into place. A reader therefore observes either the previous
+// complete file or the new complete file — never a truncated or
+// interleaved one — no matter when the writing process dies.
+//
+// Two shapes are offered: WriteFile for artifacts materialized in memory
+// (JSON snapshots, checkpoint images), and Create for artifacts streamed
+// incrementally (JSONL traces), which commit on Close and vanish on
+// Abort.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces the file at path with data: the bytes go
+// to a temporary sibling first, are fsynced, and the temporary is renamed
+// over path. On any error the destination is left untouched and the
+// temporary is removed.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	f, err := create(path, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Abort()
+		return err
+	}
+	return f.Close()
+}
+
+// File is an in-flight atomic write. Write streams into the temporary
+// file; Close fsyncs and renames it over the destination; Abort discards
+// it, leaving any previous destination file intact.
+type File struct {
+	tmp  *os.File
+	path string
+	done bool
+}
+
+// Create starts an atomic write of path. The destination is not touched
+// until Close succeeds.
+func Create(path string) (*File, error) {
+	return create(path, 0o644)
+}
+
+func create(path string, perm os.FileMode) (*File, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return nil, err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	return &File{tmp: tmp, path: path}, nil
+}
+
+// Write implements io.Writer on the temporary file.
+func (f *File) Write(p []byte) (int, error) {
+	return f.tmp.Write(p)
+}
+
+// Close fsyncs the temporary file and renames it over the destination,
+// then best-effort syncs the directory so the rename itself is durable.
+// Closing twice is an error on the second call's temp file only; the
+// committed destination is never disturbed.
+func (f *File) Close() error {
+	if f.done {
+		return fmt.Errorf("atomicio: %s already closed", f.path)
+	}
+	f.done = true
+	if err := f.tmp.Sync(); err != nil {
+		f.tmp.Close()
+		os.Remove(f.tmp.Name())
+		return err
+	}
+	if err := f.tmp.Close(); err != nil {
+		os.Remove(f.tmp.Name())
+		return err
+	}
+	if err := os.Rename(f.tmp.Name(), f.path); err != nil {
+		os.Remove(f.tmp.Name())
+		return err
+	}
+	syncDir(filepath.Dir(f.path))
+	return nil
+}
+
+// Abort discards the temporary file without touching the destination.
+// Safe after Close (a no-op then), so `defer f.Abort()` pairs naturally
+// with an explicit Close on the success path.
+func (f *File) Abort() {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.tmp.Close()
+	os.Remove(f.tmp.Name())
+}
+
+// syncDir makes a completed rename durable. Errors are ignored: some
+// filesystems (and all of Windows) reject directory fsync, and the rename
+// has already provided atomicity — durability of the directory entry is
+// best-effort hardening.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync() //nolint:errcheck
+	d.Close()
+}

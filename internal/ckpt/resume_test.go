@@ -1,0 +1,151 @@
+package ckpt_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"reskit/internal/ckpt"
+	"reskit/internal/core"
+	"reskit/internal/dist"
+	"reskit/internal/sim"
+	"reskit/internal/strategy"
+)
+
+func testCampaignConfig() sim.CampaignConfig {
+	task := dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1))
+	ckptLaw := dist.Truncate(dist.NewNormal(5, 0.4), 0, math.Inf(1))
+	dyn := core.NewDynamic(29, task, ckptLaw)
+	return sim.CampaignConfig{
+		Reservation: sim.Config{
+			R:        29,
+			Recovery: 1.5,
+			Task:     task,
+			Ckpt:     ckptLaw,
+			Strategy: strategy.NewDynamic(dyn),
+		},
+		TotalWork: 150,
+	}
+}
+
+// killer wraps a Writer and cancels the run after n block commits,
+// simulating a kill at an arbitrary block boundary while the real
+// on-disk snapshot machinery runs underneath.
+type killer struct {
+	*ckpt.Writer
+	mu      sync.Mutex
+	left    int
+	cancel  context.CancelFunc
+	commits int
+}
+
+func (k *killer) Commit(b int, payload []byte) {
+	k.Writer.Commit(b, payload)
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.commits++
+	if k.commits == k.left {
+		k.cancel()
+	}
+}
+
+// TestDiskKillAndResumeBitIdentical is the full acceptance loop through
+// the disk: run, kill at a block boundary, flush the final snapshot,
+// load + validate it from disk, resume only the missing blocks, and
+// require the final aggregate bit-identical to an uninterrupted run —
+// across worker counts 1, 4 and 8 (run under -race in CI).
+func TestDiskKillAndResumeBitIdentical(t *testing.T) {
+	cfg := testCampaignConfig()
+	const trials = 4*sim.CampaignBlockSize + 9
+	const seed = 77
+	fp := ckpt.Fingerprint("test-campaign", "R=29", "totalwork=150")
+	want := sim.MonteCarloCampaign(cfg, trials, seed, 0)
+
+	for _, workers := range []int{1, 4, 8} {
+		path := filepath.Join(t.TempDir(), "run.ckpt")
+
+		// Interrupted leg: snapshot on every commit (interval elapses
+		// immediately), cancel after two committed blocks.
+		st := ckpt.New(ckpt.KindCampaign, fp, seed, trials, sim.CampaignBlockSize)
+		w := ckpt.NewWriter(path, time.Nanosecond, st)
+		ctx, cancel := context.WithCancel(context.Background())
+		k := &killer{Writer: w, left: 2, cancel: cancel}
+		_, _ = sim.MonteCarloCampaignCheckpointed(ctx, cfg, trials, seed, workers, k)
+		cancel()
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Resume leg: load + validate the snapshot from disk, then run
+		// only the missing blocks.
+		loaded, err := ckpt.Load(path)
+		if err != nil {
+			t.Fatalf("workers=%d: loading snapshot: %v", workers, err)
+		}
+		if err := loaded.Check(ckpt.KindCampaign, fp, seed, trials, sim.CampaignBlockSize); err != nil {
+			t.Fatalf("workers=%d: snapshot mismatch: %v", workers, err)
+		}
+		if loaded.Done() == 0 {
+			t.Fatalf("workers=%d: snapshot recorded no blocks", workers)
+		}
+		w2 := ckpt.NewWriter(path, time.Minute, loaded)
+		got, err := sim.MonteCarloCampaignCheckpointed(context.Background(), cfg, trials, seed, workers, w2)
+		if err != nil {
+			t.Fatalf("workers=%d: resume: %v", workers, err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: resumed aggregate differs:\n got %+v\nwant %+v", workers, got, want)
+		}
+		if err := w2.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if final, err := ckpt.Load(path); err != nil || int64(final.Done()) != final.NumBlocks {
+			t.Errorf("workers=%d: final snapshot incomplete (done=%v, err=%v)", workers, final.Done(), err)
+		}
+	}
+}
+
+// TestResumeRejectsForeignSnapshot checks the config-fingerprint gate:
+// a snapshot of a different configuration must be refused with a
+// structured mismatch error before any block is trusted.
+func TestResumeRejectsForeignSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	st := ckpt.New(ckpt.KindCampaign, ckpt.Fingerprint("totalwork=150"), 1, 135, sim.CampaignBlockSize)
+	if err := st.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ckpt.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = loaded.Check(ckpt.KindCampaign, ckpt.Fingerprint("totalwork=500"), 1, 135, sim.CampaignBlockSize)
+	if !errors.Is(err, ckpt.ErrMismatch) {
+		t.Errorf("foreign snapshot: err = %v, want ErrMismatch", err)
+	}
+}
+
+// TestLoadCorruptSnapshotFile checks the disk path end to end: a
+// truncated snapshot file yields a structured error, never a panic.
+func TestLoadCorruptSnapshotFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	st := ckpt.New(ckpt.KindMonteCarlo, 9, 1, 4096, sim.MonteCarloBlockSize)
+	st.Blocks[0] = make([]byte, 312)
+	if err := st.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ckpt.Load(path); !errors.Is(err, ckpt.ErrCorrupt) {
+		t.Errorf("truncated file: err = %v, want ErrCorrupt", err)
+	}
+}

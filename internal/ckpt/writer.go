@@ -1,0 +1,119 @@
+package ckpt
+
+import (
+	"sync"
+	"time"
+
+	"reskit/internal/obs"
+)
+
+// Writer is the durable checkpoint hook handed to the sharded
+// Monte-Carlo runners (it satisfies sim.Checkpointer): workers call
+// Commit as blocks complete, and the writer folds each payload into the
+// run State, snapshotting the whole state to disk at most once per
+// interval — the Young/Daly trade-off in miniature: frequent snapshots
+// bound the re-computation lost to a crash, sparse ones bound the I/O
+// overhead. Flush forces a final snapshot (interruption, normal exit).
+//
+// All methods are safe for concurrent use. Disk errors never interrupt
+// the simulation: the first one is retained and surfaced by Flush/Err.
+type Writer struct {
+	path     string
+	interval time.Duration
+	now      func() time.Time // injectable clock for tests
+
+	mu    sync.Mutex
+	state *State
+	last  time.Time
+	dirty bool
+	err   error
+
+	// Optional instruments, bound by Instrument: snapshot writes, blocks
+	// committed, and the wall-clock second of the last durable snapshot.
+	snapshots *obs.Counter
+	blocks    *obs.Counter
+	lastUnix  *obs.Gauge
+}
+
+// NewWriter returns a writer persisting state to path at most once per
+// interval (default 10s when interval <= 0). The state may come from New
+// (fresh run) or Load (resume).
+func NewWriter(path string, interval time.Duration, state *State) *Writer {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	return &Writer{path: path, interval: interval, now: time.Now, state: state}
+}
+
+// Instrument binds the writer's instruments on reg: the "ckpt.snapshots"
+// and "ckpt.blocks_committed" counters and the "ckpt.last_snapshot_unix"
+// gauge. A nil registry leaves them disabled at zero cost.
+func (w *Writer) Instrument(reg *obs.Registry) {
+	w.snapshots = reg.Counter("ckpt.snapshots")
+	w.blocks = reg.Counter("ckpt.blocks_committed")
+	w.lastUnix = reg.Gauge("ckpt.last_snapshot_unix")
+}
+
+// Restore returns the encoded partial aggregate of block b from the
+// loaded snapshot, or nil when the block must be (re)computed. It
+// implements the resume half of sim.Checkpointer.
+func (w *Writer) Restore(b int) []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.state.Blocks[b]
+}
+
+// Commit records the encoded partial aggregate of a freshly completed
+// block and snapshots the state to disk when the interval has elapsed.
+// It implements the commit half of sim.Checkpointer.
+func (w *Writer) Commit(b int, payload []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.state.Blocks[b] = payload
+	w.dirty = true
+	w.blocks.Inc()
+	if w.now().Sub(w.last) >= w.interval {
+		w.writeLocked()
+	}
+}
+
+// Flush forces a snapshot of the current state (if anything changed
+// since the last write) and returns the first disk error encountered
+// over the writer's lifetime.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dirty {
+		w.writeLocked()
+	}
+	return w.err
+}
+
+// Err returns the first disk error encountered, without forcing a write.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// State returns the writer's run state. Callers must not mutate it while
+// workers are committing.
+func (w *Writer) State() *State {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.state
+}
+
+// writeLocked snapshots the state to disk; w.mu must be held.
+func (w *Writer) writeLocked() {
+	w.last = w.now()
+	if err := w.state.WriteFile(w.path); err != nil {
+		if w.err == nil {
+			w.err = err
+		}
+		return
+	}
+	w.dirty = false
+	w.snapshots.Inc()
+	w.lastUnix.Set(float64(w.now().Unix()))
+}

@@ -21,6 +21,11 @@ type Progress struct {
 	done  Counter
 	total int64
 
+	// Campaign-level progress behind the trial ticks: reservations
+	// completed and work committed so far. Rendered only when reported.
+	res  Counter
+	work Gauge
+
 	w        io.Writer
 	label    string
 	interval time.Duration
@@ -57,6 +62,34 @@ func (p *Progress) Done() int64 {
 		return 0
 	}
 	return p.done.Value()
+}
+
+// AddWork records campaign-level progress behind the trial ticks:
+// reservations completed and work committed. Safe for concurrent use;
+// a line rendered between the two adds may lag by one reservation,
+// which is harmless for a live display.
+func (p *Progress) AddWork(reservations int64, committed float64) {
+	if p == nil {
+		return
+	}
+	p.res.Add(reservations)
+	p.work.Add(committed)
+}
+
+// Reservations returns the reservations recorded by AddWork so far.
+func (p *Progress) Reservations() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.res.Value()
+}
+
+// Work returns the committed work recorded by AddWork so far.
+func (p *Progress) Work() float64 {
+	if p == nil {
+		return 0
+	}
+	return p.work.Value()
 }
 
 // Start launches the reporter goroutine. It returns immediately; the
@@ -126,6 +159,12 @@ func (p *Progress) Render() string {
 	if elapsed := p.now().Sub(started).Seconds(); elapsed > 0 && !started.IsZero() {
 		rate = float64(done) / elapsed
 	}
+	// Campaign-level progress (reservations completed, work committed)
+	// appears once something reported it via AddWork.
+	var campaign string
+	if res := p.res.Value(); res > 0 {
+		campaign = fmt.Sprintf(", %d res, %.4g work", res, p.work.Value())
+	}
 	if p.total > 0 {
 		pct := 100 * float64(done) / float64(p.total)
 		eta := "?"
@@ -134,8 +173,8 @@ func (p *Progress) Render() string {
 		} else if done >= p.total {
 			eta = "0s"
 		}
-		return fmt.Sprintf("%s: %d/%d trials (%.1f%%), %.0f trials/s, ETA %s",
-			p.label, done, p.total, pct, rate, eta)
+		return fmt.Sprintf("%s: %d/%d trials (%.1f%%), %.0f trials/s%s, ETA %s",
+			p.label, done, p.total, pct, rate, campaign, eta)
 	}
-	return fmt.Sprintf("%s: %d trials, %.0f trials/s", p.label, done, rate)
+	return fmt.Sprintf("%s: %d trials, %.0f trials/s%s", p.label, done, rate, campaign)
 }

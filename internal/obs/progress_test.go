@@ -67,6 +67,40 @@ func TestProgressStopWritesFinalLine(t *testing.T) {
 	}
 }
 
+func TestProgressRenderCampaignLevel(t *testing.T) {
+	p := NewProgress(&bytes.Buffer{}, "campaign", 1000, time.Second)
+	base := time.Unix(100, 0)
+	p.started = base
+	p.now = func() time.Time { return base.Add(10 * time.Second) }
+	p.Add(250)
+	// Before any AddWork, the campaign-level fields stay out of the line.
+	if line := p.Render(); strings.Contains(line, "res") {
+		t.Errorf("render shows reservations before any were reported: %q", line)
+	}
+	p.AddWork(7, 101.5)
+	p.AddWork(3, 28.5)
+	if got, want := p.Reservations(), int64(10); got != want {
+		t.Errorf("Reservations() = %d, want %d", got, want)
+	}
+	if got := p.Work(); got != 130 {
+		t.Errorf("Work() = %g, want 130", got)
+	}
+	line := p.Render()
+	for _, want := range []string{"10 res", "130 work", "ETA"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("render %q missing %q", line, want)
+		}
+	}
+}
+
+func TestProgressAddWorkNil(t *testing.T) {
+	var p *Progress
+	p.AddWork(3, 1.5) // must not panic
+	if p.Reservations() != 0 || p.Work() != 0 {
+		t.Error("nil progress should report zero campaign-level progress")
+	}
+}
+
 func TestProgressCancellationStopsReporter(t *testing.T) {
 	var buf syncBuffer
 	p := NewProgress(&buf, "campaign", 100, time.Millisecond)

@@ -174,6 +174,10 @@ func MonteCarloCampaign(cfg CampaignConfig, trials int, seed uint64, workers int
 // the averages stay exact. Without cancellation the result is
 // bit-identical to MonteCarloCampaign and the error is nil.
 func MonteCarloCampaignContext(ctx context.Context, cfg CampaignConfig, trials int, seed uint64, workers int) (CampaignAggregate, error) {
+	return monteCarloCampaignRunner(ctx, cfg, trials, seed, workers, nil)
+}
+
+func monteCarloCampaignRunner(ctx context.Context, cfg CampaignConfig, trials int, seed uint64, workers int, ck Checkpointer) (CampaignAggregate, error) {
 	cfg.validate()
 	if trials <= 0 {
 		return CampaignAggregate{}, ctx.Err()
@@ -190,6 +194,14 @@ func MonteCarloCampaignContext(ctx context.Context, cfg CampaignConfig, trials i
 	ob := cfg.Reservation.Obs
 	tracing := ob != nil && ob.Trace != nil
 	parts := make([]campaignPartial, numBlocks)
+	// Blocks persisted by a previous interrupted run are restored into
+	// parts and never dispatched; only the missing blocks are simulated.
+	restored, rerr := restoreBlocks(ck, numBlocks, func(b int, data []byte) error {
+		return decodeCampaignPartial(data, &parts[b])
+	})
+	if rerr != nil {
+		return CampaignAggregate{}, rerr
+	}
 	blocks := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -207,16 +219,19 @@ func MonteCarloCampaignContext(ctx context.Context, cfg CampaignConfig, trials i
 				}
 				src := rng.NewStream(seed, uint64(b))
 				var p campaignPartial
+				complete := true
 				for i := lo; i < hi; i++ {
 					if tracing {
 						wcfg.Reservation.trial = int64(i)
 					}
 					r, interrupted := runCampaign(wcfg, src, done)
 					if interrupted {
+						complete = false
 						break
 					}
 					ob.tickCampaign()
 					ob.tickProgress(1)
+					ob.tickProgressWork(int64(r.Reservations), r.Committed)
 					p.res += float64(r.Reservations)
 					p.util += r.Utilization()
 					p.lost += r.LostWork
@@ -229,12 +244,21 @@ func MonteCarloCampaignContext(ctx context.Context, cfg CampaignConfig, trials i
 					p.trials++
 				}
 				parts[b] = p
+				// Interrupted blocks keep their partial sums in the
+				// returned aggregate but are never committed: a resume
+				// re-runs the whole block on its own rng substream.
+				if complete && ck != nil {
+					ck.Commit(b, encodeCampaignPartial(&p))
+				}
 				ob.tickBlock()
 			}
 		}()
 	}
 dispatch:
 	for b := 0; b < numBlocks; b++ {
+		if restored != nil && restored[b] {
+			continue
+		}
 		select {
 		case blocks <- b:
 		case <-done:

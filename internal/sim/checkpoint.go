@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"reskit/internal/stats"
+)
+
+// The sharded Monte-Carlo runners partition trials into fixed blocks,
+// each bound to its own rng substream. That makes a completed block a
+// deterministic, resumable unit — the property the checkpoint layer
+// (internal/ckpt) builds on. The block sizes are exported so snapshot
+// geometry can be validated on resume.
+const (
+	// MonteCarloBlockSize is the trials-per-substream block of the
+	// per-reservation runners (MonteCarlo*).
+	MonteCarloBlockSize = mcBlockSize
+	// CampaignBlockSize is the trials-per-substream block of the
+	// campaign runners (MonteCarloCampaign*).
+	CampaignBlockSize = campaignBlockSize
+)
+
+// Checkpointer is the durable run-state hook of the sharded Monte-Carlo
+// runners, alongside the Observer: Restore feeds back the blocks a
+// previous interrupted run already completed (so only missing blocks are
+// re-run), and Commit hands over each freshly completed block's encoded
+// partial aggregate for persistence. Payloads are opaque to the
+// checkpointer and bit-exact to the simulator, so a resumed run merges
+// restored and recomputed blocks in block order into an aggregate
+// bit-identical to an uninterrupted run, for any worker count.
+//
+// Commit is called concurrently by workers and must be safe for
+// concurrent use; it is never called for a block that was interrupted
+// mid-flight. A nil Checkpointer disables the layer at zero cost.
+// ckpt.Writer is the production implementation.
+type Checkpointer interface {
+	// Restore returns the encoded partial aggregate of block b from a
+	// previous run, or nil when the block must be (re)computed.
+	Restore(b int) []byte
+	// Commit records the encoded partial aggregate of the freshly
+	// completed block b.
+	Commit(b int, payload []byte)
+}
+
+// MonteCarloCheckpointed is MonteCarloContext with durable run state:
+// blocks already present in ck are restored instead of re-run, and every
+// freshly completed block is committed to ck. The final aggregate is
+// bit-identical to an uninterrupted MonteCarlo for any worker count.
+func MonteCarloCheckpointed(ctx context.Context, cfg Config, trials int, seed uint64, workers int, ck Checkpointer) (Aggregate, error) {
+	return monteCarloRunner(ctx, cfg, trials, seed, workers, Run, ck)
+}
+
+// MonteCarloCampaignCheckpointed is MonteCarloCampaignContext with
+// durable run state, with the same restore/commit contract as
+// MonteCarloCheckpointed.
+func MonteCarloCampaignCheckpointed(ctx context.Context, cfg CampaignConfig, trials int, seed uint64, workers int, ck Checkpointer) (CampaignAggregate, error) {
+	return monteCarloCampaignRunner(ctx, cfg, trials, seed, workers, ck)
+}
+
+// aggregateWireSize is the exact encoded size of an Aggregate: seven
+// summaries plus four int64 tallies.
+const aggregateWireSize = 7*stats.SummaryWireSize + 4*8
+
+// encodeAggregate serializes one block's aggregate bit-exactly (floats
+// as IEEE-754 bit patterns, little-endian).
+func encodeAggregate(a *Aggregate) []byte {
+	b := make([]byte, 0, aggregateWireSize)
+	b = a.Saved.AppendBinary(b)
+	b = a.Lost.AppendBinary(b)
+	b = a.Tasks.AppendBinary(b)
+	b = a.Checkpoints.AppendBinary(b)
+	b = a.Failures.AppendBinary(b)
+	b = a.CkptFaults.AppendBinary(b)
+	b = a.TimeUsed.AppendBinary(b)
+	b = binary.LittleEndian.AppendUint64(b, uint64(a.FailedRuns))
+	b = binary.LittleEndian.AppendUint64(b, uint64(a.RevokedRuns))
+	b = binary.LittleEndian.AppendUint64(b, uint64(a.ZeroRuns))
+	b = binary.LittleEndian.AppendUint64(b, uint64(a.Trials))
+	return b
+}
+
+// decodeAggregate restores one block's aggregate from its wire image.
+func decodeAggregate(data []byte, a *Aggregate) error {
+	if len(data) != aggregateWireSize {
+		return fmt.Errorf("sim: aggregate payload is %d bytes, want %d", len(data), aggregateWireSize)
+	}
+	off := 0
+	for _, s := range []*stats.Summary{
+		&a.Saved, &a.Lost, &a.Tasks, &a.Checkpoints, &a.Failures, &a.CkptFaults, &a.TimeUsed,
+	} {
+		if err := s.UnmarshalBinary(data[off : off+stats.SummaryWireSize]); err != nil {
+			return err
+		}
+		off += stats.SummaryWireSize
+	}
+	a.FailedRuns = int64(binary.LittleEndian.Uint64(data[off:]))
+	a.RevokedRuns = int64(binary.LittleEndian.Uint64(data[off+8:]))
+	a.ZeroRuns = int64(binary.LittleEndian.Uint64(data[off+16:]))
+	a.Trials = int64(binary.LittleEndian.Uint64(data[off+24:]))
+	return nil
+}
+
+// campaignPartialWireSize is the exact encoded size of a
+// campaignPartial: six float64 running sums plus two int64 counts.
+const campaignPartialWireSize = 6*8 + 2*8
+
+// encodeCampaignPartial serializes one block's campaign sums bit-exactly.
+func encodeCampaignPartial(p *campaignPartial) []byte {
+	b := make([]byte, 0, campaignPartialWireSize)
+	for _, v := range []float64{p.res, p.util, p.lost, p.ckptFaults, p.crashes, p.revoked} {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(p.completed))
+	b = binary.LittleEndian.AppendUint64(b, uint64(p.trials))
+	return b
+}
+
+// decodeCampaignPartial restores one block's campaign sums.
+func decodeCampaignPartial(data []byte, p *campaignPartial) error {
+	if len(data) != campaignPartialWireSize {
+		return fmt.Errorf("sim: campaign payload is %d bytes, want %d", len(data), campaignPartialWireSize)
+	}
+	for i, f := range []*float64{&p.res, &p.util, &p.lost, &p.ckptFaults, &p.crashes, &p.revoked} {
+		*f = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	completed := int64(binary.LittleEndian.Uint64(data[48:]))
+	trials := int64(binary.LittleEndian.Uint64(data[56:]))
+	if completed < 0 || trials < 0 || completed > trials {
+		return fmt.Errorf("sim: campaign payload counts inconsistent (completed=%d, trials=%d)", completed, trials)
+	}
+	p.completed = int(completed)
+	p.trials = int(trials)
+	return nil
+}
+
+// restoreBlocks decodes every block ck already holds into parts via
+// decode, marking it in the returned skip mask. A nil ck returns a nil
+// mask. Decode failures abort the run with a structured error — a
+// payload that passed the snapshot CRC but does not parse means the
+// snapshot belongs to an incompatible build, and silently re-running the
+// block could mask real corruption.
+func restoreBlocks(ck Checkpointer, numBlocks int, decode func(b int, data []byte) error) ([]bool, error) {
+	if ck == nil {
+		return nil, nil
+	}
+	restored := make([]bool, numBlocks)
+	for b := 0; b < numBlocks; b++ {
+		data := ck.Restore(b)
+		if data == nil {
+			continue
+		}
+		if err := decode(b, data); err != nil {
+			return nil, fmt.Errorf("sim: restoring checkpointed block %d: %w", b, err)
+		}
+		restored[b] = true
+	}
+	return restored, nil
+}

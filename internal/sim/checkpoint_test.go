@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"reskit/internal/core"
+	"reskit/internal/strategy"
+)
+
+// memCkpt is an in-memory Checkpointer that optionally cancels the run
+// after a given number of block commits — simulating a kill at an
+// arbitrary block boundary.
+type memCkpt struct {
+	mu          sync.Mutex
+	blocks      map[int][]byte
+	commits     int
+	cancelAfter int
+	cancel      context.CancelFunc
+}
+
+func newMemCkpt() *memCkpt { return &memCkpt{blocks: make(map[int][]byte)} }
+
+func (m *memCkpt) Restore(b int) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.blocks[b]
+}
+
+func (m *memCkpt) Commit(b int, payload []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.blocks[b] = append([]byte(nil), payload...)
+	m.commits++
+	if m.cancelAfter > 0 && m.commits == m.cancelAfter && m.cancel != nil {
+		m.cancel()
+	}
+}
+
+func (m *memCkpt) done() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.blocks)
+}
+
+func ckptCampaignConfig() CampaignConfig {
+	dyn := core.NewDynamic(29, paperTask(), paperCkpt(5, 0.4))
+	return CampaignConfig{
+		Reservation: Config{
+			R:        29,
+			Recovery: 1.5,
+			Task:     paperTask(),
+			Ckpt:     paperCkpt(5, 0.4),
+			Strategy: strategy.NewDynamic(dyn),
+		},
+		TotalWork: 150,
+	}
+}
+
+// TestMonteCarloKillAndResumeBitIdentical is the acceptance property of
+// the checkpoint layer for the per-reservation runner: interrupt at an
+// arbitrary block boundary, resume from the persisted blocks, and the
+// final aggregate is bit-identical to an uninterrupted run — for any
+// worker count on either side of the interruption.
+func TestMonteCarloKillAndResumeBitIdentical(t *testing.T) {
+	cfg := fig8Config(strategy.NewStatic(4))
+	const trials = 5*mcBlockSize + 123 // 6 blocks, last one ragged
+	const seed = 11
+	want := MonteCarlo(cfg, trials, seed, 0)
+
+	for _, workers := range []int{1, 4, 8} {
+		for _, killAfter := range []int{1, 3, 5} {
+			ck := newMemCkpt()
+			ctx, cancel := context.WithCancel(context.Background())
+			ck.cancelAfter, ck.cancel = killAfter, cancel
+			_, err := MonteCarloCheckpointed(ctx, cfg, trials, seed, workers, ck)
+			cancel()
+			if err == nil && ck.done() < 6 {
+				t.Fatalf("workers=%d kill=%d: interrupted run reported no error with %d blocks", workers, killAfter, ck.done())
+			}
+			if ck.done() >= 6 {
+				// The whole run finished before the cancel landed; the
+				// resume below still must reproduce the reference.
+				t.Logf("workers=%d kill=%d: run completed before interruption", workers, killAfter)
+			}
+
+			for _, resumeWorkers := range []int{1, 4, 8} {
+				ck.cancelAfter = 0
+				got, err := MonteCarloCheckpointed(context.Background(), cfg, trials, seed, resumeWorkers, ck)
+				if err != nil {
+					t.Fatalf("resume: %v", err)
+				}
+				if got != want {
+					t.Errorf("workers=%d kill=%d resumeWorkers=%d: resumed aggregate differs:\n got %+v\nwant %+v",
+						workers, killAfter, resumeWorkers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCampaignKillAndResumeBitIdentical is the same acceptance property
+// for the campaign runner.
+func TestCampaignKillAndResumeBitIdentical(t *testing.T) {
+	cfg := ckptCampaignConfig()
+	const trials = 4*campaignBlockSize + 7 // 5 blocks, last one ragged
+	const seed = 23
+	want := MonteCarloCampaign(cfg, trials, seed, 0)
+
+	for _, workers := range []int{1, 4, 8} {
+		ck := newMemCkpt()
+		ctx, cancel := context.WithCancel(context.Background())
+		ck.cancelAfter, ck.cancel = 2, cancel
+		_, _ = MonteCarloCampaignCheckpointed(ctx, cfg, trials, seed, workers, ck)
+		cancel()
+
+		ck.cancelAfter = 0
+		got, err := MonteCarloCampaignCheckpointed(context.Background(), cfg, trials, seed, workers, ck)
+		if err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: resumed campaign aggregate differs:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+// TestCheckpointedCompleteRunMatchesPlain checks the zero-interruption
+// path: running with a checkpointer from scratch commits every block and
+// changes nothing about the result.
+func TestCheckpointedCompleteRunMatchesPlain(t *testing.T) {
+	cfg := fig8Config(strategy.NewStatic(4))
+	const trials = 2*mcBlockSize + 10
+	ck := newMemCkpt()
+	got, err := MonteCarloCheckpointed(context.Background(), cfg, trials, 5, 0, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := MonteCarlo(cfg, trials, 5, 0); got != want {
+		t.Errorf("checkpointed run differs from plain run:\n got %+v\nwant %+v", got, want)
+	}
+	if ck.done() != 3 {
+		t.Errorf("committed %d blocks, want 3", ck.done())
+	}
+}
+
+// TestRestoreRejectsMalformedPayload checks that a payload of the wrong
+// shape aborts the run with a structured error instead of panicking or
+// silently producing wrong numbers.
+func TestRestoreRejectsMalformedPayload(t *testing.T) {
+	cfg := fig8Config(strategy.NewStatic(4))
+	ck := newMemCkpt()
+	ck.blocks[0] = []byte("not an aggregate")
+	_, err := MonteCarloCheckpointed(context.Background(), cfg, mcBlockSize*2, 5, 1, ck)
+	if err == nil || !strings.Contains(err.Error(), "block 0") {
+		t.Fatalf("malformed payload: err = %v, want block-0 decode error", err)
+	}
+
+	camp := ckptCampaignConfig()
+	ck2 := newMemCkpt()
+	ck2.blocks[1] = make([]byte, campaignPartialWireSize-1)
+	_, err = MonteCarloCampaignCheckpointed(context.Background(), camp, campaignBlockSize*2, 5, 1, ck2)
+	if err == nil || !strings.Contains(err.Error(), "block 1") {
+		t.Fatalf("malformed campaign payload: err = %v, want block-1 decode error", err)
+	}
+}
+
+// TestAggregateWireRoundTrip pins the bit-exactness of the block payload
+// codecs themselves.
+func TestAggregateWireRoundTrip(t *testing.T) {
+	cfg := fig8Config(strategy.NewStatic(4))
+	agg := MonteCarlo(cfg, 500, 3, 0)
+	agg.FailedRuns, agg.RevokedRuns = 7, 1 // exercise the int tallies
+
+	var got Aggregate
+	if err := decodeAggregate(encodeAggregate(&agg), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != agg {
+		t.Errorf("aggregate round trip differs:\n got %+v\nwant %+v", got, agg)
+	}
+	if err := decodeAggregate(make([]byte, aggregateWireSize+1), &got); err == nil {
+		t.Error("oversized aggregate payload accepted")
+	}
+
+	p := campaignPartial{res: 1.5, util: 0.25, lost: 3.75, ckptFaults: 2, crashes: 1, revoked: 4, completed: 30, trials: 32}
+	var gp campaignPartial
+	if err := decodeCampaignPartial(encodeCampaignPartial(&p), &gp); err != nil {
+		t.Fatal(err)
+	}
+	if gp != p {
+		t.Errorf("campaign partial round trip differs: got %+v, want %+v", gp, p)
+	}
+	bad := encodeCampaignPartial(&campaignPartial{completed: 5, trials: 3})
+	if err := decodeCampaignPartial(bad, &gp); err == nil {
+		t.Error("completed > trials accepted")
+	}
+}

@@ -81,7 +81,7 @@ const mcBlockSize = 2048
 // deterministic order — the aggregate depends only on (cfg, trials,
 // seed), never on the worker count or goroutine scheduling.
 func MonteCarlo(cfg Config, trials int, seed uint64, workers int) Aggregate {
-	agg, _ := monteCarloRunner(context.Background(), cfg, trials, seed, workers, Run)
+	agg, _ := monteCarloRunner(context.Background(), cfg, trials, seed, workers, Run, nil)
 	return agg
 }
 
@@ -91,17 +91,17 @@ func MonteCarlo(cfg Config, trials int, seed uint64, workers int) Aggregate {
 // completed trial alongside ctx.Err(). Without cancellation the result
 // is bit-identical to MonteCarlo and the error is nil.
 func MonteCarloContext(ctx context.Context, cfg Config, trials int, seed uint64, workers int) (Aggregate, error) {
-	return monteCarloRunner(ctx, cfg, trials, seed, workers, Run)
+	return monteCarloRunner(ctx, cfg, trials, seed, workers, Run, nil)
 }
 
 // MonteCarloOracle is MonteCarlo with the clairvoyant scheduler.
 func MonteCarloOracle(cfg Config, trials int, seed uint64, workers int) Aggregate {
-	agg, _ := monteCarloRunner(context.Background(), cfg, trials, seed, workers, RunOracle)
+	agg, _ := monteCarloRunner(context.Background(), cfg, trials, seed, workers, RunOracle, nil)
 	return agg
 }
 
 func monteCarloRunner(ctx context.Context, cfg Config, trials int, seed uint64, workers int,
-	run func(Config, *rng.Source) RunResult) (Aggregate, error) {
+	run func(Config, *rng.Source) RunResult, ck Checkpointer) (Aggregate, error) {
 
 	cfg.validate()
 	if trials <= 0 {
@@ -118,6 +118,14 @@ func monteCarloRunner(ctx context.Context, cfg Config, trials int, seed uint64, 
 	done := ctx.Done()
 	tracing := cfg.Obs != nil && cfg.Obs.Trace != nil
 	parts := make([]Aggregate, numBlocks)
+	// Blocks persisted by a previous interrupted run are restored into
+	// parts and never dispatched; only the missing blocks are simulated.
+	restored, rerr := restoreBlocks(ck, numBlocks, func(b int, data []byte) error {
+		return decodeAggregate(data, &parts[b])
+	})
+	if rerr != nil {
+		return Aggregate{}, rerr
+	}
 	blocks := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -139,6 +147,9 @@ func monteCarloRunner(ctx context.Context, cfg Config, trials int, seed uint64, 
 					if done != nil {
 						select {
 						case <-done:
+							// The block is incomplete: its partial tallies
+							// stay in the returned aggregate but are never
+							// committed — a resume re-runs it from scratch.
 							return
 						default:
 						}
@@ -146,8 +157,13 @@ func monteCarloRunner(ctx context.Context, cfg Config, trials int, seed uint64, 
 					if tracing {
 						wcfg.trial = int64(i)
 					}
-					parts[b].add(run(wcfg, src))
+					rr := run(wcfg, src)
+					parts[b].add(rr)
 					wcfg.Obs.tickProgress(1)
+					wcfg.Obs.tickProgressWork(1, rr.Saved)
+				}
+				if ck != nil {
+					ck.Commit(b, encodeAggregate(&parts[b]))
 				}
 				wcfg.Obs.tickBlock()
 			}
@@ -155,6 +171,9 @@ func monteCarloRunner(ctx context.Context, cfg Config, trials int, seed uint64, 
 	}
 dispatch:
 	for b := 0; b < numBlocks; b++ {
+		if restored != nil && restored[b] {
+			continue
+		}
 		select {
 		case blocks <- b:
 		case <-done:

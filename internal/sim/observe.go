@@ -106,6 +106,16 @@ func (o *Observer) tickProgress(n int64) {
 	o.Progress.Add(n)
 }
 
+// tickProgressWork records campaign-level progress behind the trial
+// ticks: completed reservations and committed work. Like every observer
+// hook it consumes no randomness and never alters control flow.
+func (o *Observer) tickProgressWork(reservations int64, committed float64) {
+	if o == nil {
+		return
+	}
+	o.Progress.AddWork(reservations, committed)
+}
+
 // tickBlock records one completed Monte-Carlo block.
 func (o *Observer) tickBlock() {
 	if o == nil {

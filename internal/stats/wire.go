@@ -1,0 +1,48 @@
+package stats
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// SummaryWireSize is the exact encoded size of a Summary: the
+// observation count plus four float64 fields, little-endian.
+const SummaryWireSize = 5 * 8
+
+// AppendBinary appends the exact binary image of s to b and returns the
+// extended slice. Floats are encoded as their IEEE-754 bit patterns, so
+// a decoded Summary is bit-identical to the original — the property the
+// checkpoint/resume machinery relies on to make resumed Monte-Carlo
+// aggregates indistinguishable from uninterrupted ones.
+func (s Summary) AppendBinary(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.n))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.mean))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.m2))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.min))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.max))
+	return b
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s Summary) MarshalBinary() ([]byte, error) {
+	return s.AppendBinary(make([]byte, 0, SummaryWireSize)), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. It requires
+// exactly SummaryWireSize bytes and restores every field bit for bit.
+func (s *Summary) UnmarshalBinary(data []byte) error {
+	if len(data) != SummaryWireSize {
+		return fmt.Errorf("stats: summary wire image is %d bytes, want %d", len(data), SummaryWireSize)
+	}
+	n := int64(binary.LittleEndian.Uint64(data[0:]))
+	if n < 0 {
+		return fmt.Errorf("stats: summary wire image has negative count %d", n)
+	}
+	s.n = n
+	s.mean = math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+	s.m2 = math.Float64frombits(binary.LittleEndian.Uint64(data[16:]))
+	s.min = math.Float64frombits(binary.LittleEndian.Uint64(data[24:]))
+	s.max = math.Float64frombits(binary.LittleEndian.Uint64(data[32:]))
+	return nil
+}

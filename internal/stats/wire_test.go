@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummaryWireRoundTrip(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{3.25, -1.5, 0, 1e-300, 7.75, math.Pi} {
+		s.Add(x)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != SummaryWireSize {
+		t.Fatalf("encoded %d bytes, want %d", len(data), SummaryWireSize)
+	}
+	var got Summary
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Errorf("round trip changed the summary: got %+v, want %+v", got, s)
+	}
+}
+
+func TestSummaryWireEmpty(t *testing.T) {
+	var s Summary
+	data, _ := s.MarshalBinary()
+	var got Summary
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Errorf("empty summary round trip: got %+v", got)
+	}
+}
+
+func TestSummaryWireMergeBitIdentical(t *testing.T) {
+	// The checkpoint contract: merging a decoded partial must give the
+	// exact bits of merging the original partial.
+	var a, b Summary
+	for i := 0; i < 100; i++ {
+		a.Add(math.Sqrt(float64(i) + 0.3))
+		b.Add(math.Log1p(float64(i) * 1.7))
+	}
+	data, _ := b.MarshalBinary()
+	var b2 Summary
+	if err := b2.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := a, a
+	m1.Merge(b)
+	m2.Merge(b2)
+	if m1 != m2 {
+		t.Errorf("merge after round trip differs: %+v vs %+v", m1, m2)
+	}
+}
+
+func TestSummaryWireErrors(t *testing.T) {
+	var s Summary
+	if err := s.UnmarshalBinary(make([]byte, SummaryWireSize-1)); err == nil {
+		t.Error("short image accepted")
+	}
+	if err := s.UnmarshalBinary(make([]byte, SummaryWireSize+1)); err == nil {
+		t.Error("long image accepted")
+	}
+	bad := make([]byte, SummaryWireSize)
+	for i := 0; i < 8; i++ {
+		bad[i] = 0xff // n = -1
+	}
+	if err := s.UnmarshalBinary(bad); err == nil {
+		t.Error("negative count accepted")
+	}
+}
