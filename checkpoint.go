@@ -42,6 +42,9 @@ type RunStateKind = ckpt.Kind
 const (
 	RunStateMonteCarlo = ckpt.KindMonteCarlo
 	RunStateCampaign   = ckpt.KindCampaign
+	// RunStateJobs is the generic job-granular snapshot written by the
+	// unified run engine (RunEngine); one block per job, block size 1.
+	RunStateJobs = ckpt.KindJobs
 
 	// MonteCarloBlockSize and CampaignBlockSize are the trials-per-rng-
 	// substream blocks of the two runners; snapshots validate against

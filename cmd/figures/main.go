@@ -4,26 +4,42 @@
 // paper's reference values, exiting nonzero if any figure fails to
 // reproduce within tolerance.
 //
+// Figures render as jobs of the shared run engine (internal/engine) —
+// one job per figure, artifacts written atomically — so generation is
+// parallel, -progress reports live per-figure progress, and -metrics
+// snapshots the engine and quadrature counters.
+//
 //	figures -out out/figures
 //	figures -only fig5,fig8 -ascii
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"reskit/internal/atomicio"
+	"reskit/internal/engine"
 	"reskit/internal/figures"
+	"reskit/internal/obs"
+	"reskit/internal/quad"
+	"reskit/internal/rng"
 )
 
 func main() {
 	outDir := flag.String("out", "out/figures", "directory for SVG and CSV output")
 	only := flag.String("only", "", "comma-separated figure ids to restrict to (e.g. fig5,fig8)")
 	ascii := flag.Bool("ascii", false, "also print ASCII renditions")
-	extended := flag.Bool("extended", false, "also render the repository's extended ablation figures (ext1-ext3)")
+	extended := flag.Bool("extended", false, "also render the repository's extended ablation figures (ext1-ext4)")
+	progress := flag.Bool("progress", false, "print live per-figure progress to stderr")
+	metrics := flag.String("metrics", "", "write a JSON metrics snapshot (engine and quadrature counters) to this file on exit")
 	flag.Parse()
 
 	wanted := map[string]bool{}
@@ -33,7 +49,8 @@ func main() {
 		}
 	}
 
-	failures, err := generate(*outDir, wanted, *ascii, *extended, os.Stdout)
+	failures, err := generateWith(context.Background(), *outDir, wanted, *ascii, *extended, os.Stdout,
+		genOpts{progress: *progress, metricsPath: *metrics})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
@@ -44,61 +61,136 @@ func main() {
 	}
 }
 
+// genOpts carries the observability flags into the generator.
+type genOpts struct {
+	progress    bool
+	metricsPath string
+}
+
 // generate renders the selected figures into outDir, printing the
 // paper-vs-measured report to out, and returns the number of figures
 // that failed to reproduce.
 func generate(outDir string, wanted map[string]bool, ascii, extended bool, out io.Writer) (failures int, err error) {
+	return generateWith(context.Background(), outDir, wanted, ascii, extended, out, genOpts{})
+}
+
+// figPayload is one figure job's result: the per-figure report block
+// (ASCII chart, value table, verdict) and whether the figure failed.
+type figPayload struct {
+	Output string `json:"output"`
+	Failed bool   `json:"failed"`
+}
+
+// generateWith runs one engine job per selected figure. Each job builds
+// its figure, renders SVG and CSV into artifacts (written atomically by
+// the engine), and returns the report block as its payload; the blocks
+// print in figure order afterwards, so the report reads identically for
+// any worker count.
+func generateWith(ctx context.Context, outDir string, wanted map[string]bool, ascii, extended bool,
+	out io.Writer, o genOpts) (failures int, err error) {
+
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return 0, err
 	}
-	figs := figures.All()
+	gens := figures.Generators()
 	if extended {
-		figs = append(figs, figures.Extended()...)
+		gens = append(gens, figures.ExtendedGenerators()...)
 	}
-	for _, fig := range figs {
-		if len(wanted) > 0 && !wanted[fig.ID] {
+	sel := gens[:0]
+	for _, g := range gens {
+		if len(wanted) > 0 && !wanted[g.ID] {
 			continue
 		}
-		if err := render(&fig, outDir, ascii, out); err != nil {
-			return failures, fmt.Errorf("%s: %w", fig.ID, err)
+		sel = append(sel, g)
+	}
+
+	var reg *obs.Registry
+	if o.metricsPath != "" {
+		reg = obs.NewRegistry()
+		quad.ObserveEvals(reg.Counter("quad.evals"))
+	}
+	var prog *obs.Progress
+	if o.progress {
+		prog = obs.NewProgress(os.Stderr, "figures", int64(len(sel)), time.Second)
+		prog.Start(ctx)
+		defer prog.Stop()
+	}
+
+	jobs := make([]engine.Job, len(sel))
+	for i := range sel {
+		g := sel[i]
+		jobs[i] = engine.Job{
+			Name:   g.ID,
+			Stream: uint64(i),
+			Run: func(ctx context.Context, _ *rng.Source) (engine.JobResult, error) {
+				fig := g.Make()
+				var svg, csv, report bytes.Buffer
+				if err := fig.Plot.SVG(&svg, 720, 440); err != nil {
+					return engine.JobResult{}, err
+				}
+				if err := fig.Plot.CSV(&csv); err != nil {
+					return engine.JobResult{}, err
+				}
+				if ascii {
+					if err := fig.Plot.ASCII(&report, 76, 18); err != nil {
+						return engine.JobResult{}, err
+					}
+				}
+				fmt.Fprintf(&report, "%s  %s\n", fig.ID, fig.Title)
+				for _, k := range fig.Keys() {
+					fmt.Fprintf(&report, "    %-14s paper %-10.6g measured %-10.6g\n", k, fig.Reference[k], fig.Measured[k])
+				}
+				failed := false
+				if bad := fig.Check(); len(bad) > 0 {
+					for _, m := range bad {
+						fmt.Fprintf(&report, "    MISMATCH: %s\n", m)
+					}
+					failed = true
+				} else {
+					fmt.Fprintf(&report, "    OK: reproduces within tolerance\n")
+				}
+				payload, err := json.Marshal(figPayload{Output: report.String(), Failed: failed})
+				if err != nil {
+					return engine.JobResult{}, err
+				}
+				return engine.JobResult{
+					Payload: payload,
+					Artifacts: []engine.Artifact{
+						{Path: filepath.Join(outDir, fig.ID+".svg"), Data: svg.Bytes()},
+						{Path: filepath.Join(outDir, fig.ID+".csv"), Data: csv.Bytes()},
+					},
+				}, nil
+			},
 		}
-		fmt.Fprintf(out, "%s  %s\n", fig.ID, fig.Title)
-		for _, k := range fig.Keys() {
-			fmt.Fprintf(out, "    %-14s paper %-10.6g measured %-10.6g\n", k, fig.Reference[k], fig.Measured[k])
+	}
+
+	res, err := engine.Run(ctx, engine.Spec{Jobs: jobs, Log: out, Reg: reg, Progress: prog})
+	if err != nil {
+		return 0, err
+	}
+	for _, data := range res.Payloads {
+		if data == nil {
+			continue
 		}
-		if bad := fig.Check(); len(bad) > 0 {
-			for _, m := range bad {
-				fmt.Fprintf(out, "    MISMATCH: %s\n", m)
-			}
+		var fp figPayload
+		if err := json.Unmarshal(data, &fp); err != nil {
+			return failures, err
+		}
+		if _, err := io.WriteString(out, fp.Output); err != nil {
+			return failures, err
+		}
+		if fp.Failed {
 			failures++
-		} else {
-			fmt.Fprintf(out, "    OK: reproduces within tolerance\n")
+		}
+	}
+	if o.metricsPath != "" {
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err != nil {
+			return failures, err
+		}
+		if err := atomicio.WriteFile(o.metricsPath, buf.Bytes(), 0o644); err != nil {
+			return failures, fmt.Errorf("-metrics: %w", err)
 		}
 	}
 	return failures, nil
-}
-
-func render(fig *figures.Figure, outDir string, ascii bool, out io.Writer) error {
-	svg, err := os.Create(filepath.Join(outDir, fig.ID+".svg"))
-	if err != nil {
-		return err
-	}
-	defer svg.Close()
-	if err := fig.Plot.SVG(svg, 720, 440); err != nil {
-		return err
-	}
-	csv, err := os.Create(filepath.Join(outDir, fig.ID+".csv"))
-	if err != nil {
-		return err
-	}
-	defer csv.Close()
-	if err := fig.Plot.CSV(csv); err != nil {
-		return err
-	}
-	if ascii {
-		if err := fig.Plot.ASCII(out, 76, 18); err != nil {
-			return err
-		}
-	}
-	return nil
 }

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -14,12 +13,25 @@ import (
 	"time"
 
 	"reskit"
+	"reskit/internal/engine"
 	"reskit/internal/lawspec"
+	"reskit/internal/rng"
+	"reskit/internal/sim"
 )
 
-// ckptOpts carries the durable-run flags into campaign mode: where to
-// snapshot, how often, whether to restore first, and the configuration
-// fingerprint guarding against resuming under a different setup.
+// stopMarker names what cut a run short — the -timeout deadline or an
+// interrupting signal — for the partial-result rows.
+func stopMarker(ctx context.Context) string {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return "stopped by -timeout"
+	}
+	return "interrupted"
+}
+
+// ckptOpts carries the durable-run flags into the mode functions: where
+// to snapshot, how often, whether to restore first, and the
+// configuration fingerprint guarding against resuming under a different
+// setup.
 type ckptOpts struct {
 	path        string
 	interval    time.Duration
@@ -27,12 +39,58 @@ type ckptOpts struct {
 	fingerprint uint64
 }
 
+// spec assembles the engine spec every mode shares: the job grid, the
+// reproducibility contract, the durable-run layer from the CLI flags,
+// and the observability wiring. Engine per-job progress stays nil here —
+// the simulator observer already ticks per trial, and double-counting
+// the same run would corrupt the ETA.
+func (c ckptOpts) spec(jobs []engine.Job, seed uint64, workers int, out io.Writer, ob *simObs, check func(int, []byte) error) engine.Spec {
+	sp := engine.Spec{
+		Jobs:        jobs,
+		Seed:        seed,
+		Fingerprint: c.fingerprint,
+		Workers:     workers,
+		Checkpoint:  engine.Checkpoint{Path: c.path, Interval: c.interval, Resume: c.resume},
+		Check:       check,
+		Log:         out,
+	}
+	if ob != nil {
+		sp.Reg = ob.reg
+	}
+	return sp
+}
+
+// campaignJobs lays out one campaign Monte-Carlo as its engine job grid:
+// one job per block, block b on rng substream b, exactly the sharding of
+// the in-process campaign runners — so merged payloads are bit-identical
+// to an uninterrupted MonteCarloCampaign for any worker count.
+func campaignJobs(cfg reskit.CampaignConfig, trials int) []engine.Job {
+	jobs := make([]engine.Job, sim.NumCampaignBlocks(trials))
+	for b := range jobs {
+		b := b
+		jobs[b] = engine.Job{
+			Name:   fmt.Sprintf("block%d", b),
+			Stream: uint64(b),
+			Run: func(ctx context.Context, src *rng.Source) (engine.JobResult, error) {
+				data, err := sim.CampaignBlockPayload(ctx, cfg, trials, b, src)
+				return engine.JobResult{Payload: data}, err
+			},
+		}
+	}
+	return jobs
+}
+
+// checkCampaignPayload adapts the payload validator to the engine's
+// restore hook.
+func checkCampaignPayload(_ int, data []byte) error { return sim.CheckCampaignPayload(data) }
+
 // runCampaignMode simulates the paper's multi-reservation campaign
 // setting (Sections 1-2): the application needs -totalwork units of
 // committed work and runs reservation after reservation under the
 // dynamic checkpoint strategy, with recovery from the second reservation
-// on. Trials are sharded across workers with a deterministic merge, so
-// the printed aggregate is bit-identical for any worker count.
+// on. The campaign runs as a grid of engine jobs with a deterministic
+// merge, so the printed aggregate is bit-identical for any worker count
+// — including runs resumed from a -checkpoint snapshot.
 func runCampaignMode(ctx context.Context, out io.Writer, r, recovery, totalWork float64, taskSpec, taskDiscSpec string,
 	ckpt reskit.Continuous, trials int, seed uint64, workers int, benchJSON string,
 	plan *reskit.FaultPlan, faultSweep string, ckOpts ckptOpts, ob *simObs) error {
@@ -78,65 +136,28 @@ func runCampaignMode(ctx context.Context, out io.Writer, r, recovery, totalWork 
 	}
 
 	if faultSweep != "" {
-		return runFaultSweep(ctx, out, cfg, faultSweep, trials, seed, workers, benchJSON)
+		return runFaultSweep(ctx, out, cfg, faultSweep, trials, seed, workers, benchJSON, ckOpts, ob)
 	}
 	if benchJSON != "" {
-		return writeCampaignBench(out, cfg, trials, seed, benchJSON, ob)
+		return writeCampaignBench(ctx, out, cfg, trials, seed, benchJSON, ckOpts, ob)
 	}
 
 	if plan.Active() {
 		fmt.Fprintf(out, "faults: %v\n\n", plan)
 	}
 
-	// With -checkpoint, the run periodically snapshots its completed
-	// blocks; on -resume, an existing snapshot is validated against the
-	// current configuration and its blocks are restored instead of re-run.
-	// Any snapshot problem falls back to a fresh run with a printed
-	// warning — never a panic, never silently wrong numbers.
-	var ck *reskit.RunCheckpointer
-	if ckOpts.path != "" {
-		st := reskit.NewRunState(reskit.RunStateCampaign, ckOpts.fingerprint, seed, int64(trials), reskit.CampaignBlockSize)
-		if ckOpts.resume {
-			loaded, lerr := reskit.LoadRunState(ckOpts.path)
-			switch {
-			case errors.Is(lerr, os.ErrNotExist):
-				fmt.Fprintf(out, "resume: no snapshot at %s; starting fresh\n", ckOpts.path)
-			case lerr != nil:
-				fmt.Fprintf(out, "resume: snapshot unusable (%v); starting fresh\n", lerr)
-			default:
-				if cerr := loaded.Check(reskit.RunStateCampaign, ckOpts.fingerprint, seed, int64(trials), reskit.CampaignBlockSize); cerr != nil {
-					fmt.Fprintf(out, "resume: snapshot does not match this run (%v); starting fresh\n", cerr)
-				} else {
-					st = loaded
-					fmt.Fprintf(out, "resume: restoring %d/%d blocks from %s\n", st.Done(), st.NumBlocks, ckOpts.path)
-				}
-			}
-		}
-		ck = reskit.NewRunCheckpointer(ckOpts.path, ckOpts.interval, st)
-		ob.instrumentCkpt(ck)
-	}
-
 	start := time.Now()
-	var agg reskit.CampaignAggregate
-	var mcErr error
-	if ck != nil {
-		agg, mcErr = reskit.MonteCarloCampaignCheckpointed(ctx, cfg, trials, seed, workers, ck)
-	} else {
-		agg, mcErr = reskit.MonteCarloCampaignContext(ctx, cfg, trials, seed, workers)
-	}
+	res, runErr := engine.Run(ctx, ckOpts.spec(campaignJobs(cfg, trials), seed, workers, out, ob, checkCampaignPayload))
 	elapsed := time.Since(start)
-	if ck != nil {
-		// A restore error (malformed block payload) is a real failure, not
-		// an interruption: surface it instead of printing partial numbers.
-		if mcErr != nil && ctx.Err() == nil {
-			return mcErr
-		}
-		if ferr := ck.Flush(); ferr != nil {
-			return fmt.Errorf("checkpoint: writing final snapshot: %w", ferr)
-		}
-		if werr := ck.Err(); werr != nil {
-			fmt.Fprintf(out, "checkpoint: snapshot writes failed during the run: %v\n", werr)
-		}
+	// A restore error (malformed block payload) or snapshot-write failure
+	// is a real failure, not an interruption: surface it instead of
+	// printing partial numbers.
+	if runErr != nil && ctx.Err() == nil {
+		return runErr
+	}
+	agg, err := sim.MergeCampaignPayloads(res.Payloads)
+	if err != nil {
+		return err
 	}
 
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
@@ -153,18 +174,11 @@ func runCampaignMode(ctx context.Context, out io.Writer, r, recovery, totalWork 
 	fmt.Fprintf(tw, "wall time\t%v (%.0f trials/s)\n",
 		elapsed.Round(time.Millisecond), float64(agg.Trials)/elapsed.Seconds())
 	switch {
-	case mcErr != nil && ck != nil:
-		st := ck.State()
-		fmt.Fprintf(tw, "interrupted\t%d/%d blocks committed to %s; rerun with -resume to finish\n",
-			st.Done(), st.NumBlocks, ckOpts.path)
-	case mcErr != nil:
+	case runErr != nil && ckOpts.path != "":
+		fmt.Fprintf(tw, "interrupted\t%d/%d jobs committed to %s; rerun with -resume to finish\n",
+			res.Done(), res.Total(), ckOpts.path)
+	case runErr != nil:
 		fmt.Fprintf(tw, "interrupted\t-timeout hit after %d/%d trials\n", agg.Trials, trials)
-	case ck != nil:
-		// The campaign completed: the snapshot has served its purpose, and
-		// leaving it around would only invite a stale -resume later.
-		if rerr := os.Remove(ckOpts.path); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
-			fmt.Fprintf(tw, "checkpoint\tcompleted but could not remove %s: %v\n", ckOpts.path, rerr)
-		}
 	}
 	return tw.Flush()
 }
@@ -173,9 +187,11 @@ func runCampaignMode(ctx context.Context, out io.Writer, r, recovery, totalWork 
 // any other configured fault models fixed) and prints the trade-off the
 // fault models create: more frequent crashes mean more lost work, lower
 // utilization, and eventually campaigns that cannot finish within the
-// reservation cap.
+// reservation cap. The whole grid is one engine run — every (row, block)
+// cell is a job — so -checkpoint/-resume spans the sweep and a resumed
+// grid is bit-identical to an uninterrupted one.
 func runFaultSweep(ctx context.Context, out io.Writer, cfg reskit.CampaignConfig, sweep string,
-	trials int, seed uint64, workers int, benchJSON string) error {
+	trials int, seed uint64, workers int, benchJSON string, ckOpts ckptOpts, ob *simObs) error {
 
 	var mtbfs []float64
 	for _, f := range strings.Split(sweep, ",") {
@@ -187,6 +203,45 @@ func runFaultSweep(ctx context.Context, out io.Writer, cfg reskit.CampaignConfig
 			return fmt.Errorf("-faultsweep: MTBF must be positive, got %g", v)
 		}
 		mtbfs = append(mtbfs, v)
+	}
+
+	// Each grid row is the base campaign with its crash model swapped; the
+	// configs are fixed up front so every job closure is pure.
+	cfgs := make([]reskit.CampaignConfig, len(mtbfs))
+	for i, m := range mtbfs {
+		c := cfg
+		p := &reskit.FaultPlan{}
+		if cfg.Reservation.Faults != nil {
+			*p = *cfg.Reservation.Faults
+		}
+		crash, err := reskit.CrashExponential(1 / m)
+		if err != nil {
+			return err
+		}
+		p.Crash = crash
+		c.Reservation.Faults = p
+		cfgs[i] = c
+	}
+
+	numBlocks := sim.NumCampaignBlocks(trials)
+	jobs := make([]engine.Job, 0, len(mtbfs)*numBlocks)
+	for ri := range cfgs {
+		for b := 0; b < numBlocks; b++ {
+			ri, b := ri, b
+			jobs = append(jobs, engine.Job{
+				Name:   fmt.Sprintf("mtbf=%g/block%d", mtbfs[ri], b),
+				Stream: uint64(b),
+				Run: func(ctx context.Context, src *rng.Source) (engine.JobResult, error) {
+					data, err := sim.CampaignBlockPayload(ctx, cfgs[ri], trials, b, src)
+					return engine.JobResult{Payload: data}, err
+				},
+			})
+		}
+	}
+
+	res, runErr := engine.Run(ctx, ckOpts.spec(jobs, seed, workers, out, ob, checkCampaignPayload))
+	if runErr != nil && ctx.Err() == nil {
+		return runErr
 	}
 
 	type sweepRow struct {
@@ -201,21 +256,13 @@ func runFaultSweep(ctx context.Context, out io.Writer, cfg reskit.CampaignConfig
 
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "MTBF\tE(lost)\tE(util)\tE(res)\tE(crashes)\tcompletion\n")
-	for _, m := range mtbfs {
-		c := cfg
-		p := &reskit.FaultPlan{}
-		if cfg.Reservation.Faults != nil {
-			*p = *cfg.Reservation.Faults
-		}
-		crash, err := reskit.CrashExponential(1 / m)
+	for ri, m := range mtbfs {
+		agg, err := sim.MergeCampaignPayloads(res.Payloads[ri*numBlocks : (ri+1)*numBlocks])
 		if err != nil {
 			return err
 		}
-		p.Crash = crash
-		c.Reservation.Faults = p
-		agg, mcErr := reskit.MonteCarloCampaignContext(ctx, c, trials, seed, workers)
-		if mcErr != nil {
-			fmt.Fprintf(tw, "%g\t(stopped by -timeout after %d/%d trials)\n", m, agg.Trials, trials)
+		if int(agg.Trials) < trials {
+			fmt.Fprintf(tw, "%g\t(%s after %d/%d trials)\n", m, stopMarker(ctx), agg.Trials, trials)
 			break
 		}
 		rows = append(rows, sweepRow{
@@ -232,8 +279,12 @@ func runFaultSweep(ctx context.Context, out io.Writer, cfg reskit.CampaignConfig
 	if err := tw.Flush(); err != nil {
 		return err
 	}
+	if runErr != nil && ckOpts.path != "" {
+		fmt.Fprintf(out, "\ninterrupted: %d/%d jobs committed to %s; rerun with -resume to finish\n",
+			res.Done(), res.Total(), ckOpts.path)
+	}
 
-	if benchJSON == "" {
+	if benchJSON == "" || runErr != nil {
 		return nil
 	}
 	snap := struct {
@@ -288,22 +339,49 @@ type campaignBench struct {
 }
 
 // writeCampaignBench times the campaign Monte-Carlo with one worker and
-// with all CPUs, checks the aggregates are bit-identical, and writes the
-// snapshot to path.
-func writeCampaignBench(out io.Writer, cfg reskit.CampaignConfig, trials int, seed uint64, path string, ob *simObs) error {
+// with all CPUs — both passes through the engine — checks the
+// aggregates are bit-identical, and writes the snapshot to path. The
+// parallel pass carries the -checkpoint layer, so even a benchmark run
+// is durable.
+func writeCampaignBench(ctx context.Context, out io.Writer, cfg reskit.CampaignConfig, trials int, seed uint64,
+	path string, ckOpts ckptOpts, ob *simObs) error {
+
 	workers := reskit.Workers()
+	jobs := campaignJobs(cfg, trials)
 
 	// Warm-up builds the dynamic strategy's coefficient table outside the
 	// timed region so both runs measure pure simulation throughput.
 	reskit.MonteCarloCampaign(cfg, 1, seed, 1)
 
 	start := time.Now()
-	serial := reskit.MonteCarloCampaign(cfg, trials, seed, 1)
+	serialRes, err := engine.Run(ctx, ckptOpts{}.spec(jobs, seed, 1, out, ob, nil))
 	serialSec := time.Since(start).Seconds()
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(out, "benchmark interrupted; no snapshot written\n")
+			return nil
+		}
+		return err
+	}
+	serial, err := sim.MergeCampaignPayloads(serialRes.Payloads)
+	if err != nil {
+		return err
+	}
 
 	start = time.Now()
-	parallel := reskit.MonteCarloCampaign(cfg, trials, seed, workers)
+	parallelRes, err := engine.Run(ctx, ckOpts.spec(jobs, seed, workers, out, ob, checkCampaignPayload))
 	parallelSec := time.Since(start).Seconds()
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(out, "benchmark interrupted; no snapshot written\n")
+			return nil
+		}
+		return err
+	}
+	parallel, err := sim.MergeCampaignPayloads(parallelRes.Payloads)
+	if err != nil {
+		return err
+	}
 
 	snap := campaignBench{
 		Benchmark:        "MonteCarloCampaign",

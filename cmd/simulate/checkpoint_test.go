@@ -43,15 +43,6 @@ func TestCheckpointFlagValidation(t *testing.T) {
 		args []string
 		want string
 	}{
-		{"checkpoint without campaign",
-			[]string{"-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]", "-checkpoint", "x.ckpt"},
-			"-checkpoint requires -campaign"},
-		{"checkpoint with faultsweep",
-			campaignArgs("-checkpoint", "x.ckpt", "-faultsweep", "20,40"),
-			"incompatible"},
-		{"checkpoint with benchjson",
-			campaignArgs("-checkpoint", "x.ckpt", "-benchjson", "b.json"),
-			"incompatible"},
 		{"resume without checkpoint",
 			campaignArgs("-resume"),
 			"-resume requires -checkpoint"},

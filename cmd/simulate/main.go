@@ -24,6 +24,12 @@
 // Add -benchjson BENCH_campaign.json to record a serial-vs-parallel
 // throughput snapshot, and -cpuprofile/-memprofile to profile any mode
 // with runtime/pprof.
+//
+// Every mode runs on the shared job engine (internal/engine): the run
+// is a grid of deterministic jobs — one Monte-Carlo block per strategy,
+// policy, campaign or sweep cell — so -checkpoint/-resume gives any
+// mode durable, bit-identical restarts, and SIGINT/SIGTERM always
+// drains at the next job boundary before exiting with code 3.
 package main
 
 import (
@@ -32,18 +38,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
-	"text/tabwriter"
 	"time"
 
 	"reskit"
-	"reskit/internal/dist"
 	"reskit/internal/lawspec"
-	"reskit/internal/stats"
 )
 
 // exitInterrupted is the exit code of a run cut short by SIGINT/SIGTERM:
@@ -142,14 +144,6 @@ func run(args []string, out io.Writer) (err error) {
 		}
 		plan.Ckpt = ckptModel
 	}
-	if *checkpointPath != "" {
-		if !*campaign {
-			return errors.New("-checkpoint requires -campaign")
-		}
-		if *faultSweep != "" || *benchJSON != "" {
-			return errors.New("-checkpoint is incompatible with -faultsweep and -benchjson")
-		}
-	}
 	if *resume && *checkpointPath == "" {
 		return errors.New("-resume requires -checkpoint")
 	}
@@ -188,13 +182,24 @@ func run(args []string, out io.Writer) (err error) {
 		}()
 	}
 	// A single Monte-Carlo (campaign mode) has a known trial total for the
-	// progress ETA; the workflow mode runs one Monte-Carlo per strategy, so
-	// progress renders counts and rate without a percentage.
+	// progress ETA, and a fault sweep repeats it per grid row; the workflow
+	// mode runs one Monte-Carlo per strategy, so progress renders counts
+	// and rate without a percentage.
 	progressTotal := int64(0)
-	if *campaign && *faultSweep == "" && *benchJSON == "" {
+	if *campaign && *benchJSON == "" {
 		progressTotal = int64(*trials)
+		if *faultSweep != "" {
+			progressTotal *= int64(len(strings.Split(*faultSweep, ",")))
+		}
 	}
-	ob, err := setupObs(out, *progress, *metricsPath, *listenAddr, *tracePath, *traceEvery, *r, progressTotal)
+	// The saved-work distribution always feeds the "sim.saved_work"
+	// quantile sketch; the legacy fixed-layout [0, R) histogram is bound
+	// only while -hist keeps it alive.
+	savedMax := 0.0
+	if *hist {
+		savedMax = *r
+	}
+	ob, err := setupObs(out, *progress, *metricsPath, *listenAddr, *tracePath, *traceEvery, savedMax, progressTotal)
 	if err != nil {
 		return err
 	}
@@ -203,27 +208,31 @@ func run(args []string, out io.Writer) (err error) {
 			err = ferr
 		}
 	}()
+	// The fingerprint ties a snapshot to the configuration facets that
+	// shape the payloads of the selected mode. Workers are deliberately
+	// excluded: resuming with a different worker count is legal and still
+	// bit-identical.
+	ck := ckptOpts{path: *checkpointPath, interval: *checkpointInterval, resume: *resume}
 	if *campaign {
-		// The fingerprint ties a snapshot to the configuration facets that
-		// shape the result. Workers are deliberately excluded: resuming
-		// with a different worker count is legal and still bit-identical.
-		ck := ckptOpts{
-			path:     *checkpointPath,
-			interval: *checkpointInterval,
-			resume:   *resume,
-			fingerprint: reskit.ConfigFingerprint(
-				"campaign",
-				fmt.Sprintf("R=%g", *r),
-				fmt.Sprintf("recovery=%g", *recovery),
-				"task="+*taskSpec,
-				"taskdisc="+*taskDiscSpec,
-				"ckpt="+*ckptSpec,
-				fmt.Sprintf("totalwork=%g", *totalWork),
-				fmt.Sprintf("faults=%v", plan),
-				fmt.Sprintf("trials=%d", *trials),
-				fmt.Sprintf("seed=%d", *seed),
-			),
+		mode := "campaign"
+		switch {
+		case *faultSweep != "":
+			mode = "campaign faultsweep=" + *faultSweep
+		case *benchJSON != "":
+			mode = "campaign benchjson"
 		}
+		ck.fingerprint = reskit.ConfigFingerprint(
+			mode,
+			fmt.Sprintf("R=%g", *r),
+			fmt.Sprintf("recovery=%g", *recovery),
+			"task="+*taskSpec,
+			"taskdisc="+*taskDiscSpec,
+			"ckpt="+*ckptSpec,
+			fmt.Sprintf("totalwork=%g", *totalWork),
+			fmt.Sprintf("faults=%v", plan),
+			fmt.Sprintf("trials=%d", *trials),
+			fmt.Sprintf("seed=%d", *seed),
+		)
 		return runCampaignMode(ctx, out, *r, *recovery, *totalWork, *taskSpec, *taskDiscSpec,
 			ckpt, *trials, *seed, *workers, *benchJSON, plan, *faultSweep, ck, ob)
 	}
@@ -231,221 +240,27 @@ func run(args []string, out io.Writer) (err error) {
 		return errors.New("-faultsweep requires -campaign")
 	}
 	if *preempt {
-		return runPreempt(out, *r, ckpt, *trials, *seed, *workers)
+		ck.fingerprint = reskit.ConfigFingerprint(
+			"preempt",
+			fmt.Sprintf("R=%g", *r),
+			"ckpt="+*ckptSpec,
+			fmt.Sprintf("trials=%d", *trials),
+			fmt.Sprintf("seed=%d", *seed),
+		)
+		return runPreempt(ctx, out, *r, ckpt, *trials, *seed, *workers, ck, ob)
 	}
-	return runWorkflow(ctx, out, *r, *recovery, *failRate, *taskSpec, *taskDiscSpec, ckpt, *trials, *seed, *workers, *strategies, *hist, plan, ob)
-}
-
-func runPreempt(out io.Writer, r float64, ckpt reskit.Continuous, trials int, seed uint64, workers int) error {
-	p, err := reskit.TryNewPreemptible(r, ckpt)
-	if err != nil {
-		return err
-	}
-	sol := p.OptimalX()
-	pess := p.Pessimistic()
-	fmt.Fprintf(out, "preemptible: R=%g, C ~ %v, %d trials\n\n", r, ckpt, trials)
-	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "policy\tX\tanalytic E(W)\tsimulated E(W)\t±95%%\tsuccess\n")
-	for _, row := range []struct {
-		name string
-		x    float64
-		want float64
-	}{
-		{"optimal", sol.X, sol.ExpectedWork},
-		{"pessimistic", pess.X, pess.ExpectedWork},
-	} {
-		agg := reskit.MonteCarloPreemptible(p, row.x, trials, seed, workers)
-		fmt.Fprintf(tw, "%s\t%.4g\t%.5g\t%.5g\t%.2g\t%.3f\n",
-			row.name, row.x, row.want, agg.Work.Mean(), agg.Work.CI95(), agg.SuccessRate())
-	}
-	oracle := reskit.MonteCarloPreemptibleOracle(p, trials, seed, workers)
-	fmt.Fprintf(tw, "oracle\t-\t%.5g\t%.5g\t%.2g\t%.3f\n",
-		r-ckpt.Mean(), oracle.Work.Mean(), oracle.Work.CI95(), oracle.SuccessRate())
-	return tw.Flush()
-}
-
-func runWorkflow(ctx context.Context, out io.Writer, r, recovery, failRate float64, taskSpec, taskDiscSpec string, ckpt reskit.Continuous,
-	trials int, seed uint64, workers int, strategyList string, hist bool, plan *reskit.FaultPlan, ob *simObs) error {
-
-	base := reskit.SimConfig{R: r, Recovery: recovery, Ckpt: ckpt, FailureRate: failRate, Faults: plan}
-	ob.attach(&base)
-	if plan.Active() {
-		fmt.Fprintf(out, "faults: %v\n", plan)
-	}
-	var taskMeanLaw interface {
-		Mean() float64
-		Quantile(float64) float64
-	}
-	var static *reskit.Static
-	var dynamic *reskit.Dynamic
-	switch {
-	case taskSpec != "":
-		law, err := lawspec.Parse(taskSpec)
-		if err != nil {
-			return err
-		}
-		base.Task = law
-		taskMeanLaw = law
-		if dynamic, err = reskit.TryNewDynamic(r, law, ckpt); err != nil {
-			return err
-		}
-		if s, ok := law.(reskit.Summable); ok {
-			static, err = reskit.TryNewStatic(r, s, ckpt)
-		} else {
-			// Truncated laws are not Summable; approximate the static
-			// problem with a Normal matching the first two moments.
-			static, err = reskit.TryNewStatic(r, reskit.Normal(law.Mean(), math.Sqrt(law.Variance())), ckpt)
-		}
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "workflow: R=%g, X ~ %v, C ~ %v, %d trials\n\n", r, law, ckpt, trials)
-	case taskDiscSpec != "":
-		law, err := lawspec.ParseDiscrete(taskDiscSpec)
-		if err != nil {
-			return err
-		}
-		base.TaskDisc = law
-		if dynamic, err = reskit.TryNewDynamicDiscrete(r, law, ckpt); err != nil {
-			return err
-		}
-		if s, ok := law.(reskit.SummableDiscrete); ok {
-			if static, err = reskit.TryNewStaticDiscrete(r, s, ckpt); err != nil {
-				return err
-			}
-		} else {
-			return fmt.Errorf("discrete law %v does not support the static strategy", law)
-		}
-		taskMeanLaw = poissonQuantiler{law}
-		fmt.Fprintf(out, "workflow: R=%g, X ~ %v (discrete), C ~ %v, %d trials\n\n", r, law, ckpt, trials)
-	default:
-		return errors.New("-task or -taskdisc is required (or use -preempt)")
-	}
-
-	sol := static.Optimize()
-	wInt, wErr := dynamic.Intersection()
-
-	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	faulty := plan.Active()
-	if faulty {
-		fmt.Fprintf(tw, "strategy\tE(saved)\t±95%%\tE(tasks)\tE(ckpts)\tE(ckptfaults)\tE(crashes)\trevoked\tzero-runs\n")
-	} else {
-		fmt.Fprintf(tw, "strategy\tE(saved)\t±95%%\tE(tasks)\tE(ckpts)\tzero-runs\n")
-	}
-	var interrupted error
-	for _, name := range strings.Split(strategyList, ",") {
-		name = strings.TrimSpace(name)
-		cfg := base
-		var agg reskit.SimAggregate
-		var mcErr error
-		switch name {
-		case "oracle":
-			cfg.Strategy = reskit.NeverStrategy()
-			agg = reskit.MonteCarloOracle(cfg, trials, seed, workers)
-		case "dynamic":
-			cfg.Strategy = ob.counted(reskit.DynamicStrategy(dynamic))
-			agg, mcErr = reskit.MonteCarloContext(ctx, cfg, trials, seed, workers)
-		case "static":
-			cfg.Strategy = ob.counted(reskit.StaticStrategy(sol.NOpt))
-			agg, mcErr = reskit.MonteCarloContext(ctx, cfg, trials, seed, workers)
-		case "threshold":
-			if wErr != nil {
-				fmt.Fprintf(tw, "%s\t(no intersection)\n", name)
-				continue
-			}
-			cfg.Strategy = ob.counted(reskit.ThresholdStrategy(wInt))
-			agg, mcErr = reskit.MonteCarloContext(ctx, cfg, trials, seed, workers)
-		case "pessimistic":
-			pess, perr := reskit.TryPessimisticStrategy(
-				taskMeanLaw.Quantile(0.9999), ckpt.Quantile(0.9999))
-			if perr != nil {
-				return perr
-			}
-			cfg.Strategy = ob.counted(pess)
-			agg, mcErr = reskit.MonteCarloContext(ctx, cfg, trials, seed, workers)
-		case "never":
-			cfg.Strategy = ob.counted(reskit.NeverStrategy())
-			agg, mcErr = reskit.MonteCarloContext(ctx, cfg, trials, seed, workers)
-		case "youngdaly":
-			if failRate <= 0 {
-				fmt.Fprintf(tw, "%s\t(needs -failrate > 0)\n", name)
-				continue
-			}
-			cfg.Strategy = ob.counted(reskit.YoungDalyStrategy(1/failRate, ckpt.Mean()))
-			cfg.After = reskit.ContinueExecution
-			agg, mcErr = reskit.MonteCarloContext(ctx, cfg, trials, seed, workers)
-		default:
-			return fmt.Errorf("unknown strategy %q", name)
-		}
-		if agg.Trials > 0 {
-			zeroPct := 100 * float64(agg.ZeroRuns) / float64(agg.Trials)
-			if faulty {
-				fmt.Fprintf(tw, "%s\t%.5g\t%.2g\t%.4g\t%.3g\t%.3g\t%.3g\t%.2f%%\t%.2f%%\n",
-					name, agg.Saved.Mean(), agg.Saved.CI95(), agg.Tasks.Mean(), agg.Checkpoints.Mean(),
-					agg.CkptFaults.Mean(), agg.Failures.Mean(),
-					100*float64(agg.RevokedRuns)/float64(agg.Trials), zeroPct)
-			} else {
-				fmt.Fprintf(tw, "%s\t%.5g\t%.2g\t%.4g\t%.3g\t%.2f%%\n",
-					name, agg.Saved.Mean(), agg.Saved.CI95(), agg.Tasks.Mean(), agg.Checkpoints.Mean(), zeroPct)
-			}
-		}
-		if mcErr != nil {
-			interrupted = mcErr
-			fmt.Fprintf(tw, "%s\t(stopped by -timeout after %d/%d trials)\n", name, agg.Trials, trials)
-			break
-		}
-		if hist {
-			if err := printHistogram(tw, name, cfg, trials, seed, r); err != nil {
-				return err
-			}
-		}
-	}
-	if err := tw.Flush(); err != nil {
-		return err
-	}
-	if interrupted != nil {
-		fmt.Fprintf(out, "\nwall-clock budget hit (%v); remaining strategies skipped\n", interrupted)
-		return nil
-	}
-	fmt.Fprintf(out, "\nstatic n_opt = %d (E = %.5g analytic)\n", sol.NOpt, sol.ENOpt)
-	if wErr == nil {
-		fmt.Fprintf(out, "dynamic W_int = %.5g\n", wInt)
-	}
-	return nil
-}
-
-// printHistogram re-runs a small sample of reservations and renders the
-// saved-work distribution as a 40-column ASCII bar chart.
-func printHistogram(out io.Writer, name string, cfg reskit.SimConfig, trials int, seed uint64, rMax float64) error {
-	n := trials
-	if n > 5000 {
-		n = 5000
-	}
-	h := stats.NewHistogram(0, rMax, 10)
-	src := reskit.NewRNGStream(seed, 999)
-	for i := 0; i < n; i++ {
-		h.Add(reskit.Simulate(cfg, src).Saved)
-	}
-	peak := int64(1)
-	for _, c := range h.Counts {
-		if c > peak {
-			peak = c
-		}
-	}
-	w := rMax / float64(len(h.Counts))
-	for i, c := range h.Counts {
-		bar := strings.Repeat("#", int(40*c/peak))
-		fmt.Fprintf(out, "  [%5.1f-%5.1f)\t%s %d\n", float64(i)*w, float64(i+1)*w, bar, c)
-	}
-	return nil
-}
-
-// poissonQuantiler adapts a discrete law to the Quantile interface used
-// for the pessimistic bound.
-type poissonQuantiler struct{ d reskit.Discrete }
-
-func (p poissonQuantiler) Mean() float64 { return p.d.Mean() }
-
-func (p poissonQuantiler) Quantile(q float64) float64 {
-	return float64(dist.DiscreteQuantile(p.d, q))
+	ck.fingerprint = reskit.ConfigFingerprint(
+		"workflow",
+		fmt.Sprintf("R=%g", *r),
+		fmt.Sprintf("recovery=%g", *recovery),
+		fmt.Sprintf("failrate=%g", *failRate),
+		"task="+*taskSpec,
+		"taskdisc="+*taskDiscSpec,
+		"ckpt="+*ckptSpec,
+		"strategies="+*strategies,
+		fmt.Sprintf("faults=%v", plan),
+		fmt.Sprintf("trials=%d", *trials),
+		fmt.Sprintf("seed=%d", *seed),
+	)
+	return runWorkflow(ctx, out, *r, *recovery, *failRate, *taskSpec, *taskDiscSpec, ckpt, *trials, *seed, *workers, *strategies, *hist, plan, ck, ob)
 }

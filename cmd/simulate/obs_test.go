@@ -102,8 +102,47 @@ func TestMetricsSnapshotFile(t *testing.T) {
 	if got := snap.Counters["sim.trials"]; got != 800 {
 		t.Errorf("sim.trials = %d, want 800", got)
 	}
+	q, ok := snap.Quantiles["sim.saved_work"]
+	if !ok || q.Count != 800 {
+		t.Errorf("sim.saved_work quantile sketch = %+v, want 800 samples", q)
+	}
+	if !(q.Min >= 0 && q.P50 >= q.Min && q.P90 >= q.P50 && q.P99 >= q.P90 && q.Max >= q.P99 && q.Max <= 29) {
+		t.Errorf("sim.saved_work quantiles out of order or range: %+v", q)
+	}
+	// The fixed-layout histogram is legacy and only bound behind -hist.
+	if h, ok := snap.Hists["sim.saved_work"]; ok {
+		t.Errorf("sim.saved_work histogram bound without -hist: %+v", h)
+	}
+}
+
+// TestMetricsHistFlagKeepsLegacyHistogram checks the deprecated fixed
+// [0, R) histogram of saved work is still bound while -hist is given.
+func TestMetricsHistFlagKeepsLegacyHistogram(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-R", "29", "-task", "norm:3,0.5@[0,inf]", "-ckpt", "norm:5,0.4@[0,inf]",
+		"-trials", "400", "-seed", "7", "-strategies", "dynamic",
+		"-hist", "-metrics", path,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap reskit.ObsSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	// 400 Monte-Carlo trials plus the 400 reservations printHistogram
+	// re-simulates for the ASCII chart, all with the observer attached.
 	if h, ok := snap.Hists["sim.saved_work"]; !ok || h.Count != 800 {
-		t.Errorf("sim.saved_work histogram count = %+v, want 800 samples", h)
+		t.Errorf("sim.saved_work histogram = %+v, want 800 samples under -hist", h)
+	}
+	if q, ok := snap.Quantiles["sim.saved_work"]; !ok || q.Count != 800 {
+		t.Errorf("sim.saved_work quantile sketch = %+v, want 800 samples alongside -hist", q)
 	}
 }
 

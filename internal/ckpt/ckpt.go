@@ -31,15 +31,16 @@ import (
 	"reskit/internal/atomicio"
 )
 
-// Kind distinguishes the two sharded Monte-Carlo runners: the payload
-// encodings differ, so resuming a run of one kind with a snapshot of the
-// other is a config mismatch.
+// Kind distinguishes the sharded run shapes: the payload encodings
+// differ, so resuming a run of one kind with a snapshot of another is a
+// config mismatch.
 type Kind uint8
 
 // Snapshot kinds.
 const (
 	KindMonteCarlo Kind = 1 // per-reservation Monte-Carlo (sim.MonteCarlo*)
 	KindCampaign   Kind = 2 // multi-reservation campaign (sim.MonteCarloCampaign*)
+	KindJobs       Kind = 3 // grid of engine jobs (internal/engine), one payload per job
 )
 
 // String returns the kind name.
@@ -49,6 +50,8 @@ func (k Kind) String() string {
 		return "montecarlo"
 	case KindCampaign:
 		return "campaign"
+	case KindJobs:
+		return "jobs"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -213,7 +216,7 @@ func Decode(data []byte) (*State, error) {
 		BlockSize:   int64(binary.LittleEndian.Uint64(data[37:45])),
 		NumBlocks:   int64(binary.LittleEndian.Uint64(data[45:53])),
 	}
-	if s.Kind != KindMonteCarlo && s.Kind != KindCampaign {
+	if s.Kind != KindMonteCarlo && s.Kind != KindCampaign && s.Kind != KindJobs {
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, uint8(s.Kind))
 	}
 	if s.Trials <= 0 || s.BlockSize <= 0 || s.NumBlocks <= 0 {

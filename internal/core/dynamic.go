@@ -114,10 +114,24 @@ func (d *Dynamic) expectedContinue(work, budget float64) float64 {
 		return 0
 	}
 	if d.TaskDisc != nil {
-		jMax := int(math.Floor(budget))
+		// One CDFBatch call covers P(C <= budget-j) for every feasible
+		// task count, mirroring the batched continuous kernel below.
+		s := dynPool.Get().(*dynScratch)
+		defer dynPool.Put(s)
+		n := int(math.Floor(budget)) + 1
+		s.grow(n)
+		ws, cs := s.ws[:n], s.cs[:n]
+		for j := range ws {
+			ws[j] = budget - float64(j)
+		}
+		d.ckptB.CDFBatch(ws, cs)
 		var sum float64
-		for j := 0; j <= jMax; j++ {
-			sum += (float64(j) + work) * d.ckptProb(budget-float64(j)) * d.TaskDisc.PMF(j)
+		for j := range ws {
+			c := cs[j]
+			if ws[j] <= 0 {
+				c = 0
+			}
+			sum += (float64(j) + work) * c * d.TaskDisc.PMF(j)
 		}
 		return sum
 	}
@@ -254,13 +268,26 @@ func (d *Dynamic) ensureTable(ctx context.Context) error {
 func (d *Dynamic) exactCoefficients(budget float64) (a, b float64) {
 	pc := d.ckptProb(budget)
 	if d.TaskDisc != nil {
-		jMax := int(math.Floor(budget))
+		// Batched like expectedContinue: the checkpoint CDF over all
+		// feasible task counts comes from a single CDFBatch call.
+		s := dynPool.Get().(*dynScratch)
+		defer dynPool.Put(s)
+		n := int(math.Floor(budget)) + 1
+		s.grow(n)
+		ws, cs := s.ws[:n], s.cs[:n]
+		for j := range ws {
+			ws[j] = budget - float64(j)
+		}
+		d.ckptB.CDFBatch(ws, cs)
 		var sumP, sumXP float64
-		for j := 0; j <= jMax; j++ {
+		for j := range ws {
+			c := cs[j]
+			if ws[j] <= 0 {
+				c = 0
+			}
 			pj := d.TaskDisc.PMF(j)
-			pcj := d.ckptProb(budget - float64(j))
-			sumP += pcj * pj
-			sumXP += float64(j) * pcj * pj
+			sumP += c * pj
+			sumXP += float64(j) * c * pj
 		}
 		return pc - sumP, sumXP
 	}

@@ -1,0 +1,294 @@
+// Package engine is the single execution path shared by every
+// experiment mode of the toolchain: a run is a list of deterministic
+// Jobs (one Monte-Carlo block, one sweep cell, one figure), and the
+// engine owns everything around them — worker sharding, per-job rng
+// substreams, cooperative cancellation with a graceful drain, durable
+// snapshot/restore at job granularity (internal/ckpt), atomic artifact
+// writing (internal/atomicio), and obs instrumentation.
+//
+// The determinism contract mirrors the sharded Monte-Carlo runners the
+// engine generalizes: a Job must depend only on the spec configuration
+// and the rng substream it is handed, so its payload bytes are a pure
+// function of (config, seed, stream). Payloads are merged by the caller
+// in job order, which makes the final result bit-identical for any
+// worker count — and makes a completed job a resumable unit: restoring
+// committed payloads from a snapshot and recomputing only the missing
+// jobs reproduces an uninterrupted run exactly.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reskit/internal/atomicio"
+	"reskit/internal/ckpt"
+	"reskit/internal/obs"
+	"reskit/internal/rng"
+)
+
+// Artifact is one output file produced by a job. The engine writes it
+// via write-temp-fsync-rename after the job returns, so a crash can
+// never leave a truncated artifact at the destination path.
+type Artifact struct {
+	Path string
+	Data []byte
+	Perm os.FileMode // 0 means 0o644
+}
+
+// JobResult carries a job's outputs back to the engine: an opaque
+// payload (persisted in snapshots, merged by the caller in job order)
+// and any artifacts to write atomically.
+type JobResult struct {
+	Payload   []byte
+	Artifacts []Artifact
+}
+
+// Job is one deterministic unit of a run.
+type Job struct {
+	// Name labels the job in errors and progress ("mtbf=50/block3").
+	Name string
+	// Stream selects the rng substream: Run receives
+	// rng.NewStream(spec.Seed, Stream). Distinct jobs may share a
+	// stream value (e.g. block b of every strategy in a comparison
+	// draws stream b, exactly as a standalone run of that strategy
+	// would) — determinism only requires that the mapping is fixed.
+	Stream uint64
+	// Run executes the job. It must return ctx.Err() when cancelled
+	// mid-job: the engine treats context errors as interruption (the
+	// job is simply not recorded and can be re-run on resume), and any
+	// other error as a run-aborting failure.
+	Run func(ctx context.Context, src *rng.Source) (JobResult, error)
+}
+
+// Checkpoint configures durable run state.
+type Checkpoint struct {
+	Path     string        // snapshot file ("" disables the layer)
+	Interval time.Duration // min interval between snapshots (<= 0: 10s)
+	Resume   bool          // restore completed jobs from Path first
+}
+
+// Spec describes a run: the job list, the reproducibility contract
+// (seed and config fingerprint), and the operational knobs.
+type Spec struct {
+	Jobs        []Job
+	Seed        uint64
+	Fingerprint uint64 // hash of every configuration facet shaping payloads
+	Workers     int    // parallel workers (<= 0: all CPUs)
+
+	Checkpoint Checkpoint
+
+	// Check, when set, validates each restored payload before the run
+	// trusts it. A failure aborts the run with an error: a payload that
+	// passed the snapshot CRC but does not parse means the snapshot
+	// belongs to an incompatible build, and silently re-running the job
+	// could mask real corruption.
+	Check func(job int, payload []byte) error
+
+	// Log receives resume fallbacks and checkpoint warnings (nil
+	// discards them).
+	Log io.Writer
+
+	// Reg, when non-nil, binds the engine's instruments — the
+	// "engine.jobs_total" gauge, the "engine.jobs_done" and
+	// "engine.jobs_restored" counters — plus the checkpoint writer's
+	// "ckpt.*" set.
+	Reg *obs.Registry
+
+	// Progress, when non-nil, is ticked once per job; restored jobs
+	// tick immediately on resume.
+	Progress *obs.Progress
+}
+
+// Result reports a run.
+type Result struct {
+	// Payloads holds one entry per job, in job order; nil marks a job
+	// that did not run (interrupted or failed before completing).
+	Payloads [][]byte
+	Restored int // jobs restored from the snapshot
+	Fresh    int // jobs completed by this run
+}
+
+// Done returns the number of jobs with a recorded payload.
+func (r *Result) Done() int { return r.Restored + r.Fresh }
+
+// Total returns the number of jobs in the spec.
+func (r *Result) Total() int { return len(r.Payloads) }
+
+// Run executes the spec: it restores completed jobs from the snapshot
+// (validating them first), dispatches the remaining jobs to a worker
+// pool with one rng substream each, commits every completed payload,
+// writes artifacts atomically, and on cancellation drains workers at the
+// next job boundary and flushes a final snapshot. The returned error is
+// ctx.Err() after an interruption — the partial Result is valid and the
+// snapshot resumable — or the first real failure (job error, unusable
+// restored payload, artifact or snapshot write error).
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	n := len(spec.Jobs)
+	res := &Result{Payloads: make([][]byte, n)}
+	if n == 0 {
+		return res, ctx.Err()
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	logw := spec.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+	spec.Reg.Gauge("engine.jobs_total").Set(float64(n))
+	doneCtr := spec.Reg.Counter("engine.jobs_done")
+
+	var writer *ckpt.Writer
+	skip := make([]bool, n)
+	if spec.Checkpoint.Path != "" {
+		st := ckpt.New(ckpt.KindJobs, spec.Fingerprint, spec.Seed, int64(n), 1)
+		if spec.Checkpoint.Resume {
+			loaded, lerr := ckpt.Load(spec.Checkpoint.Path)
+			switch {
+			case errors.Is(lerr, os.ErrNotExist):
+				fmt.Fprintf(logw, "resume: no snapshot at %s; starting fresh\n", spec.Checkpoint.Path)
+			case lerr != nil:
+				fmt.Fprintf(logw, "resume: snapshot unusable (%v); starting fresh\n", lerr)
+			default:
+				if cerr := loaded.Check(ckpt.KindJobs, spec.Fingerprint, spec.Seed, int64(n), 1); cerr != nil {
+					fmt.Fprintf(logw, "resume: snapshot does not match this run (%v); starting fresh\n", cerr)
+				} else {
+					st = loaded
+					fmt.Fprintf(logw, "resume: restoring %d/%d jobs from %s\n", st.Done(), st.NumBlocks, spec.Checkpoint.Path)
+				}
+			}
+		}
+		writer = ckpt.NewWriter(spec.Checkpoint.Path, spec.Checkpoint.Interval, st)
+		writer.Instrument(spec.Reg)
+		restoredCtr := spec.Reg.Counter("engine.jobs_restored")
+		for i := 0; i < n; i++ {
+			payload := writer.Restore(i)
+			if payload == nil {
+				continue
+			}
+			if spec.Check != nil {
+				if err := spec.Check(i, payload); err != nil {
+					return res, fmt.Errorf("engine: restoring job %d (%s): %w", i, spec.Jobs[i].Name, err)
+				}
+			}
+			res.Payloads[i] = payload
+			skip[i] = true
+			res.Restored++
+			restoredCtr.Inc()
+			spec.Progress.Add(1)
+		}
+	}
+
+	// A real job failure cancels the run; the first one wins. Context
+	// errors are interruption, not failure — unless the job invented
+	// one while the run context is still live, which would otherwise
+	// silently drop the job.
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		failOnce sync.Once
+		jobErr   error
+	)
+	fail := func(err error) {
+		failOnce.Do(func() {
+			jobErr = err
+			cancel()
+		})
+	}
+
+	var fresh atomic.Int64
+	jobs := make(chan int)
+	done := jobCtx.Done()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				job := spec.Jobs[i]
+				jr, err := job.Run(jobCtx, rng.NewStream(spec.Seed, job.Stream))
+				if err != nil {
+					if isContextErr(err) && jobCtx.Err() != nil {
+						return // drained cleanly at the job boundary
+					}
+					fail(fmt.Errorf("engine: job %d (%s): %w", i, job.Name, err))
+					return
+				}
+				if err := writeArtifacts(jr.Artifacts); err != nil {
+					fail(fmt.Errorf("engine: job %d (%s): %w", i, job.Name, err))
+					return
+				}
+				res.Payloads[i] = jr.Payload // distinct index per job: no races
+				if writer != nil {
+					writer.Commit(i, jr.Payload)
+				}
+				fresh.Add(1)
+				doneCtr.Inc()
+				spec.Progress.Add(1)
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		if skip[i] {
+			continue
+		}
+		select {
+		case jobs <- i:
+		case <-done:
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	res.Fresh = int(fresh.Load())
+
+	if writer != nil {
+		if jobErr == nil {
+			if ferr := writer.Flush(); ferr != nil {
+				jobErr = fmt.Errorf("engine: writing final snapshot: %w", ferr)
+			}
+		}
+		if jobErr == nil && ctx.Err() == nil && res.Done() == n {
+			// The run completed: the snapshot has served its purpose, and
+			// leaving it around would only invite a stale resume later.
+			if rerr := os.Remove(spec.Checkpoint.Path); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+				fmt.Fprintf(logw, "checkpoint: completed but could not remove %s: %v\n", spec.Checkpoint.Path, rerr)
+			}
+		}
+	}
+	if jobErr != nil {
+		return res, jobErr
+	}
+	return res, ctx.Err()
+}
+
+// isContextErr classifies cancellation and deadline errors.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// writeArtifacts persists a job's artifacts, each atomically.
+func writeArtifacts(arts []Artifact) error {
+	for _, a := range arts {
+		perm := a.Perm
+		if perm == 0 {
+			perm = 0o644
+		}
+		if err := atomicio.WriteFile(a.Path, a.Data, perm); err != nil {
+			return fmt.Errorf("artifact %s: %w", a.Path, err)
+		}
+	}
+	return nil
+}

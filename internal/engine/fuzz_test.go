@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"reskit/internal/ckpt"
+	"reskit/internal/rng"
+)
+
+// FuzzResumeSnapshot feeds arbitrary bytes to the engine's resume path
+// as the on-disk snapshot. Whatever the file contains — garbage, a
+// truncated snapshot, a forged one with hostile geometry or payloads —
+// the engine must not panic, must fall back to a fresh run (or abort
+// with a validation error) rather than trust bad payloads, and any run
+// that does complete must reproduce the reference payloads exactly.
+func FuzzResumeSnapshot(f *testing.F) {
+	const n = 4
+	ref := make([][]byte, n)
+	for i := range ref {
+		ref[i] = binary.LittleEndian.AppendUint64(nil, rng.NewStream(42, uint64(i)).Uint64())
+	}
+
+	f.Add([]byte{})
+	f.Add([]byte("not a snapshot"))
+	good := ckpt.New(ckpt.KindJobs, 7, 42, n, 1)
+	good.Blocks[0] = ref[0]
+	good.Blocks[2] = ref[2]
+	f.Add(good.Encode())
+	forged := ckpt.New(ckpt.KindJobs, 7, 42, n, 1)
+	forged.Blocks[1] = []byte("wrong size payload")
+	f.Add(forged.Encode())
+	wrongKind := ckpt.New(ckpt.KindCampaign, 7, 42, n, 1)
+	f.Add(wrongKind.Encode())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.ckpt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		spec := Spec{Seed: 42, Fingerprint: 7, Workers: 2}
+		for i := 0; i < n; i++ {
+			i := i
+			spec.Jobs = append(spec.Jobs, Job{
+				Name:   fmt.Sprintf("job%d", i),
+				Stream: uint64(i),
+				Run: func(ctx context.Context, src *rng.Source) (JobResult, error) {
+					return JobResult{Payload: binary.LittleEndian.AppendUint64(nil, src.Uint64())}, nil
+				},
+			})
+		}
+		spec.Checkpoint = Checkpoint{Path: path, Resume: true}
+		spec.Check = func(job int, payload []byte) error {
+			if len(payload) != 8 {
+				return fmt.Errorf("payload %d bytes, want 8", len(payload))
+			}
+			return nil
+		}
+		res, err := Run(context.Background(), spec)
+		if err != nil {
+			// The only acceptable failure is restore validation refusing a
+			// forged payload; the engine never runs jobs before that.
+			if res.Fresh != 0 {
+				t.Fatalf("jobs ran despite restore failure: %v", err)
+			}
+			return
+		}
+		if res.Done() != n {
+			t.Fatalf("clean run finished %d/%d jobs", res.Done(), n)
+		}
+		for i := range ref {
+			if !bytes.Equal(res.Payloads[i], ref[i]) {
+				t.Fatalf("payload %d differs after resume from fuzzed snapshot", i)
+			}
+		}
+	})
+}

@@ -9,11 +9,25 @@ import (
 	"reskit/internal/plot"
 )
 
-// Extended returns the repository's own ablation figures, beyond the ten
-// the paper prints. They carry no paper reference values (Check is
-// vacuous); EXPERIMENTS.md discusses the measured shapes.
+// ExtendedGenerators returns the repository's own ablation figures as
+// lazy generators, beyond the ten the paper prints. They carry no paper
+// reference values (Check is vacuous); EXPERIMENTS.md discusses the
+// measured shapes.
+func ExtendedGenerators() []Generator {
+	return []Generator{
+		{"ext1", ExtGainVsSpread}, {"ext2", ExtAdaptivityVsCV},
+		{"ext3", ExtDPValueFunction}, {"ext4", ExtMisspecification},
+	}
+}
+
+// Extended regenerates every ablation figure, in order.
 func Extended() []Figure {
-	return []Figure{ExtGainVsSpread(), ExtAdaptivityVsCV(), ExtDPValueFunction(), ExtMisspecification()}
+	gens := ExtendedGenerators()
+	figs := make([]Figure, len(gens))
+	for i, g := range gens {
+		figs[i] = g.Make()
+	}
+	return figs
 }
 
 // ExtGainVsSpread quantifies the Section 3 take-away as a curve: the

@@ -63,12 +63,32 @@ func (f *Figure) Check() []string {
 	return bad
 }
 
+// Generator lazily builds one figure: the ID is known up front (for
+// selection and job labels), the expensive computation runs only when
+// Make is called. The job engine turns each generator into one job.
+type Generator struct {
+	ID   string
+	Make func() Figure
+}
+
+// Generators returns the paper's figures as lazy generators, in order.
+func Generators() []Generator {
+	return []Generator{
+		{"fig1a", Fig1a}, {"fig1b", Fig1b}, {"fig2a", Fig2a}, {"fig2b", Fig2b},
+		{"fig3a", Fig3a}, {"fig3b", Fig3b}, {"fig4a", Fig4a}, {"fig4b", Fig4b},
+		{"fig5", Fig5}, {"fig6", Fig6}, {"fig7", Fig7}, {"fig8", Fig8},
+		{"fig9", Fig9}, {"fig10", Fig10},
+	}
+}
+
 // All regenerates every figure of the paper, in order.
 func All() []Figure {
-	return []Figure{
-		Fig1a(), Fig1b(), Fig2a(), Fig2b(), Fig3a(), Fig3b(),
-		Fig4a(), Fig4b(), Fig5(), Fig6(), Fig7(), Fig8(), Fig9(), Fig10(),
+	gens := Generators()
+	figs := make([]Figure, len(gens))
+	for i, g := range gens {
+		figs[i] = g.Make()
 	}
+	return figs
 }
 
 // preemptibleFigure builds a Section 3 figure from a problem instance.

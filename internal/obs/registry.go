@@ -20,6 +20,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Hist
+	quants   map[string]*Quantiles
 }
 
 // NewRegistry returns an empty registry.
@@ -28,6 +29,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Hist),
+		quants:   make(map[string]*Quantiles),
 	}
 }
 
@@ -84,13 +86,31 @@ func (r *Registry) Hist(name string, lo, hi float64, buckets int) *Hist {
 	return h
 }
 
+// Quantiles returns the named quantile sketch, creating it on first
+// use. Unlike Hist there is no layout to agree on: the sketch adapts to
+// the observed range.
+func (r *Registry) Quantiles(name string) *Quantiles {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	q, ok := r.quants[name]
+	if !ok {
+		q = &Quantiles{}
+		r.quants[name] = q
+	}
+	return q
+}
+
 // Snapshot is a point-in-time copy of every instrument in a registry,
 // shaped for JSON encoding (stable key order comes from the maps being
 // marshalled with sorted keys by encoding/json).
 type Snapshot struct {
-	Counters map[string]int64        `json:"counters,omitempty"`
-	Gauges   map[string]float64      `json:"gauges,omitempty"`
-	Hists    map[string]HistSnapshot `json:"histograms,omitempty"`
+	Counters  map[string]int64             `json:"counters,omitempty"`
+	Gauges    map[string]float64           `json:"gauges,omitempty"`
+	Hists     map[string]HistSnapshot      `json:"histograms,omitempty"`
+	Quantiles map[string]QuantilesSnapshot `json:"quantiles,omitempty"`
 }
 
 // Snapshot copies the current value of every instrument.
@@ -119,6 +139,12 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Hists[n] = h.Snapshot()
 		}
 	}
+	if len(r.quants) > 0 {
+		s.Quantiles = make(map[string]QuantilesSnapshot, len(r.quants))
+		for n, q := range r.quants {
+			s.Quantiles[n] = q.Snapshot()
+		}
+	}
 	return s
 }
 
@@ -130,7 +156,7 @@ func (r *Registry) Names() []string {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.quants))
 	for n := range r.counters {
 		names = append(names, n)
 	}
@@ -138,6 +164,9 @@ func (r *Registry) Names() []string {
 		names = append(names, n)
 	}
 	for n := range r.hists {
+		names = append(names, n)
+	}
+	for n := range r.quants {
 		names = append(names, n)
 	}
 	sort.Strings(names)

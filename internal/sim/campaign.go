@@ -192,7 +192,6 @@ func monteCarloCampaignRunner(ctx context.Context, cfg CampaignConfig, trials in
 	}
 	done := ctx.Done()
 	ob := cfg.Reservation.Obs
-	tracing := ob != nil && ob.Trace != nil
 	parts := make([]campaignPartial, numBlocks)
 	// Blocks persisted by a previous interrupted run are restored into
 	// parts and never dispatched; only the missing blocks are simulated.
@@ -208,41 +207,9 @@ func monteCarloCampaignRunner(ctx context.Context, cfg CampaignConfig, trials in
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Per-goroutine config copy, so the per-trial index stamp for
-			// deterministic trace sampling never races other workers.
-			wcfg := cfg
 			for b := range blocks {
-				lo := b * campaignBlockSize
-				hi := lo + campaignBlockSize
-				if hi > trials {
-					hi = trials
-				}
 				src := rng.NewStream(seed, uint64(b))
-				var p campaignPartial
-				complete := true
-				for i := lo; i < hi; i++ {
-					if tracing {
-						wcfg.Reservation.trial = int64(i)
-					}
-					r, interrupted := runCampaign(wcfg, src, done)
-					if interrupted {
-						complete = false
-						break
-					}
-					ob.tickCampaign()
-					ob.tickProgress(1)
-					ob.tickProgressWork(int64(r.Reservations), r.Committed)
-					p.res += float64(r.Reservations)
-					p.util += r.Utilization()
-					p.lost += r.LostWork
-					p.ckptFaults += float64(r.CkptFaults)
-					p.crashes += float64(r.Crashes)
-					p.revoked += float64(r.RevokedRes)
-					if r.Completed {
-						p.completed++
-					}
-					p.trials++
-				}
+				p, complete := runCampaignBlock(cfg, trials, b, src, done)
 				parts[b] = p
 				// Interrupted blocks keep their partial sums in the
 				// returned aggregate but are never committed: a resume
@@ -271,26 +238,76 @@ dispatch:
 	var agg CampaignAggregate
 	var sum campaignPartial
 	for _, p := range parts {
-		sum.res += p.res
-		sum.util += p.util
-		sum.lost += p.lost
-		sum.ckptFaults += p.ckptFaults
-		sum.crashes += p.crashes
-		sum.revoked += p.revoked
-		sum.completed += p.completed
-		sum.trials += p.trials
+		sum.add(p)
 	}
 	agg.Trials = sum.trials
 	if sum.trials > 0 {
-		n := float64(sum.trials)
-		agg.Reservations = sum.res / n
-		agg.Utilization = sum.util / n
-		agg.LostWork = sum.lost / n
-		agg.CkptFaults = sum.ckptFaults / n
-		agg.Crashes = sum.crashes / n
-		agg.RevokedRes = sum.revoked / n
-		agg.CompletionRate = float64(sum.completed) / n
-		agg.CompletedAll = sum.completed == sum.trials
+		finalizeCampaignAggregate(&agg, &sum)
 	}
 	return agg, ctx.Err()
+}
+
+// runCampaignBlock simulates the campaign trials of block b
+// ([b*campaignBlockSize, ...)) on src and returns the block's running
+// sums. cfg is received by value, so the per-trial index stamp for
+// deterministic trace sampling never races other workers. complete is
+// false when done fired mid-campaign — such a block must never be
+// committed as durable state.
+func runCampaignBlock(cfg CampaignConfig, trials, b int, src *rng.Source, done <-chan struct{}) (p campaignPartial, complete bool) {
+	lo := b * campaignBlockSize
+	hi := lo + campaignBlockSize
+	if hi > trials {
+		hi = trials
+	}
+	ob := cfg.Reservation.Obs
+	tracing := ob != nil && ob.Trace != nil
+	for i := lo; i < hi; i++ {
+		if tracing {
+			cfg.Reservation.trial = int64(i)
+		}
+		r, interrupted := runCampaign(cfg, src, done)
+		if interrupted {
+			return p, false
+		}
+		ob.tickCampaign()
+		ob.tickProgress(1)
+		ob.tickProgressWork(int64(r.Reservations), r.Committed)
+		p.res += float64(r.Reservations)
+		p.util += r.Utilization()
+		p.lost += r.LostWork
+		p.ckptFaults += float64(r.CkptFaults)
+		p.crashes += float64(r.Crashes)
+		p.revoked += float64(r.RevokedRes)
+		if r.Completed {
+			p.completed++
+		}
+		p.trials++
+	}
+	return p, true
+}
+
+// add folds another block's running sums into p.
+func (p *campaignPartial) add(o campaignPartial) {
+	p.res += o.res
+	p.util += o.util
+	p.lost += o.lost
+	p.ckptFaults += o.ckptFaults
+	p.crashes += o.crashes
+	p.revoked += o.revoked
+	p.completed += o.completed
+	p.trials += o.trials
+}
+
+// finalizeCampaignAggregate turns summed block partials into the mean
+// aggregate; sum.trials must be positive.
+func finalizeCampaignAggregate(agg *CampaignAggregate, sum *campaignPartial) {
+	n := float64(sum.trials)
+	agg.Reservations = sum.res / n
+	agg.Utilization = sum.util / n
+	agg.LostWork = sum.lost / n
+	agg.CkptFaults = sum.ckptFaults / n
+	agg.Crashes = sum.crashes / n
+	agg.RevokedRes = sum.revoked / n
+	agg.CompletionRate = float64(sum.completed) / n
+	agg.CompletedAll = sum.completed == sum.trials
 }

@@ -116,7 +116,6 @@ func monteCarloRunner(ctx context.Context, cfg Config, trials int, seed uint64, 
 		workers = numBlocks
 	}
 	done := ctx.Done()
-	tracing := cfg.Obs != nil && cfg.Obs.Trace != nil
 	parts := make([]Aggregate, numBlocks)
 	// Blocks persisted by a previous interrupted run are restored into
 	// parts and never dispatched; only the missing blocks are simulated.
@@ -132,40 +131,20 @@ func monteCarloRunner(ctx context.Context, cfg Config, trials int, seed uint64, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Per-goroutine config copy: the trial index is stamped on it
-			// for deterministic trace sampling without racing the shared
-			// closure variable.
-			wcfg := cfg
 			for b := range blocks {
-				lo := b * mcBlockSize
-				hi := lo + mcBlockSize
-				if hi > trials {
-					hi = trials
-				}
 				src := rng.NewStream(seed, uint64(b))
-				for i := lo; i < hi; i++ {
-					if done != nil {
-						select {
-						case <-done:
-							// The block is incomplete: its partial tallies
-							// stay in the returned aggregate but are never
-							// committed — a resume re-runs it from scratch.
-							return
-						default:
-						}
-					}
-					if tracing {
-						wcfg.trial = int64(i)
-					}
-					rr := run(wcfg, src)
-					parts[b].add(rr)
-					wcfg.Obs.tickProgress(1)
-					wcfg.Obs.tickProgressWork(1, rr.Saved)
+				agg, complete := runMCBlock(cfg, trials, b, src, run, done)
+				parts[b] = agg
+				if !complete {
+					// The block is incomplete: its partial tallies stay in
+					// the returned aggregate but are never committed — a
+					// resume re-runs it from scratch.
+					return
 				}
 				if ck != nil {
 					ck.Commit(b, encodeAggregate(&parts[b]))
 				}
-				wcfg.Obs.tickBlock()
+				cfg.Obs.tickBlock()
 			}
 		}()
 	}
@@ -188,4 +167,38 @@ dispatch:
 		total.merge(p)
 	}
 	return total, ctx.Err()
+}
+
+// runMCBlock simulates the trials of block b ([b*mcBlockSize, ...)) on
+// src and returns the block aggregate. cfg is received by value, so the
+// per-trial index stamp for deterministic trace sampling never races
+// other workers. complete is false when done fired mid-block — the
+// partial tallies are still returned, but such a block must never be
+// committed as durable state.
+func runMCBlock(cfg Config, trials, b int, src *rng.Source,
+	run func(Config, *rng.Source) RunResult, done <-chan struct{}) (agg Aggregate, complete bool) {
+
+	lo := b * mcBlockSize
+	hi := lo + mcBlockSize
+	if hi > trials {
+		hi = trials
+	}
+	tracing := cfg.Obs != nil && cfg.Obs.Trace != nil
+	for i := lo; i < hi; i++ {
+		if done != nil {
+			select {
+			case <-done:
+				return agg, false
+			default:
+			}
+		}
+		if tracing {
+			cfg.trial = int64(i)
+		}
+		rr := run(cfg, src)
+		agg.add(rr)
+		cfg.Obs.tickProgress(1)
+		cfg.Obs.tickProgressWork(1, rr.Saved)
+	}
+	return agg, true
 }

@@ -25,7 +25,14 @@ type Observer struct {
 	Revocations *obs.Counter // reservations revoked before their nominal end
 	ZeroRuns    *obs.Counter // runs that saved no work
 	Campaigns   *obs.Counter // completed campaign trials (campaign Monte-Carlo only)
-	SavedWork   *obs.Hist    // distribution of per-reservation saved work
+
+	// SavedQ sketches the distribution of per-reservation saved work
+	// without a fixed layout (quantiles adapt to the observed range).
+	SavedQ *obs.Quantiles
+	// SavedWork is the legacy fixed-layout [0, savedMax) histogram of
+	// the same metric, kept one release behind the -hist flag; SavedQ is
+	// the supported distribution instrument.
+	SavedWork *obs.Hist
 
 	// Trace, when non-nil, receives the event stream of sampled trials:
 	// task-end, checkpoint-start, commit, fault and revocation events
@@ -43,10 +50,12 @@ type Observer struct {
 }
 
 // NewObserver binds the canonical instrument set on reg under the "sim."
-// prefix, with the saved-work histogram spanning [0, savedMax). A nil
-// registry yields an Observer whose instruments are all nil (still
-// usable, still free); callers wanting tracing or progress set those
-// fields afterwards.
+// prefix. The saved-work distribution is always tracked by the
+// "sim.saved_work" quantile sketch; the legacy fixed-layout histogram of
+// the same name is additionally bound only when savedMax > 0 (the CLI
+// maps the -hist flag onto it). A nil registry yields an Observer whose
+// instruments are all nil (still usable, still free); callers wanting
+// tracing or progress set those fields afterwards.
 func NewObserver(reg *obs.Registry, savedMax float64) *Observer {
 	o := &Observer{
 		Trials:      reg.Counter("sim.trials"),
@@ -59,6 +68,9 @@ func NewObserver(reg *obs.Registry, savedMax float64) *Observer {
 		Revocations: reg.Counter("sim.revocations"),
 		ZeroRuns:    reg.Counter("sim.zero_runs"),
 		Campaigns:   reg.Counter("sim.campaigns"),
+	}
+	if reg != nil {
+		o.SavedQ = reg.Quantiles("sim.saved_work")
 	}
 	if reg != nil && savedMax > 0 {
 		o.SavedWork = reg.Hist("sim.saved_work", 0, savedMax, 20)
@@ -85,6 +97,7 @@ func (o *Observer) record(res RunResult) {
 	if res.Saved == 0 {
 		o.ZeroRuns.Inc()
 	}
+	o.SavedQ.Observe(res.Saved)
 	o.SavedWork.Observe(res.Saved)
 }
 

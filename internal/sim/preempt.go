@@ -41,14 +41,7 @@ func RunPreemptibleOnce(p *core.Preemptible, x float64, r *rng.Source) float64 {
 // independent reservations with the checkpoint started x before the end,
 // split across `workers` parallel substreams of seed.
 func MonteCarloPreemptible(p *core.Preemptible, x float64, trials int, seed uint64, workers int) PreemptibleAggregate {
-	return preemptibleRunner(trials, seed, workers,
-		func(src *rng.Source) (float64, bool) {
-			c := p.C.Sample(src)
-			if c <= x && x <= p.R {
-				return p.R - x, true
-			}
-			return 0, false
-		})
+	return preemptibleRunner(trials, seed, workers, preemptTrial(p, x, false))
 }
 
 // MonteCarloPreemptibleOracle simulates the clairvoyant policy that
@@ -56,14 +49,65 @@ func MonteCarloPreemptible(p *core.Preemptible, x float64, trials int, seed uint
 // exactly C seconds before the end, saving R - C every time. It is the
 // per-trial upper bound on any X policy.
 func MonteCarloPreemptibleOracle(p *core.Preemptible, trials int, seed uint64, workers int) PreemptibleAggregate {
-	return preemptibleRunner(trials, seed, workers,
-		func(src *rng.Source) (float64, bool) {
+	return preemptibleRunner(trials, seed, workers, preemptTrial(p, 0, true))
+}
+
+// preemptPartial accumulates one block's preemptible-trial sums.
+type preemptPartial struct {
+	work      stats.Summary
+	successes int64
+	trials    int64
+}
+
+// preemptTrial returns the per-trial sampler of the given policy: the
+// fixed lead-time x, or (oracle) the clairvoyant plan that observes the
+// realized checkpoint duration.
+func preemptTrial(p *core.Preemptible, x float64, oracle bool) func(*rng.Source) (float64, bool) {
+	if oracle {
+		return func(src *rng.Source) (float64, bool) {
 			c := p.C.Sample(src)
 			if c > p.R {
 				return 0, false
 			}
 			return p.R - c, true
-		})
+		}
+	}
+	return func(src *rng.Source) (float64, bool) {
+		c := p.C.Sample(src)
+		if c <= x && x <= p.R {
+			return p.R - x, true
+		}
+		return 0, false
+	}
+}
+
+// runPreemptBlock simulates the trials of block b ([b*mcBlockSize, ...))
+// on src. complete is false when done fired mid-block; such a block must
+// never be committed as durable state.
+func runPreemptBlock(trial func(*rng.Source) (float64, bool), trials, b int,
+	src *rng.Source, done <-chan struct{}) (p preemptPartial, complete bool) {
+
+	lo := b * mcBlockSize
+	hi := lo + mcBlockSize
+	if hi > trials {
+		hi = trials
+	}
+	for i := lo; i < hi; i++ {
+		if done != nil {
+			select {
+			case <-done:
+				return p, false
+			default:
+			}
+		}
+		v, ok := trial(src)
+		p.work.Add(v)
+		if ok {
+			p.successes++
+		}
+		p.trials++
+	}
+	return p, true
 }
 
 func preemptibleRunner(trials int, seed uint64, workers int,
@@ -75,18 +119,13 @@ func preemptibleRunner(trials int, seed uint64, workers int,
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	type part struct {
-		work      stats.Summary
-		successes int64
-		trials    int64
-	}
 	// Fixed-size blocks, one rng substream per block: the aggregate is
 	// independent of the worker count (see MonteCarlo).
 	numBlocks := (trials + mcBlockSize - 1) / mcBlockSize
 	if workers > numBlocks {
 		workers = numBlocks
 	}
-	parts := make([]part, numBlocks)
+	parts := make([]preemptPartial, numBlocks)
 	blocks := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -94,20 +133,8 @@ func preemptibleRunner(trials int, seed uint64, workers int,
 		go func() {
 			defer wg.Done()
 			for b := range blocks {
-				lo := b * mcBlockSize
-				hi := lo + mcBlockSize
-				if hi > trials {
-					hi = trials
-				}
 				src := rng.NewStream(seed, uint64(b))
-				for i := lo; i < hi; i++ {
-					v, ok := trial(src)
-					parts[b].work.Add(v)
-					if ok {
-						parts[b].successes++
-					}
-					parts[b].trials++
-				}
+				parts[b], _ = runPreemptBlock(trial, trials, b, src, nil)
 			}
 		}()
 	}

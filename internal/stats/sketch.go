@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// QSketch is a bounded-memory quantile sketch in the t-digest family:
+// samples are folded into weighted centroids whose resolution follows
+// the k1 scale function k(q) = δ/(2π)·asin(2q−1), so the tails keep
+// near-exact resolution while the middle of the distribution is
+// compressed. Unlike a fixed-layout Histogram it needs no a-priori
+// range: any stream of finite values yields usable quantiles, and the
+// memory stays O(δ) however long the stream runs.
+//
+// The zero value is ready to use with the default compression. QSketch
+// is not safe for concurrent use; wrap it (obs.Quantiles does) when
+// observing from parallel workers.
+type QSketch struct {
+	compression float64 // δ; 0 means defaultCompression
+	cents       []qcentroid
+	pend        []float64 // unsorted samples awaiting a merge pass
+	count       int64     // finite samples absorbed (cents + pend)
+	nans        int64     // NaN samples, tracked apart from the digest
+	min, max    float64
+}
+
+// qcentroid is one cluster of nearby samples.
+type qcentroid struct {
+	mean   float64
+	weight float64
+}
+
+const defaultCompression = 100
+
+// NewQSketch returns a sketch with the given compression δ (higher is
+// more accurate and larger; values below 20 are clamped up to keep the
+// tails meaningful).
+func NewQSketch(compression float64) *QSketch {
+	if compression < 20 {
+		compression = 20
+	}
+	return &QSketch{compression: compression}
+}
+
+// Add absorbs one sample. NaN is counted separately and never pollutes
+// the digest; ±Inf is clamped into min/max but also excluded from
+// centroids, so Quantile always returns finite values once any finite
+// sample arrived.
+func (s *QSketch) Add(x float64) {
+	if math.IsNaN(x) {
+		s.nans++
+		return
+	}
+	if s.count == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.count++
+	if math.IsInf(x, 0) {
+		return
+	}
+	s.pend = append(s.pend, x)
+	if len(s.pend) >= 4*int(s.delta()) {
+		s.flush()
+	}
+}
+
+// Count returns the number of samples absorbed (excluding NaNs).
+func (s *QSketch) Count() int64 { return s.count }
+
+// NaNs returns the number of NaN samples seen and excluded.
+func (s *QSketch) NaNs() int64 { return s.nans }
+
+// Min returns the smallest sample, or NaN when empty.
+func (s *QSketch) Min() float64 {
+	if s.count == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest sample, or NaN when empty.
+func (s *QSketch) Max() float64 {
+	if s.count == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Centroids returns the current number of centroids — a capacity probe
+// for tests, not part of the estimation API.
+func (s *QSketch) Centroids() int {
+	s.flush()
+	return len(s.cents)
+}
+
+// Quantile estimates the q-quantile (q clamped to [0, 1]). It returns
+// NaN when the sketch is empty.
+func (s *QSketch) Quantile(q float64) float64 {
+	if s.count == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	s.flush()
+	if len(s.cents) == 0 {
+		// Only infinities were added; min/max is all we know.
+		if q < 0.5 {
+			return s.min
+		}
+		return s.max
+	}
+	var total float64
+	for _, c := range s.cents {
+		total += c.weight
+	}
+	target := q * total
+
+	// Interpolate between centroid midpoints, pinning the extreme
+	// centroids to the exact min/max so tail quantiles never overshoot
+	// the observed range.
+	var cum float64
+	prevMid := 0.0
+	prevMean := s.min
+	for i, c := range s.cents {
+		mid := cum + c.weight/2
+		if target < mid {
+			if mid == prevMid {
+				return c.mean
+			}
+			t := (target - prevMid) / (mid - prevMid)
+			return prevMean + t*(c.mean-prevMean)
+		}
+		cum += c.weight
+		prevMid, prevMean = mid, c.mean
+		if i == len(s.cents)-1 && target >= mid {
+			if cum == mid {
+				return s.max
+			}
+			t := (target - mid) / (cum - mid)
+			return c.mean + t*(s.max-c.mean)
+		}
+	}
+	return s.max
+}
+
+func (s *QSketch) delta() float64 {
+	if s.compression == 0 {
+		return defaultCompression
+	}
+	return s.compression
+}
+
+// k is the t-digest k1 scale function: centroids may grow only while
+// their k-width stays below 1, which bounds their count by ~2δ and
+// concentrates resolution at both tails.
+func (s *QSketch) k(q float64) float64 {
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	return s.delta() / (2 * math.Pi) * math.Asin(2*q-1)
+}
+
+// flush folds pending samples into the centroid set and re-compresses.
+func (s *QSketch) flush() {
+	if len(s.pend) == 0 {
+		return
+	}
+	merged := make([]qcentroid, 0, len(s.cents)+len(s.pend))
+	merged = append(merged, s.cents...)
+	for _, x := range s.pend {
+		merged = append(merged, qcentroid{mean: x, weight: 1})
+	}
+	s.pend = s.pend[:0]
+	sort.Slice(merged, func(i, j int) bool { return merged[i].mean < merged[j].mean })
+
+	var total float64
+	for _, c := range merged {
+		total += c.weight
+	}
+	out := merged[:1]
+	wSoFar := 0.0
+	kLo := s.k(0)
+	for _, c := range merged[1:] {
+		cur := &out[len(out)-1]
+		if s.k((wSoFar+cur.weight+c.weight)/total)-kLo <= 1 {
+			// Weighted mean keeps the centroid exact for its members.
+			w := cur.weight + c.weight
+			cur.mean += (c.mean - cur.mean) * c.weight / w
+			cur.weight = w
+			continue
+		}
+		wSoFar += cur.weight
+		kLo = s.k(wSoFar / total)
+		out = append(out, c)
+	}
+	s.cents = append(s.cents[:0], out...)
+}

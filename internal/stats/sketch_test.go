@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"reskit/internal/rng"
+)
+
+func TestQSketchExactSmall(t *testing.T) {
+	var s QSketch
+	for _, x := range []float64{5, 1, 3, 2, 4} {
+		s.Add(x)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min/max = %g/%g", s.Min(), s.Max())
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("q0 = %g", got)
+	}
+	if got := s.Quantile(1); got != 5 {
+		t.Errorf("q1 = %g", got)
+	}
+	if got := s.Quantile(0.5); math.Abs(got-3) > 0.5 {
+		t.Errorf("median = %g, want ~3", got)
+	}
+}
+
+func TestQSketchEmpty(t *testing.T) {
+	var s QSketch
+	if !math.IsNaN(s.Quantile(0.5)) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Error("empty sketch should answer NaN")
+	}
+}
+
+func TestQSketchNaNIsolated(t *testing.T) {
+	var s QSketch
+	s.Add(math.NaN())
+	s.Add(2)
+	s.Add(math.NaN())
+	if s.NaNs() != 2 || s.Count() != 1 {
+		t.Fatalf("nans=%d count=%d", s.NaNs(), s.Count())
+	}
+	if got := s.Quantile(0.5); got != 2 {
+		t.Errorf("median = %g, want 2 (NaNs excluded)", got)
+	}
+}
+
+func TestQSketchUniformAccuracy(t *testing.T) {
+	s := NewQSketch(100)
+	src := rng.New(7)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		s.Add(src.Float64())
+	}
+	for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99, 0.999} {
+		got := s.Quantile(q)
+		if math.Abs(got-q) > 0.01 {
+			t.Errorf("uniform q%.3f = %g, want within 0.01", q, got)
+		}
+	}
+	if c := s.Centroids(); c > 2*100+16 {
+		t.Errorf("centroids = %d, want bounded by ~2δ", c)
+	}
+}
+
+func TestQSketchNormalTails(t *testing.T) {
+	s := NewQSketch(100)
+	src := rng.New(11)
+	var exact []float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		x := src.Normal()
+		s.Add(x)
+		exact = append(exact, x)
+	}
+	for _, q := range []float64{0.001, 0.01, 0.5, 0.99, 0.999} {
+		got := s.Quantile(q)
+		want := Quantile(exact, q)
+		if math.Abs(got-want) > 0.08 {
+			t.Errorf("normal q%.3f = %g, exact %g", q, got, want)
+		}
+	}
+}
+
+func TestQSketchMonotoneQuantiles(t *testing.T) {
+	s := NewQSketch(50)
+	src := rng.New(3)
+	for i := 0; i < 50000; i++ {
+		s.Add(math.Exp(3 * src.Normal())) // heavy-tailed
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone: q=%.2f gives %g after %g", q, v, prev)
+		}
+		prev = v
+	}
+}
