@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench benchjson obs-demo figures report clean
+.PHONY: all build vet test race fuzz bench benchjson benchsuite benchcheck obs-demo figures report clean
 
 all: build vet test
 
@@ -34,17 +34,33 @@ bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
 # Refresh the benchmark snapshots: BENCH_campaign.json (campaign
-# Monte-Carlo with one worker vs all CPUs, checked bit-identical) and
+# Monte-Carlo through the engine, 10^6 trials, worker sweep 1/4/8,
+# min-of-5 timing, checked bit-identical across the sweep) and
 # BENCH_faults.json (lost-work/completion trade-off over an MTBF grid
-# under injected fail-stop crashes).
+# under injected fail-stop crashes, 10^5 trials).
 benchjson:
 	$(GO) run ./cmd/simulate -campaign -R 29 -task 'norm:3,0.5@[0,inf]' \
 		-ckpt 'norm:5,0.4@[0,inf]' -recovery 1.5 -totalwork 500 \
-		-trials 400 -benchjson BENCH_campaign.json
+		-trials 1000000 -benchjson BENCH_campaign.json
 	$(GO) run ./cmd/simulate -campaign -R 29 -task 'norm:3,0.5@[0,inf]' \
 		-ckpt 'norm:5,0.4@[0,inf]' -recovery 1.5 -totalwork 500 \
-		-trials 400 -faultsweep '20,50,100,200,500,1000' \
+		-trials 100000 -faultsweep '20,50,100,200,500,1000' \
 		-benchjson BENCH_faults.json
+
+# Refresh BENCH_suite.json: every simulate mode (preempt, workflow,
+# campaign) under normal- and gamma-law workloads at production trial
+# counts (10^6-10^7), worker sweep 1/4/8, min-of-5 timing, aggregates
+# checked bit-identical across the sweep. Takes a few minutes.
+benchsuite:
+	$(GO) run ./cmd/bench -out BENCH_suite.json
+
+# Perf-regression gate: re-run the suite scaled down and fail on drift
+# against the committed BENCH_suite.json. The ns/trial gate is host-
+# dependent, so CI loosens it via BENCH_DRIFT_PCT; the allocs/trial and
+# bit-identity gates are machine-independent and always tight.
+BENCHCHECK_SCALE ?= 0.02
+benchcheck:
+	$(GO) run ./cmd/bench -check -scale $(BENCHCHECK_SCALE)
 
 # Observability demo: a fault-injected campaign with live progress, a
 # JSONL event trace (1 trial in 200), a metrics snapshot, and a live

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"reskit/internal/benchkit"
+)
+
+// suiteArgs runs the suite at a tiny scale so the CLI tests finish in
+// well under a second while still exercising every workload.
+func suiteArgs(extra ...string) []string {
+	return append([]string{"-scale", "1e-9", "-reps", "1", "-workers", "1,2"}, extra...)
+}
+
+func TestSuiteWritesSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.json")
+	var out, errb bytes.Buffer
+	if code := run(suiteArgs("-out", path), &out, &errb); code != 0 {
+		t.Fatalf("suite run exited %d: %s", code, errb.String())
+	}
+	snap, err := benchkit.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SchemaVersion != benchkit.SchemaVersion {
+		t.Errorf("schema version = %d, want %d", snap.SchemaVersion, benchkit.SchemaVersion)
+	}
+	if len(snap.Results) != 10 { // 5 workloads x 2 worker counts
+		t.Fatalf("got %d result rows, want 10", len(snap.Results))
+	}
+	names := map[string]bool{}
+	for _, r := range snap.Results {
+		names[r.Name] = true
+		if r.BitIdenticalAcrossWorkers == nil || !*r.BitIdenticalAcrossWorkers {
+			t.Errorf("%s: aggregates not bit-identical across the worker sweep", r.Key())
+		}
+		if r.Trials < 64 || r.NsPerTrial <= 0 {
+			t.Errorf("%s: implausible row %+v", r.Key(), r)
+		}
+	}
+	for _, want := range []string{"preempt", "workflow/dynamic-norm", "workflow/dynamic-gamma", "campaign/norm", "campaign/gamma"} {
+		if !names[want] {
+			t.Errorf("workload %s missing from snapshot", want)
+		}
+	}
+}
+
+// TestCheckFailsOnDrift is the CLI half of the demonstrated-failure
+// requirement: a committed baseline doctored to claim impossibly fast
+// timings must make `bench -check` exit non-zero and name the drift.
+func TestCheckFailsOnDrift(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	var out, errb bytes.Buffer
+	if code := run(suiteArgs("-out", good), &out, &errb); code != 0 {
+		t.Fatalf("baseline run exited %d: %s", code, errb.String())
+	}
+
+	// An honest re-run against its own snapshot passes: same machine,
+	// generous gate (back-to-back tiny runs still jitter).
+	t.Setenv("BENCH_DRIFT_PCT", "500")
+	out.Reset()
+	errb.Reset()
+	if code := run(suiteArgs("-check", "-baseline", good), &out, &errb); code != 0 {
+		t.Fatalf("self-check exited %d:\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "no drift") {
+		t.Errorf("self-check output missing pass message: %s", out.String())
+	}
+
+	// Doctor the baseline: claim every row ran in 0.001 ns/trial with
+	// zero allocations. Any real machine now regresses past the gate.
+	snap, err := benchkit.Load(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range snap.Results {
+		snap.Results[i].NsPerTrial = 0.001
+		snap.Results[i].AllocsPerTrial = 0
+	}
+	fast := filepath.Join(dir, "fast.json")
+	if err := snap.Write(fast); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	code := run(suiteArgs("-check", "-baseline", fast), &out, &errb)
+	if code == 0 {
+		t.Fatalf("check against impossible baseline passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ns/trial") {
+		t.Errorf("drift report does not name ns/trial: %s", out.String())
+	}
+
+	// A missing baseline file is an error, not a silent pass.
+	out.Reset()
+	errb.Reset()
+	if code := run(suiteArgs("-check", "-baseline", filepath.Join(dir, "nope.json")), &out, &errb); code == 0 {
+		t.Error("check with missing baseline exited 0")
+	}
+}
+
+func TestParseWorkers(t *testing.T) {
+	if ws, err := parseWorkers("1, 4,8"); err != nil || len(ws) != 3 || ws[2] != 8 {
+		t.Errorf("parseWorkers(\"1, 4,8\") = %v, %v", ws, err)
+	}
+	for _, bad := range []string{"", "0", "-1", "x", "1,,y"} {
+		if _, err := parseWorkers(bad); err == nil {
+			t.Errorf("parseWorkers(%q) accepted", bad)
+		}
+	}
+}

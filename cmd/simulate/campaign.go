@@ -6,13 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"runtime"
 	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
 
 	"reskit"
+	"reskit/internal/benchkit"
 	"reskit/internal/engine"
 	"reskit/internal/lawspec"
 	"reskit/internal/rng"
@@ -288,15 +288,15 @@ func runFaultSweep(ctx context.Context, out io.Writer, cfg reskit.CampaignConfig
 		return nil
 	}
 	snap := struct {
+		benchkit.Header
 		Benchmark   string     `json:"benchmark"`
-		Generated   string     `json:"generated"`
 		Trials      int        `json:"trials"`
 		Reservation float64    `json:"reservation"`
 		TotalWork   float64    `json:"total_work"`
 		Sweep       []sweepRow `json:"sweep"`
 	}{
+		Header:      benchkit.NewHeader(),
 		Benchmark:   "CampaignFaultSweep",
-		Generated:   time.Now().UTC().Format(time.RFC3339),
 		Trials:      trials,
 		Reservation: cfg.Reservation.R,
 		TotalWork:   cfg.TotalWork,
@@ -313,101 +313,116 @@ func runFaultSweep(ctx context.Context, out io.Writer, cfg reskit.CampaignConfig
 	return nil
 }
 
-// campaignBench is the BENCH_campaign.json schema: one snapshot of the
-// campaign Monte-Carlo throughput, serial vs parallel, that future perf
-// PRs are compared against.
-type campaignBench struct {
-	Benchmark        string  `json:"benchmark"`
-	Generated        string  `json:"generated"`
-	GoMaxProcs       int     `json:"gomaxprocs"`
-	Workers          int     `json:"workers"`
-	Trials           int     `json:"trials"`
-	Reservation      float64 `json:"reservation"`
-	TotalWork        float64 `json:"total_work"`
-	SerialSec        float64 `json:"serial_sec"`
-	ParallelSec      float64 `json:"parallel_sec"`
-	Speedup          float64 `json:"speedup"`
-	NsPerTrial       float64 `json:"ns_per_trial_parallel"`
-	MeanReservations float64 `json:"mean_reservations"`
-	MeanUtilization  float64 `json:"mean_utilization"`
-	BitIdentical     bool    `json:"bit_identical_across_workers"`
+// benchWorkerSweep is the worker grid of a -benchjson run: serial
+// baseline plus two oversubscription points, so the snapshot records
+// the scaling curve of the machine it ran on (GOMAXPROCS is in the
+// header for the reader to judge it by).
+var benchWorkerSweep = []int{1, 4, 8}
 
-	// Metrics embeds the observability snapshot (trial, fault,
-	// integrand-eval and strategy-decision counters) when any
-	// observability flag was active during the benchmark run.
-	Metrics *reskit.ObsSnapshot `json:"metrics,omitempty"`
+// benchReps is the min-of-N repetition count of a -benchjson run.
+const benchReps = 5
+
+// engineMetrics flattens the observability registry into a snapshot
+// row's metrics map: counters and gauges keep their names (the
+// engine's "engine.jobs_per_sec" among them), quantile sketches expand
+// to .p50/.p90/.p99 ("engine.ns_per_job.p50", ...). These are the very
+// instruments -metrics reports, so the two outputs can never disagree
+// about what a run measured. Returns nil when observability is off.
+func engineMetrics(ob *simObs) map[string]float64 {
+	snap := ob.snapshot()
+	if snap == nil {
+		return nil
+	}
+	m := make(map[string]float64, len(snap.Counters)+len(snap.Gauges)+3*len(snap.Quantiles))
+	for name, v := range snap.Counters {
+		m[name] = float64(v)
+	}
+	for name, v := range snap.Gauges {
+		m[name] = v
+	}
+	for name, q := range snap.Quantiles {
+		m[name+".p50"] = q.P50
+		m[name+".p90"] = q.P90
+		m[name+".p99"] = q.P99
+	}
+	return m
 }
 
-// writeCampaignBench times the campaign Monte-Carlo with one worker and
-// with all CPUs — both passes through the engine — checks the
-// aggregates are bit-identical, and writes the snapshot to path. The
-// parallel pass carries the -checkpoint layer, so even a benchmark run
-// is durable.
+// writeCampaignBench times the campaign Monte-Carlo through the engine
+// across the benchWorkerSweep worker grid, min-of-benchReps per cell,
+// checks the merged aggregates are bit-identical across the sweep, and
+// writes a benchkit schema-v2 snapshot to path. Timed runs bypass the
+// -checkpoint layer: the benchmark measures simulation throughput, not
+// snapshot IO.
 func writeCampaignBench(ctx context.Context, out io.Writer, cfg reskit.CampaignConfig, trials int, seed uint64,
-	path string, ckOpts ckptOpts, ob *simObs) error {
+	path string, _ ckptOpts, ob *simObs) error {
 
-	workers := reskit.Workers()
 	jobs := campaignJobs(cfg, trials)
 
 	// Warm-up builds the dynamic strategy's coefficient table outside the
-	// timed region so both runs measure pure simulation throughput.
+	// timed region so every cell measures pure simulation throughput.
 	reskit.MonteCarloCampaign(cfg, 1, seed, 1)
 
-	start := time.Now()
-	serialRes, err := engine.Run(ctx, ckptOpts{}.spec(jobs, seed, 1, out, ob, nil))
-	serialSec := time.Since(start).Seconds()
-	if err != nil {
-		if ctx.Err() != nil {
-			fmt.Fprintf(out, "benchmark interrupted; no snapshot written\n")
-			return nil
+	snap := benchkit.NewSnapshot()
+	rows := make([]benchkit.Result, 0, len(benchWorkerSweep))
+	aggs := make([]reskit.CampaignAggregate, 0, len(benchWorkerSweep))
+	var ns1 float64
+	for i, w := range benchWorkerSweep {
+		var (
+			res    *engine.Result
+			runErr error
+		)
+		tm := benchkit.MinOf(benchReps, int64(trials), func() {
+			if runErr != nil {
+				return
+			}
+			res, runErr = engine.Run(ctx, ckptOpts{}.spec(jobs, seed, w, out, ob, nil))
+		})
+		if runErr != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintf(out, "benchmark interrupted; no snapshot written\n")
+				return nil
+			}
+			return runErr
 		}
-		return err
-	}
-	serial, err := sim.MergeCampaignPayloads(serialRes.Payloads)
-	if err != nil {
-		return err
+		agg, err := sim.MergeCampaignPayloads(res.Payloads)
+		if err != nil {
+			return err
+		}
+		aggs = append(aggs, agg)
+
+		row := tm.Result("campaign", w)
+		if i == 0 {
+			ns1 = tm.NsPerTrial
+		} else if tm.NsPerTrial > 0 {
+			row.SpeedupVs1Worker = ns1 / tm.NsPerTrial
+		}
+		row.Metrics = engineMetrics(ob)
+		if row.Metrics == nil {
+			row.Metrics = make(map[string]float64, 2)
+		}
+		row.Metrics["campaign.mean_reservations"] = agg.Reservations
+		row.Metrics["campaign.mean_utilization"] = agg.Utilization
+		rows = append(rows, row)
+		fmt.Fprintf(out, "campaign w=%d: %.1f ns/trial (min of %d), %.0f trials/s\n",
+			w, tm.NsPerTrial, tm.Reps, tm.TrialsPerSec)
 	}
 
-	start = time.Now()
-	parallelRes, err := engine.Run(ctx, ckOpts.spec(jobs, seed, workers, out, ob, checkCampaignPayload))
-	parallelSec := time.Since(start).Seconds()
-	if err != nil {
-		if ctx.Err() != nil {
-			fmt.Fprintf(out, "benchmark interrupted; no snapshot written\n")
-			return nil
+	identical := true
+	for _, a := range aggs[1:] {
+		if a != aggs[0] {
+			identical = false
 		}
-		return err
 	}
-	parallel, err := sim.MergeCampaignPayloads(parallelRes.Payloads)
-	if err != nil {
-		return err
+	for i := range rows {
+		flag := identical
+		rows[i].BitIdenticalAcrossWorkers = &flag
 	}
+	snap.Results = rows
 
-	snap := campaignBench{
-		Benchmark:        "MonteCarloCampaign",
-		Generated:        time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs:       runtime.GOMAXPROCS(0),
-		Workers:          workers,
-		Trials:           trials,
-		Reservation:      cfg.Reservation.R,
-		TotalWork:        cfg.TotalWork,
-		SerialSec:        serialSec,
-		ParallelSec:      parallelSec,
-		Speedup:          serialSec / parallelSec,
-		NsPerTrial:       parallelSec * 1e9 / float64(trials),
-		MeanReservations: parallel.Reservations,
-		MeanUtilization:  parallel.Utilization,
-		BitIdentical:     serial == parallel,
-		Metrics:          ob.snapshot(),
-	}
-	data, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
+	if err := snap.Write(path); err != nil {
 		return err
 	}
-	if err := reskit.WriteFileAtomic(path, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "serial %.3fs, parallel %.3fs on %d workers (%.2fx), bit-identical %v -> %s\n",
-		serialSec, parallelSec, workers, snap.Speedup, snap.BitIdentical, path)
+	fmt.Fprintf(out, "bit-identical across workers %v -> %s\n", identical, path)
 	return nil
 }

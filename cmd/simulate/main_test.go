@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"reskit/internal/benchkit"
 )
 
 func TestWorkflowComparison(t *testing.T) {
@@ -136,18 +138,33 @@ func TestCampaignBenchJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var snap map[string]any
-	if err := json.Unmarshal(data, &snap); err != nil {
-		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	snap, err := benchkit.Load(path)
+	if err != nil {
+		t.Fatalf("invalid snapshot: %v\n%s", err, data)
 	}
-	for _, key := range []string{"speedup", "serial_sec", "parallel_sec", "gomaxprocs",
-		"bit_identical_across_workers", "mean_utilization"} {
-		if _, ok := snap[key]; !ok {
-			t.Errorf("snapshot missing %q:\n%s", key, data)
+	if snap.SchemaVersion != benchkit.SchemaVersion || snap.GoMaxProcs < 1 || snap.GoVersion == "" {
+		t.Errorf("snapshot header incomplete:\n%s", data)
+	}
+	if len(snap.Results) != len(benchWorkerSweep) {
+		t.Fatalf("got %d result rows, want %d (worker sweep %v):\n%s",
+			len(snap.Results), len(benchWorkerSweep), benchWorkerSweep, data)
+	}
+	for i, row := range snap.Results {
+		if row.Workers != benchWorkerSweep[i] {
+			t.Errorf("row %d has workers %d, want %d", i, row.Workers, benchWorkerSweep[i])
 		}
-	}
-	if snap["bit_identical_across_workers"] != true {
-		t.Errorf("serial and parallel aggregates differ:\n%s", data)
+		if row.Reps != benchReps || row.NsPerTrial <= 0 {
+			t.Errorf("row %d not min-of-%d timed: %+v", i, benchReps, row)
+		}
+		if i > 0 && row.SpeedupVs1Worker <= 0 {
+			t.Errorf("row %d missing speedup_vs_1_worker: %+v", i, row)
+		}
+		if row.BitIdenticalAcrossWorkers == nil || !*row.BitIdenticalAcrossWorkers {
+			t.Errorf("aggregates differ across the worker sweep:\n%s", data)
+		}
+		if row.Metrics["campaign.mean_utilization"] <= 0 {
+			t.Errorf("row %d missing campaign.mean_utilization: %+v", i, row)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"reskit"
+	"reskit/internal/benchkit"
 )
 
 // TestMalformedCkptExitsCleanly runs the real binary (the test executable
@@ -193,17 +194,26 @@ func TestCampaignBenchEmbedsMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var snap struct {
-		Metrics *reskit.ObsSnapshot `json:"metrics"`
+	snap, err := benchkit.Load(bench)
+	if err != nil {
+		t.Fatalf("invalid snapshot: %v\n%s", err, data)
 	}
-	if err := json.Unmarshal(data, &snap); err != nil {
-		t.Fatal(err)
+	if len(snap.Results) == 0 {
+		t.Fatalf("no result rows:\n%s", data)
 	}
-	if snap.Metrics == nil {
-		t.Fatal("benchjson should embed the metrics snapshot when -metrics is active")
-	}
-	if snap.Metrics.Counters["sim.campaigns"] <= 0 {
-		t.Errorf("sim.campaigns = %d, want > 0", snap.Metrics.Counters["sim.campaigns"])
+	for _, row := range snap.Results {
+		if row.Metrics == nil {
+			t.Fatal("benchjson should carry registry metrics when -metrics is active")
+		}
+		if row.Metrics["sim.campaigns"] <= 0 {
+			t.Errorf("sim.campaigns = %g, want > 0", row.Metrics["sim.campaigns"])
+		}
+		if _, ok := row.Metrics["engine.jobs_per_sec"]; !ok {
+			t.Errorf("row %s missing engine.jobs_per_sec: %v", row.Key(), row.Metrics)
+		}
+		if _, ok := row.Metrics["engine.ns_per_job.p50"]; !ok {
+			t.Errorf("row %s missing engine.ns_per_job.p50: %v", row.Key(), row.Metrics)
+		}
 	}
 }
 

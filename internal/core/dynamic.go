@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"reskit/internal/dist"
 	"reskit/internal/optimize"
@@ -37,10 +38,15 @@ type Dynamic struct {
 	taskB dist.BatchContinuous
 
 	// Lazily built coefficient table for O(1) generalized decisions
-	// (see ShouldCheckpointAt). Guarded by tableMu rather than a
-	// sync.Once so a build cancelled through Prebuild can be retried.
+	// (see ShouldCheckpointAt). Builds are serialized by tableMu rather
+	// than a sync.Once so a build cancelled through Prebuild can be
+	// retried; tableReady flips to true only after tableA/tableB are
+	// fully written, so readers that observe it true may use the slices
+	// without taking the mutex. The flag is the hot-path gate: every
+	// Monte-Carlo boundary decision funnels through coefficientsAt, and
+	// an uncontended mutex there costs more than the interpolation.
 	tableMu        sync.Mutex
-	tableBuilt     bool
+	tableReady     atomic.Bool
 	tableA, tableB []float64
 }
 
@@ -209,9 +215,11 @@ func (d *Dynamic) ShouldCheckpointAt(work, elapsed float64) bool {
 const dynamicGridSize = 1024
 
 // coefficientsAt returns A(budget) and B(budget), building the lookup
-// table on first use.
+// table on first use. After the first build the lookup is lock-free.
 func (d *Dynamic) coefficientsAt(budget float64) (a, b float64) {
-	d.ensureTable(context.Background()) //nolint:errcheck // background ctx never cancels
+	if !d.tableReady.Load() {
+		d.ensureTable(context.Background()) //nolint:errcheck // background ctx never cancels
+	}
 	if budget >= d.R {
 		n := dynamicGridSize
 		return d.tableA[n], d.tableB[n]
@@ -243,7 +251,7 @@ func (d *Dynamic) Prebuild(ctx context.Context) error {
 func (d *Dynamic) ensureTable(ctx context.Context) error {
 	d.tableMu.Lock()
 	defer d.tableMu.Unlock()
-	if d.tableBuilt {
+	if d.tableReady.Load() {
 		return nil
 	}
 	n := dynamicGridSize
@@ -259,7 +267,9 @@ func (d *Dynamic) ensureTable(ctx context.Context) error {
 		return err
 	}
 	d.tableA, d.tableB = a, b
-	d.tableBuilt = true
+	// Store-release: publishes the slice writes above to lock-free
+	// readers in coefficientsAt.
+	d.tableReady.Store(true)
 	return nil
 }
 

@@ -60,18 +60,26 @@ var (
 	_ BatchContinuous = (*Truncated)(nil)
 )
 
-// PDFBatch writes the Gaussian density at every xs[i] into out[i].
+// PDFBatch writes the Gaussian density at every xs[i] into out[i]. The
+// points are standardized in place and handed to the specfun batch
+// kernel; the standardization uses the same (x-mu)/sigma division as the
+// scalar path, so results are bit-identical to PDF(xs[i]).
 func (n Normal) PDFBatch(xs, out []float64) {
 	for i, x := range xs {
-		out[i] = specfun.NormPDF((x-n.Mu)/n.Sigma) / n.Sigma
+		out[i] = (x - n.Mu) / n.Sigma
+	}
+	specfun.NormPDFBatch(out, out)
+	for i := range out {
+		out[i] /= n.Sigma
 	}
 }
 
 // CDFBatch writes Phi((xs[i]-mu)/sigma) into out[i].
 func (n Normal) CDFBatch(xs, out []float64) {
 	for i, x := range xs {
-		out[i] = specfun.NormCDF((x - n.Mu) / n.Sigma)
+		out[i] = (x - n.Mu) / n.Sigma
 	}
+	specfun.NormCDFBatch(out, out)
 }
 
 // PDFBatch writes the Gamma density at every xs[i] into out[i], hoisting
@@ -91,15 +99,19 @@ func (g Gamma) PDFBatch(xs, out []float64) {
 	}
 }
 
-// CDFBatch writes the regularized incomplete gamma P(k, xs[i]/theta).
+// CDFBatch writes the regularized incomplete gamma P(k, xs[i]/theta)
+// through the batched kernel: lnGamma(k) is computed once per call
+// instead of once per point. Non-positive points are pinned to the
+// kernel's x == 0 special case, which yields exactly 0.
 func (g Gamma) CDFBatch(xs, out []float64) {
 	for i, x := range xs {
 		if x <= 0 {
 			out[i] = 0
 			continue
 		}
-		out[i] = specfun.GammaIncP(g.K, x/g.Theta)
+		out[i] = x / g.Theta
 	}
+	specfun.GammaIncPBatch(g.K, out, out)
 }
 
 // PDFBatch writes the LogNormal density at every xs[i] into out[i].
@@ -114,15 +126,17 @@ func (l LogNormal) PDFBatch(xs, out []float64) {
 	}
 }
 
-// CDFBatch writes Phi((ln xs[i] - mu)/sigma) into out[i].
+// CDFBatch writes Phi((ln xs[i] - mu)/sigma) into out[i]. Non-positive
+// points standardize to -Inf, which the Normal kernel maps to exactly 0.
 func (l LogNormal) CDFBatch(xs, out []float64) {
 	for i, x := range xs {
 		if x <= 0 {
-			out[i] = 0
+			out[i] = math.Inf(-1)
 			continue
 		}
-		out[i] = specfun.NormCDF((math.Log(x) - l.Mu) / l.Sigma)
+		out[i] = (math.Log(x) - l.Mu) / l.Sigma
 	}
+	specfun.NormCDFBatch(out, out)
 }
 
 // PDFBatch writes lambda*exp(-lambda*xs[i]) into out[i].

@@ -96,9 +96,12 @@ type Spec struct {
 	Log io.Writer
 
 	// Reg, when non-nil, binds the engine's instruments — the
-	// "engine.jobs_total" gauge, the "engine.jobs_done" and
-	// "engine.jobs_restored" counters — plus the checkpoint writer's
-	// "ckpt.*" set.
+	// "engine.jobs_total" and "engine.jobs_per_sec" gauges, the
+	// "engine.jobs_done" and "engine.jobs_restored" counters, the
+	// "engine.ns_per_job" quantile sketch (p50/p90/p99 of per-job wall
+	// time) — plus the checkpoint writer's "ckpt.*" set. These are the
+	// same numbers -metrics and -benchjson report: one source of truth
+	// for per-mode throughput.
 	Reg *obs.Registry
 
 	// Progress, when non-nil, is ticked once per job; restored jobs
@@ -207,6 +210,13 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		})
 	}
 
+	// Per-job wall time feeds the ns_per_job quantile sketch; the
+	// instrument is nil exactly when spec.Reg is nil, and the timing
+	// calls are skipped entirely in that case so the uninstrumented
+	// path stays clock-free.
+	nsPerJob := spec.Reg.Quantiles("engine.ns_per_job")
+	runStart := time.Now()
+
 	var fresh atomic.Int64
 	jobs := make(chan int)
 	done := jobCtx.Done()
@@ -215,9 +225,21 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One Source per worker, reinitialized per job — state
+			// identical to a fresh NewStream, with no per-job
+			// allocation.
+			var src rng.Source
 			for i := range jobs {
 				job := spec.Jobs[i]
-				jr, err := job.Run(jobCtx, rng.NewStream(spec.Seed, job.Stream))
+				src.Reinit(spec.Seed, job.Stream)
+				var jobStart time.Time
+				if nsPerJob != nil {
+					jobStart = time.Now()
+				}
+				jr, err := job.Run(jobCtx, &src)
+				if nsPerJob != nil {
+					nsPerJob.Observe(float64(time.Since(jobStart)))
+				}
 				if err != nil {
 					if isContextErr(err) && jobCtx.Err() != nil {
 						return // drained cleanly at the job boundary
@@ -253,6 +275,11 @@ dispatch:
 	close(jobs)
 	wg.Wait()
 	res.Fresh = int(fresh.Load())
+	if spec.Reg != nil {
+		if elapsed := time.Since(runStart).Seconds(); elapsed > 0 {
+			spec.Reg.Gauge("engine.jobs_per_sec").Set(float64(res.Fresh) / elapsed)
+		}
+	}
 
 	if writer != nil {
 		if jobErr == nil {

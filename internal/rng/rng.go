@@ -56,11 +56,30 @@ func New(seed uint64) *Source {
 // seed. It is the supported way to hand one generator to each of many
 // parallel simulation workers.
 func NewStream(seed, stream uint64) *Source {
+	var src Source
+	src.Reinit(seed, stream)
+	return &src
+}
+
+// Reinit resets r in place to the exact state NewStream(seed, stream)
+// would return, clearing the cached polar-method variate. Workers that
+// process many blocks reuse one Source this way instead of allocating a
+// fresh generator per block.
+func (r *Source) Reinit(seed, stream uint64) {
 	// Mix the stream index into the seed with a distinct SplitMix64 pass
 	// so streams of the same seed are decorrelated.
 	state := seed ^ (stream+1)*0xd1342543de82ef95
 	mixed := splitMix64(&state)
-	return New(mixed)
+	for i := range r.s {
+		r.s[i] = splitMix64(&mixed)
+	}
+	// A xoshiro state of all zeros is invalid; SplitMix64 cannot produce
+	// four consecutive zeros, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	r.spare = 0
+	r.hasSpare = false
 }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }

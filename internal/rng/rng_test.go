@@ -261,3 +261,26 @@ func BenchmarkPoissonLarge(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestReinitMatchesNewStream pins the zero-alloc reuse path: a recycled
+// Source reinitialized in place must replay exactly the sequence of a
+// freshly allocated substream, including after the polar Normal cache
+// has been primed.
+func TestReinitMatchesNewStream(t *testing.T) {
+	recycled := New(987)
+	recycled.Normal() // prime hasSpare so Reinit must clear it
+	for stream := uint64(0); stream < 8; stream++ {
+		fresh := NewStream(42, stream)
+		recycled.Reinit(42, stream)
+		for i := 0; i < 64; i++ {
+			a, b := fresh.Uint64(), recycled.Uint64()
+			if a != b {
+				t.Fatalf("stream %d draw %d: fresh %x, reinit %x", stream, i, a, b)
+			}
+		}
+		// Interleave Normal draws so spare-cache state is exercised too.
+		if fresh.Normal() != recycled.Normal() || fresh.Normal() != recycled.Normal() {
+			t.Fatalf("stream %d: Normal sequences diverge after Reinit", stream)
+		}
+	}
+}

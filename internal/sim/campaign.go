@@ -207,9 +207,13 @@ func monteCarloCampaignRunner(ctx context.Context, cfg CampaignConfig, trials in
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One Source per worker, reinitialized per block — state
+			// identical to a fresh NewStream, with no per-block
+			// allocation.
+			var src rng.Source
 			for b := range blocks {
-				src := rng.NewStream(seed, uint64(b))
-				p, complete := runCampaignBlock(cfg, trials, b, src, done)
+				src.Reinit(seed, uint64(b))
+				p, complete := runCampaignBlock(cfg, trials, b, &src, done)
 				parts[b] = p
 				// Interrupted blocks keep their partial sums in the
 				// returned aggregate but are never committed: a resume

@@ -131,9 +131,13 @@ func monteCarloRunner(ctx context.Context, cfg Config, trials int, seed uint64, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One Source per worker, reinitialized per block: the state
+			// is identical to a fresh NewStream, without the per-block
+			// allocation.
+			var src rng.Source
 			for b := range blocks {
-				src := rng.NewStream(seed, uint64(b))
-				agg, complete := runMCBlock(cfg, trials, b, src, run, done)
+				src.Reinit(seed, uint64(b))
+				agg, complete := runMCBlock(cfg, trials, b, &src, run, done)
 				parts[b] = agg
 				if !complete {
 					// The block is incomplete: its partial tallies stay in

@@ -132,9 +132,13 @@ func preemptibleRunner(trials int, seed uint64, workers int,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One Source per worker, reinitialized per block — state
+			// identical to a fresh NewStream, with no per-block
+			// allocation.
+			var src rng.Source
 			for b := range blocks {
-				src := rng.NewStream(seed, uint64(b))
-				parts[b], _ = runPreemptBlock(trial, trials, b, src, nil)
+				src.Reinit(seed, uint64(b))
+				parts[b], _ = runPreemptBlock(trial, trials, b, &src, nil)
 			}
 		}()
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports that the race detector is active; sync.Pool
+// deliberately drops cached items under -race, so steady-state
+// allocation assertions do not hold there.
+const raceEnabled = true

@@ -19,6 +19,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"reskit/internal/dist"
 	"reskit/internal/fault"
@@ -401,6 +402,14 @@ func RunOracle(cfg Config, r *rng.Source) RunResult {
 	return res
 }
 
+// oracleScratch holds the trajectory buffers of runOracleOne, pooled so
+// large Monte-Carlo oracle runs do not allocate two slices per trial.
+type oracleScratch struct {
+	sums, cs []float64
+}
+
+var oraclePool = sync.Pool{New: func() interface{} { return new(oracleScratch) }}
+
 // runOracleOne is the uninstrumented body of RunOracle. The oracle makes
 // its decision retrospectively, so no mid-run trace events are emitted.
 func runOracleOne(cfg Config, r *rng.Source) RunResult {
@@ -414,8 +423,11 @@ func runOracleOne(cfg Config, r *rng.Source) RunResult {
 	}
 
 	// Generate the trajectory up to the reservation end.
-	var sums []float64 // S_n for n = 1, 2, ...
-	var cs []float64   // checkpoint duration at boundary n
+	scratch := oraclePool.Get().(*oracleScratch)
+	defer oraclePool.Put(scratch)
+	sums := scratch.sums[:0] // S_n for n = 1, 2, ...
+	cs := scratch.cs[:0]     // checkpoint duration at boundary n
+	defer func() { scratch.sums, scratch.cs = sums, cs }()
 	elapsed := start
 	taskCap := cfg.maxTasks()
 	for len(sums) < taskCap {

@@ -1,0 +1,242 @@
+package specfun
+
+import (
+	"math"
+	"testing"
+)
+
+// sink defeats dead-code elimination in the benchmarks below.
+var sink float64
+
+// benchGrid is a fixed panel of evaluation points spanning both the
+// series (x < a+1) and continued-fraction (x >= a+1) branches of the
+// incomplete-gamma kernels for the shapes benchmarked.
+var benchGrid = func() []float64 {
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = 0.05 + 8*float64(i)/float64(len(xs)-1)
+	}
+	return xs
+}()
+
+func BenchmarkNormPDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = NormPDF(0.7)
+	}
+}
+
+func BenchmarkLogNormPDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = LogNormPDF(0.7)
+	}
+}
+
+func BenchmarkNormCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = NormCDF(0.7)
+	}
+}
+
+func BenchmarkNormSF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = NormSF(0.7)
+	}
+}
+
+func BenchmarkLogNormCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = LogNormCDF(-3)
+	}
+}
+
+func BenchmarkLogNormSF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = LogNormSF(3)
+	}
+}
+
+func BenchmarkNormCDFInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = NormCDFInterval(1, 2)
+	}
+}
+
+func BenchmarkNormQuantile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = NormQuantile(0.3)
+	}
+}
+
+func BenchmarkGammaIncP(b *testing.B) {
+	b.Run("series", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = GammaIncP(2, 1.5)
+		}
+	})
+	b.Run("contfrac", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = GammaIncP(2, 7.5)
+		}
+	})
+}
+
+func BenchmarkGammaIncQ(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = GammaIncQ(2, 7.5)
+	}
+}
+
+func BenchmarkGammaIncPInv(b *testing.B) {
+	b.Run("a=2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = GammaIncPInv(2, 0.3)
+		}
+	})
+	b.Run("a=0.5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = GammaIncPInv(0.5, 0.8)
+		}
+	})
+}
+
+func BenchmarkPoissonCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = PoissonCDF(4, 3.2)
+	}
+}
+
+func BenchmarkLogPoissonPMF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = LogPoissonPMF(4, 3.2)
+	}
+}
+
+func BenchmarkLogBeta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = LogBeta(2.5, 3.5)
+	}
+}
+
+func BenchmarkBetaIncReg(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = BetaIncReg(2.5, 3.5, 0.4)
+	}
+}
+
+func BenchmarkBetaIncRegInv(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = BetaIncRegInv(2.5, 3.5, 0.4)
+	}
+}
+
+func BenchmarkDigamma(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = Digamma(3.7)
+	}
+}
+
+func BenchmarkLambertW0(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = LambertW0(1.5)
+	}
+}
+
+func BenchmarkLogSumExp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = LogSumExp(-3, -4)
+	}
+}
+
+func BenchmarkLog1mExp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = Log1mExp(-0.5)
+	}
+}
+
+// Scalar-loop reference points for the batch kernels: the same grid the
+// Batch benchmarks sweep, evaluated one call at a time.
+func BenchmarkNormCDFScalarLoop(b *testing.B) {
+	out := make([]float64, len(benchGrid))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, x := range benchGrid {
+			out[j] = NormCDF(x)
+		}
+	}
+	sink = out[0]
+	b.ReportMetric(float64(len(benchGrid)), "points/op")
+}
+
+func BenchmarkGammaIncPScalarLoop(b *testing.B) {
+	out := make([]float64, len(benchGrid))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, x := range benchGrid {
+			out[j] = GammaIncP(2, x)
+		}
+	}
+	sink = out[0]
+	b.ReportMetric(float64(len(benchGrid)), "points/op")
+}
+
+func BenchmarkBetaIncRegScalarLoop(b *testing.B) {
+	xs := make([]float64, len(benchGrid))
+	out := make([]float64, len(benchGrid))
+	for i := range xs {
+		xs[i] = float64(i+1) / float64(len(xs)+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, x := range xs {
+			out[j] = BetaIncReg(2.5, 3.5, x)
+		}
+	}
+	sink = out[0]
+	b.ReportMetric(float64(len(benchGrid)), "points/op")
+}
+
+// Batch kernels over the same grids as the ScalarLoop references above;
+// the ratio of the two is the hoisting + lockstep win.
+func BenchmarkNormCDFBatch(b *testing.B) {
+	out := make([]float64, len(benchGrid))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NormCDFBatch(benchGrid, out)
+	}
+	sink = out[0]
+	b.ReportMetric(float64(len(benchGrid)), "points/op")
+}
+
+func BenchmarkGammaIncPBatch(b *testing.B) {
+	out := make([]float64, len(benchGrid))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GammaIncPBatch(2, benchGrid, out)
+	}
+	sink = out[0]
+	b.ReportMetric(float64(len(benchGrid)), "points/op")
+}
+
+func BenchmarkBetaIncRegBatch(b *testing.B) {
+	xs := make([]float64, len(benchGrid))
+	out := make([]float64, len(benchGrid))
+	for i := range xs {
+		xs[i] = float64(i+1) / float64(len(xs)+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BetaIncRegBatch(2.5, 3.5, xs, out)
+	}
+	sink = out[0]
+	b.ReportMetric(float64(len(benchGrid)), "points/op")
+}
+
+// Guard: the benchmarks above must exercise finite values, or the
+// timings measure NaN short-circuits instead of the kernels.
+func TestBenchInputsFinite(t *testing.T) {
+	for _, x := range benchGrid {
+		if math.IsNaN(GammaIncP(2, x)) {
+			t.Fatalf("benchGrid point %g yields NaN", x)
+		}
+	}
+}

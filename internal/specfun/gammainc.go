@@ -23,10 +23,8 @@ func GammaIncP(a, x float64) float64 {
 	case math.IsInf(x, 1):
 		return 1
 	}
-	if x < a+1 {
-		return gammaPSeries(a, x)
-	}
-	return 1 - gammaQContinuedFraction(a, x)
+	lg, _ := math.Lgamma(a)
+	return gammaIncPPrefixed(a, x, lg)
 }
 
 // GammaIncQ returns the upper regularized incomplete gamma function
@@ -40,46 +38,81 @@ func GammaIncQ(a, x float64) float64 {
 	case math.IsInf(x, 1):
 		return 0
 	}
-	if x < a+1 {
-		return 1 - gammaPSeries(a, x)
-	}
-	return gammaQContinuedFraction(a, x)
-}
-
-// logPrefix returns a*ln(x) - x - lnGamma(a), the logarithm of the common
-// prefactor x^a e^{-x} / Gamma(a).
-func logPrefix(a, x float64) float64 {
 	lg, _ := math.Lgamma(a)
-	return a*math.Log(x) - x - lg
+	return gammaIncQPrefixed(a, x, lg)
 }
 
-// gammaPSeries evaluates P(a, x) by the power series, convergent fastest
-// for x < a+1.
-func gammaPSeries(a, x float64) float64 {
+// gammaIncPPrefixed evaluates P(a, x) for a > 0 and finite x > 0, with
+// lg = lnGamma(a) supplied by the caller so that batch kernels and the
+// quantile Newton loop pay for Lgamma once per shape, not once per point.
+func gammaIncPPrefixed(a, x, lg float64) float64 {
+	prefix := math.Exp(a*math.Log(x) - x - lg)
+	if x < a+1 {
+		return Clamp01(gammaPSeriesSum(a, x) * prefix)
+	}
+	return 1 - Clamp01(gammaQCF(a, x)*prefix)
+}
+
+// gammaIncQPrefixed evaluates Q(a, x) for a > 0 and finite x > 0 with a
+// caller-supplied lg = lnGamma(a), without cancellation in either tail.
+func gammaIncQPrefixed(a, x, lg float64) float64 {
+	prefix := math.Exp(a*math.Log(x) - x - lg)
+	if x < a+1 {
+		return 1 - Clamp01(gammaPSeriesSum(a, x)*prefix)
+	}
+	return Clamp01(gammaQCF(a, x) * prefix)
+}
+
+// gammaPSeriesSum evaluates the power series of P(a, x) without the
+// x^a e^{-x} / Gamma(a) prefactor, convergent fastest for x < a+1.
+//
+// The four x/ap ratios of each chunk are computed up front: they are
+// independent, so they overlap inside the hardware divider, and the
+// serial del update chain then runs at multiply latency instead of
+// divide latency. Each denominator is still built by repeated +1 and
+// each term is still the two-operation del = del * (x/ap), so the sum
+// is bit-identical to the one-term-at-a-time loop.
+func gammaPSeriesSum(a, x float64) float64 {
 	ap := a
 	sum := 1.0 / a
 	del := sum
-	for i := 0; i < maxIncGammaIter; i++ {
-		ap++
-		del *= x / ap
+	for i := 0; i < maxIncGammaIter; i += 4 {
+		ap1 := ap + 1
+		ap2 := ap1 + 1
+		ap3 := ap2 + 1
+		ap4 := ap3 + 1
+		r1 := x / ap1
+		r2 := x / ap2
+		r3 := x / ap3
+		r4 := x / ap4
+		ap = ap4
+		del *= r1
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-17 {
+			break
+		}
+		del *= r2
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-17 {
+			break
+		}
+		del *= r3
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-17 {
+			break
+		}
+		del *= r4
 		sum += del
 		if math.Abs(del) < math.Abs(sum)*1e-17 {
 			break
 		}
 	}
-	v := sum * math.Exp(logPrefix(a, x))
-	if v < 0 {
-		return 0
-	}
-	if v > 1 {
-		return 1
-	}
-	return v
+	return sum
 }
 
-// gammaQContinuedFraction evaluates Q(a, x) by the Lentz-modified
-// continued fraction, convergent fastest for x >= a+1.
-func gammaQContinuedFraction(a, x float64) float64 {
+// gammaQCF evaluates the Lentz-modified continued fraction of Q(a, x)
+// without the prefactor, convergent fastest for x >= a+1.
+func gammaQCF(a, x float64) float64 {
 	const tiny = 1e-300
 	b := x + 1 - a
 	c := 1 / tiny
@@ -103,19 +136,16 @@ func gammaQContinuedFraction(a, x float64) float64 {
 			break
 		}
 	}
-	v := h * math.Exp(logPrefix(a, x))
-	if v < 0 {
-		return 0
-	}
-	if v > 1 {
-		return 1
-	}
-	return v
+	return h
 }
 
 // GammaIncPInv returns the x solving P(a, x) = p, the quantile function of
 // the Gamma(a, 1) law, for a > 0 and p in [0, 1]. It combines the
 // Wilson–Hilferty starting value with safeguarded Newton iterations.
+//
+// Each Newton iteration shares one exp(a*ln(x) - x - lnGamma(a))
+// evaluation between the CDF value and the density, with lnGamma(a)
+// hoisted out of the loop entirely.
 func GammaIncPInv(a, p float64) float64 {
 	switch {
 	case math.IsNaN(a) || math.IsNaN(p) || a <= 0 || p < 0 || p > 1:
@@ -133,23 +163,41 @@ func GammaIncPInv(a, p float64) float64 {
 	if x <= 0 {
 		// Small-a fallback: invert the leading-order series
 		// P(a,x) ~ x^a / (a*Gamma(a)).
-		lg, _ := math.Lgamma(a + 1)
-		x = math.Exp((math.Log(p) + lg) / a)
+		lg1, _ := math.Lgamma(a + 1)
+		x = math.Exp((math.Log(p) + lg1) / a)
 	}
 
+	lg, _ := math.Lgamma(a)
 	lo, hi := 0.0, math.Inf(1)
 	for i := 0; i < 128; i++ {
-		f := GammaIncP(a, x) - p
+		// prefix = x^a e^{-x} / Gamma(a); the density is prefix/x.
+		prefix := math.Exp(a*math.Log(x) - x - lg)
+		var f float64
+		if x < a+1 {
+			f = Clamp01(gammaPSeriesSum(a, x)*prefix) - p
+		} else {
+			f = 1 - Clamp01(gammaQCF(a, x)*prefix) - p
+		}
 		if f > 0 {
 			hi = x
 		} else {
 			lo = x
 		}
-		// Newton step using the density x^{a-1} e^{-x} / Gamma(a).
-		dfdx := math.Exp((a-1)*math.Log(x) - x - lgammaOf(a))
+		dfdx := prefix / x
 		var xn float64
 		if dfdx > 0 && !math.IsInf(dfdx, 0) {
-			xn = x - f/dfdx
+			// Halley step: with L = d(ln pdf)/dx = (a-1)/x - 1, the
+			// second-order correction divides the Newton step u by
+			// (1 + u*L/2). Cubic convergence saves a full series /
+			// continued-fraction evaluation versus plain Newton; when
+			// the correction factor is unsafe (<= 1/2), fall back to
+			// the Newton step and let the bracket do its job.
+			u := f / dfdx
+			den := 1 - 0.5*u*((a-1)/x-1)
+			if den > 0.5 {
+				u /= den
+			}
+			xn = x - u
 		} else {
 			xn = math.NaN()
 		}
@@ -167,11 +215,6 @@ func GammaIncPInv(a, p float64) float64 {
 		x = xn
 	}
 	return x
-}
-
-func lgammaOf(a float64) float64 {
-	lg, _ := math.Lgamma(a)
-	return lg
 }
 
 // PoissonCDF returns P(N <= k) for N ~ Poisson(lambda), evaluated through
