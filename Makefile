@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench benchjson benchsuite benchcheck obs-demo figures report clean
+.PHONY: all build vet test race fuzz chaos bench benchjson benchsuite benchcheck obs-demo figures report clean
 
 all: build vet test
 
@@ -29,6 +29,18 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzTryEmpirical -fuzztime=$(FUZZTIME) ./internal/dist/
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=$(FUZZTIME) ./internal/ckpt/
 	$(GO) test -run='^$$' -fuzz=FuzzResumeSnapshot -fuzztime=$(FUZZTIME) ./internal/engine/
+	$(GO) test -run='^$$' -fuzz=FuzzParseFailure -fuzztime=$(FUZZTIME) ./internal/engine/
+
+# Chaos soak under the race detector: deterministic fault injection into
+# the durability stack (snapshot writes dying ENOSPC/EIO-style, job
+# attempts erroring and hanging) plus the engine retry/keep-going/resume
+# machinery, asserting every surviving run bit-identical to an
+# undisturbed one. COUNT repeats the soak for longer campaigns.
+COUNT ?= 1
+chaos:
+	$(GO) test -race -count=$(COUNT) -run 'Chaos|Injector|JobPlane' ./internal/chaos/
+	$(GO) test -race -count=$(COUNT) -run 'Fault|Injected|Writer|Retr|KeepGoing|Timeout|Snapshot' \
+		./internal/atomicio/ ./internal/ckpt/ ./internal/engine/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

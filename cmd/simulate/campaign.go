@@ -19,24 +19,31 @@ import (
 	"reskit/internal/sim"
 )
 
-// stopMarker names what cut a run short — the -timeout deadline or an
-// interrupting signal — for the partial-result rows.
+// stopMarker names what cut a run short — the -timeout deadline, an
+// interrupting signal, or (when the context is still live) jobs that
+// failed permanently under -keep-going — for the partial-result rows.
 func stopMarker(ctx context.Context) string {
 	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 		return "stopped by -timeout"
+	}
+	if ctx.Err() == nil {
+		return "degraded"
 	}
 	return "interrupted"
 }
 
 // ckptOpts carries the durable-run flags into the mode functions: where
-// to snapshot, how often, whether to restore first, and the
-// configuration fingerprint guarding against resuming under a different
-// setup.
+// to snapshot, how often, whether to restore first, the configuration
+// fingerprint guarding against resuming under a different setup, and
+// the failure policy (retries, deadlines, keep-going). The policy is
+// deliberately outside the fingerprint: retrying or resuming under a
+// different policy is legal and still bit-identical.
 type ckptOpts struct {
 	path        string
 	interval    time.Duration
 	resume      bool
 	fingerprint uint64
+	failure     engine.Failure
 }
 
 // spec assembles the engine spec every mode shares: the job grid, the
@@ -51,6 +58,7 @@ func (c ckptOpts) spec(jobs []engine.Job, seed uint64, workers int, out io.Write
 		Fingerprint: c.fingerprint,
 		Workers:     workers,
 		Checkpoint:  engine.Checkpoint{Path: c.path, Interval: c.interval, Resume: c.resume},
+		Failure:     c.failure,
 		Check:       check,
 		Log:         out,
 	}
@@ -149,11 +157,12 @@ func runCampaignMode(ctx context.Context, out io.Writer, r, recovery, totalWork 
 	start := time.Now()
 	res, runErr := engine.Run(ctx, ckOpts.spec(campaignJobs(cfg, trials), seed, workers, out, ob, checkCampaignPayload))
 	elapsed := time.Since(start)
-	// A restore error (malformed block payload) or snapshot-write failure
-	// is a real failure, not an interruption: surface it instead of
-	// printing partial numbers.
-	if runErr != nil && ctx.Err() == nil {
-		return runErr
+	// A restore error (malformed block payload) or a job out of retry
+	// budget is a real failure, not an interruption: surface it instead
+	// of printing partial numbers. Interrupted and keep-going-degraded
+	// runs fall through to the partial report.
+	if err := hardFailure(ctx, runErr, res); err != nil {
+		return err
 	}
 	agg, err := sim.MergeCampaignPayloads(res.Payloads)
 	if err != nil {
@@ -173,14 +182,13 @@ func runCampaignMode(ctx context.Context, out io.Writer, r, recovery, totalWork 
 	fmt.Fprintf(tw, "all completed\t%v\n", agg.CompletedAll)
 	fmt.Fprintf(tw, "wall time\t%v (%.0f trials/s)\n",
 		elapsed.Round(time.Millisecond), float64(agg.Trials)/elapsed.Seconds())
-	switch {
-	case runErr != nil && ckOpts.path != "":
-		fmt.Fprintf(tw, "interrupted\t%d/%d jobs committed to %s; rerun with -resume to finish\n",
-			res.Done(), res.Total(), ckOpts.path)
-	case runErr != nil:
-		fmt.Fprintf(tw, "interrupted\t-timeout hit after %d/%d trials\n", agg.Trials, trials)
+	if runErr != nil && ckOpts.path == "" && ctx.Err() != nil {
+		fmt.Fprintf(tw, "interrupted\t%s after %d/%d trials\n", stopMarker(ctx), agg.Trials, trials)
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return finishRun(ctx, out, runErr, res, ckOpts)
 }
 
 // runFaultSweep reruns the campaign over a grid of MTBF values (keeping
@@ -240,8 +248,8 @@ func runFaultSweep(ctx context.Context, out io.Writer, cfg reskit.CampaignConfig
 	}
 
 	res, runErr := engine.Run(ctx, ckOpts.spec(jobs, seed, workers, out, ob, checkCampaignPayload))
-	if runErr != nil && ctx.Err() == nil {
-		return runErr
+	if err := hardFailure(ctx, runErr, res); err != nil {
+		return err
 	}
 
 	type sweepRow struct {
@@ -279,9 +287,8 @@ func runFaultSweep(ctx context.Context, out io.Writer, cfg reskit.CampaignConfig
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	if runErr != nil && ckOpts.path != "" {
-		fmt.Fprintf(out, "\ninterrupted: %d/%d jobs committed to %s; rerun with -resume to finish\n",
-			res.Done(), res.Total(), ckOpts.path)
+	if ferr := finishRun(ctx, out, runErr, res, ckOpts); ferr != nil {
+		return ferr
 	}
 
 	if benchJSON == "" || runErr != nil {

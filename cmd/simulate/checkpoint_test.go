@@ -129,7 +129,7 @@ func TestResumeMissingSnapshotStartsFresh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "no snapshot") {
+	if !strings.Contains(out.String(), "no usable snapshot") {
 		t.Errorf("missing snapshot should be announced, got %q", out.String())
 	}
 }

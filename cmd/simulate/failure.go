@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"reskit/internal/engine"
+)
+
+// exitDegraded is the exit code of a -keep-going run that completed but
+// left permanently failed jobs behind: the printed aggregates are
+// partial, and (with -checkpoint) the failed jobs stay resumable.
+const exitDegraded = 4
+
+// errDegraded marks a keep-going run that finished in degraded mode,
+// distinguishing "partial results, failed jobs reported" from both plain
+// failure (exit 1) and resumable interruption (exit 3).
+var errDegraded = errors.New("completed degraded: some jobs failed permanently")
+
+// hardFailure decides whether runErr aborts a mode before its results
+// print. Interruptions and keep-going degradations fall through to the
+// partial report (finishRun emits their status); a completed run whose
+// only defect is a failed final snapshot write keeps its results too.
+// Everything else — restore validation, a job out of retry budget — is a
+// hard failure.
+func hardFailure(ctx context.Context, runErr error, res *engine.Result) error {
+	if runErr == nil || ctx.Err() != nil || len(res.Failed) > 0 {
+		return nil
+	}
+	var serr *engine.SnapshotError
+	if errors.As(runErr, &serr) && res.Done() == res.Total() {
+		return nil
+	}
+	return runErr
+}
+
+// finishRun emits the post-run status block every mode shares — the
+// snapshot-loss warning, the resume hint, the degraded-run job report —
+// and converts a degraded keep-going run into errDegraded (exit code 4).
+// A drained interruption whose final snapshot write failed gets the
+// warning instead of the resumable claim: the state on disk is stale or
+// gone, and pretending otherwise costs the user their recomputation.
+func finishRun(ctx context.Context, out io.Writer, runErr error, res *engine.Result, ck ckptOpts) error {
+	if runErr == nil {
+		return nil
+	}
+	var serr *engine.SnapshotError
+	snapLost := errors.As(runErr, &serr)
+	if snapLost {
+		fmt.Fprintf(out, "\nWARNING: run state is not durable: %v\n", serr.Err)
+	}
+	if ctx.Err() != nil && ck.path != "" {
+		if snapLost {
+			fmt.Fprintf(out, "interrupted: %d/%d jobs computed, but the snapshot at %s is stale or missing — resuming will recompute the lost work\n",
+				res.Done(), res.Total(), ck.path)
+		} else {
+			fmt.Fprintf(out, "\ninterrupted: %d/%d jobs committed to %s; rerun with -resume to finish\n",
+				res.Done(), res.Total(), ck.path)
+		}
+	}
+	if len(res.Failed) > 0 && ctx.Err() == nil {
+		fmt.Fprintf(out, "\ndegraded: %d job(s) failed permanently:\n", len(res.Failed))
+		for _, je := range res.Failed {
+			fmt.Fprintf(out, "  job %d (%s): %d attempt(s): %v\n", je.Job, je.Name, je.Attempts, je.Err)
+		}
+		if ck.path != "" && !snapLost {
+			fmt.Fprintf(out, "rerun with -resume to retry only the failed jobs\n")
+		}
+		return errDegraded
+	}
+	return nil
+}

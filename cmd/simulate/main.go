@@ -63,6 +63,9 @@ func main() {
 		if errors.Is(err, errInterrupted) {
 			os.Exit(exitInterrupted)
 		}
+		if errors.Is(err, errDegraded) {
+			os.Exit(exitDegraded)
+		}
 		os.Exit(1)
 	}
 }
@@ -94,6 +97,11 @@ func run(args []string, out io.Writer) (err error) {
 	checkpointPath := fs.String("checkpoint", "", "with -campaign: periodically snapshot run state to this file; an interrupted run can continue with -resume")
 	checkpointInterval := fs.Duration("checkpoint-interval", 10*time.Second, "with -checkpoint: minimum interval between snapshots")
 	resume := fs.Bool("resume", false, "with -checkpoint: restore completed blocks from the snapshot file and run only the missing ones")
+	retries := fs.Int("retries", 0, "per-job retry budget for transient failures (a job runs at most retries+1 attempts)")
+	retryBackoff := fs.Duration("retry-backoff", 0, "base of the deterministic exponential retry backoff (default 100ms when -retries > 0)")
+	jobTimeout := fs.Duration("job-timeout", 0, "deadline per job attempt; a timed-out attempt is retryable under the -retries budget")
+	keepGoing := fs.Bool("keep-going", false, "record permanently failed jobs and keep running the rest; exits with code 4 and leaves failed jobs resumable")
+	failurePolicy := fs.String("failure-policy", "", "compact failure policy, e.g. 'retries=3,backoff=50ms,timeout=1m,keep-going' (mutually exclusive with the individual failure flags)")
 	strategies := fs.String("strategies", "oracle,dynamic,static,threshold,pessimistic",
 		"comma-separated strategies to compare")
 	hist := fs.Bool("hist", false, "print an ASCII histogram of saved work for each strategy")
@@ -146,6 +154,20 @@ func run(args []string, out io.Writer) (err error) {
 	}
 	if *resume && *checkpointPath == "" {
 		return errors.New("-resume requires -checkpoint")
+	}
+	failure := reskit.EngineFailure{
+		Retries:    *retries,
+		Backoff:    *retryBackoff,
+		JobTimeout: *jobTimeout,
+		KeepGoing:  *keepGoing,
+	}
+	if *failurePolicy != "" {
+		if failure != (reskit.EngineFailure{}) {
+			return errors.New("-failure-policy is mutually exclusive with -retries/-retry-backoff/-job-timeout/-keep-going")
+		}
+		if failure, err = reskit.ParseEngineFailure(*failurePolicy); err != nil {
+			return err
+		}
 	}
 	// SIGINT/SIGTERM cancel the context: workers drain at the next block
 	// boundary, partial aggregates are reported exactly, and (with
@@ -212,7 +234,7 @@ func run(args []string, out io.Writer) (err error) {
 	// shape the payloads of the selected mode. Workers are deliberately
 	// excluded: resuming with a different worker count is legal and still
 	// bit-identical.
-	ck := ckptOpts{path: *checkpointPath, interval: *checkpointInterval, resume: *resume}
+	ck := ckptOpts{path: *checkpointPath, interval: *checkpointInterval, resume: *resume, failure: failure}
 	if *campaign {
 		mode := "campaign"
 		switch {

@@ -58,8 +58,8 @@ func runPreempt(ctx context.Context, out io.Writer, r float64, ckpt reskit.Conti
 
 	check := func(_ int, data []byte) error { return sim.CheckPreemptiblePayload(data) }
 	res, runErr := engine.Run(ctx, ckOpts.spec(jobs, seed, workers, out, ob, check))
-	if runErr != nil && ctx.Err() == nil {
-		return runErr
+	if err := hardFailure(ctx, runErr, res); err != nil {
+		return err
 	}
 
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
@@ -84,9 +84,5 @@ func runPreempt(ctx context.Context, out io.Writer, r float64, ckpt reskit.Conti
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	if runErr != nil && ckOpts.path != "" {
-		fmt.Fprintf(out, "\ninterrupted: %d/%d jobs committed to %s; rerun with -resume to finish\n",
-			res.Done(), res.Total(), ckOpts.path)
-	}
-	return nil
+	return finishRun(ctx, out, runErr, res, ckOpts)
 }

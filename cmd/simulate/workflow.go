@@ -166,8 +166,8 @@ func runWorkflow(ctx context.Context, out io.Writer, r, recovery, failRate float
 
 	check := func(_ int, data []byte) error { return sim.CheckMonteCarloPayload(data) }
 	res, runErr := engine.Run(ctx, ckOpts.spec(jobs, seed, workers, out, ob, check))
-	if runErr != nil && ctx.Err() == nil {
-		return runErr
+	if err := hardFailure(ctx, runErr, res); err != nil {
+		return err
 	}
 
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
@@ -212,12 +212,10 @@ func runWorkflow(ctx context.Context, out io.Writer, r, recovery, failRate float
 		return err
 	}
 	if runErr != nil {
-		fmt.Fprintf(out, "\n%s (%v); remaining strategies skipped\n", stopMarker(ctx), runErr)
-		if ckOpts.path != "" {
-			fmt.Fprintf(out, "interrupted: %d/%d jobs committed to %s; rerun with -resume to finish\n",
-				res.Done(), res.Total(), ckOpts.path)
+		if ctx.Err() != nil {
+			fmt.Fprintf(out, "\n%s (%v); remaining strategies skipped\n", stopMarker(ctx), runErr)
 		}
-		return nil
+		return finishRun(ctx, out, runErr, res, ckOpts)
 	}
 	fmt.Fprintf(out, "\nstatic n_opt = %d (E = %.5g analytic)\n", sol.NOpt, sol.ENOpt)
 	if wErr == nil {

@@ -40,6 +40,28 @@ type EngineSpec = engine.Spec
 // were restored from a snapshot versus freshly run.
 type EngineResult = engine.Result
 
+// EngineFailure is the per-job failure policy: retry budget,
+// deterministic exponential backoff bounds, per-attempt deadline, and
+// keep-going mode (record permanent failures instead of aborting the
+// run). The zero value disables all of it at no cost.
+type EngineFailure = engine.Failure
+
+// EngineJobError describes one job that exhausted its retry budget in a
+// keep-going run; Result.Failed collects them and the run error joins
+// them (errors.As-addressable).
+type EngineJobError = engine.JobError
+
+// EngineSnapshotError reports that the run's final snapshot could not
+// be written or verified: the run state on disk is stale or missing, so
+// an "interrupted but resumable" claim would be false.
+type EngineSnapshotError = engine.SnapshotError
+
+// ParseEngineFailure parses a compact failure-policy spec such as
+// "retries=3,backoff=50ms,max-backoff=5s,timeout=1m,keep-going".
+func ParseEngineFailure(spec string) (EngineFailure, error) {
+	return engine.ParseFailure(spec)
+}
+
 // RunEngine executes spec's jobs across workers. On cancellation it
 // drains gracefully, writes a final resumable snapshot when
 // checkpointing is configured, and returns ctx.Err() with the partial

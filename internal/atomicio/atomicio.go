@@ -14,7 +14,71 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 )
+
+// Op identifies one primitive step of an atomic write, for fault
+// injection (see Injector).
+type Op uint8
+
+// Primitive operations an Injector may intercept.
+const (
+	OpWrite  Op = iota + 1 // writing data into the temporary file
+	OpSync                 // fsyncing the temporary file before the rename
+	OpRename               // renaming the temporary file over the destination
+)
+
+// String returns the operation name.
+func (op Op) String() string {
+	switch op {
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(op))
+	}
+}
+
+// Injector is a fault plane over the primitive operations of an atomic
+// write, used by the chaos tests to attack the durability stack with the
+// disk faults it claims to survive. Fault is consulted once per
+// operation with the *destination* path (never the temporary name) and,
+// for OpWrite, the number of bytes about to be written. Returning a
+// non-nil error fails the operation; for OpWrite, `short` bytes of the
+// data (clamped to [0, n]) are still written first, modeling an
+// ENOSPC-style short write that leaves a truncated temporary behind.
+// Latency injection needs no special support: Fault may simply sleep
+// before returning. Implementations must be safe for concurrent use.
+type Injector interface {
+	Fault(op Op, path string, n int) (short int, err error)
+}
+
+// injector is the process-wide fault plane; nil (the default) costs one
+// atomic pointer load per primitive operation.
+var injector atomic.Pointer[Injector]
+
+// SetInjector installs inj as the process-wide fault plane, or removes
+// it when inj is nil. It exists for chaos and robustness tests; nothing
+// in production wiring calls it.
+func SetInjector(inj Injector) {
+	if inj == nil {
+		injector.Store(nil)
+		return
+	}
+	injector.Store(&inj)
+}
+
+// faultFor consults the installed injector, if any.
+func faultFor(op Op, path string, n int) (int, error) {
+	p := injector.Load()
+	if p == nil {
+		return 0, nil
+	}
+	return (*p).Fault(op, path, n)
+}
 
 // WriteFile atomically replaces the file at path with data: the bytes go
 // to a temporary sibling first, are fsynced, and the temporary is renamed
@@ -66,6 +130,19 @@ func create(path string, perm os.FileMode) (*File, error) {
 
 // Write implements io.Writer on the temporary file.
 func (f *File) Write(p []byte) (int, error) {
+	if short, err := faultFor(OpWrite, f.path, len(p)); err != nil {
+		if short < 0 {
+			short = 0
+		}
+		if short > len(p) {
+			short = len(p)
+		}
+		// Model the short write faithfully: the prefix really lands in
+		// the temporary file, so a buggy caller that ignored the error
+		// would commit a truncated artifact.
+		f.tmp.Write(p[:short]) //nolint:errcheck // the injected error wins
+		return short, err
+	}
 	return f.tmp.Write(p)
 }
 
@@ -78,12 +155,21 @@ func (f *File) Close() error {
 		return fmt.Errorf("atomicio: %s already closed", f.path)
 	}
 	f.done = true
+	if _, err := faultFor(OpSync, f.path, 0); err != nil {
+		f.tmp.Close()
+		os.Remove(f.tmp.Name())
+		return err
+	}
 	if err := f.tmp.Sync(); err != nil {
 		f.tmp.Close()
 		os.Remove(f.tmp.Name())
 		return err
 	}
 	if err := f.tmp.Close(); err != nil {
+		os.Remove(f.tmp.Name())
+		return err
+	}
+	if _, err := faultFor(OpRename, f.path, 0); err != nil {
 		os.Remove(f.tmp.Name())
 		return err
 	}

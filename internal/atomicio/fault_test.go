@@ -1,0 +1,166 @@
+package atomicio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// scriptedInjector fails exactly the scripted operations, in order of
+// consultation, and passes everything else through.
+type scriptedInjector struct {
+	fail  map[Op]bool
+	short int // bytes still written on a faulted OpWrite
+	seen  []Op
+}
+
+func (s *scriptedInjector) Fault(op Op, path string, n int) (int, error) {
+	s.seen = append(s.seen, op)
+	if !s.fail[op] {
+		return 0, nil
+	}
+	switch op {
+	case OpWrite:
+		return s.short, syscall.ENOSPC
+	default:
+		return 0, syscall.EIO
+	}
+}
+
+// assertIntact checks the destination still holds want (or is missing
+// when want is nil) and that no temporary litter survived the failure.
+func assertIntact(t *testing.T, dir, path string, want []byte) {
+	t.Helper()
+	got, err := os.ReadFile(path)
+	if want == nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("destination should not exist, read = %q, %v", got, err)
+		}
+	} else {
+		if err != nil || string(got) != string(want) {
+			t.Fatalf("destination = %q, %v; want %q intact", got, err, want)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temporary litter left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestWriteFileInjectedFaults(t *testing.T) {
+	cases := []struct {
+		name  string
+		fail  Op
+		short int
+	}{
+		{"short write ENOSPC", OpWrite, 3},
+		{"zero-byte write ENOSPC", OpWrite, 0},
+		{"fsync EIO", OpSync, 0},
+		{"rename EIO", OpRename, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name+"/fresh destination", func(t *testing.T) {
+			defer SetInjector(nil)
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.bin")
+			SetInjector(&scriptedInjector{fail: map[Op]bool{tc.fail: true}, short: tc.short})
+			err := WriteFile(path, []byte("payload!"), 0o644)
+			if err == nil {
+				t.Fatal("injected fault did not surface")
+			}
+			// A missing destination must stay missing — never a
+			// truncated prefix of the new data.
+			assertIntact(t, dir, path, nil)
+		})
+		t.Run(tc.name+"/existing destination", func(t *testing.T) {
+			defer SetInjector(nil)
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.bin")
+			if err := os.WriteFile(path, []byte("last good"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			SetInjector(&scriptedInjector{fail: map[Op]bool{tc.fail: true}, short: tc.short})
+			err := WriteFile(path, []byte("payload!"), 0o644)
+			if err == nil {
+				t.Fatal("injected fault did not surface")
+			}
+			// The previous contents survive untouched.
+			assertIntact(t, dir, path, []byte("last good"))
+		})
+	}
+}
+
+func TestWriteFileFaultErrnoSurfaces(t *testing.T) {
+	defer SetInjector(nil)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	SetInjector(&scriptedInjector{fail: map[Op]bool{OpWrite: true}, short: 2})
+	if err := WriteFile(path, []byte("abcdef"), 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC to surface through WriteFile", err)
+	}
+	SetInjector(&scriptedInjector{fail: map[Op]bool{OpRename: true}})
+	if err := WriteFile(path, []byte("abcdef"), 0o644); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("err = %v, want EIO to surface through WriteFile", err)
+	}
+}
+
+func TestWriteFileConsultsAllOps(t *testing.T) {
+	defer SetInjector(nil)
+	dir := t.TempDir()
+	inj := &scriptedInjector{fail: map[Op]bool{}}
+	SetInjector(inj)
+	if err := WriteFile(filepath.Join(dir, "a"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{OpWrite, OpSync, OpRename}
+	if len(inj.seen) != len(want) {
+		t.Fatalf("consulted %v, want %v", inj.seen, want)
+	}
+	for i := range want {
+		if inj.seen[i] != want[i] {
+			t.Fatalf("consulted %v, want %v", inj.seen, want)
+		}
+	}
+}
+
+func TestCreateCloseInjectedSyncFault(t *testing.T) {
+	defer SetInjector(nil)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "streamed.bin")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	SetInjector(&scriptedInjector{fail: map[Op]bool{OpSync: true}})
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("new contents")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Close = %v, want injected EIO", err)
+	}
+	assertIntact(t, dir, path, []byte("old"))
+}
+
+func TestInjectorRemovedRestoresCleanWrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	SetInjector(&scriptedInjector{fail: map[Op]bool{OpWrite: true}})
+	if err := WriteFile(path, []byte("x"), 0o644); err == nil {
+		t.Fatal("fault expected while injector installed")
+	}
+	SetInjector(nil)
+	if err := WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatalf("write after removing injector: %v", err)
+	}
+}

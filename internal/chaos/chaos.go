@@ -1,0 +1,239 @@
+// Package chaos is the repository's self-inflicted fault plane: it
+// attacks the durability stack (internal/atomicio, internal/ckpt,
+// internal/engine) with the very failures the paper's checkpointing
+// model studies — dying disks, hanging work, transient errors — so the
+// "kill-and-resume is bit-identical" claims are tested against hostile
+// hardware, not just clean interruption.
+//
+// Two planes are provided. Injector implements atomicio.Injector:
+// ENOSPC-style short writes, fsync and rename failures, and extra
+// latency, decided per primitive operation. JobPlane decides the fate
+// of engine job attempts: transient errors and hangs (which a per-job
+// deadline converts into timeouts). Both draw from deterministic rng
+// substreams in the same discipline as internal/fault — an Injector
+// keys a substream per destination path, a JobPlane per (job, attempt)
+// — so a chaos run is reproducible from its seed alone, independent of
+// worker count or scheduling.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"reskit/internal/atomicio"
+	"reskit/internal/rng"
+)
+
+// chaosSalt decorrelates chaos decision substreams from every substream
+// the simulations themselves draw from the same seed.
+const chaosSalt = 0x6b5c3a8f9d21e047
+
+// Config sets the per-operation fault rates of an Injector. Rates are
+// probabilities in [0, 1]; zero disables that fault. The zero Config
+// injects nothing.
+type Config struct {
+	// Seed drives every decision substream; the same seed reproduces
+	// the same faults for the same operation sequence.
+	Seed uint64
+
+	// WriteErr is the probability that a Write into the temporary file
+	// fails ENOSPC-style: a random prefix of the data still lands (a
+	// genuine short write), then the error surfaces.
+	WriteErr float64
+
+	// SyncErr is the probability that the pre-rename fsync fails (EIO).
+	SyncErr float64
+
+	// RenameErr is the probability that the final rename fails (EIO).
+	RenameErr float64
+
+	// Latency, when positive, is injected before an operation with
+	// probability LatencyRate — flaky-NFS-style stalls.
+	Latency     time.Duration
+	LatencyRate float64
+
+	// PathPrefix restricts the attack to destination paths with this
+	// prefix ("" attacks everything). Tests point it at their temp
+	// directory so parallel tests never fault each other's files.
+	PathPrefix string
+}
+
+// Stats counts what an Injector actually did, so a soak test can assert
+// its faults really fired rather than passing vacuously.
+type Stats struct {
+	Ops        int64 // operations consulted (after PathPrefix filtering)
+	WriteErrs  int64
+	SyncErrs   int64
+	RenameErrs int64
+	Delays     int64
+}
+
+// Injected returns the total number of injected faults (delays
+// excluded).
+func (s Stats) Injected() int64 { return s.WriteErrs + s.SyncErrs + s.RenameErrs }
+
+// Injector is a deterministic atomicio fault plane. Each destination
+// path owns one decision substream (keyed by a hash of the path), so
+// the fault sequence a given file experiences depends only on the seed
+// and that file's operation order — never on how unrelated files
+// interleave. Install with atomicio.SetInjector; safe for concurrent
+// use.
+type Injector struct {
+	cfg Config
+
+	mu    sync.Mutex
+	paths map[string]*rng.Source
+
+	ops, writeErrs, syncErrs, renameErrs, delays atomic.Int64
+}
+
+// NewInjector returns an injector for cfg.
+func NewInjector(cfg Config) *Injector {
+	return &Injector{cfg: cfg, paths: make(map[string]*rng.Source)}
+}
+
+// Stats snapshots the injection counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Ops:        in.ops.Load(),
+		WriteErrs:  in.writeErrs.Load(),
+		SyncErrs:   in.syncErrs.Load(),
+		RenameErrs: in.renameErrs.Load(),
+		Delays:     in.delays.Load(),
+	}
+}
+
+// Fault implements atomicio.Injector.
+func (in *Injector) Fault(op atomicio.Op, path string, n int) (int, error) {
+	if in.cfg.PathPrefix != "" && !strings.HasPrefix(path, in.cfg.PathPrefix) {
+		return 0, nil
+	}
+	in.ops.Add(1)
+
+	in.mu.Lock()
+	src := in.paths[path]
+	if src == nil {
+		src = rng.NewStream(in.cfg.Seed^chaosSalt, hashPath(path))
+		in.paths[path] = src
+	}
+	// Draw the fate under the lock: the per-path sequence stays
+	// deterministic even when several files are attacked concurrently.
+	delay := in.cfg.Latency > 0 && src.Float64() < in.cfg.LatencyRate
+	var rate float64
+	switch op {
+	case atomicio.OpWrite:
+		rate = in.cfg.WriteErr
+	case atomicio.OpSync:
+		rate = in.cfg.SyncErr
+	case atomicio.OpRename:
+		rate = in.cfg.RenameErr
+	}
+	hit := rate > 0 && src.Float64() < rate
+	short := 0
+	if hit && op == atomicio.OpWrite {
+		short = src.Intn(n + 1)
+	}
+	in.mu.Unlock()
+
+	if delay {
+		in.delays.Add(1)
+		time.Sleep(in.cfg.Latency)
+	}
+	if !hit {
+		return 0, nil
+	}
+	switch op {
+	case atomicio.OpWrite:
+		in.writeErrs.Add(1)
+		return short, fmt.Errorf("chaos: injected short write (%d/%d bytes) on %s: %w", short, n, path, syscall.ENOSPC)
+	case atomicio.OpSync:
+		in.syncErrs.Add(1)
+		return 0, fmt.Errorf("chaos: injected fsync failure on %s: %w", path, syscall.EIO)
+	default:
+		in.renameErrs.Add(1)
+		return 0, fmt.Errorf("chaos: injected rename failure on %s: %w", path, syscall.EIO)
+	}
+}
+
+// hashPath keys a path's decision substream.
+func hashPath(path string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	return h.Sum64()
+}
+
+// JobFaults sets the per-attempt fault rates of a JobPlane.
+type JobFaults struct {
+	// Seed drives the (job, attempt) decision substreams.
+	Seed uint64
+
+	// ErrRate is the probability an attempt fails with a transient
+	// error before the job's real work runs.
+	ErrRate float64
+
+	// HangRate is the probability an attempt hangs — blocking until
+	// its context is cancelled, which a per-attempt deadline converts
+	// into a retryable timeout.
+	HangRate float64
+}
+
+// Fate is the chaos verdict for one job attempt.
+type Fate uint8
+
+// Attempt fates.
+const (
+	FateOK   Fate = iota // run the real job
+	FateErr              // fail with a transient error
+	FateHang             // block until the attempt context dies
+)
+
+// JobPlane decides the fate of engine job attempts deterministically:
+// attempt a of job i draws one substream keyed by (seed, i, a), so the
+// fault pattern is a pure function of the seed and survives any worker
+// count, scheduling, or resume boundary. Safe for concurrent use.
+type JobPlane struct {
+	f        JobFaults
+	attempts []atomic.Int64
+	errs     atomic.Int64
+	hangs    atomic.Int64
+}
+
+// NewJobPlane returns a plane for numJobs jobs.
+func NewJobPlane(f JobFaults, numJobs int) *JobPlane {
+	return &JobPlane{f: f, attempts: make([]atomic.Int64, numJobs)}
+}
+
+// Next draws the fate of job i's next attempt. Attempt numbering is
+// per-plane, so a fresh plane (e.g. a resumed process) replays the same
+// fate sequence from the start.
+func (p *JobPlane) Next(i int) Fate {
+	attempt := p.attempts[i].Add(1)
+	var src rng.Source
+	src.Reinit(p.f.Seed^chaosSalt, uint64(i)*0x9e3779b97f4a7c15+uint64(attempt))
+	u := src.Float64()
+	switch {
+	case u < p.f.ErrRate:
+		p.errs.Add(1)
+		return FateErr
+	case u < p.f.ErrRate+p.f.HangRate:
+		p.hangs.Add(1)
+		return FateHang
+	default:
+		return FateOK
+	}
+}
+
+// Errf builds the transient error for a FateErr attempt of job i.
+func (p *JobPlane) Errf(i int) error {
+	return fmt.Errorf("chaos: injected transient failure on job %d", i)
+}
+
+// Injected returns how many attempts the plane faulted (errors, hangs).
+func (p *JobPlane) Injected() (errs, hangs int64) {
+	return p.errs.Load(), p.hangs.Load()
+}

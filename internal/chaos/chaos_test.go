@@ -1,0 +1,164 @@
+package chaos
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+
+	"reskit/internal/atomicio"
+)
+
+// drive replays a fixed operation sequence against an injector and
+// returns the outcomes, so determinism can be asserted injector against
+// injector.
+func drive(in *Injector) []string {
+	ops := []struct {
+		op   atomicio.Op
+		path string
+		n    int
+	}{
+		{atomicio.OpWrite, "/tmp/chaos/a", 100},
+		{atomicio.OpSync, "/tmp/chaos/a", 0},
+		{atomicio.OpRename, "/tmp/chaos/a", 0},
+		{atomicio.OpWrite, "/tmp/chaos/b", 64},
+		{atomicio.OpWrite, "/tmp/chaos/a", 100},
+		{atomicio.OpSync, "/tmp/chaos/b", 0},
+		{atomicio.OpRename, "/tmp/chaos/b", 0},
+		{atomicio.OpWrite, "/tmp/chaos/a", 100},
+	}
+	var out []string
+	for _, o := range ops {
+		short, err := in.Fault(o.op, o.path, o.n)
+		if err == nil {
+			out = append(out, "ok")
+		} else {
+			out = append(out, err.Error())
+			if o.op == atomicio.OpWrite && (short < 0 || short >= o.n) {
+				out = append(out, "BAD SHORT")
+			}
+		}
+	}
+	return out
+}
+
+func TestInjectorDeterministicPerPath(t *testing.T) {
+	cfg := Config{Seed: 7, WriteErr: 0.5, SyncErr: 0.5, RenameErr: 0.5}
+	a := drive(NewInjector(cfg))
+	b := drive(NewInjector(cfg))
+	if len(a) != len(b) {
+		t.Fatalf("outcome lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+	hit := false
+	for _, o := range a {
+		if o != "ok" {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("50% fault rates injected nothing over 8 operations")
+	}
+}
+
+func TestInjectorPathSubstreamsIndependent(t *testing.T) {
+	// Interleaving operations on another path must not change the fate
+	// sequence path "a" experiences.
+	cfg := Config{Seed: 11, WriteErr: 0.5}
+	solo := NewInjector(cfg)
+	mixed := NewInjector(cfg)
+	var a1, a2 []bool
+	for i := 0; i < 32; i++ {
+		_, err := solo.Fault(atomicio.OpWrite, "/p/a", 10)
+		a1 = append(a1, err != nil)
+		mixed.Fault(atomicio.OpWrite, "/p/noise", 10)
+		_, err = mixed.Fault(atomicio.OpWrite, "/p/a", 10)
+		a2 = append(a2, err != nil)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("op %d on /p/a changed fate due to unrelated traffic", i)
+		}
+	}
+}
+
+func TestInjectorErrnoAndStats(t *testing.T) {
+	in := NewInjector(Config{Seed: 3, WriteErr: 1, SyncErr: 1, RenameErr: 1})
+	if _, err := in.Fault(atomicio.OpWrite, "/x", 8); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write fault = %v, want ENOSPC", err)
+	}
+	if _, err := in.Fault(atomicio.OpSync, "/x", 0); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync fault = %v, want EIO", err)
+	}
+	if _, err := in.Fault(atomicio.OpRename, "/x", 0); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("rename fault = %v, want EIO", err)
+	}
+	st := in.Stats()
+	if st.Ops != 3 || st.WriteErrs != 1 || st.SyncErrs != 1 || st.RenameErrs != 1 || st.Injected() != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInjectorPathPrefixFilter(t *testing.T) {
+	in := NewInjector(Config{Seed: 1, WriteErr: 1, PathPrefix: "/attack/"})
+	if _, err := in.Fault(atomicio.OpWrite, "/safe/file", 8); err != nil {
+		t.Fatalf("out-of-prefix path faulted: %v", err)
+	}
+	if _, err := in.Fault(atomicio.OpWrite, "/attack/file", 8); err == nil {
+		t.Fatal("in-prefix path not faulted at rate 1")
+	}
+	if st := in.Stats(); st.Ops != 1 {
+		t.Fatalf("filtered ops must not count: %+v", st)
+	}
+}
+
+func TestInjectorLatency(t *testing.T) {
+	in := NewInjector(Config{Seed: 5, Latency: time.Microsecond, LatencyRate: 1})
+	in.Fault(atomicio.OpWrite, "/x", 8)
+	if st := in.Stats(); st.Delays != 1 {
+		t.Fatalf("delays = %d, want 1", st.Delays)
+	}
+}
+
+func TestJobPlaneDeterministicAcrossInterleavings(t *testing.T) {
+	f := JobFaults{Seed: 9, ErrRate: 0.3, HangRate: 0.2}
+	// Plane A: jobs drawn in order; plane B: interleaved. Per-(job,
+	// attempt) fates must match exactly.
+	a := NewJobPlane(f, 4)
+	b := NewJobPlane(f, 4)
+	var fa, fb [4][]Fate
+	for j := 0; j < 4; j++ {
+		for att := 0; att < 8; att++ {
+			fa[j] = append(fa[j], a.Next(j))
+		}
+	}
+	for att := 0; att < 8; att++ {
+		for j := 3; j >= 0; j-- {
+			fb[j] = append(fb[j], b.Next(j))
+		}
+	}
+	for j := 0; j < 4; j++ {
+		for att := range fa[j] {
+			if fa[j][att] != fb[j][att] {
+				t.Fatalf("job %d attempt %d: fate %v vs %v", j, att, fa[j][att], fb[j][att])
+			}
+		}
+	}
+	errs, hangs := a.Injected()
+	if errs == 0 || hangs == 0 {
+		t.Fatalf("30%%/20%% rates over 32 draws injected errs=%d hangs=%d", errs, hangs)
+	}
+}
+
+func TestJobPlaneZeroRatesAreQuiet(t *testing.T) {
+	p := NewJobPlane(JobFaults{Seed: 1}, 2)
+	for i := 0; i < 64; i++ {
+		if f := p.Next(i % 2); f != FateOK {
+			t.Fatalf("zero-rate plane returned %v", f)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// The chaos soak: run the engine's full durability stack — retry
+// budgets, per-attempt deadlines, keep-going mode, snapshot rotation and
+// resume — while this package attacks it from below (snapshot writes
+// dying ENOSPC/EIO-style) and from within (job attempts erroring and
+// hanging). The acceptance bar is the paper's own: every run that
+// eventually completes must be bit-identical to an undisturbed one, at
+// every worker count.
+package chaos_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"reskit/internal/atomicio"
+	"reskit/internal/chaos"
+	"reskit/internal/engine"
+	"reskit/internal/rng"
+)
+
+const soakJobs = 24
+
+// soakJobsFor builds deterministic hash-style jobs, optionally routed
+// through a chaos JobPlane that decides each attempt's fate.
+func soakJobsFor(n int, plane *chaos.JobPlane) []engine.Job {
+	jobs := make([]engine.Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = engine.Job{
+			Name:   fmt.Sprintf("soak%d", i),
+			Stream: uint64(i),
+			Run: func(ctx context.Context, src *rng.Source) (engine.JobResult, error) {
+				if plane != nil {
+					switch plane.Next(i) {
+					case chaos.FateErr:
+						return engine.JobResult{}, plane.Errf(i)
+					case chaos.FateHang:
+						<-ctx.Done()
+						return engine.JobResult{}, ctx.Err()
+					}
+				}
+				if err := ctx.Err(); err != nil {
+					return engine.JobResult{}, err
+				}
+				return engine.JobResult{Payload: binary.LittleEndian.AppendUint64(nil, src.Uint64())}, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func undisturbed(t *testing.T, n int) *engine.Result {
+	t.Helper()
+	res, err := engine.Run(context.Background(), engine.Spec{
+		Jobs: soakJobsFor(n, nil), Seed: 1234, Fingerprint: 99, Workers: 2,
+	})
+	if err != nil {
+		t.Fatalf("undisturbed reference run: %v", err)
+	}
+	return res
+}
+
+// TestChaosSoak is the acceptance soak from the issue: >=5% fault rates
+// on both planes, workers {1, 4, 8}, keep-going degraded runs resumed
+// until everything completes, aggregates bit-identical to the
+// undisturbed run.
+func TestChaosSoak(t *testing.T) {
+	ref := undisturbed(t, soakJobs)
+
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			dir := t.TempDir()
+			snap := filepath.Join(dir, "soak.ckpt")
+
+			inj := chaos.NewInjector(chaos.Config{
+				Seed:       uint64(1000 + workers),
+				WriteErr:   0.25,
+				SyncErr:    0.10,
+				RenameErr:  0.10,
+				PathPrefix: dir,
+			})
+			atomicio.SetInjector(inj)
+			defer atomicio.SetInjector(nil)
+
+			// One plane across all rounds: attempt counters advance
+			// through resumes, so persistent bad luck cannot pin a job
+			// into permanent failure forever.
+			plane := chaos.NewJobPlane(chaos.JobFaults{
+				Seed:     uint64(2000 + workers),
+				ErrRate:  0.20,
+				HangRate: 0.08,
+			}, soakJobs)
+
+			var res *engine.Result
+			var log bytes.Buffer
+			completed := false
+			for round := 0; round < 40 && !completed; round++ {
+				spec := engine.Spec{
+					Jobs:        soakJobsFor(soakJobs, plane),
+					Seed:        1234,
+					Fingerprint: 99,
+					Workers:     workers,
+					Log:         &log,
+					Checkpoint: engine.Checkpoint{
+						Path:     snap,
+						Interval: time.Nanosecond, // snapshot on every commit: maximum attack surface
+						Resume:   round > 0,
+					},
+					Failure: engine.Failure{
+						Retries:    6,
+						Backoff:    time.Millisecond,
+						MaxBackoff: 4 * time.Millisecond,
+						JobTimeout: 250 * time.Millisecond,
+						KeepGoing:  true,
+					},
+				}
+				var err error
+				res, err = engine.Run(context.Background(), spec)
+				if res.Done() == soakJobs {
+					completed = true
+					break
+				}
+				if err == nil {
+					t.Fatalf("round %d: incomplete run (%d/%d) returned nil error",
+						round, res.Done(), soakJobs)
+				}
+				// Degraded rounds must fail with structured job errors,
+				// not an opaque string.
+				var je *engine.JobError
+				var se *engine.SnapshotError
+				if !errors.As(err, &je) && !errors.As(err, &se) {
+					t.Fatalf("round %d: unstructured error: %v", round, err)
+				}
+				if len(res.Failed) > 0 && !errors.As(err, &je) {
+					t.Fatalf("round %d: %d failed jobs but no JobError in %v",
+						round, len(res.Failed), err)
+				}
+			}
+			if !completed {
+				t.Fatalf("soak did not converge in 40 rounds; log tail: %s", tail(log.String(), 800))
+			}
+			for i := range ref.Payloads {
+				if !bytes.Equal(res.Payloads[i], ref.Payloads[i]) {
+					t.Fatalf("payload %d differs from the undisturbed run", i)
+				}
+			}
+			// The soak must not pass vacuously: both planes fired.
+			if st := inj.Stats(); st.Injected() == 0 {
+				t.Fatalf("disk fault plane injected nothing: %+v", st)
+			}
+			errs, hangs := plane.Injected()
+			if errs == 0 || hangs == 0 {
+				t.Fatalf("job fault plane too quiet: errs=%d hangs=%d", errs, hangs)
+			}
+			t.Logf("disk faults %+v; job errs=%d hangs=%d", inj.Stats(), errs, hangs)
+		})
+	}
+}
+
+// TestChaosSoakFailFast drives the no-keep-going path: with chaos on the
+// disk only, runs either succeed bit-identically or fail loudly — and a
+// retry budget eventually pushes them through.
+func TestChaosSoakFailFast(t *testing.T) {
+	ref := undisturbed(t, soakJobs)
+
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "failfast.ckpt")
+	inj := chaos.NewInjector(chaos.Config{
+		Seed:       77,
+		WriteErr:   0.20,
+		SyncErr:    0.10,
+		RenameErr:  0.05,
+		PathPrefix: dir,
+	})
+	atomicio.SetInjector(inj)
+	defer atomicio.SetInjector(nil)
+
+	plane := chaos.NewJobPlane(chaos.JobFaults{Seed: 78, ErrRate: 0.15}, soakJobs)
+	var res *engine.Result
+	completed := false
+	for round := 0; round < 40 && !completed; round++ {
+		spec := engine.Spec{
+			Jobs:        soakJobsFor(soakJobs, plane),
+			Seed:        1234,
+			Fingerprint: 99,
+			Workers:     4,
+			Checkpoint:  engine.Checkpoint{Path: snap, Interval: time.Nanosecond, Resume: round > 0},
+			Failure:     engine.Failure{Retries: 4, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+		}
+		var err error
+		res, err = engine.Run(context.Background(), spec)
+		if res.Done() == soakJobs {
+			completed = true
+			break
+		}
+		if err == nil {
+			t.Fatalf("round %d: incomplete run returned nil error", round)
+		}
+	}
+	if !completed {
+		t.Fatal("fail-fast soak did not converge in 40 rounds")
+	}
+	for i := range ref.Payloads {
+		if !bytes.Equal(res.Payloads[i], ref.Payloads[i]) {
+			t.Fatalf("payload %d differs from the undisturbed run", i)
+		}
+	}
+	if st := inj.Stats(); st.Injected() == 0 {
+		t.Fatalf("disk fault plane injected nothing: %+v", st)
+	}
+}
+
+func tail(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return "..." + s[len(s)-n:]
+}

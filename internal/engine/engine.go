@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,6 +85,12 @@ type Spec struct {
 
 	Checkpoint Checkpoint
 
+	// Failure is the failure policy: per-job retry budgets with
+	// deterministic backoff+jitter, per-attempt deadlines, and the
+	// keep-going degraded mode. The zero value keeps the historical
+	// fail-fast behavior at zero cost.
+	Failure Failure
+
 	// Check, when set, validates each restored payload before the run
 	// trusts it. A failure aborts the run with an error: a payload that
 	// passed the snapshot CRC but does not parse means the snapshot
@@ -116,6 +123,12 @@ type Result struct {
 	Payloads [][]byte
 	Restored int // jobs restored from the snapshot
 	Fresh    int // jobs completed by this run
+
+	// Failed lists the jobs a keep-going run gave up on, in job order:
+	// their payload slots are nil, they are absent from the snapshot,
+	// and a later resume retries exactly them. Empty unless
+	// Failure.KeepGoing was set and jobs exhausted their retry budget.
+	Failed []*JobError
 }
 
 // Done returns the number of jobs with a recorded payload.
@@ -125,16 +138,25 @@ func (r *Result) Done() int { return r.Restored + r.Fresh }
 func (r *Result) Total() int { return len(r.Payloads) }
 
 // Run executes the spec: it restores completed jobs from the snapshot
-// (validating them first), dispatches the remaining jobs to a worker
-// pool with one rng substream each, commits every completed payload,
-// writes artifacts atomically, and on cancellation drains workers at the
-// next job boundary and flushes a final snapshot. The returned error is
-// ctx.Err() after an interruption — the partial Result is valid and the
-// snapshot resumable — or the first real failure (job error, unusable
-// restored payload, artifact or snapshot write error).
+// (validating them first, falling back to the previous snapshot
+// generation when the head is unusable), dispatches the remaining jobs
+// to a worker pool with one rng substream each, retries failing
+// attempts within the spec's Failure policy, commits every completed
+// payload, writes artifacts atomically, and on cancellation drains
+// workers at the next job boundary. A final snapshot is flushed on
+// every path — success, interruption, failure — so completed work is
+// never discarded. The returned error is ctx.Err() after an
+// interruption — the partial Result is valid and the snapshot resumable
+// — a joined multi-error of JobError values after a degraded keep-going
+// run, a SnapshotError when the final snapshot could not be persisted,
+// or the first real failure (job error past its retry budget, unusable
+// restored payload, artifact write error).
 func Run(ctx context.Context, spec Spec) (*Result, error) {
 	n := len(spec.Jobs)
 	res := &Result{Payloads: make([][]byte, n)}
+	if err := spec.Failure.validate(); err != nil {
+		return res, err
+	}
 	if n == 0 {
 		return res, ctx.Err()
 	}
@@ -157,23 +179,13 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if spec.Checkpoint.Path != "" {
 		st := ckpt.New(ckpt.KindJobs, spec.Fingerprint, spec.Seed, int64(n), 1)
 		if spec.Checkpoint.Resume {
-			loaded, lerr := ckpt.Load(spec.Checkpoint.Path)
-			switch {
-			case errors.Is(lerr, os.ErrNotExist):
-				fmt.Fprintf(logw, "resume: no snapshot at %s; starting fresh\n", spec.Checkpoint.Path)
-			case lerr != nil:
-				fmt.Fprintf(logw, "resume: snapshot unusable (%v); starting fresh\n", lerr)
-			default:
-				if cerr := loaded.Check(ckpt.KindJobs, spec.Fingerprint, spec.Seed, int64(n), 1); cerr != nil {
-					fmt.Fprintf(logw, "resume: snapshot does not match this run (%v); starting fresh\n", cerr)
-				} else {
-					st = loaded
-					fmt.Fprintf(logw, "resume: restoring %d/%d jobs from %s\n", st.Done(), st.NumBlocks, spec.Checkpoint.Path)
-				}
+			if loaded := loadResumable(logw, spec.Checkpoint.Path, spec.Fingerprint, spec.Seed, int64(n)); loaded != nil {
+				st = loaded
 			}
 		}
 		writer = ckpt.NewWriter(spec.Checkpoint.Path, spec.Checkpoint.Interval, st)
 		writer.Instrument(spec.Reg)
+		writer.LogTo(logw)
 		restoredCtr := spec.Reg.Counter("engine.jobs_restored")
 		for i := 0; i < n; i++ {
 			payload := writer.Restore(i)
@@ -217,6 +229,17 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	nsPerJob := spec.Reg.Quantiles("engine.ns_per_job")
 	runStart := time.Now()
 
+	pol := spec.Failure
+	retryCtr := spec.Reg.Counter("engine.job_retries")
+	timeoutCtr := spec.Reg.Counter("engine.job_timeouts")
+	failedCtr := spec.Reg.Counter("engine.jobs_failed")
+	// Permanent keep-going failures are recorded off the hot path; the
+	// slice is sorted into job order once the workers are done.
+	var (
+		failedMu sync.Mutex
+		failed   []*JobError
+	)
+
 	var fresh atomic.Int64
 	jobs := make(chan int)
 	done := jobCtx.Done()
@@ -225,31 +248,66 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One Source per worker, reinitialized per job — state
-			// identical to a fresh NewStream, with no per-job
-			// allocation.
-			var src rng.Source
+			// One Source per worker, reinitialized per job (and per
+			// attempt) — state identical to a fresh NewStream, with no
+			// per-job allocation. jit is backoff-jitter scratch; it
+			// never touches the job substream.
+			var src, jit rng.Source
 			for i := range jobs {
 				job := spec.Jobs[i]
-				src.Reinit(spec.Seed, job.Stream)
-				var jobStart time.Time
-				if nsPerJob != nil {
-					jobStart = time.Now()
-				}
-				jr, err := job.Run(jobCtx, &src)
-				if nsPerJob != nil {
-					nsPerJob.Observe(float64(time.Since(jobStart)))
-				}
-				if err != nil {
-					if isContextErr(err) && jobCtx.Err() != nil {
+				var jr JobResult
+				ok := false
+				for attempt := 1; ; attempt++ {
+					// Every attempt restarts the job substream from
+					// scratch, so a retried job's payload is the same
+					// pure function of (seed, stream) as an undisturbed
+					// one.
+					src.Reinit(spec.Seed, job.Stream)
+					var jobStart time.Time
+					if nsPerJob != nil {
+						jobStart = time.Now()
+					}
+					jerr, timedOut := runAttempt(jobCtx, &job, &src, pol.JobTimeout, &jr)
+					if nsPerJob != nil {
+						nsPerJob.Observe(float64(time.Since(jobStart)))
+					}
+					if jerr == nil {
+						ok = true
+						break
+					}
+					if isContextErr(jerr) && jobCtx.Err() != nil {
 						return // drained cleanly at the job boundary
 					}
-					fail(fmt.Errorf("engine: job %d (%s): %w", i, job.Name, err))
+					if timedOut {
+						timeoutCtr.Inc()
+						jerr = fmt.Errorf("attempt deadline %v exceeded: %w", pol.JobTimeout, jerr)
+					}
+					// A context error the job invented while both the run
+					// and its own deadline were live is a programming
+					// bug, not a transient fault: never retried.
+					fabricated := isContextErr(jerr) && !timedOut
+					if !fabricated && attempt <= pol.Retries {
+						retryCtr.Inc()
+						if !sleepBackoff(jobCtx, pol, spec.Seed, i, attempt, &jit) {
+							return // cancelled mid-backoff: drain
+						}
+						continue
+					}
+					if pol.KeepGoing && !fabricated {
+						failedCtr.Inc()
+						failedMu.Lock()
+						failed = append(failed, &JobError{Job: i, Name: job.Name, Attempts: attempt, Err: jerr})
+						failedMu.Unlock()
+						break // payload slot stays nil; the run keeps going
+					}
+					if attempt > 1 {
+						jerr = fmt.Errorf("after %d attempts: %w", attempt, jerr)
+					}
+					fail(fmt.Errorf("engine: job %d (%s): %w", i, job.Name, jerr))
 					return
 				}
-				if err := writeArtifacts(jr.Artifacts); err != nil {
-					fail(fmt.Errorf("engine: job %d (%s): %w", i, job.Name, err))
-					return
+				if !ok {
+					continue // keep-going: next job
 				}
 				res.Payloads[i] = jr.Payload // distinct index per job: no races
 				if writer != nil {
@@ -281,16 +339,40 @@ dispatch:
 		}
 	}
 
-	if writer != nil {
+	// A degraded keep-going run reports every permanent failure as one
+	// structured multi-error; the failed jobs stay out of the snapshot,
+	// so a later resume retries exactly them.
+	if len(failed) > 0 {
+		sort.Slice(failed, func(a, b int) bool { return failed[a].Job < failed[b].Job })
+		res.Failed = failed
 		if jobErr == nil {
-			if ferr := writer.Flush(); ferr != nil {
-				jobErr = fmt.Errorf("engine: writing final snapshot: %w", ferr)
+			errs := make([]error, len(failed))
+			for i, fe := range failed {
+				errs[i] = fe
+			}
+			jobErr = errors.Join(errs...)
+		}
+	}
+
+	if writer != nil {
+		// The final snapshot is flushed on every path — interrupted,
+		// degraded, even failed — because whatever jobs did commit are
+		// worth keeping; and the writer's verdict is surfaced on every
+		// path too, so an exit that advertises a resumable state cannot
+		// be hiding a dead disk.
+		if ferr := writer.Flush(); ferr != nil {
+			serr := &SnapshotError{Err: ferr}
+			if jobErr == nil {
+				jobErr = serr
+			} else {
+				jobErr = errors.Join(jobErr, serr)
 			}
 		}
 		if jobErr == nil && ctx.Err() == nil && res.Done() == n {
-			// The run completed: the snapshot has served its purpose, and
-			// leaving it around would only invite a stale resume later.
-			if rerr := os.Remove(spec.Checkpoint.Path); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+			// The run completed: the snapshots have served their purpose,
+			// and leaving them around would only invite a stale resume
+			// later.
+			if rerr := ckpt.RemoveGenerations(spec.Checkpoint.Path); rerr != nil {
 				fmt.Fprintf(logw, "checkpoint: completed but could not remove %s: %v\n", spec.Checkpoint.Path, rerr)
 			}
 		}
@@ -299,6 +381,80 @@ dispatch:
 		return res, jobErr
 	}
 	return res, ctx.Err()
+}
+
+// loadResumable returns the newest usable snapshot generation for this
+// run — the head, or the rotated previous generation when the head is
+// missing, corrupt, or belongs to a different run — logging every
+// fallback. nil means no generation is usable and the run starts fresh.
+func loadResumable(logw io.Writer, path string, fingerprint, seed uint64, n int64) *ckpt.State {
+	for _, p := range []string{path, ckpt.PrevGeneration(path)} {
+		loaded, lerr := ckpt.Load(p)
+		switch {
+		case errors.Is(lerr, os.ErrNotExist):
+			continue
+		case lerr != nil:
+			fmt.Fprintf(logw, "resume: snapshot unusable at %s (%v)\n", p, lerr)
+			continue
+		}
+		if cerr := loaded.Check(ckpt.KindJobs, fingerprint, seed, n, 1); cerr != nil {
+			fmt.Fprintf(logw, "resume: snapshot at %s does not match this run (%v)\n", p, cerr)
+			continue
+		}
+		fmt.Fprintf(logw, "resume: restoring %d/%d jobs from %s\n", loaded.Done(), loaded.NumBlocks, p)
+		return loaded
+	}
+	fmt.Fprintf(logw, "resume: no usable snapshot at %s; starting fresh\n", path)
+	return nil
+}
+
+// runAttempt executes one attempt of a job under the per-attempt
+// deadline, including its artifact writes — an artifact that fails to
+// land is a failed attempt: re-running the job rewrites it, and
+// atomicio guarantees no partial file ever reaches the destination. On
+// success the result is stored in *out. timedOut reports an attempt cut
+// short by its own deadline while the run context was still live — the
+// retryable flavor of context error.
+func runAttempt(ctx context.Context, job *Job, src *rng.Source, timeout time.Duration, out *JobResult) (err error, timedOut bool) {
+	actx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	jr, err := job.Run(actx, src)
+	if err == nil {
+		if aerr := writeArtifacts(jr.Artifacts); aerr != nil {
+			err = aerr
+		}
+	}
+	if err == nil {
+		*out = jr
+		return nil, false
+	}
+	if timeout > 0 && isContextErr(err) {
+		timedOut = errors.Is(actx.Err(), context.DeadlineExceeded) && ctx.Err() == nil
+	}
+	return err, timedOut
+}
+
+// sleepBackoff waits the policy's deterministic jittered delay before
+// retry `attempt` of job `job`, returning false when the run was
+// cancelled mid-wait (the worker should drain, leaving the job
+// unrecorded and resumable).
+func sleepBackoff(ctx context.Context, pol Failure, seed uint64, job, attempt int, jit *rng.Source) bool {
+	d := pol.backoff(seed, job, attempt, jit)
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // isContextErr classifies cancellation and deadline errors.

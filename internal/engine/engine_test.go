@@ -242,7 +242,7 @@ func TestRunResumeFallbacks(t *testing.T) {
 		if _, err := Run(context.Background(), spec); err != nil {
 			t.Fatal(err)
 		}
-		if !strings.Contains(log.String(), "no snapshot") {
+		if !strings.Contains(log.String(), "no usable snapshot") {
 			t.Fatalf("log = %q", log.String())
 		}
 	})
