@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz chaos bench benchjson benchsuite benchcheck obs-demo figures report clean
+.PHONY: all build vet test race fuzz chaos bench benchjson benchsuite benchcheck obs-demo advise-demo figures report clean
 
 all: build vet test
 
@@ -30,6 +30,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=$(FUZZTIME) ./internal/ckpt/
 	$(GO) test -run='^$$' -fuzz=FuzzResumeSnapshot -fuzztime=$(FUZZTIME) ./internal/engine/
 	$(GO) test -run='^$$' -fuzz=FuzzParseFailure -fuzztime=$(FUZZTIME) ./internal/engine/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeQuery -fuzztime=$(FUZZTIME) ./internal/advisor/
 
 # Chaos soak under the race detector: deterministic fault injection into
 # the durability stack (snapshot writes dying ENOSPC/EIO-style, job
@@ -84,6 +85,12 @@ obs-demo:
 		-trials 2000 -mtbf 100 -progress -listen 127.0.0.1:6060 \
 		-trace out/trace.jsonl -tracesample 200 -metrics out/metrics.json
 	@echo "metrics -> out/metrics.json, trace -> out/trace.jsonl"
+
+# Advisor smoke test: serve the policy API on an ephemeral port, answer
+# a batch over HTTP, and require every answer identical to the one-shot
+# CLI path (plus live /metrics and persisted artifacts). Needs curl+jq.
+advise-demo:
+	GO="$(GO)" bash scripts/advise_demo.sh
 
 figures:
 	$(GO) run ./cmd/figures -out out/figures -extended

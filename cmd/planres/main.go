@@ -43,7 +43,8 @@ func run(args []string, out io.Writer) error {
 	payPerUse := fs.Bool("payperuse", false, "bill time used instead of time reserved")
 	candidatesStr := fs.String("candidates", "", "comma-separated reservation lengths (default: sweep)")
 	trials := fs.Int("trials", 200, "Monte-Carlo campaigns per candidate")
-	seed := fs.Uint64("seed", 1, "random seed")
+	seed := fs.Uint64("seed", 1, "random seed (every value, including 0, is a distinct seed)")
+	workers := fs.Int("workers", 0, "parallel workers (0: all CPUs; plan identical for any count)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,6 +82,7 @@ func run(args []string, out io.Writer) error {
 		Candidates: candidates,
 		Trials:     *trials,
 		Seed:       *seed,
+		Workers:    *workers,
 	})
 	if err != nil {
 		return err

@@ -6,7 +6,6 @@ import (
 	"expvar"
 	"fmt"
 	"io"
-	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -15,6 +14,7 @@ import (
 	"time"
 
 	"reskit"
+	"reskit/internal/httpd"
 )
 
 // currentReg holds the registry of the active invocation. expvar
@@ -40,8 +40,7 @@ type simObs struct {
 		Close() error
 	}
 	metricsPath string
-	srv         *http.Server
-	srvErr      chan error
+	srv         *httpd.Server
 }
 
 // setupObs builds the observability layer from the CLI flags; it
@@ -93,9 +92,12 @@ func setupObs(out io.Writer, progress bool, metricsPath, listenAddr, tracePath s
 }
 
 // listen starts the debug HTTP endpoint: expvar under /debug/vars
-// (including the live "reskit" metrics snapshot) and the pprof handlers
-// under /debug/pprof/. The actual bound address is printed, so ":0"
-// yields a usable URL (and a testable one).
+// (including the live "reskit" metrics snapshot), a Prometheus text
+// exposition of the same registry under /metrics, and the pprof
+// handlers under /debug/pprof/. The server comes from internal/httpd,
+// so header-read and idle timeouts bound every connection (a slow
+// client used to hold one forever). The actual bound address is
+// printed, so ":0" yields a usable URL (and a testable one).
 func (o *simObs) listen(out io.Writer, addr string) error {
 	publishOnce.Do(func() {
 		expvar.Publish("reskit", expvar.Func(func() interface{} {
@@ -105,22 +107,33 @@ func (o *simObs) listen(out io.Writer, addr string) error {
 			return nil
 		}))
 	})
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("-listen: %w", err)
-	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", promHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	o.srv = &http.Server{Handler: mux}
-	o.srvErr = make(chan error, 1)
-	go func() { o.srvErr <- o.srv.Serve(ln) }()
-	fmt.Fprintf(out, "observability: http://%s/debug/vars (pprof under /debug/pprof/)\n", ln.Addr())
+	srv, err := httpd.Listen(addr, mux)
+	if err != nil {
+		return fmt.Errorf("-listen: %w", err)
+	}
+	o.srv = srv
+	fmt.Fprintf(out, "observability: http://%s/debug/vars (pprof under /debug/pprof/, Prometheus under /metrics)\n", srv.Addr())
 	return nil
+}
+
+// promHandler serves the live registry in Prometheus text exposition
+// format. Like the expvar Func it reads through currentReg, so repeated
+// run() invocations (tests) each expose their own registry.
+func promHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg := currentReg.Load(); reg != nil {
+			reg.WriteProm(w, "reskit") //nolint:errcheck // client gone; nothing to do
+		}
+	})
 }
 
 // attach installs the observer on a reservation config. Safe on a nil
@@ -165,9 +178,7 @@ func (o *simObs) snapshot() *reskit.ObsSnapshot {
 func (o *simObs) shutdown() {
 	o.progress.Stop()
 	if o.srv != nil {
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		o.srv.Shutdown(ctx) //nolint:errcheck // best-effort teardown
-		cancel()
+		o.srv.Shutdown(2 * time.Second) //nolint:errcheck // best-effort teardown
 		o.srv = nil
 	}
 }

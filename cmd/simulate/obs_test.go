@@ -327,3 +327,56 @@ func TestProgressFlagRuns(t *testing.T) {
 		t.Errorf("campaign output missing: %q", buf.String())
 	}
 }
+
+// TestListenServesPromMetrics fetches /metrics from the debug endpoint
+// and checks the Prometheus exposition contract: the scrape content
+// type, and at least one TYPE-announced reskit_-prefixed sample.
+func TestListenServesPromMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	ob, err := setupObs(&buf, false, "", "127.0.0.1:0", "", 1000, 29, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ob.finish()
+	ob.reg.Counter("sim.trials").Add(7)
+
+	line := strings.TrimSpace(buf.String())
+	addr := strings.Fields(strings.TrimPrefix(line, "observability: http://"))[0]
+	addr = strings.TrimSuffix(addr, "/debug/vars")
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	out := string(body)
+	for _, want := range []string{"# TYPE reskit_sim_trials counter", "reskit_sim_trials 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestListenServerIsHardened pins the Slowloris fix: the debug listener
+// must come from internal/httpd, whose servers bound header reads.
+func TestListenServerIsHardened(t *testing.T) {
+	var buf bytes.Buffer
+	ob, err := setupObs(&buf, false, "", "127.0.0.1:0", "", 1000, 29, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ob.finish()
+	if ob.srv == nil {
+		t.Fatal("listen did not record its server")
+	}
+}

@@ -1,6 +1,8 @@
 package reskit
 
 import (
+	"context"
+
 	"reskit/internal/core"
 	"reskit/internal/dist"
 	"reskit/internal/planner"
@@ -96,6 +98,14 @@ type PlannerOption = planner.Option
 // cost.
 func PlanReservationLength(cfg PlannerConfig) ([]PlannerOption, error) {
 	return planner.Plan(cfg)
+}
+
+// PlanReservationLengthContext is PlanReservationLength with
+// cancellation: the trials run through the run engine on a worker pool
+// (cfg.Workers; results are bit-identical for any worker count), and
+// ctx stops the sweep at the next trial boundary.
+func PlanReservationLengthContext(ctx context.Context, cfg PlannerConfig) ([]PlannerOption, error) {
+	return planner.PlanContext(ctx, cfg)
 }
 
 // --- Queue-aware wall-clock simulation (platform side of Section 1) ---

@@ -1,0 +1,47 @@
+package advisor
+
+import (
+	"encoding/json"
+	"testing"
+
+	"reskit/internal/ckpt"
+)
+
+// FuzzDecodeQuery hammers the request decoder: no input may panic, any
+// input that decodes must fingerprint identically to the canonical
+// ckpt.Fingerprint rendering (the content address stays reproducible
+// for arbitrary field values), and a decoded query must survive a
+// marshal/unmarshal round trip unchanged — the wire form is lossless.
+func FuzzDecodeQuery(f *testing.F) {
+	f.Add([]byte(`{"mode":"dynamic","r":10,"task":"exp:0.3","ckpt":"uniform:0.3,0.7","work":2.5}`))
+	f.Add([]byte(`{"mode":"preempt","r":10,"ckpt":"exp:0.5@[1,5]"}`))
+	f.Add([]byte(`{"mode":"static","r":1e300,"taskdisc":"poisson:3","ckpt":"det:1","elapsed":-1}`))
+	f.Add([]byte(`{"queries":[{}]}`))
+	f.Add([]byte(`{"r":"10"}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"mode":"?","r":1e-310,"ckpt":"\xff"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeQuery(data)
+		if err != nil {
+			return
+		}
+		if got, want := q.fingerprint(), ckpt.Fingerprint(FingerprintParts(q)...); got != want {
+			t.Fatalf("fingerprint %016x != canonical %016x for %+v", got, want, q)
+		}
+		q.Validate() //nolint:errcheck // must not panic, outcome is free
+
+		wire, err := json.Marshal(q)
+		if err != nil {
+			t.Fatalf("re-marshal of decoded query failed: %v", err)
+		}
+		q2, err := DecodeQuery(wire)
+		if err != nil {
+			t.Fatalf("round trip failed to decode: %v", err)
+		}
+		if q2 != q {
+			t.Fatalf("round trip changed the query:\n%+v\n%+v", q, q2)
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package advisor
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postJSON(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHandlerAdvise(t *testing.T) {
+	a := New(Options{})
+	ts := httptest.NewServer(a.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(qDynamic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, ts.URL+"/v1/advise", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type %q", ct)
+	}
+	got := decodeBody[Answer](t, resp)
+	want := mustAdvise(t, a, qDynamic)
+	if got != want {
+		t.Fatalf("HTTP answer differs from direct call:\n%+v\n%+v", got, want)
+	}
+}
+
+func TestHandlerMethodAndDecodeErrors(t *testing.T) {
+	a := New(Options{})
+	ts := httptest.NewServer(a.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/advise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+		t.Errorf("Allow header %q", allow)
+	}
+	resp.Body.Close()
+
+	resp = postJSON(t, ts.URL+"/v1/advise", "{nope")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d, want 400", resp.StatusCode)
+	}
+	if e := decodeBody[map[string]string](t, resp); e["error"] == "" {
+		t.Error("400 carried no error body")
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/advise", `{"mode":"warp","r":1,"ckpt":"det:1"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad mode: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestHandlerBatch mixes valid and invalid queries: the response stays
+// 200 and index-aligned, with errors inline.
+func TestHandlerBatch(t *testing.T) {
+	a := New(Options{})
+	ts := httptest.NewServer(a.Handler())
+	defer ts.Close()
+
+	req := BatchRequest{Queries: []Query{qPreempt, {Mode: "bad"}, qStatic}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, ts.URL+"/v1/advise/batch", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	got := decodeBody[BatchResponse](t, resp)
+	if len(got.Answers) != 3 {
+		t.Fatalf("%d answers, want 3", len(got.Answers))
+	}
+	if got.Answers[0].Error != "" || got.Answers[2].Error != "" {
+		t.Errorf("valid queries errored: %+v", got.Answers)
+	}
+	if got.Answers[1].Error == "" {
+		t.Error("invalid query did not error")
+	}
+	if want := mustAdvise(t, a, qPreempt); got.Answers[0].Answer != want {
+		t.Errorf("batch answer 0 differs from direct call")
+	}
+}
+
+func TestHandlerBatchTooLarge(t *testing.T) {
+	a := New(Options{})
+	ts := httptest.NewServer(a.Handler())
+	defer ts.Close()
+
+	var b bytes.Buffer
+	b.WriteString(`{"queries":[`)
+	for i := 0; i <= maxBatchQueries; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`{"mode":"preempt"}`)
+	}
+	b.WriteString(`]}`)
+	resp := postJSON(t, ts.URL+"/v1/advise/batch", b.String())
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// TestBatchSharesTables: a batch of identical keys must build once.
+func TestBatchSharesTables(t *testing.T) {
+	a := New(Options{})
+	queries := make([]Query, 100)
+	for i := range queries {
+		q := qDynamic
+		q.Work = float64(i) / 10
+		queries[i] = q
+	}
+	for _, q := range queries {
+		mustAdvise(t, a, q)
+	}
+	if n := a.Tables(); n != 1 {
+		t.Fatalf("100 same-key queries built %d tables, want 1", n)
+	}
+}

@@ -1,0 +1,335 @@
+package advisor
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"reskit/internal/atomicio"
+)
+
+// On-disk artifact format ("RKAD"):
+//
+//	magic   [4]byte  "RKAD"
+//	version uint8    1
+//	crc32   uint32   IEEE, over the payload
+//	payload          little-endian fields, length-prefixed strings
+//
+// One file per fingerprint, named <%016x>.rkadv, written through
+// internal/atomicio so a crashed writer leaves either the old artifact
+// or none — never a torn one. The CRC plus the caller's fingerprint and
+// key-field checks make a corrupt or stale artifact a cache miss, not a
+// wrong answer.
+
+const (
+	storeMagic   = "RKAD"
+	storeVersion = 1
+	storeExt     = ".rkadv"
+
+	// maxArtifactSize bounds a load so a damaged length prefix cannot
+	// ask for gigabytes. A dynamic table is ~16 KiB; 1 MiB is generous.
+	maxArtifactSize = 1 << 20
+)
+
+// Store error taxonomy; all wrapped, test with errors.Is.
+var (
+	ErrNotExist    = errors.New("advisor: artifact does not exist")
+	ErrNotArtifact = errors.New("advisor: not an artifact file")
+	ErrVersion     = errors.New("advisor: unsupported artifact version")
+	ErrCorrupt     = errors.New("advisor: corrupt artifact")
+)
+
+const (
+	modeCodePreempt = 1
+	modeCodeStatic  = 2
+	modeCodeDynamic = 3
+)
+
+func modeCode(mode string) (byte, error) {
+	switch mode {
+	case ModePreempt:
+		return modeCodePreempt, nil
+	case ModeStatic:
+		return modeCodeStatic, nil
+	case ModeDynamic:
+		return modeCodeDynamic, nil
+	}
+	return 0, fmt.Errorf("advisor: unknown mode %q", mode)
+}
+
+func modeName(code byte) (string, error) {
+	switch code {
+	case modeCodePreempt:
+		return ModePreempt, nil
+	case modeCodeStatic:
+		return ModeStatic, nil
+	case modeCodeDynamic:
+		return ModeDynamic, nil
+	}
+	return "", fmt.Errorf("%w: mode code %d", ErrCorrupt, code)
+}
+
+// ArtifactPath is the store filename for a fingerprint.
+func ArtifactPath(dir string, fp uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%016x%s", fp, storeExt))
+}
+
+// SaveArtifact encodes and atomically writes one artifact. The parent
+// directory is created if missing.
+func SaveArtifact(path string, art *Artifact) error {
+	data, err := EncodeArtifact(art)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return atomicio.WriteFile(path, data, 0o644)
+}
+
+// LoadArtifact reads and decodes one artifact file.
+func LoadArtifact(path string) (*Artifact, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+		}
+		return nil, err
+	}
+	if info.Size() > maxArtifactSize {
+		return nil, fmt.Errorf("%w: %s is %d bytes (limit %d)", ErrCorrupt, path, info.Size(), maxArtifactSize)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	art, err := DecodeArtifact(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return art, nil
+}
+
+// EncodeArtifact renders the binary form.
+func EncodeArtifact(art *Artifact) ([]byte, error) {
+	code, err := modeCode(art.Mode)
+	if err != nil {
+		return nil, err
+	}
+	var p payload
+	p.u64(art.Fingerprint)
+	p.u8(code)
+	p.f64(art.R)
+	p.str(art.Task)
+	p.str(art.TaskDisc)
+	p.str(art.Ckpt)
+	switch code {
+	case modeCodePreempt:
+		t := art.Preempt
+		if t == nil {
+			return nil, errors.New("advisor: preempt artifact has no table")
+		}
+		p.f64(t.X)
+		p.f64(t.ExpectedWork)
+		p.str(t.Method)
+		p.bool(t.Interior)
+		p.f64(t.PessX)
+		p.f64(t.PessWork)
+		p.f64(t.Gain)
+		p.f64(t.A)
+		p.f64(t.B)
+	case modeCodeStatic:
+		t := art.Static
+		if t == nil {
+			return nil, errors.New("advisor: static artifact has no table")
+		}
+		p.f64(t.YOpt)
+		p.f64(t.FOpt)
+		p.u64(uint64(int64(t.NOpt)))
+		p.f64(t.ENOpt)
+	case modeCodeDynamic:
+		t := art.Dynamic
+		if t == nil {
+			return nil, errors.New("advisor: dynamic artifact has no table")
+		}
+		if len(t.Coeff.A) != len(t.Coeff.B) {
+			return nil, fmt.Errorf("advisor: ragged coefficient table (%d vs %d)", len(t.Coeff.A), len(t.Coeff.B))
+		}
+		p.f64(t.WInt)
+		p.bool(t.HasWInt)
+		p.f64(t.Coeff.R)
+		p.u32(uint32(len(t.Coeff.A)))
+		for _, v := range t.Coeff.A {
+			p.f64(v)
+		}
+		for _, v := range t.Coeff.B {
+			p.f64(v)
+		}
+	}
+
+	out := make([]byte, 0, len(storeMagic)+1+4+len(p.b))
+	out = append(out, storeMagic...)
+	out = append(out, storeVersion)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(p.b))
+	out = append(out, p.b...)
+	return out, nil
+}
+
+// DecodeArtifact parses the binary form, verifying magic, version and
+// checksum before touching the payload.
+func DecodeArtifact(data []byte) (*Artifact, error) {
+	if len(data) < len(storeMagic)+1+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than any artifact", ErrNotArtifact, len(data))
+	}
+	if string(data[:len(storeMagic)]) != storeMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrNotArtifact, data[:len(storeMagic)])
+	}
+	if v := data[len(storeMagic)]; v != storeVersion {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrVersion, v, storeVersion)
+	}
+	body := data[len(storeMagic)+1+4:]
+	if want, got := binary.LittleEndian.Uint32(data[len(storeMagic)+1:]), crc32.ChecksumIEEE(body); want != got {
+		return nil, fmt.Errorf("%w: checksum %08x, recorded %08x", ErrCorrupt, got, want)
+	}
+
+	r := &reader{b: body}
+	art := &Artifact{}
+	art.Fingerprint = r.u64()
+	code := r.u8()
+	art.R = r.f64()
+	art.Task = r.str()
+	art.TaskDisc = r.str()
+	art.Ckpt = r.str()
+	mode, err := modeName(code)
+	if err != nil {
+		return nil, err
+	}
+	art.Mode = mode
+	switch code {
+	case modeCodePreempt:
+		t := &PreemptTable{}
+		t.X = r.f64()
+		t.ExpectedWork = r.f64()
+		t.Method = r.str()
+		t.Interior = r.bool()
+		t.PessX = r.f64()
+		t.PessWork = r.f64()
+		t.Gain = r.f64()
+		t.A = r.f64()
+		t.B = r.f64()
+		art.Preempt = t
+	case modeCodeStatic:
+		t := &StaticTable{}
+		t.YOpt = r.f64()
+		t.FOpt = r.f64()
+		t.NOpt = int(int64(r.u64()))
+		t.ENOpt = r.f64()
+		art.Static = t
+	case modeCodeDynamic:
+		t := &DynamicTable{}
+		t.WInt = r.f64()
+		t.HasWInt = r.bool()
+		t.Coeff.R = r.f64()
+		n := r.u32()
+		if r.err == nil && int(n) > maxArtifactSize/16 {
+			return nil, fmt.Errorf("%w: table length %d", ErrCorrupt, n)
+		}
+		if r.err == nil {
+			t.Coeff.A = make([]float64, n)
+			t.Coeff.B = make([]float64, n)
+			for i := range t.Coeff.A {
+				t.Coeff.A[i] = r.f64()
+			}
+			for i := range t.Coeff.B {
+				t.Coeff.B[i] = r.f64()
+			}
+		}
+		art.Dynamic = t
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.b))
+	}
+	return art, nil
+}
+
+// payload builds the little-endian body.
+type payload struct{ b []byte }
+
+func (p *payload) u8(v byte)     { p.b = append(p.b, v) }
+func (p *payload) u32(v uint32)  { p.b = binary.LittleEndian.AppendUint32(p.b, v) }
+func (p *payload) u64(v uint64)  { p.b = binary.LittleEndian.AppendUint64(p.b, v) }
+func (p *payload) f64(v float64) { p.u64(math.Float64bits(v)) }
+func (p *payload) bool(v bool) {
+	if v {
+		p.u8(1)
+	} else {
+		p.u8(0)
+	}
+}
+func (p *payload) str(s string) {
+	p.u32(uint32(len(s)))
+	p.b = append(p.b, s...)
+}
+
+// reader consumes the body, latching the first framing error.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.err = fmt.Errorf("truncated: need %d bytes, have %d", n, len(r.b))
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *reader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) bool() bool { return r.u8() != 0 }
+
+func (r *reader) str() string {
+	n := r.u32()
+	if r.err == nil && int64(n) > maxArtifactSize {
+		r.err = fmt.Errorf("string length %d exceeds artifact bound", n)
+		return ""
+	}
+	return string(r.take(int(n)))
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -334,6 +335,67 @@ func (d *Dynamic) exactCoefficients(budget float64) (a, b float64) {
 		}
 	}, 0, budget, 1e-12, 1e-10).Value
 	return pc - sumP, sumXP
+}
+
+// CoeffTable is the immutable coefficient table of a Dynamic problem:
+// A(budget) and B(budget) sampled on the uniform budget grid
+// {R·i/GridSize}, i = 0..GridSize. It is the expensive part of the
+// dynamic policy — everything ShouldCheckpointAt needs beyond the laws
+// themselves — extracted as a value so it can be persisted, fingerprinted
+// and re-installed (the advisor service content-addresses these tables).
+type CoeffTable struct {
+	R    float64
+	A, B []float64 // both of length GridSize+1
+}
+
+// GridSize is the budget-grid resolution of the dynamic coefficient
+// table (the number of cells; the table holds GridSize+1 samples).
+const GridSize = dynamicGridSize
+
+// Table returns a copy of the coefficient table, building it first if
+// necessary (honoring ctx exactly like Prebuild). The returned slices
+// are private copies: mutating them cannot perturb later decisions.
+func (d *Dynamic) Table(ctx context.Context) (CoeffTable, error) {
+	if err := d.ensureTable(ctx); err != nil {
+		return CoeffTable{}, err
+	}
+	t := CoeffTable{
+		R: d.R,
+		A: make([]float64, len(d.tableA)),
+		B: make([]float64, len(d.tableB)),
+	}
+	copy(t.A, d.tableA)
+	copy(t.B, d.tableB)
+	return t, nil
+}
+
+// InstallTable installs a previously extracted coefficient table,
+// skipping the quadrature build entirely. The table must match this
+// problem (same R, full grid); the caller is responsible for having
+// extracted it from a Dynamic built over the same laws — with that,
+// every ShouldCheckpointAt decision is bit-identical to one computed on
+// the original instance, including the exact-integral fallback near the
+// indifference line (which re-evaluates against the laws, not the
+// table). Slices are copied, so the caller may keep mutating its own.
+func (d *Dynamic) InstallTable(t CoeffTable) error {
+	if t.R != d.R {
+		return fmt.Errorf("core: coefficient table for R=%g cannot serve R=%g", t.R, d.R)
+	}
+	if len(t.A) != dynamicGridSize+1 || len(t.B) != dynamicGridSize+1 {
+		return fmt.Errorf("core: coefficient table has %dx%d samples, want %d",
+			len(t.A), len(t.B), dynamicGridSize+1)
+	}
+	d.tableMu.Lock()
+	defer d.tableMu.Unlock()
+	a := make([]float64, len(t.A))
+	b := make([]float64, len(t.B))
+	copy(a, t.A)
+	copy(b, t.B)
+	d.tableA, d.tableB = a, b
+	// Store-release, exactly like ensureTable: publishes the slices to
+	// lock-free readers in coefficientsAt.
+	d.tableReady.Store(true)
+	return nil
 }
 
 // Intersection returns the smallest W_int in (0, R) at which

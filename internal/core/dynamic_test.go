@@ -272,3 +272,67 @@ func TestCoefficientsLinearity(t *testing.T) {
 		}
 	}
 }
+
+func TestTableExtractInstallBitIdentical(t *testing.T) {
+	// A Dynamic with an installed table must decide exactly like the
+	// Dynamic the table was extracted from — this is the contract the
+	// advisor service's content-addressed artifacts rely on.
+	task := dist.Truncate(dist.NewNormal(3, 0.5), 0, math.Inf(1))
+	built := NewDynamic(29, task, paperCkpt(5, 0.4))
+	tbl, err := built.Table(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.A) != GridSize+1 || len(tbl.B) != GridSize+1 {
+		t.Fatalf("table size %dx%d, want %d", len(tbl.A), len(tbl.B), GridSize+1)
+	}
+
+	warm := NewDynamic(29, task, paperCkpt(5, 0.4))
+	if err := warm.InstallTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	for i := range warm.tableA {
+		if warm.tableA[i] != built.tableA[i] || warm.tableB[i] != built.tableB[i] {
+			t.Fatalf("installed table differs at %d", i)
+		}
+	}
+	for work := 0.0; work <= 29; work += 0.37 {
+		for elapsed := work; elapsed <= 29; elapsed += 2.9 {
+			if got, want := warm.ShouldCheckpointAt(work, elapsed), built.ShouldCheckpointAt(work, elapsed); got != want {
+				t.Fatalf("decision at work=%g elapsed=%g: installed %v, built %v", work, elapsed, got, want)
+			}
+		}
+	}
+}
+
+func TestTableCopiesAreIsolated(t *testing.T) {
+	d := NewDynamic(10, dist.NewGamma(1, 0.5), paperCkpt(2, 0.4))
+	tbl, err := d.Table(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0 := d.tableA[7]
+	tbl.A[7] = math.Inf(1) // mutating the extract must not leak in
+	if d.tableA[7] != a0 {
+		t.Fatal("Table returned an aliased slice")
+	}
+	d2 := NewDynamic(10, dist.NewGamma(1, 0.5), paperCkpt(2, 0.4))
+	tbl.A[7] = a0
+	if err := d2.InstallTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	tbl.B[3] = math.NaN() // mutating after install must not leak in
+	if math.IsNaN(d2.tableB[3]) {
+		t.Fatal("InstallTable aliased the caller's slice")
+	}
+}
+
+func TestInstallTableRejectsMismatch(t *testing.T) {
+	d := NewDynamic(10, dist.NewGamma(1, 0.5), paperCkpt(2, 0.4))
+	if err := d.InstallTable(CoeffTable{R: 11, A: make([]float64, GridSize+1), B: make([]float64, GridSize+1)}); err == nil {
+		t.Error("wrong R accepted")
+	}
+	if err := d.InstallTable(CoeffTable{R: 10, A: make([]float64, 3), B: make([]float64, 3)}); err == nil {
+		t.Error("truncated grid accepted")
+	}
+}

@@ -1,0 +1,97 @@
+// Package httpd is the one place HTTP servers are constructed in this
+// repository. Both the simulate CLI's debug endpoint and the advisor
+// service bind sockets that may face hostile or simply broken clients,
+// and the stdlib's zero-value http.Server never times anything out: a
+// single client that sends its request headers one byte per minute
+// (Slowloris) pins a connection — and its goroutine — forever. The
+// constructor here sets the boundary timeouts once, so every listener
+// in the repository inherits the same hardening.
+package httpd
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Boundary timeouts shared by every server in the repository.
+const (
+	// ReadHeaderTimeout bounds the Slowloris window: a client gets this
+	// long to finish its request headers or the connection dies.
+	ReadHeaderTimeout = 10 * time.Second
+	// ReadTimeout bounds the whole request read, body included.
+	ReadTimeout = time.Minute
+	// IdleTimeout reaps keep-alive connections between requests.
+	IdleTimeout = 2 * time.Minute
+	// MaxHeaderBytes caps header memory per connection.
+	MaxHeaderBytes = 1 << 20
+)
+
+// NewServer returns an http.Server for the handler with the boundary
+// timeouts set. WriteTimeout is deliberately left unset: the debug
+// endpoint streams CPU profiles and execution traces whose duration the
+// *client* chooses (/debug/pprof/profile?seconds=30), and a write
+// deadline would cut them off mid-stream. Handlers that produce
+// unbounded output must bound it themselves.
+func NewServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: ReadHeaderTimeout,
+		ReadTimeout:       ReadTimeout,
+		IdleTimeout:       IdleTimeout,
+		MaxHeaderBytes:    MaxHeaderBytes,
+	}
+}
+
+// Server couples a hardened http.Server with its listener and a bounded
+// graceful shutdown.
+type Server struct {
+	srv  *http.Server
+	ln   net.Listener
+	errc chan error
+}
+
+// Listen binds addr (":0" works, see Addr) and serves h on it with the
+// hardened server. Serving starts immediately on a background
+// goroutine; its terminal error is available on Err.
+func Listen(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{srv: NewServer(h), ln: ln, errc: make(chan error, 1)}
+	go func() { s.errc <- s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the actual bound address — the usable one when the
+// caller asked for ":0".
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Err yields the Serve goroutine's terminal error (http.ErrServerClosed
+// after a Shutdown or Close).
+func (s *Server) Err() <-chan error { return s.errc }
+
+// Shutdown drains in-flight requests for at most timeout, then closes
+// whatever is still open — the deadline is a promise to the caller, not
+// a suggestion to the clients. The http.ErrServerClosed sentinel is
+// filtered out: an orderly stop is not an error.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// The drain deadline expired (or worse): force-close the rest.
+		err = errors.Join(err, s.srv.Close())
+	}
+	if serveErr := <-s.errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+		err = serveErr
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		// Closed forcibly but closed: the caller's deadline held.
+		return nil
+	}
+	return err
+}

@@ -15,12 +15,15 @@
 package planner
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
 
 	"reskit/internal/core"
 	"reskit/internal/dist"
+	"reskit/internal/engine"
 	"reskit/internal/rng"
 	"reskit/internal/sim"
 	"reskit/internal/strategy"
@@ -59,8 +62,14 @@ type Config struct {
 
 	// Trials is the Monte-Carlo campaigns per candidate (default 200).
 	Trials int
-	// Seed fixes the experiment (default 1).
+	// Seed fixes the experiment. Every value — including 0 — is a
+	// distinct seed, matching the sim/engine convention; trial t of
+	// candidate i draws the salted substream (i<<32 | t), so no two
+	// trials anywhere in the sweep share a generator state.
 	Seed uint64
+	// Workers bounds the evaluation parallelism (<= 0: all CPUs).
+	// Results are bit-identical for any worker count.
+	Workers int
 }
 
 // Option is one evaluated candidate reservation length.
@@ -75,8 +84,17 @@ type Option struct {
 
 // Plan evaluates all candidates and returns them sorted by descending
 // WorkPerCost (best first). The dynamic strategy of Section 4.3 is used
-// inside every reservation.
+// inside every reservation. Plan is PlanContext without cancellation.
 func Plan(cfg Config) ([]Option, error) {
+	return PlanContext(context.Background(), cfg)
+}
+
+// PlanContext evaluates all candidates through the run engine: every
+// (candidate, trial) pair is one deterministic job on its own salted
+// rng substream, dispatched to a worker pool and aggregated in job
+// order — so the plan is bit-identical for any worker count, and ctx
+// cancels the sweep at the next trial boundary.
+func PlanContext(ctx context.Context, cfg Config) ([]Option, error) {
 	if !(cfg.TotalWork > 0) {
 		return nil, fmt.Errorf("planner: TotalWork must be positive, got %g", cfg.TotalWork)
 	}
@@ -90,9 +108,8 @@ func Plan(cfg Config) ([]Option, error) {
 	if trials <= 0 {
 		trials = 200
 	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 1
+	if trials > maxTrialsPerCandidate {
+		return nil, fmt.Errorf("planner: %d trials exceeds the %d per-candidate limit", trials, maxTrialsPerCandidate)
 	}
 	candidates := cfg.Candidates
 	if len(candidates) == 0 {
@@ -104,15 +121,72 @@ func Plan(cfg Config) ([]Option, error) {
 			candidates = append(candidates, f*mean)
 		}
 	}
+	if len(candidates) > maxCandidates {
+		return nil, fmt.Errorf("planner: %d candidates exceeds the %d limit", len(candidates), maxCandidates)
+	}
 
-	opts := make([]Option, 0, len(candidates))
+	// One job per (candidate, trial). The strategy value is stateless
+	// and the Dynamic table build is internally synchronized, so one
+	// campaign config per candidate serves every worker.
+	jobs := make([]engine.Job, 0, len(candidates)*trials)
 	for i, r := range candidates {
 		if !(r > cfg.Recovery) {
 			return nil, fmt.Errorf("planner: candidate R=%g does not exceed the recovery %g", r, cfg.Recovery)
 		}
-		opt, err := evaluate(cfg, r, trials, seed+uint64(i)*1000)
-		if err != nil {
-			return nil, err
+		dyn := core.NewDynamic(r, cfg.Task, cfg.Ckpt)
+		campaign := sim.CampaignConfig{
+			Reservation: sim.Config{
+				R:        r,
+				Recovery: cfg.Recovery,
+				Task:     cfg.Task,
+				Ckpt:     cfg.Ckpt,
+				Strategy: strategy.NewDynamic(dyn),
+			},
+			TotalWork: cfg.TotalWork,
+		}
+		for t := 0; t < trials; t++ {
+			jobs = append(jobs, engine.Job{
+				Name:   fmt.Sprintf("R=%g/trial%d", r, t),
+				Stream: uint64(i)<<32 | uint64(t),
+				Run: func(ctx context.Context, src *rng.Source) (engine.JobResult, error) {
+					if err := ctx.Err(); err != nil {
+						return engine.JobResult{}, err
+					}
+					res := sim.RunCampaign(campaign, src)
+					return engine.JobResult{Payload: encodeTrial(cfg.Cost.Cost(res), res)}, nil
+				},
+			})
+		}
+	}
+
+	eres, err := engine.Run(ctx, engine.Spec{Jobs: jobs, Seed: cfg.Seed, Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate payloads in job order: the summation order is fixed, so
+	// the means are bit-identical however the jobs were scheduled.
+	opts := make([]Option, 0, len(candidates))
+	for i, r := range candidates {
+		opt := Option{R: r, Completed: true}
+		var sumCost, sumRes, sumUtil float64
+		for t := 0; t < trials; t++ {
+			cost, reservations, util, completed, derr := decodeTrial(eres.Payloads[i*trials+t])
+			if derr != nil {
+				return nil, fmt.Errorf("planner: candidate R=%g trial %d: %w", r, t, derr)
+			}
+			sumCost += cost
+			sumRes += reservations
+			sumUtil += util
+			if !completed {
+				opt.Completed = false
+			}
+		}
+		opt.Cost = sumCost / float64(trials)
+		opt.Reservations = sumRes / float64(trials)
+		opt.Utilization = sumUtil / float64(trials)
+		if opt.Cost > 0 {
+			opt.WorkPerCost = cfg.TotalWork / opt.Cost
 		}
 		opts = append(opts, opt)
 	}
@@ -120,34 +194,37 @@ func Plan(cfg Config) ([]Option, error) {
 	return opts, nil
 }
 
-// evaluate runs the Monte-Carlo campaign for one candidate length.
-func evaluate(cfg Config, r float64, trials int, seed uint64) (Option, error) {
-	dyn := core.NewDynamic(r, cfg.Task, cfg.Ckpt)
-	resCfg := sim.Config{
-		R:        r,
-		Recovery: cfg.Recovery,
-		Task:     cfg.Task,
-		Ckpt:     cfg.Ckpt,
-		Strategy: strategy.NewDynamic(dyn),
-	}
-	campaign := sim.CampaignConfig{Reservation: resCfg, TotalWork: cfg.TotalWork}
+// Substream packing uses 32 bits per axis; the limits keep the packing
+// collision-free (and a sweep this large would be absurd anyway).
+const (
+	maxCandidates         = 1 << 31
+	maxTrialsPerCandidate = 1 << 32
+)
 
-	opt := Option{R: r, Completed: true}
-	var sumCost, sumRes, sumUtil float64
-	for t := 0; t < trials; t++ {
-		res := sim.RunCampaign(campaign, rng.NewStream(seed, uint64(t)))
-		sumCost += cfg.Cost.Cost(res)
-		sumRes += float64(res.Reservations)
-		sumUtil += res.Utilization()
-		if !res.Completed {
-			opt.Completed = false
-		}
+// trialPayloadLen is three float64 fields plus the completed flag.
+const trialPayloadLen = 3*8 + 1
+
+// encodeTrial packs one trial's outcome into an engine payload.
+func encodeTrial(cost float64, res sim.CampaignResult) []byte {
+	p := make([]byte, 0, trialPayloadLen)
+	p = binary.LittleEndian.AppendUint64(p, math.Float64bits(cost))
+	p = binary.LittleEndian.AppendUint64(p, math.Float64bits(float64(res.Reservations)))
+	p = binary.LittleEndian.AppendUint64(p, math.Float64bits(res.Utilization()))
+	if res.Completed {
+		p = append(p, 1)
+	} else {
+		p = append(p, 0)
 	}
-	opt.Cost = sumCost / float64(trials)
-	opt.Reservations = sumRes / float64(trials)
-	opt.Utilization = sumUtil / float64(trials)
-	if opt.Cost > 0 {
-		opt.WorkPerCost = cfg.TotalWork / opt.Cost
+	return p
+}
+
+// decodeTrial unpacks one trial payload.
+func decodeTrial(p []byte) (cost, reservations, util float64, completed bool, err error) {
+	if len(p) != trialPayloadLen {
+		return 0, 0, 0, false, fmt.Errorf("trial payload is %d bytes, want %d", len(p), trialPayloadLen)
 	}
-	return opt, nil
+	cost = math.Float64frombits(binary.LittleEndian.Uint64(p[0:]))
+	reservations = math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
+	util = math.Float64frombits(binary.LittleEndian.Uint64(p[16:]))
+	return cost, reservations, util, p[24] != 0, nil
 }

@@ -1,10 +1,13 @@
 package planner
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
 	"reskit/internal/dist"
+	"reskit/internal/sim"
 )
 
 func plannerLaws() (task, ckpt dist.Continuous) {
@@ -171,5 +174,135 @@ func TestPlanErrors(t *testing.T) {
 		if _, err := Plan(cfg); err == nil {
 			t.Errorf("case %d: expected error", i)
 		}
+	}
+}
+
+// TestPlanWorkerCountInvariance is the engine-routing contract: the
+// frontier must be bit-identical whether the trials run on one worker
+// or many.
+func TestPlanWorkerCountInvariance(t *testing.T) {
+	task, ckpt := plannerLaws()
+	cfg := Config{
+		TotalWork:  120,
+		Task:       task,
+		Ckpt:       ckpt,
+		Recovery:   1.5,
+		Candidates: []float64{20, 45, 90},
+		Trials:     40,
+		Seed:       13,
+	}
+	var frontiers [][]Option
+	for _, workers := range []int{1, 2, 7} {
+		c := cfg
+		c.Workers = workers
+		opts, err := Plan(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frontiers = append(frontiers, opts)
+	}
+	for w := 1; w < len(frontiers); w++ {
+		for i := range frontiers[0] {
+			if frontiers[w][i] != frontiers[0][i] {
+				t.Errorf("option %d differs between 1 worker and variant %d:\n%+v\n%+v",
+					i, w, frontiers[0][i], frontiers[w][i])
+			}
+		}
+	}
+}
+
+// TestPlanSeedZeroIsARealSeed pins the fix for the silent 0 -> 1 remap:
+// seeds 0 and 1 must produce different plans.
+func TestPlanSeedZeroIsARealSeed(t *testing.T) {
+	task, ckpt := plannerLaws()
+	cfg := Config{
+		TotalWork:  100,
+		Task:       task,
+		Ckpt:       ckpt,
+		Candidates: []float64{30},
+		Trials:     40,
+	}
+	zero := cfg
+	zero.Seed = 0
+	one := cfg
+	one.Seed = 1
+	a, err := Plan(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] == b[0] {
+		t.Errorf("seed 0 and seed 1 produced identical options: %+v", a[0])
+	}
+	// And seed 0 is itself reproducible.
+	c, err := Plan(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != c[0] {
+		t.Errorf("seed 0 not deterministic: %+v vs %+v", a[0], c[0])
+	}
+}
+
+// TestPlanContextCancellation: an already-cancelled context must stop
+// the sweep with ctx.Err, not run it to completion.
+func TestPlanContextCancellation(t *testing.T) {
+	task, ckpt := plannerLaws()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := PlanContext(ctx, Config{
+		TotalWork:  500,
+		Task:       task,
+		Ckpt:       ckpt,
+		Candidates: []float64{30, 60, 90},
+		Trials:     200,
+		Seed:       1,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled plan returned %v, want context.Canceled", err)
+	}
+}
+
+// TestPlanSubstreamsAreSalted: with the old seed+i*1000 arithmetic,
+// candidate i of a seed-S plan reused the generator states of candidate
+// i-1 of a seed-(S+1000) plan. Distinct (candidate, trial) pairs now
+// map to distinct substreams of one seed, so the two sweeps share
+// nothing.
+func TestPlanSubstreamsAreSalted(t *testing.T) {
+	task, ckpt := plannerLaws()
+	base := Config{
+		TotalWork:  100,
+		Task:       task,
+		Ckpt:       ckpt,
+		Candidates: []float64{30, 30}, // identical candidates...
+		Trials:     40,
+		Seed:       21,
+	}
+	opts, err := Plan(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...must still draw independent trials: identical R evaluated on
+	// different substreams gives (almost surely) different sample means.
+	if opts[0].Cost == opts[1].Cost && opts[0].Utilization == opts[1].Utilization {
+		t.Errorf("two copies of the same candidate returned identical Monte-Carlo means %+v — substreams are colliding", opts[0])
+	}
+}
+
+func TestTrialPayloadRoundTrip(t *testing.T) {
+	res := sim.CampaignResult{Reservations: 7, Completed: true, TimeReserved: 210, TimeUsed: 180}
+	p := encodeTrial(123.5, res)
+	cost, reservations, util, completed, err := decodeTrial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 123.5 || reservations != 7 || util != res.Utilization() || !completed {
+		t.Fatalf("round trip: %v %v %v %v", cost, reservations, util, completed)
+	}
+	if _, _, _, _, err := decodeTrial(p[:10]); err == nil {
+		t.Error("short payload accepted")
 	}
 }

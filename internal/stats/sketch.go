@@ -139,8 +139,7 @@ func (s *QSketch) Quantile(q float64) float64 {
 			if mid == prevMid {
 				return c.mean
 			}
-			t := (target - prevMid) / (mid - prevMid)
-			return prevMean + t*(c.mean-prevMean)
+			return lerp(prevMean, c.mean, (target-prevMid)/(mid-prevMid))
 		}
 		cum += c.weight
 		prevMid, prevMean = mid, c.mean
@@ -148,11 +147,24 @@ func (s *QSketch) Quantile(q float64) float64 {
 			if cum == mid {
 				return s.max
 			}
-			t := (target - mid) / (cum - mid)
-			return c.mean + t*(s.max-c.mean)
+			return lerp(c.mean, s.max, (target-mid)/(cum-mid))
 		}
 	}
 	return s.max
+}
+
+// lerp interpolates between a and b, returning the endpoints exactly at
+// t = 0 and t = 1 — the naive a + t*(b-a) turns 0*Inf into NaN when an
+// endpoint is infinite (min/max absorb ±Inf samples the centroids
+// exclude).
+func lerp(a, b, t float64) float64 {
+	if t <= 0 {
+		return a
+	}
+	if t >= 1 {
+		return b
+	}
+	return a + t*(b-a)
 }
 
 func (s *QSketch) delta() float64 {
@@ -179,22 +191,62 @@ func (s *QSketch) flush() {
 	if len(s.pend) == 0 {
 		return
 	}
-	merged := make([]qcentroid, 0, len(s.cents)+len(s.pend))
-	merged = append(merged, s.cents...)
 	for _, x := range s.pend {
-		merged = append(merged, qcentroid{mean: x, weight: 1})
+		s.cents = append(s.cents, qcentroid{mean: x, weight: 1})
 	}
 	s.pend = s.pend[:0]
-	sort.Slice(merged, func(i, j int) bool { return merged[i].mean < merged[j].mean })
+	s.compress()
+}
+
+// Merge folds every sample absorbed by o into s, in the weighted form
+// o's digest holds them; o is flushed but not modified further and
+// remains usable. Count, NaN and min/max bookkeeping carry over, so
+// merging shards observed in parallel is equivalent (up to the digest's
+// usual compression error) to observing one combined stream. Merging a
+// sketch into itself is a no-op.
+func (s *QSketch) Merge(o *QSketch) {
+	if o == nil || o == s {
+		return
+	}
+	s.flush()
+	o.flush()
+	s.nans += o.nans
+	if o.count > 0 {
+		if s.count == 0 {
+			s.min, s.max = o.min, o.max
+		} else {
+			if o.min < s.min {
+				s.min = o.min
+			}
+			if o.max > s.max {
+				s.max = o.max
+			}
+		}
+	}
+	s.count += o.count
+	if len(o.cents) == 0 {
+		return
+	}
+	s.cents = append(s.cents, o.cents...)
+	s.compress()
+}
+
+// compress sorts the centroid set and re-clusters it under the k1 size
+// bound, in place.
+func (s *QSketch) compress() {
+	if len(s.cents) <= 1 {
+		return
+	}
+	sort.Slice(s.cents, func(i, j int) bool { return s.cents[i].mean < s.cents[j].mean })
 
 	var total float64
-	for _, c := range merged {
+	for _, c := range s.cents {
 		total += c.weight
 	}
-	out := merged[:1]
+	out := s.cents[:1]
 	wSoFar := 0.0
 	kLo := s.k(0)
-	for _, c := range merged[1:] {
+	for _, c := range s.cents[1:] {
 		cur := &out[len(out)-1]
 		if s.k((wSoFar+cur.weight+c.weight)/total)-kLo <= 1 {
 			// Weighted mean keeps the centroid exact for its members.
@@ -207,5 +259,5 @@ func (s *QSketch) flush() {
 		kLo = s.k(wSoFar / total)
 		out = append(out, c)
 	}
-	s.cents = append(s.cents[:0], out...)
+	s.cents = out
 }

@@ -101,3 +101,183 @@ func TestQSketchMonotoneQuantiles(t *testing.T) {
 		prev = v
 	}
 }
+
+// --- Edge interpolation and merge coverage for Quantile ---
+
+// TestQSketchSingleCentroid: with one sample every quantile must return
+// exactly that value — the interpolation has nothing to interpolate.
+func TestQSketchSingleCentroid(t *testing.T) {
+	s := NewQSketch(50)
+	s.Add(42)
+	for _, q := range []float64{0, 0.001, 0.25, 0.5, 0.75, 0.999, 1} {
+		if got := s.Quantile(q); got != 42 {
+			t.Errorf("Quantile(%g) = %g, want 42", q, got)
+		}
+	}
+	// Repeated identical samples collapse to one centroid and still pin
+	// every quantile to the value.
+	for i := 0; i < 100; i++ {
+		s.Add(42)
+	}
+	if got := s.Quantile(0.5); got != 42 {
+		t.Errorf("after duplicates: Quantile(0.5) = %g", got)
+	}
+}
+
+// TestQSketchInfinitiesOnly: a sketch fed nothing but infinities has no
+// centroids; quantiles must come from min/max, split at the median, and
+// never panic or return NaN.
+func TestQSketchInfinitiesOnly(t *testing.T) {
+	s := NewQSketch(50)
+	s.Add(math.Inf(1))
+	s.Add(math.Inf(-1))
+	s.Add(math.Inf(1))
+	if s.Count() != 3 {
+		t.Fatalf("count %d", s.Count())
+	}
+	if got := s.Quantile(0.1); !math.IsInf(got, -1) {
+		t.Errorf("Quantile(0.1) = %g, want -Inf (min)", got)
+	}
+	if got := s.Quantile(0.9); !math.IsInf(got, 1) {
+		t.Errorf("Quantile(0.9) = %g, want +Inf (max)", got)
+	}
+	if got := s.Quantile(0.5); !math.IsInf(got, 1) {
+		t.Errorf("Quantile(0.5) = %g, want max at the q=0.5 boundary", got)
+	}
+	// One finite sample restores finite interior quantiles.
+	s.Add(7)
+	if got := s.Quantile(0.5); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("with a finite sample, Quantile(0.5) = %g", got)
+	}
+}
+
+// TestQSketchQuantileAtCentroidMidpoints places q exactly on the
+// cumulative-weight midpoints the interpolation pivots on: with unit
+// centroids at 10, 20, 30 the midpoints sit at q = 1/6, 3/6, 5/6 and
+// must return the centroid means themselves; the extremes pin to
+// min/max.
+func TestQSketchQuantileAtCentroidMidpoints(t *testing.T) {
+	s := NewQSketch(100)
+	for _, x := range []float64{10, 20, 30} {
+		s.Add(x)
+	}
+	if n := s.Centroids(); n != 3 {
+		t.Fatalf("setup: %d centroids, want 3", n)
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1.0 / 6, 10}, {0.5, 20}, {5.0 / 6, 30}, {1, 30},
+		// Between midpoints the estimate interpolates linearly.
+		{2.0 / 6, 15}, {4.0 / 6, 25},
+	}
+	for _, tc := range cases {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQSketchMergeMonotone merges two disjoint shards and requires the
+// combined quantile function to stay monotone in q, bracket the global
+// min/max, and carry the bookkeeping over exactly.
+func TestQSketchMergeMonotone(t *testing.T) {
+	r := rng.NewStream(99, 0)
+	a := NewQSketch(100)
+	b := NewQSketch(100)
+	for i := 0; i < 3000; i++ {
+		a.Add(r.Float64() * 10)    // [0, 10)
+		b.Add(50 + r.Float64()*10) // [50, 60)
+	}
+	b.Add(math.NaN())
+	a.Merge(b)
+
+	if got, want := a.Count(), int64(6000); got != want {
+		t.Fatalf("merged count %d, want %d", got, want)
+	}
+	if a.NaNs() != 1 {
+		t.Errorf("merged NaNs %d, want 1", a.NaNs())
+	}
+	if a.Min() < 0 || a.Min() >= 10 {
+		t.Errorf("merged min %g", a.Min())
+	}
+	if a.Max() < 50 || a.Max() >= 60 {
+		t.Errorf("merged max %g", a.Max())
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		cur := a.Quantile(q)
+		if cur < prev-1e-9 {
+			t.Fatalf("quantiles not monotone: Quantile(%g) = %g after %g", q, cur, prev)
+		}
+		if cur < a.Min()-1e-9 || cur > a.Max()+1e-9 {
+			t.Fatalf("Quantile(%g) = %g escapes [min, max]", q, cur)
+		}
+		prev = cur
+	}
+	// The shards are disjoint with equal mass, so the median must fall
+	// in the gap's neighborhood and the quartiles inside each shard.
+	if q := a.Quantile(0.25); q < 0 || q > 10.5 {
+		t.Errorf("Quantile(0.25) = %g, want inside the low shard", q)
+	}
+	if q := a.Quantile(0.75); q < 49.5 || q > 60 {
+		t.Errorf("Quantile(0.75) = %g, want inside the high shard", q)
+	}
+	// The donor sketch must stay usable.
+	if got := b.Quantile(0.5); got < 50 || got >= 60 {
+		t.Errorf("donor sketch damaged by merge: Quantile(0.5) = %g", got)
+	}
+}
+
+// TestQSketchMergeEdgeCases covers the degenerate merge shapes: empty
+// into empty, empty into full, full into empty, self-merge, nil.
+func TestQSketchMergeEdgeCases(t *testing.T) {
+	full := NewQSketch(50)
+	for i := 0; i < 100; i++ {
+		full.Add(float64(i))
+	}
+	before := full.Quantile(0.5)
+
+	full.Merge(nil)
+	full.Merge(full)
+	full.Merge(NewQSketch(50))
+	if got := full.Quantile(0.5); got != before || full.Count() != 100 {
+		t.Errorf("no-op merges changed the sketch: median %g -> %g, count %d", before, got, full.Count())
+	}
+
+	empty := NewQSketch(50)
+	empty.Merge(full)
+	if empty.Count() != 100 || empty.Min() != 0 || empty.Max() != 99 {
+		t.Errorf("merge into empty: count %d min %g max %g", empty.Count(), empty.Min(), empty.Max())
+	}
+	if got := empty.Quantile(0.5); math.Abs(got-before) > 2 {
+		t.Errorf("merge into empty shifted the median: %g vs %g", got, before)
+	}
+
+	e1, e2 := NewQSketch(50), NewQSketch(50)
+	e1.Merge(e2)
+	if e1.Count() != 0 || !math.IsNaN(e1.Quantile(0.5)) {
+		t.Error("empty-into-empty merge invented samples")
+	}
+}
+
+// TestQSketchMergeMatchesCombinedStream: merging shards must agree with
+// a single sketch that saw every sample, within the digest's accuracy.
+func TestQSketchMergeMatchesCombinedStream(t *testing.T) {
+	r := rng.NewStream(7, 3)
+	combined := NewQSketch(100)
+	shards := []*QSketch{NewQSketch(100), NewQSketch(100), NewQSketch(100)}
+	for i := 0; i < 9000; i++ {
+		x := r.Normal()
+		combined.Add(x)
+		shards[i%3].Add(x)
+	}
+	merged := NewQSketch(100)
+	for _, sh := range shards {
+		merged.Merge(sh)
+	}
+	for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		got, want := merged.Quantile(q), combined.Quantile(q)
+		if math.Abs(got-want) > 0.15 {
+			t.Errorf("Quantile(%g): merged %g vs combined %g", q, got, want)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Smoke-test the advisor service end to end: start the server, answer a
+# batch over HTTP, and require every answer byte-equal (modulo key
+# order) to the one-shot CLI path — the bit-identity contract of DESIGN
+# §13, exercised through a real socket. Run via `make advise-demo`.
+set -euo pipefail
+
+GO=${GO:-go}
+OUT=${OUT:-out/advise-demo}
+mkdir -p "$OUT"
+
+QUERIES=(
+  '{"mode":"preempt","r":10,"ckpt":"exp:0.5@[1,5]"}'
+  '{"mode":"static","r":100,"task":"norm:5,0.5","ckpt":"norm:1,0.1@[0,inf]"}'
+  '{"mode":"dynamic","r":10,"task":"exp:0.3","ckpt":"uniform:0.3,0.7","work":2.5}'
+)
+
+"$GO" build -o "$OUT/advise" ./cmd/advise
+
+# Reference answers through the one-shot CLI path (no server involved).
+: > "$OUT/cli.jsonl"
+for q in "${QUERIES[@]}"; do
+  "$OUT/advise" -q "$q" >> "$OUT/cli.jsonl"
+done
+
+# Serve on an ephemeral port with an on-disk store; parse the announced
+# address from the startup line.
+"$OUT/advise" -listen 127.0.0.1:0 -store "$OUT/store" > "$OUT/server.log" 2>&1 &
+SRV=$!
+cleanup() { kill "$SRV" 2>/dev/null || true; }
+trap cleanup EXIT
+
+ADDR=
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's#^advisor: http://\([^/]*\)/v1/advise .*#\1#p' "$OUT/server.log")
+  [ -n "$ADDR" ] && break
+  kill -0 "$SRV" 2>/dev/null || { cat "$OUT/server.log"; echo "advise-demo: server died before announcing" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "advise-demo: no announcement in server.log" >&2; exit 1; }
+
+curl -fsS "http://$ADDR/healthz" > /dev/null
+
+# The same three queries as one batch over HTTP.
+printf '{"queries":[%s,%s,%s]}' "${QUERIES[@]}" \
+  | curl -fsS -X POST --data-binary @- "http://$ADDR/v1/advise/batch" > "$OUT/batch.json"
+
+jq -ceS '.answers[]' "$OUT/batch.json" > "$OUT/http.jsonl"
+jq -ceS . "$OUT/cli.jsonl" > "$OUT/cli-sorted.jsonl"
+if ! diff -u "$OUT/cli-sorted.jsonl" "$OUT/http.jsonl"; then
+  echo "advise-demo: HTTP answers differ from the CLI path" >&2
+  exit 1
+fi
+
+# A second identical batch must be pure cache hits.
+printf '{"queries":[%s,%s,%s]}' "${QUERIES[@]}" \
+  | curl -fsS -X POST --data-binary @- "http://$ADDR/v1/advise/batch" > /dev/null
+
+curl -fsS "http://$ADDR/metrics" > "$OUT/metrics.prom"
+grep -q '^# TYPE reskit_advisor_queries counter$' "$OUT/metrics.prom"
+grep -q '^reskit_advisor_cache_hits ' "$OUT/metrics.prom"
+
+# The store must have persisted one artifact per distinct fingerprint.
+ARTIFACTS=$(find "$OUT/store" -name '*.rkadv' | wc -l)
+[ "$ARTIFACTS" -eq 3 ] || { echo "advise-demo: expected 3 artifacts, found $ARTIFACTS" >&2; exit 1; }
+
+# Graceful shutdown on SIGTERM must exit 0.
+kill -TERM "$SRV"
+if wait "$SRV"; then :; else
+  echo "advise-demo: server exited non-zero on SIGTERM" >&2
+  exit 1
+fi
+trap - EXIT
+
+echo "advise-demo: OK (3 answers server==CLI, metrics live, $ARTIFACTS artifacts in $OUT/store)"
