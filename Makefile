@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz chaos bench benchjson benchsuite benchcheck obs-demo advise-demo figures report clean
+.PHONY: all build vet test race fuzz chaos dist-soak bench benchjson benchsuite benchcheck obs-demo advise-demo figures report clean
 
 all: build vet test
 
@@ -42,6 +42,17 @@ chaos:
 	$(GO) test -race -count=$(COUNT) -run 'Chaos|Injector|JobPlane' ./internal/chaos/
 	$(GO) test -race -count=$(COUNT) -run 'Fault|Injected|Writer|Retr|KeepGoing|Timeout|Snapshot' \
 		./internal/atomicio/ ./internal/ckpt/ ./internal/engine/
+
+# Distributed-runner soak under the race detector: worker fleets of
+# 1/4/8 against one coordinator with >=5% fault rates on every protocol
+# path (dropped requests, dropped responses, duplicated submissions,
+# hung and erroring jobs), a worker killed mid-run and replaced, and a
+# coordinator kill+resume — every fleet's aggregate must be
+# bit-identical to an undisturbed local run. -short trims the job
+# count for CI; drop it (or raise COUNT) for longer campaigns.
+dist-soak:
+	$(GO) test -race -short -count=$(COUNT) -run 'TestDist|TestNetPlane' \
+		./internal/distrun/ ./internal/chaos/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"reskit"
+	"reskit/internal/engine"
+	"reskit/internal/lawspec"
+	"reskit/internal/sim"
+)
+
+// campaignArgs is the shared flag set of the end-to-end test run —
+// identical for coordinator and workers, as the protocol demands.
+var campaignArgs = []string{
+	"-R", "60", "-task", "exp:0.05", "-ckpt", "uniform:1,3",
+	"-totalwork", "120", "-trials", "1280", "-seed", "7",
+}
+
+// localAggregate computes the reference aggregate through the local
+// engine, exactly as simulate's campaign mode would.
+func localAggregate(t *testing.T) sim.CampaignAggregate {
+	t.Helper()
+	law, err := lawspec.Parse("uniform:1,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := buildCampaign(60, 0, 120, "exp:0.05", "", law, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 1280
+	n := sim.NumCampaignBlocks(trials)
+	jobs := make([]engine.Job, n)
+	mk := campaignJob(cfg, trials)
+	for i := range jobs {
+		jobs[i] = mk(i)
+	}
+	res, err := engine.Run(context.Background(), engine.Spec{Jobs: jobs, Seed: 7})
+	if err != nil {
+		t.Fatalf("local reference: %v", err)
+	}
+	agg, err := sim.MergeCampaignPayloads(res.Payloads)
+	if err != nil {
+		t.Fatalf("local merge: %v", err)
+	}
+	return agg
+}
+
+// TestDistrunEndToEnd drives the real CLI: one coordinator (bound to a
+// random port, address published through -addr-file), two workers, and
+// a final aggregate that must match a local single-process run to the
+// printed digit.
+func TestDistrunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+
+	var coOut bytes.Buffer
+	coArgs := append([]string{}, campaignArgs...)
+	coArgs = append(coArgs,
+		"-listen", "127.0.0.1:0", "-addr-file", addrFile,
+		"-checkpoint", filepath.Join(dir, "run.ckpt"), "-checkpoint-interval", "10ms",
+		"-lease-ttl", "2s", "-target-lease", "20ms",
+	)
+	coErr := make(chan error, 1)
+	go func() { coErr <- run(coArgs, &coOut) }()
+
+	// The coordinator publishes its bound address once listening.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never published its address; output so far:\n%s", coOut.String())
+		}
+		if data, err := os.ReadFile(addrFile); err == nil {
+			addr = strings.TrimSpace(string(data))
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	var wg sync.WaitGroup
+	werrs := make([]error, 2)
+	for w := range werrs {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wArgs := append([]string{}, campaignArgs...)
+			wArgs = append(wArgs, "-worker", "http://"+addr, "-name", fmt.Sprintf("w%d", w), "-workers", "2")
+			var wOut bytes.Buffer
+			werrs[w] = run(wArgs, &wOut)
+		}(w)
+	}
+	wg.Wait()
+	for w, werr := range werrs {
+		if werr != nil {
+			t.Errorf("worker %d: %v", w, werr)
+		}
+	}
+	select {
+	case err := <-coErr:
+		if err != nil {
+			t.Fatalf("coordinator: %v\noutput:\n%s", err, coOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("coordinator never finished; output:\n%s", coOut.String())
+	}
+
+	// The printed aggregate must carry the local run's exact numbers.
+	want := localAggregate(t)
+	out := coOut.String()
+	for what, v := range map[string]float64{
+		"mean utilization": want.Utilization,
+		"mean lost work":   want.LostWork,
+	} {
+		if !strings.Contains(out, fmt.Sprintf("%.4g", v)) {
+			t.Errorf("coordinator output lacks the local run's %s %.4g:\n%s", what, v, out)
+		}
+	}
+	if !strings.Contains(out, "all completed") {
+		t.Errorf("coordinator output lacks the aggregate table:\n%s", out)
+	}
+	// A fully completed run retires its snapshot generations.
+	if _, err := os.Stat(filepath.Join(dir, "run.ckpt")); !os.IsNotExist(err) {
+		t.Errorf("completed run left its snapshot behind (stat err: %v)", err)
+	}
+}
+
+// TestDistrunFlagValidation: the CLI refuses contradictory or missing
+// flags before touching the network.
+func TestDistrunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing R", []string{"-ckpt", "uniform:1,3", "-task", "exp:0.05"}, "-R must be positive"},
+		{"missing ckpt", []string{"-R", "60", "-task", "exp:0.05"}, "-ckpt is required"},
+		{"missing law", []string{"-R", "60", "-ckpt", "uniform:1,3"}, "-task or -taskdisc"},
+		{"resume without checkpoint", []string{"-R", "60", "-ckpt", "uniform:1,3", "-task", "exp:0.05", "-resume"}, "-resume requires -checkpoint"},
+		{"bad mtbf", []string{"-R", "60", "-ckpt", "uniform:1,3", "-task", "exp:0.05", "-mtbf", "-3"}, "-mtbf must be positive"},
+	}
+	for _, tc := range cases {
+		var out bytes.Buffer
+		err := run(tc.args, &out)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestDistrunFingerprintMatchesSimulate pins the fingerprint parts to
+// the ones cmd/simulate's campaign mode hashes: if this breaks,
+// snapshots and workers stop being interchangeable between the two
+// CLIs.
+func TestDistrunFingerprintMatchesSimulate(t *testing.T) {
+	got := reskit.ConfigFingerprint(
+		"campaign",
+		fmt.Sprintf("R=%g", 60.0),
+		fmt.Sprintf("recovery=%g", 0.0),
+		"task=exp:0.05",
+		"taskdisc=",
+		"ckpt=uniform:1,3",
+		fmt.Sprintf("totalwork=%g", 120.0),
+		fmt.Sprintf("faults=%v", (*reskit.FaultPlan)(nil)),
+		fmt.Sprintf("trials=%d", 1280),
+		fmt.Sprintf("seed=%d", 7),
+	)
+	// Recompute through the same helper the CLI uses — guarding against
+	// a drive-by reordering of the parts in either place.
+	want := reskit.ConfigFingerprint(
+		"campaign", "R=60", "recovery=0", "task=exp:0.05", "taskdisc=",
+		"ckpt=uniform:1,3", "totalwork=120", "faults=no faults", "trials=1280", "seed=7",
+	)
+	if got != want {
+		t.Fatalf("fingerprint parts drifted: %016x != %016x", got, want)
+	}
+}

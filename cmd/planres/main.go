@@ -13,6 +13,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -21,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"reskit"
 	"reskit/internal/lawspec"
@@ -45,6 +48,8 @@ func run(args []string, out io.Writer) error {
 	trials := fs.Int("trials", 200, "Monte-Carlo campaigns per candidate")
 	seed := fs.Uint64("seed", 1, "random seed (every value, including 0, is a distinct seed)")
 	workers := fs.Int("workers", 0, "parallel workers (0: all CPUs; plan identical for any count)")
+	progress := fs.Bool("progress", false, "print live sweep progress to stderr")
+	metricsPath := fs.String("metrics", "", "write a JSON metrics snapshot (engine.* and planner.*) to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,7 +78,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	opts, err := reskit.PlanReservationLength(reskit.PlannerConfig{
+	cfg := reskit.PlannerConfig{
 		TotalWork:  *work,
 		Task:       task,
 		Ckpt:       ckpt,
@@ -83,7 +88,29 @@ func run(args []string, out io.Writer) error {
 		Trials:     *trials,
 		Seed:       *seed,
 		Workers:    *workers,
-	})
+	}
+	if *metricsPath != "" {
+		cfg.Reg = reskit.NewObsRegistry()
+	}
+	if *progress {
+		// With the default sweep the candidate count is chosen inside
+		// the planner; total 0 renders counts without percentage/ETA.
+		total := int64(len(candidates) * *trials)
+		cfg.Progress = reskit.NewProgress(os.Stderr, "trials", total, time.Second)
+		cfg.Progress.Start(context.Background())
+	}
+	opts, err := reskit.PlanReservationLength(cfg)
+	cfg.Progress.Stop()
+	if *metricsPath != "" {
+		var buf bytes.Buffer
+		merr := cfg.Reg.WriteJSON(&buf)
+		if merr == nil {
+			merr = reskit.WriteFileAtomic(*metricsPath, buf.Bytes(), 0o644)
+		}
+		if merr != nil && err == nil {
+			err = fmt.Errorf("-metrics: %w", merr)
+		}
+	}
 	if err != nil {
 		return err
 	}

@@ -210,10 +210,18 @@ func (t *Artifact) matches(q Query) bool {
 }
 
 // entry is a cached artifact plus the live decision objects rebuilt
-// around it (the laws re-parsed, the coefficient table installed).
+// around it (the laws re-parsed, the coefficient table installed) — or
+// a cached negative result: err set, everything else nil. The build
+// errors the advisor caches are pure functions of the fingerprinted
+// key fields (an unparseable law, a constructor rejection, a solver
+// with no solution), so retrying the build can only burn the same CPU
+// to produce the same error; caching the error makes the repeat query
+// as cheap as a positive hit. Context errors are never cached — a
+// cancelled build says nothing about the key.
 type entry struct {
 	art *Artifact
 	dyn *core.Dynamic // dynamic mode: answers ShouldCheckpointAt
+	err error         // negative entry: the deterministic build error
 }
 
 // inflight is one deduplicated build in progress.
@@ -228,9 +236,10 @@ type Options struct {
 	// Dir is the on-disk table store; "" keeps tables in memory only.
 	Dir string
 	// Reg binds the advisor's instruments (nil disables them):
-	// advisor.queries, advisor.cache_hits, advisor.builds,
-	// advisor.build_errors, advisor.store_hits, advisor.store_writes,
-	// advisor.store_errors counters and the advisor.build_ns sketch.
+	// advisor.queries, advisor.cache_hits, advisor.negative_hits,
+	// advisor.builds, advisor.build_errors, advisor.store_hits,
+	// advisor.store_writes, advisor.store_errors counters and the
+	// advisor.build_ns sketch.
 	Reg *obs.Registry
 }
 
@@ -242,9 +251,9 @@ type Advisor struct {
 	mu       sync.Mutex // guards inflight and cache publication
 	inflight map[uint64]*inflight
 
-	queries, hits, builds, buildErrs  *obs.Counter
-	storeHits, storeWrites, storeErrs *obs.Counter
-	buildNS                           *obs.Quantiles
+	queries, hits, negHits, builds, buildErrs *obs.Counter
+	storeHits, storeWrites, storeErrs         *obs.Counter
+	buildNS                                   *obs.Quantiles
 }
 
 // New returns an Advisor with an empty cache.
@@ -254,6 +263,7 @@ func New(opts Options) *Advisor {
 		inflight:    make(map[uint64]*inflight),
 		queries:     opts.Reg.Counter("advisor.queries"),
 		hits:        opts.Reg.Counter("advisor.cache_hits"),
+		negHits:     opts.Reg.Counter("advisor.negative_hits"),
 		builds:      opts.Reg.Counter("advisor.builds"),
 		buildErrs:   opts.Reg.Counter("advisor.build_errors"),
 		storeHits:   opts.Reg.Counter("advisor.store_hits"),
@@ -266,8 +276,17 @@ func New(opts Options) *Advisor {
 	return a
 }
 
-// Tables returns the number of cached policy tables.
-func (a *Advisor) Tables() int { return len(*a.cache.Load()) }
+// Tables returns the number of cached policy tables. Cached negative
+// results do not count: they hold no table, only an error.
+func (a *Advisor) Tables() int {
+	n := 0
+	for _, e := range *a.cache.Load() {
+		if e.err == nil {
+			n++
+		}
+	}
+	return n
+}
 
 // Advise answers one query. The hot path — the table already cached —
 // is one atomic load, one map probe and a table lookup: no locks, no
@@ -282,12 +301,19 @@ func (a *Advisor) Advise(ctx context.Context, q Query) (Answer, error) {
 	}
 	fp := q.fingerprint()
 	if e, ok := (*a.cache.Load())[fp]; ok {
+		if e.err != nil {
+			a.negHits.Inc()
+			return Answer{}, e.err
+		}
 		a.hits.Inc()
 		return e.answer(fp, q), nil
 	}
 	e, err := a.lookupSlow(ctx, q, fp)
 	if err != nil {
 		return Answer{}, err
+	}
+	if e.err != nil {
+		return Answer{}, e.err
 	}
 	return e.answer(fp, q), nil
 }
@@ -297,7 +323,11 @@ func (a *Advisor) lookupSlow(ctx context.Context, q Query, fp uint64) (*entry, e
 	a.mu.Lock()
 	if e, ok := (*a.cache.Load())[fp]; ok { // raced with a publisher
 		a.mu.Unlock()
-		a.hits.Inc()
+		if e.err != nil {
+			a.negHits.Inc()
+		} else {
+			a.hits.Inc()
+		}
 		return e, nil
 	}
 	if fl, ok := a.inflight[fp]; ok {
@@ -356,6 +386,13 @@ func (a *Advisor) build(ctx context.Context, q Query, fp uint64) (*entry, error)
 	e, err := computeEntry(ctx, q, fp)
 	if err != nil {
 		a.buildErrs.Inc()
+		if cacheableError(ctx, err) {
+			// The error is a pure function of the key fields: publish
+			// it so the repeat query costs one map probe, not a
+			// rebuild. Negative entries live in memory only — the
+			// store holds artifacts, and an error has none.
+			return &entry{err: err}, nil
+		}
 		return nil, err
 	}
 	a.builds.Inc()
@@ -368,6 +405,18 @@ func (a *Advisor) build(ctx context.Context, q Query, fp uint64) (*entry, error)
 		}
 	}
 	return e, nil
+}
+
+// cacheableError reports whether a build error may be cached as a
+// negative entry: only errors that are deterministic consequences of
+// the query key qualify. A context cancellation or deadline — whether
+// surfaced through err or visible on ctx after a truncated build —
+// must not poison the key for later, patient callers.
+func cacheableError(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
 }
 
 // computeEntry runs the same constructors and solvers the CLI runs.

@@ -399,3 +399,75 @@ func mustParse(t *testing.T, spec string) dist.Continuous {
 	}
 	return law
 }
+
+// TestNegativeCache: a deterministic build failure (an unparseable law)
+// is cached — the repeat query returns the identical error value from
+// one map probe, without rerunning the build — while Tables() keeps
+// counting only real policy tables.
+func TestNegativeCache(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := New(Options{Reg: reg})
+	ctx := context.Background()
+	bad := Query{Mode: ModeDynamic, R: 10, Task: "warble:3", Ckpt: "uniform:0.3,0.7"}
+
+	_, err1 := a.Advise(ctx, bad)
+	if err1 == nil {
+		t.Fatal("bogus law spec built a table")
+	}
+	_, err2 := a.Advise(ctx, bad)
+	if err2 != err1 {
+		t.Fatalf("repeat query rebuilt the error: %v vs %v", err2, err1)
+	}
+	if got := reg.Counter("advisor.build_errors").Value(); got != 1 {
+		t.Fatalf("build_errors = %d, want 1 (the repeat must hit the cache)", got)
+	}
+	if got := reg.Counter("advisor.negative_hits").Value(); got != 1 {
+		t.Fatalf("negative_hits = %d, want 1", got)
+	}
+	if got := a.Tables(); got != 0 {
+		t.Fatalf("Tables() = %d, want 0: a cached error is not a table", got)
+	}
+	// A positive entry rides alongside, and only it is counted.
+	mustAdvise(t, a, qDynamic)
+	if got := a.Tables(); got != 1 {
+		t.Fatalf("Tables() = %d, want 1", got)
+	}
+}
+
+// TestNegativeCacheHitZeroAllocs: the negative hit path has the same
+// budget as the positive one — atomic load, map probe, shared error.
+func TestNegativeCacheHitZeroAllocs(t *testing.T) {
+	a := New(Options{Reg: obs.NewRegistry()})
+	ctx := context.Background()
+	bad := Query{Mode: ModeStatic, R: 10, Task: "warble:3", Ckpt: "uniform:0.3,0.7"}
+	if _, err := a.Advise(ctx, bad); err == nil { // warm
+		t.Fatal("bogus law spec built a table")
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := a.Advise(ctx, bad); err == nil {
+			t.Fatal("cached error vanished")
+		}
+	}); avg != 0 {
+		t.Errorf("negative cache hit allocates %.1f objects/request, want 0", avg)
+	}
+}
+
+// TestContextErrorNotCached: a build cancelled mid-flight must not
+// poison the key — the next caller with a live context gets the table.
+func TestContextErrorNotCached(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := New(Options{Reg: reg})
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := Query{Mode: ModeDynamic, R: 11, Task: "exp:0.3", Ckpt: "uniform:0.3,0.7", Work: 2}
+	if _, err := a.Advise(cancelled, q); err == nil {
+		t.Skip("build finished before the cancellation was observed")
+	}
+	if got := reg.Counter("advisor.negative_hits").Value(); got != 0 {
+		t.Fatalf("negative_hits = %d after a cancelled build, want 0", got)
+	}
+	mustAdvise(t, a, q)
+	if got := a.Tables(); got != 1 {
+		t.Fatalf("Tables() = %d, want 1: the cancelled build must not stick", got)
+	}
+}

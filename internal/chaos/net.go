@@ -1,0 +1,193 @@
+package chaos
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"reskit/internal/rng"
+)
+
+// NetFaults sets the per-request fault rates of a NetPlane — the
+// network analogue of the disk Injector. Rates are probabilities in
+// [0, 1]; the zero value injects nothing.
+type NetFaults struct {
+	// Seed drives the per-path decision substreams; the same seed
+	// reproduces the same fault sequence for the same request order on
+	// each path.
+	Seed uint64
+
+	// DropReq is the probability a request fails before reaching the
+	// peer (connection reset on send): the peer never saw it.
+	DropReq float64
+
+	// DropResp is the probability the request reaches the peer — its
+	// side effects happen — but the response is lost and an error is
+	// returned instead. This is the nasty half of at-least-once
+	// delivery: the caller retries a request the peer already executed,
+	// so the protocol's idempotency is what keeps state correct.
+	DropResp float64
+
+	// DupReq is the probability the request is transparently sent
+	// twice, the first response discarded — a retransmitting middlebox.
+	// The peer must deduplicate.
+	DupReq float64
+
+	// Latency, when positive, stalls a request before sending with
+	// probability LatencyRate — enough to push a slow peer past lease
+	// deadlines.
+	Latency     time.Duration
+	LatencyRate float64
+
+	// PathPrefix restricts the attack to URL paths with this prefix
+	// ("" attacks every request through the plane).
+	PathPrefix string
+}
+
+// NetStats counts what a NetPlane actually did.
+type NetStats struct {
+	Requests  int64 // requests consulted (after PathPrefix filtering)
+	DropsReq  int64
+	DropsResp int64
+	Dups      int64
+	Delays    int64
+}
+
+// Injected returns the total injected network faults (delays excluded).
+func (s NetStats) Injected() int64 { return s.DropsReq + s.DropsResp + s.Dups }
+
+// NetPlane is a deterministic fault-injecting http.RoundTripper: it
+// wraps a real transport and attacks the requests flowing through it
+// with drops, duplications and stalls. Like the disk Injector, each URL
+// path owns one decision substream, so the fault sequence a given
+// endpoint experiences depends only on the seed and that endpoint's
+// request order. Safe for concurrent use.
+//
+// Requests whose body cannot be replayed (no GetBody) are exempt from
+// DropReq-after-send semantics and duplication — in this repository
+// every protocol request is built from a byte slice, so GetBody is
+// always present.
+type NetPlane struct {
+	f    NetFaults
+	base http.RoundTripper
+
+	mu    sync.Mutex
+	paths map[string]*rng.Source
+
+	requests, dropsReq, dropsResp, dups, delays int64
+}
+
+// NewNetPlane wraps base (nil: http.DefaultTransport) with the fault
+// plane for f.
+func NewNetPlane(f NetFaults, base http.RoundTripper) *NetPlane {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &NetPlane{f: f, base: base, paths: make(map[string]*rng.Source)}
+}
+
+// Stats snapshots the injection counters.
+func (p *NetPlane) Stats() NetStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return NetStats{
+		Requests:  p.requests,
+		DropsReq:  p.dropsReq,
+		DropsResp: p.dropsResp,
+		Dups:      p.dups,
+		Delays:    p.delays,
+	}
+}
+
+// netFate is one request's drawn verdict.
+type netFate struct {
+	delay    bool
+	dropReq  bool
+	dropResp bool
+	dup      bool
+}
+
+// draw decides a request's fate on its path's substream.
+func (p *NetPlane) draw(path string) netFate {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.requests++
+	src := p.paths[path]
+	if src == nil {
+		src = rng.NewStream(p.f.Seed^chaosSalt, hashPath(path))
+		p.paths[path] = src
+	}
+	var f netFate
+	f.delay = p.f.Latency > 0 && src.Float64() < p.f.LatencyRate
+	// One uniform classifies the exclusive faults, so their rates add.
+	u := src.Float64()
+	switch {
+	case u < p.f.DropReq:
+		f.dropReq = true
+		p.dropsReq++
+	case u < p.f.DropReq+p.f.DropResp:
+		f.dropResp = true
+		p.dropsResp++
+	case u < p.f.DropReq+p.f.DropResp+p.f.DupReq:
+		f.dup = true
+		p.dups++
+	}
+	return f
+}
+
+// RoundTrip implements http.RoundTripper.
+func (p *NetPlane) RoundTrip(req *http.Request) (*http.Response, error) {
+	if p.f.PathPrefix != "" && !strings.HasPrefix(req.URL.Path, p.f.PathPrefix) {
+		return p.base.RoundTrip(req)
+	}
+	fate := p.draw(req.URL.Path)
+	if fate.delay {
+		p.mu.Lock()
+		p.delays++
+		p.mu.Unlock()
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(p.f.Latency):
+		}
+	}
+	switch {
+	case fate.dropReq:
+		return nil, fmt.Errorf("chaos: injected request drop on %s: %w", req.URL.Path, syscall.ECONNRESET)
+	case fate.dropResp:
+		resp, err := p.base.RoundTrip(req)
+		if err != nil {
+			return nil, err // the real network beat us to it
+		}
+		resp.Body.Close()
+		return nil, fmt.Errorf("chaos: injected response drop on %s (request delivered): %w",
+			req.URL.Path, syscall.ECONNRESET)
+	case fate.dup && req.GetBody != nil:
+		resp, err := p.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body.Close()
+		dup, err := cloneRequest(req)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: duplicating %s: %w", req.URL.Path, err)
+		}
+		return p.base.RoundTrip(dup)
+	default:
+		return p.base.RoundTrip(req)
+	}
+}
+
+// cloneRequest rebuilds a request with a fresh body for re-sending.
+func cloneRequest(req *http.Request) (*http.Request, error) {
+	body, err := req.GetBody()
+	if err != nil {
+		return nil, err
+	}
+	dup := req.Clone(req.Context())
+	dup.Body = body
+	return dup, nil
+}

@@ -1,0 +1,142 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingTransport is a fake network: it counts deliveries and answers
+// 200 with an empty body.
+type countingTransport struct {
+	delivered atomic.Int64
+}
+
+func (ct *countingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	ct.delivered.Add(1)
+	if req.Body != nil {
+		io.Copy(io.Discard, req.Body) //nolint:errcheck
+		req.Body.Close()
+	}
+	return &http.Response{
+		StatusCode: 200,
+		Status:     "200 OK",
+		Body:       io.NopCloser(bytes.NewReader(nil)),
+		Request:    req,
+	}, nil
+}
+
+func postReq(t *testing.T, path string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, "http://peer"+path, bytes.NewReader([]byte(`{}`)))
+	if err != nil {
+		t.Fatalf("building request: %v", err)
+	}
+	return req
+}
+
+// TestNetPlaneFaultMix: over many requests the plane injects all three
+// fault kinds, the bookkeeping adds up, and the base transport sees
+// exactly the requests that were delivered (drops before send never
+// arrive, duplications arrive twice).
+func TestNetPlaneFaultMix(t *testing.T) {
+	base := &countingTransport{}
+	p := NewNetPlane(NetFaults{Seed: 42, DropReq: 0.1, DropResp: 0.1, DupReq: 0.1}, base)
+	const reqs = 400
+	for i := 0; i < reqs; i++ {
+		resp, err := p.RoundTrip(postReq(t, "/v1/lease"))
+		if resp != nil {
+			resp.Body.Close()
+		}
+		_ = err // drops are expected
+	}
+	s := p.Stats()
+	if s.Requests != reqs {
+		t.Fatalf("Requests = %d, want %d", s.Requests, reqs)
+	}
+	if s.DropsReq == 0 || s.DropsResp == 0 || s.Dups == 0 {
+		t.Fatalf("some fault kind never fired: %+v", s)
+	}
+	// DropReq never reaches the base; DropResp reaches it once; DupReq
+	// reaches it twice; clean requests once.
+	wantDelivered := reqs - s.DropsReq + s.Dups
+	if got := base.delivered.Load(); got != wantDelivered {
+		t.Fatalf("base transport saw %d requests, want %d (stats %+v)", got, wantDelivered, s)
+	}
+	// ~10% each over 400 draws: a fault kind outside [15, 75] means the
+	// classifier is broken, not unlucky.
+	for name, v := range map[string]int64{"dropsReq": s.DropsReq, "dropsResp": s.DropsResp, "dups": s.Dups} {
+		if v < 15 || v > 75 {
+			t.Fatalf("%s = %d, implausible for rate 0.1 over %d requests", name, v, reqs)
+		}
+	}
+}
+
+// TestNetPlaneDeterminism: the same seed replays the same fate
+// sequence on a path; a different seed diverges.
+func TestNetPlaneDeterminism(t *testing.T) {
+	fates := func(seed uint64) string {
+		p := NewNetPlane(NetFaults{Seed: seed, DropReq: 0.15, DropResp: 0.15, DupReq: 0.15}, &countingTransport{})
+		var out []byte
+		for i := 0; i < 100; i++ {
+			resp, err := p.RoundTrip(postReq(t, "/v1/result"))
+			if resp != nil {
+				resp.Body.Close()
+			}
+			switch s := p.Stats(); {
+			case err != nil && s.DropsReq+s.DropsResp > 0:
+				out = append(out, 'x')
+			default:
+				out = append(out, '.')
+			}
+		}
+		return fmt.Sprintf("%s|%+v", out, p.Stats())
+	}
+	if a, b := fates(7), fates(7); a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if a, b := fates(7), fates(8); a == b {
+		t.Fatalf("different seeds produced identical fault sequences")
+	}
+}
+
+// TestNetPlanePathPrefix: requests outside the attacked prefix pass
+// through untouched and uncounted.
+func TestNetPlanePathPrefix(t *testing.T) {
+	base := &countingTransport{}
+	p := NewNetPlane(NetFaults{Seed: 1, DropReq: 1.0, PathPrefix: "/v1/"}, base)
+	resp, err := p.RoundTrip(postReq(t, "/metrics"))
+	if err != nil {
+		t.Fatalf("exempt path was attacked: %v", err)
+	}
+	resp.Body.Close()
+	if _, err := p.RoundTrip(postReq(t, "/v1/lease")); err == nil {
+		t.Fatalf("attacked path survived DropReq=1")
+	}
+	if s := p.Stats(); s.Requests != 1 || s.DropsReq != 1 {
+		t.Fatalf("stats %+v, want exactly the /v1/ request counted and dropped", s)
+	}
+}
+
+// TestNetPlaneLatency: delays fire at the configured rate and actually
+// stall the request.
+func TestNetPlaneLatency(t *testing.T) {
+	base := &countingTransport{}
+	p := NewNetPlane(NetFaults{Seed: 3, Latency: 30 * time.Millisecond, LatencyRate: 1.0}, base)
+	start := time.Now()
+	resp, err := p.RoundTrip(postReq(t, "/v1/lease"))
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("latency injection took only %v", elapsed)
+	}
+	if s := p.Stats(); s.Delays != 1 {
+		t.Fatalf("Delays = %d, want 1", s.Delays)
+	}
+}

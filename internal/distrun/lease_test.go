@@ -1,0 +1,32 @@
+package distrun
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLeaseSize: the cost model starts at the floor (no estimate), fits
+// the batch to the target wall time once an estimate exists, and clamps
+// at both ends.
+func TestLeaseSize(t *testing.T) {
+	cases := []struct {
+		name   string
+		ewmaNS float64
+		target time.Duration
+		min    int
+		max    int
+		want   int
+	}{
+		{"no estimate starts at floor", 0, 2 * time.Second, 1, 256, 1},
+		{"fits target", float64(10 * time.Millisecond), 2 * time.Second, 1, 256, 200},
+		{"clamps at cap", float64(time.Microsecond), 2 * time.Second, 1, 256, 256},
+		{"clamps at floor", float64(10 * time.Second), 2 * time.Second, 4, 256, 4},
+		{"exact fit", float64(500 * time.Millisecond), 2 * time.Second, 1, 256, 4},
+	}
+	for _, tc := range cases {
+		if got := leaseSize(tc.ewmaNS, tc.target, tc.min, tc.max); got != tc.want {
+			t.Errorf("%s: leaseSize(%v, %v, %d, %d) = %d, want %d",
+				tc.name, tc.ewmaNS, tc.target, tc.min, tc.max, got, tc.want)
+		}
+	}
+}

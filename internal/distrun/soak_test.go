@@ -1,0 +1,241 @@
+package distrun_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"reskit/internal/chaos"
+	"reskit/internal/distrun"
+	"reskit/internal/engine"
+	"reskit/internal/httpd"
+	"reskit/internal/obs"
+	"reskit/internal/rng"
+)
+
+// chaoticJob wraps the shared test grid with a deterministic job fault
+// plane (transient errors and hangs) and a pacing delay that keeps the
+// run mid-flight long enough to kill things. The payload bytes are
+// untouched.
+func chaoticJob(jp *chaos.JobPlane, pace time.Duration) func(int) engine.Job {
+	return func(i int) engine.Job {
+		j := testJob(i)
+		inner := j.Run
+		j.Run = func(ctx context.Context, src *rng.Source) (engine.JobResult, error) {
+			switch jp.Next(i) {
+			case chaos.FateErr:
+				return engine.JobResult{}, jp.Errf(i)
+			case chaos.FateHang:
+				<-ctx.Done()
+				return engine.JobResult{}, ctx.Err()
+			}
+			if pace > 0 {
+				select {
+				case <-ctx.Done():
+					return engine.JobResult{}, ctx.Err()
+				case <-time.After(pace):
+				}
+			}
+			return inner(ctx, src)
+		}
+		return j
+	}
+}
+
+// soakWorker builds a worker whose every protocol exchange flows
+// through a chaos network plane, and whose jobs flow through the job
+// fault plane. The returned plane exposes what was injected.
+func soakWorker(url, name string, n int, netSeed uint64, job func(int) engine.Job) (distrun.WorkerConfig, *chaos.NetPlane) {
+	cl := httpd.NewClient()
+	cl.SetRetry(3, 10*time.Millisecond)
+	plane := chaos.NewNetPlane(chaos.NetFaults{
+		Seed:       netSeed,
+		DropReq:    0.05,
+		DropResp:   0.05,
+		DupReq:     0.04,
+		PathPrefix: "/v1/",
+	}, cl.Transport())
+	cl.SetTransport(plane)
+	return distrun.WorkerConfig{
+		URL: url, Name: name, NumJobs: n,
+		Seed: testSeed, Fingerprint: testFP,
+		Job:     job,
+		Workers: 2,
+		Failure: engine.Failure{Retries: 5, Backoff: time.Millisecond, JobTimeout: 100 * time.Millisecond},
+		Client:  cl,
+	}, plane
+}
+
+// TestDistSoak is the distributed chaos gate: worker fleets of 1, 4 and
+// 8 execute the grid while the network drops, duplicates and delays
+// protocol messages (≥5% of them), jobs fail and hang transiently, one
+// worker is killed mid-run and replaced, and the coordinator itself is
+// killed mid-run and resumed from its snapshot. The finished run must
+// be bit-identical to an undisturbed single-process run.
+func TestDistSoak(t *testing.T) {
+	if testing.Short() && testing.Verbose() {
+		t.Log("short soak: reduced grid")
+	}
+	n := 150
+	if testing.Short() {
+		n = 60
+	}
+	want := localReference(t, n)
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			soakRun(t, n, workers, want)
+		})
+	}
+}
+
+func soakRun(t *testing.T, n, workers int, want [][]byte) {
+	path := filepath.Join(t.TempDir(), "soak.ckpt")
+	reg := obs.NewRegistry()
+	var faultedNet int64
+	var faultedJobs int64
+
+	// --- Phase 1: chaos until a third of the grid is committed, then
+	// the coordinator is killed.
+	cfg := fastCoordinator(n)
+	cfg.LeaseTTL = 250 * time.Millisecond
+	cfg.Checkpoint = engine.Checkpoint{Path: path, Interval: time.Millisecond}
+	cfg.Reg = reg
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+	h := startHarness(t, runCtx, cfg)
+
+	jp1 := chaos.NewJobPlane(chaos.JobFaults{Seed: testSeed + uint64(workers), ErrRate: 0.05, HangRate: 0.02}, n)
+	job1 := chaoticJob(jp1, 2*time.Millisecond)
+
+	wctx, cancelWorkers := context.WithCancel(context.Background())
+	defer cancelWorkers()
+	victimCtx, killVictim := context.WithCancel(wctx)
+	defer killVictim()
+	var wg sync.WaitGroup
+	var planeMu sync.Mutex
+	var planes []*chaos.NetPlane
+	start := func(ctx context.Context, name string, netSeed uint64, job func(int) engine.Job) {
+		wcfg, plane := soakWorker(h.url, name, n, netSeed, job)
+		planeMu.Lock()
+		planes = append(planes, plane)
+		planeMu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Errors are expected here: the victim is killed, and the
+			// rest lose their coordinator mid-run.
+			distrun.RunWorker(ctx, wcfg) //nolint:errcheck
+		}()
+	}
+	start(victimCtx, "victim", testSeed^1, job1)
+	for w := 1; w < workers; w++ {
+		start(wctx, fmt.Sprintf("w%d", w), testSeed^uint64(w+1), job1)
+	}
+
+	waitDone := func(target int, what string) {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for h.co.Stats().Done < target {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: stalled at %d/%d jobs", what, h.co.Stats().Done, target)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Kill one worker early — likely mid-lease, so its lease expires and
+	// the jobs are requeued — and replace it.
+	waitDone(n/6, "phase 1 pre-kill")
+	killVictim()
+	start(wctx, "replacement", testSeed^0x77, job1)
+
+	waitDone(n/3, "phase 1")
+	cancelRun()
+	res1, err1 := h.wait(t)
+	if err1 != nil && !errors.Is(err1, context.Canceled) {
+		t.Fatalf("phase 1 Wait: %v", err1)
+	}
+	cancelWorkers()
+	wg.Wait()
+	h.srv.Shutdown(time.Second)
+	committed := res1.Done()
+	for _, p := range planes {
+		faultedNet += p.Stats().Injected()
+	}
+	e, hg := jp1.Injected()
+	faultedJobs += e + hg
+
+	// --- Phase 2: resumed coordinator, fresh fleet, chaos stays on.
+	cfg2 := fastCoordinator(n)
+	cfg2.LeaseTTL = 250 * time.Millisecond
+	cfg2.Checkpoint = engine.Checkpoint{Path: path, Interval: time.Millisecond, Resume: true}
+	cfg2.Reg = reg
+	ctx2 := context.Background()
+	h2 := startHarness(t, ctx2, cfg2)
+	if got := h2.co.Stats().Restored; got != committed {
+		t.Fatalf("resume restored %d jobs, phase 1 committed %d", got, committed)
+	}
+
+	jp2 := chaos.NewJobPlane(chaos.JobFaults{Seed: testSeed + 0x5a5a + uint64(workers), ErrRate: 0.05, HangRate: 0.02}, n)
+	job2 := chaoticJob(jp2, 0)
+	var wg2 sync.WaitGroup
+	var planes2 []*chaos.NetPlane
+	werrs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wcfg, plane := soakWorker(h2.url, fmt.Sprintf("p2w%d", w), n, testSeed^uint64(0x100+w), job2)
+		planes2 = append(planes2, plane)
+		wg2.Add(1)
+		go func(w int) {
+			defer wg2.Done()
+			werrs[w] = distrun.RunWorker(ctx2, wcfg)
+		}(w)
+	}
+	wg2.Wait()
+	for w, werr := range werrs {
+		if werr != nil {
+			t.Errorf("phase 2 worker %d: %v", w, werr)
+		}
+	}
+	res2, err2 := h2.wait(t)
+	if err2 != nil {
+		t.Fatalf("phase 2 Wait: %v", err2)
+	}
+	if res2.Done() != n {
+		t.Fatalf("phase 2 finished %d/%d jobs", res2.Done(), n)
+	}
+	for _, p := range planes2 {
+		faultedNet += p.Stats().Injected()
+	}
+	e2, hg2 := jp2.Injected()
+	faultedJobs += e2 + hg2
+
+	// Bit-identity against the undisturbed local run — the whole point.
+	for i := range want {
+		if !bytes.Equal(res2.Payloads[i], want[i]) {
+			t.Fatalf("job %d payload differs from undisturbed local run", i)
+		}
+	}
+
+	// Non-vacuity: the chaos actually bit, on both planes.
+	if faultedNet == 0 {
+		t.Fatalf("soak injected no network faults")
+	}
+	if faultedJobs == 0 {
+		t.Fatalf("soak injected no job faults")
+	}
+	if v := reg.Counter("distrun.leases_issued").Value(); v == 0 {
+		t.Fatalf("no leases issued?")
+	}
+	t.Logf("workers=%d: net faults=%d job faults=%d leases=%d expired=%d requeued=%d dup=%d",
+		workers, faultedNet, faultedJobs,
+		reg.Counter("distrun.leases_issued").Value(),
+		reg.Counter("distrun.leases_expired").Value(),
+		reg.Counter("distrun.jobs_requeued").Value(),
+		reg.Counter("distrun.results_duplicate").Value())
+}

@@ -383,6 +383,22 @@ dispatch:
 	return res, ctx.Err()
 }
 
+// ResumableState returns the newest usable KindJobs snapshot generation
+// for a run with the given identity — the head, or the rotated previous
+// generation when the head is missing, corrupt, or belongs to a
+// different run — logging every fallback to logw. nil means no
+// generation is usable and the run must start fresh. It is the same
+// logic Run applies under Checkpoint.Resume, exported so alternative
+// executors of a job grid (the distributed coordinator) share one
+// resume policy with the local engine — including snapshot
+// interchangeability: either side resumes the other's file.
+func ResumableState(logw io.Writer, path string, fingerprint, seed uint64, n int64) *ckpt.State {
+	if logw == nil {
+		logw = io.Discard
+	}
+	return loadResumable(logw, path, fingerprint, seed, n)
+}
+
 // loadResumable returns the newest usable snapshot generation for this
 // run — the head, or the rotated previous generation when the head is
 // missing, corrupt, or belongs to a different run — logging every

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"reskit/internal/rng"
+)
+
+// TestRunResumeInterleavedFailures drives the degraded-run contract at
+// its least convenient shape: permanent failures interleaved with
+// completed jobs across the whole index range (including the first and
+// last job), not one failure in the middle. The keep-going run must
+// commit every completed job around the holes, and -resume must
+// re-execute exactly the failed set — no completed job reruns, no
+// failed job is forgotten — converging to the undisturbed payloads bit
+// for bit.
+func TestRunResumeInterleavedFailures(t *testing.T) {
+	const n = 12
+	poisoned := map[int]bool{0: true, 3: true, 4: true, 8: true, 11: true}
+
+	ref, err := Run(context.Background(), hashSpec(n, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := filepath.Join(t.TempDir(), "run.ckpt")
+	boom := errors.New("interleaved breakage")
+	spec := hashSpec(n, 3)
+	spec.Checkpoint = Checkpoint{Path: snap, Interval: time.Nanosecond}
+	spec.Failure = Failure{Retries: 1, Backoff: time.Microsecond, KeepGoing: true}
+	for i := range spec.Jobs {
+		if poisoned[i] {
+			spec.Jobs[i].Run = func(ctx context.Context, src *rng.Source) (JobResult, error) {
+				return JobResult{}, boom
+			}
+		}
+	}
+	res, err := Run(context.Background(), spec)
+	if err == nil {
+		t.Fatal("keep-going run with permanent failures must return the multi-error")
+	}
+	if len(res.Failed) != len(poisoned) {
+		t.Fatalf("res.Failed has %d entries, want %d: %v", len(res.Failed), len(poisoned), res.Failed)
+	}
+	for _, fe := range res.Failed {
+		if !poisoned[fe.Job] {
+			t.Errorf("job %d reported failed but was not poisoned", fe.Job)
+		}
+		if !errors.Is(fe.Err, boom) {
+			t.Errorf("job %d failed with %v, want the poison", fe.Job, fe.Err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if poisoned[i] {
+			if res.Payloads[i] != nil {
+				t.Errorf("failed job %d has a payload", i)
+			}
+		} else if !bytes.Equal(res.Payloads[i], ref.Payloads[i]) {
+			t.Errorf("completed job %d diverges from the undisturbed run", i)
+		}
+	}
+	if res.Fresh != n-len(poisoned) {
+		t.Fatalf("fresh = %d, want %d", res.Fresh, n-len(poisoned))
+	}
+
+	// Resume with every job healthy, counting executions per index: the
+	// snapshot must feed the completed set back and dispatch only the
+	// holes.
+	var execs [n]atomic.Int64
+	spec2 := hashSpec(n, 2)
+	for i := range spec2.Jobs {
+		inner := spec2.Jobs[i].Run
+		spec2.Jobs[i].Run = func(ctx context.Context, src *rng.Source) (JobResult, error) {
+			execs[i].Add(1)
+			return inner(ctx, src)
+		}
+	}
+	spec2.Checkpoint = Checkpoint{Path: snap, Interval: time.Nanosecond, Resume: true}
+	res2, err := Run(context.Background(), spec2)
+	if err != nil {
+		t.Fatalf("resume after interleaved degraded run: %v", err)
+	}
+	if res2.Restored != n-len(poisoned) || res2.Fresh != len(poisoned) {
+		t.Fatalf("resume restored=%d fresh=%d, want %d/%d",
+			res2.Restored, res2.Fresh, n-len(poisoned), len(poisoned))
+	}
+	for i := 0; i < n; i++ {
+		want := int64(0)
+		if poisoned[i] {
+			want = 1
+		}
+		if got := execs[i].Load(); got != want {
+			t.Errorf("resume executed job %d %d times, want %d", i, got, want)
+		}
+	}
+	for i := range ref.Payloads {
+		if !bytes.Equal(res2.Payloads[i], ref.Payloads[i]) {
+			t.Errorf("payload %d differs after degraded run + resume", i)
+		}
+	}
+	if _, serr := os.Stat(snap); !errors.Is(serr, os.ErrNotExist) {
+		t.Errorf("snapshot should be removed after full completion: %v", serr)
+	}
+}

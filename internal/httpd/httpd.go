@@ -13,6 +13,7 @@ import (
 	"errors"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -51,6 +52,9 @@ type Server struct {
 	srv  *http.Server
 	ln   net.Listener
 	errc chan error
+
+	shutOnce sync.Once
+	shutErr  error
 }
 
 // Listen binds addr (":0" works, see Addr) and serves h on it with the
@@ -77,21 +81,26 @@ func (s *Server) Err() <-chan error { return s.errc }
 // Shutdown drains in-flight requests for at most timeout, then closes
 // whatever is still open — the deadline is a promise to the caller, not
 // a suggestion to the clients. The http.ErrServerClosed sentinel is
-// filtered out: an orderly stop is not an error.
+// filtered out: an orderly stop is not an error. Shutdown is
+// idempotent: later calls return the first call's verdict instead of
+// blocking on the already-drained serve goroutine.
 func (s *Server) Shutdown(timeout time.Duration) error {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	err := s.srv.Shutdown(ctx)
-	if err != nil {
-		// The drain deadline expired (or worse): force-close the rest.
-		err = errors.Join(err, s.srv.Close())
-	}
-	if serveErr := <-s.errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
-		err = serveErr
-	}
-	if errors.Is(err, context.DeadlineExceeded) {
-		// Closed forcibly but closed: the caller's deadline held.
-		return nil
-	}
-	return err
+	s.shutOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		err := s.srv.Shutdown(ctx)
+		if err != nil {
+			// The drain deadline expired (or worse): force-close the rest.
+			err = errors.Join(err, s.srv.Close())
+		}
+		if serveErr := <-s.errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+			err = serveErr
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			// Closed forcibly but closed: the caller's deadline held.
+			err = nil
+		}
+		s.shutErr = err
+	})
+	return s.shutErr
 }

@@ -24,6 +24,7 @@ import (
 	"reskit/internal/core"
 	"reskit/internal/dist"
 	"reskit/internal/engine"
+	"reskit/internal/obs"
 	"reskit/internal/rng"
 	"reskit/internal/sim"
 	"reskit/internal/strategy"
@@ -70,6 +71,16 @@ type Config struct {
 	// Workers bounds the evaluation parallelism (<= 0: all CPUs).
 	// Results are bit-identical for any worker count.
 	Workers int
+
+	// Reg, when non-nil, binds the sweep's engine.* instruments plus
+	// the planner.* aggregation counters and gauges (candidates
+	// evaluated, trials decoded, incomplete trials, and the winning
+	// candidate). A nil registry costs nothing.
+	Reg *obs.Registry
+
+	// Progress, when non-nil, is ticked once per (candidate, trial)
+	// job as the sweep executes.
+	Progress *obs.Progress
 }
 
 // Option is one evaluated candidate reservation length.
@@ -159,13 +170,21 @@ func PlanContext(ctx context.Context, cfg Config) ([]Option, error) {
 		}
 	}
 
-	eres, err := engine.Run(ctx, engine.Spec{Jobs: jobs, Seed: cfg.Seed, Workers: cfg.Workers})
+	eres, err := engine.Run(ctx, engine.Spec{
+		Jobs:     jobs,
+		Seed:     cfg.Seed,
+		Workers:  cfg.Workers,
+		Reg:      cfg.Reg,
+		Progress: cfg.Progress,
+	})
 	if err != nil {
 		return nil, err
 	}
 
 	// Aggregate payloads in job order: the summation order is fixed, so
 	// the means are bit-identical however the jobs were scheduled.
+	cfg.Reg.Counter("planner.candidates").Add(int64(len(candidates)))
+	incomplete := cfg.Reg.Counter("planner.trials_incomplete")
 	opts := make([]Option, 0, len(candidates))
 	for i, r := range candidates {
 		opt := Option{R: r, Completed: true}
@@ -180,6 +199,7 @@ func PlanContext(ctx context.Context, cfg Config) ([]Option, error) {
 			sumUtil += util
 			if !completed {
 				opt.Completed = false
+				incomplete.Inc()
 			}
 		}
 		opt.Cost = sumCost / float64(trials)
@@ -191,6 +211,11 @@ func PlanContext(ctx context.Context, cfg Config) ([]Option, error) {
 		opts = append(opts, opt)
 	}
 	sort.Slice(opts, func(i, j int) bool { return opts[i].WorkPerCost > opts[j].WorkPerCost })
+	cfg.Reg.Counter("planner.trials").Add(int64(len(candidates) * trials))
+	if len(opts) > 0 {
+		cfg.Reg.Gauge("planner.best_r").Set(opts[0].R)
+		cfg.Reg.Gauge("planner.best_work_per_cost").Set(opts[0].WorkPerCost)
+	}
 	return opts, nil
 }
 

@@ -3,10 +3,13 @@ package planner
 import (
 	"context"
 	"errors"
+	"io"
 	"math"
 	"testing"
+	"time"
 
 	"reskit/internal/dist"
+	"reskit/internal/obs"
 	"reskit/internal/sim"
 )
 
@@ -304,5 +307,44 @@ func TestTrialPayloadRoundTrip(t *testing.T) {
 	}
 	if _, _, _, _, err := decodeTrial(p[:10]); err == nil {
 		t.Error("short payload accepted")
+	}
+}
+
+// TestPlanInstrumentation: a registry plugged into the sweep records
+// the aggregation counters, the progress sink ticks once per job, and
+// the winning candidate lands in the gauges.
+func TestPlanInstrumentation(t *testing.T) {
+	task, ckpt := plannerLaws()
+	reg := obs.NewRegistry()
+	prog := obs.NewProgress(io.Discard, "trials", 3*20, time.Hour)
+	opts, err := Plan(Config{
+		TotalWork:  300,
+		Task:       task,
+		Ckpt:       ckpt,
+		Recovery:   1.5,
+		Candidates: []float64{15, 30, 60},
+		Trials:     20,
+		Seed:       7,
+		Reg:        reg,
+		Progress:   prog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("planner.candidates").Value(); got != 3 {
+		t.Errorf("planner.candidates = %d, want 3", got)
+	}
+	if got := reg.Counter("planner.trials").Value(); got != 60 {
+		t.Errorf("planner.trials = %d, want 60", got)
+	}
+	if got := prog.Done(); got != 60 {
+		t.Errorf("progress ticks = %d, want 60", got)
+	}
+	if got := reg.Gauge("planner.best_r").Value(); got != opts[0].R {
+		t.Errorf("planner.best_r = %g, want %g", got, opts[0].R)
+	}
+	// The engine instruments ride along on the same registry.
+	if got := reg.Counter("engine.jobs_done").Value(); got != 60 {
+		t.Errorf("engine.jobs_done = %d, want 60", got)
 	}
 }
