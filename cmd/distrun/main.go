@@ -253,6 +253,7 @@ func runCoordinator(ctx context.Context, out io.Writer, opts coordinatorOpts,
 	cfg reskit.CampaignConfig, trials, numJobs int, seed, fp uint64) error {
 
 	reg := obs.NewRegistry()
+	progress := obs.NewProgress(os.Stderr, "jobs", int64(numJobs), time.Second)
 	co, err := distrun.NewCoordinator(distrun.CoordinatorConfig{
 		NumJobs:     numJobs,
 		Seed:        seed,
@@ -268,7 +269,7 @@ func runCoordinator(ctx context.Context, out io.Writer, opts coordinatorOpts,
 		MaxLease:    opts.maxLease,
 		Log:         out,
 		Reg:         reg,
-		Progress:    obs.NewProgress(os.Stderr, "jobs", int64(numJobs), time.Second),
+		Progress:    progress,
 	})
 	if err != nil {
 		return err
@@ -292,7 +293,9 @@ func runCoordinator(ctx context.Context, out io.Writer, opts coordinatorOpts,
 	}
 
 	start := time.Now()
+	progress.Start(context.Background())
 	res, runErr := co.Wait(ctx)
+	progress.Stop()
 	elapsed := time.Since(start)
 
 	// Shutdown refuses new connections the moment it is called, so keep
@@ -329,9 +332,16 @@ func runCoordinator(ctx context.Context, out io.Writer, opts coordinatorOpts,
 		fmt.Fprintf(out, "distrun: %d/%d jobs done (%d restored) after %v\n",
 			res.Done(), numJobs, res.Restored, elapsed.Round(time.Millisecond))
 	}
+	// Wait joins an engine.SnapshotError into its error when the final
+	// snapshot flush failed — in that case the file on disk is stale and
+	// must not be advertised as resumable.
+	var snapErr *engine.SnapshotError
+	flushFailed := errors.As(runErr, &snapErr)
 	switch {
 	case ctx.Err() != nil:
-		if opts.checkpoint.Path != "" {
+		if flushFailed {
+			fmt.Fprintf(out, "checkpoint: final snapshot not persisted (%v); a resume replays work since the last good snapshot\n", snapErr.Err)
+		} else if opts.checkpoint.Path != "" {
 			fmt.Fprintf(out, "checkpoint: resumable snapshot at %s\n", opts.checkpoint.Path)
 		}
 		return errInterrupted
@@ -339,7 +349,9 @@ func runCoordinator(ctx context.Context, out io.Writer, opts coordinatorOpts,
 		for _, fe := range res.Failed {
 			fmt.Fprintf(out, "failed: %v\n", fe)
 		}
-		if opts.checkpoint.Path != "" {
+		if flushFailed {
+			fmt.Fprintf(out, "checkpoint: final snapshot not persisted (%v); a resume replays work since the last good snapshot\n", snapErr.Err)
+		} else if opts.checkpoint.Path != "" {
 			fmt.Fprintf(out, "checkpoint: failed jobs left out of %s; -resume retries exactly them\n", opts.checkpoint.Path)
 		}
 		return errDegraded

@@ -132,8 +132,10 @@ func (p *NetPlane) draw(path string) netFate {
 		f.dropResp = true
 		p.dropsResp++
 	case u < p.f.DropReq+p.f.DropResp+p.f.DupReq:
+		// The counter is RoundTrip's: a bodyless request cannot be
+		// duplicated, so the fate falls through to a single send there
+		// and must not be booked as an injected fault.
 		f.dup = true
-		p.dups++
 	}
 	return f
 }
@@ -175,6 +177,9 @@ func (p *NetPlane) RoundTrip(req *http.Request) (*http.Response, error) {
 		if err != nil {
 			return nil, fmt.Errorf("chaos: duplicating %s: %w", req.URL.Path, err)
 		}
+		p.mu.Lock()
+		p.dups++
+		p.mu.Unlock()
 		return p.base.RoundTrip(dup)
 	default:
 		return p.base.RoundTrip(req)

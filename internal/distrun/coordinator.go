@@ -132,7 +132,7 @@ type Coordinator struct {
 
 	leasesIssued, leasesExpired, jobsRequeued, jobsRetried *obs.Counter
 	jobsCompleted, jobsRestoredC, dupResults               *obs.Counter
-	failureReports, jobsFailed, heartbeats                 *obs.Counter
+	failureReports, jobsFailed, jobsUnfailed, heartbeats   *obs.Counter
 	workersLive, leaseBatch, jobNSEwma                     *obs.Gauge
 }
 
@@ -190,6 +190,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		dupResults:     cfg.Reg.Counter("distrun.results_duplicate"),
 		failureReports: cfg.Reg.Counter("distrun.failure_reports"),
 		jobsFailed:     cfg.Reg.Counter("distrun.jobs_failed"),
+		jobsUnfailed:   cfg.Reg.Counter("distrun.jobs_unfailed"),
 		heartbeats:     cfg.Reg.Counter("distrun.heartbeats"),
 		workersLive:    cfg.Reg.Gauge("distrun.workers_live"),
 		leaseBatch:     cfg.Reg.Gauge("distrun.lease_batch"),
@@ -299,13 +300,16 @@ func (c *Coordinator) checkID(id RunID) error {
 }
 
 // runOverLocked reports whether no further leases should be granted.
+// The >= is a backstop: done and failed are kept disjoint (a late
+// success evicts the job from the failed set), so equality is the
+// expected trigger, but a counting bug must never leave Wait hanging.
 func (c *Coordinator) runOverLocked() bool {
-	return c.stopped || c.fatal != nil || c.done+len(c.failed) == c.cfg.NumJobs
+	return c.stopped || c.fatal != nil || c.done+len(c.failed) >= c.cfg.NumJobs
 }
 
 // maybeFinishLocked wakes Wait when the run is over.
 func (c *Coordinator) maybeFinishLocked() {
-	if c.fatal != nil || c.done+len(c.failed) == c.cfg.NumJobs {
+	if c.fatal != nil || c.done+len(c.failed) >= c.cfg.NumJobs {
 		c.finishOnce.Do(func() { close(c.finished) })
 	}
 }
@@ -423,9 +427,26 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		}
 		if c.cfg.Check != nil {
 			if err := c.cfg.Check(jr.Job, jr.Payload); err != nil {
-				c.recordFailureLocked(jr.Job, 1, fmt.Errorf("payload rejected: %w", err))
+				// A given-up job stays given up — another failure report
+				// would re-enter recordFailureLocked's terminal branch
+				// and double-book the job.
+				if c.state[jr.Job] != stateFailed {
+					c.recordFailureLocked(jr.Job, 1, fmt.Errorf("payload rejected: %w", err))
+				}
 				continue
 			}
+		}
+		if c.state[jr.Job] == stateFailed {
+			// Reachable under at-least-once delivery: late failure
+			// reports from expired leases exhausted the budget while a
+			// requeued copy was still leased to a healthy worker that
+			// then succeeded. The payload wins — evict the job from the
+			// failed set so done and failed stay disjoint and the run
+			// can still finish exactly.
+			delete(c.failed, jr.Job)
+			c.jobsUnfailed.Inc()
+			fmt.Fprintf(c.logw, "distrun: job %d (%s) succeeded after being given up; failure withdrawn\n",
+				jr.Job, c.jobName(jr.Job))
 		}
 		c.acceptLocked(jr.Job, jr.Payload)
 		resp.Accepted++
@@ -511,8 +532,16 @@ func (c *Coordinator) observeLeaseLocked(l *lease, now time.Time) {
 	}
 	c.jobNSEwma.Set(c.ewmaNS)
 	if secs := elapsed.Seconds(); secs > 0 {
-		c.cfg.Reg.Gauge("distrun.worker_jobs_per_sec." + l.worker).Set(float64(len(l.jobs)) / secs)
+		c.cfg.Reg.Gauge(workerRateGauge(l.worker)).Set(float64(len(l.jobs)) / secs)
 	}
+}
+
+// workerRateGauge names the per-worker throughput gauge. The worker
+// segment is remote-supplied, so every registration must be paired with
+// the removal in reapLocked — otherwise worker churn grows the registry
+// without bound.
+func workerRateGauge(worker string) string {
+	return "distrun.worker_jobs_per_sec." + worker
 }
 
 // ewmaAlpha weights the newest lease observation in the latency EWMA.
@@ -561,6 +590,7 @@ func (c *Coordinator) reapLocked(now time.Time) {
 			live++
 		case age > 10*c.cfg.LeaseTTL:
 			delete(c.workers, w)
+			c.cfg.Reg.RemoveGauge(workerRateGauge(w))
 		}
 	}
 	c.workersLive.Set(float64(live))

@@ -257,6 +257,92 @@ func TestDistLeaseExpiryRequeueAndLateDedup(t *testing.T) {
 	}
 }
 
+// TestDistLateSuccessAfterGiveUp: a job exhausts its failure budget via
+// reports from one worker while a requeued copy is still out on another
+// worker that then succeeds. The success must win — evicted from the
+// failed set, counted done exactly once — and the run must still
+// terminate (done+failed overshooting NumJobs used to hang Wait
+// forever).
+func TestDistLateSuccessAfterGiveUp(t *testing.T) {
+	const n = 2
+	want := localReference(t, n)
+	ctx := context.Background()
+	reg := obs.NewRegistry()
+	cfg := fastCoordinator(n)
+	cfg.KeepGoing = true
+	cfg.JobAttempts = 1
+	cfg.MinLease = n
+	cfg.Reg = reg
+	h := startHarness(t, ctx, cfg)
+
+	id := distrun.RunID{Fingerprint: distrun.Hex64(testFP), Seed: distrun.Hex64(testSeed), NumJobs: n}
+	cl := httpd.NewClient()
+	var lr distrun.LeaseResponse
+	if err := cl.PostJSON(ctx, h.url+distrun.PathLease, distrun.LeaseRequest{RunID: id, Worker: "flaky"}, &lr); err != nil {
+		t.Fatalf("flaky lease: %v", err)
+	}
+	if lr.Status != distrun.StatusLease || len(lr.Jobs) != n {
+		t.Fatalf("flaky lease got status %q with %d jobs, want the full grid", lr.Status, len(lr.Jobs))
+	}
+
+	// The flaky worker burns job 0's whole failure budget; job 1 goes
+	// back to the queue with the returned lease.
+	fail := distrun.ResultRequest{
+		RunID: id, Worker: "flaky", Lease: lr.Lease,
+		Failed: []distrun.JobFailureWire{{Job: 0, Attempts: 1, Error: "synthetic permanent failure"}},
+	}
+	var fr distrun.ResultResponse
+	if err := cl.PostJSON(ctx, h.url+distrun.PathResult, fail, &fr); err != nil {
+		t.Fatalf("failure report: %v", err)
+	}
+	if fr.Done {
+		t.Fatalf("run declared over with job 1 unresolved")
+	}
+
+	// A healthy worker picks up the requeue and — as under at-least-once
+	// delivery with an earlier requeue of job 0 — submits successes for
+	// both jobs, including the one already given up.
+	var lr2 distrun.LeaseResponse
+	if err := cl.PostJSON(ctx, h.url+distrun.PathLease, distrun.LeaseRequest{RunID: id, Worker: "healthy"}, &lr2); err != nil {
+		t.Fatalf("healthy lease: %v", err)
+	}
+	good := distrun.ResultRequest{RunID: id, Worker: "healthy", Lease: lr2.Lease}
+	for gi := 0; gi < n; gi++ {
+		src := rng.NewStream(testSeed, uint64(gi))
+		jr, jerr := testJob(gi).Run(ctx, src)
+		if jerr != nil {
+			t.Fatalf("healthy compute: %v", jerr)
+		}
+		good.Results = append(good.Results, distrun.JobResultWire{Job: gi, Payload: jr.Payload})
+	}
+	var gr distrun.ResultResponse
+	if err := cl.PostJSON(ctx, h.url+distrun.PathResult, good, &gr); err != nil {
+		t.Fatalf("late success submit: %v", err)
+	}
+	if gr.Accepted != n || gr.Duplicate != 0 || !gr.Done {
+		t.Fatalf("late success: accepted=%d duplicate=%d done=%v, want %d/0/true", gr.Accepted, gr.Duplicate, gr.Done, n)
+	}
+
+	res, err := h.wait(t)
+	if err != nil {
+		t.Fatalf("Wait: %v (the withdrawn failure must not degrade the run)", err)
+	}
+	if res.Done() != n || len(res.Failed) != 0 {
+		t.Fatalf("Done=%d Failed=%v, want %d done and no failures", res.Done(), res.Failed, n)
+	}
+	for i := range want {
+		if !bytes.Equal(res.Payloads[i], want[i]) {
+			t.Fatalf("job %d payload differs after failure withdrawal", i)
+		}
+	}
+	if got := reg.Counter("distrun.jobs_unfailed").Value(); got != 1 {
+		t.Fatalf("jobs_unfailed = %d, want 1", got)
+	}
+	if got := reg.Counter("distrun.jobs_failed").Value(); got != 1 {
+		t.Fatalf("jobs_failed = %d, want 1", got)
+	}
+}
+
 // TestDistDuplicateSubmission: the same result request delivered twice
 // (a retransmission) is accepted once and absorbed once.
 func TestDistDuplicateSubmission(t *testing.T) {

@@ -146,6 +146,23 @@ func TestRegistryIdempotentAndSnapshot(t *testing.T) {
 	r.Hist("h", 0, 8, 2)
 }
 
+func TestRegistryRemoveGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	g.Set(1)
+	r.RemoveGauge("g")
+	r.RemoveGauge("absent") // no-op
+	if got := r.Names(); len(got) != 0 {
+		t.Errorf("names after removal = %v, want none", got)
+	}
+	g.Set(2) // the handed-out instrument keeps working, just unexported
+	if r.Gauge("g") == g {
+		t.Error("re-registering a removed name returned the old instrument")
+	}
+	var nilReg *Registry
+	nilReg.RemoveGauge("g") // nil registry is a no-op, not a panic
+}
+
 func TestSampledIsDeterministicModulo(t *testing.T) {
 	for trial := int64(0); trial < 100; trial++ {
 		if got, want := Sampled(trial, 10), trial%10 == 0; got != want {

@@ -63,6 +63,20 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// RemoveGauge drops the named gauge from the registry. Dynamically
+// named gauges (one per remote worker, say) must be removed when their
+// subject goes away, or registry memory and the exported metric set
+// grow without bound. Removing an absent name is a no-op; a previously
+// returned instrument keeps working but is no longer exported.
+func (r *Registry) RemoveGauge(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.gauges, name)
+}
+
 // Hist returns the named histogram, creating it with the given layout on
 // first use. The layout of an existing histogram is not changed, and
 // asking for a different layout under the same name panics — two
