@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz chaos dist-soak bench benchjson benchsuite benchcheck obs-demo advise-demo figures report clean
+.PHONY: all build vet test race fuzz chaos dist-soak stream-soak bench benchjson benchsuite benchcheck obs-demo advise-demo figures report clean
 
 all: build vet test
 
@@ -30,6 +30,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=$(FUZZTIME) ./internal/ckpt/
 	$(GO) test -run='^$$' -fuzz=FuzzResumeSnapshot -fuzztime=$(FUZZTIME) ./internal/engine/
 	$(GO) test -run='^$$' -fuzz=FuzzParseFailure -fuzztime=$(FUZZTIME) ./internal/engine/
+	$(GO) test -run='^$$' -fuzz=FuzzParseStop -fuzztime=$(FUZZTIME) ./internal/stats/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeQuery -fuzztime=$(FUZZTIME) ./internal/advisor/
 
 # Chaos soak under the race detector: deterministic fault injection into
@@ -53,6 +54,15 @@ chaos:
 dist-soak:
 	$(GO) test -race -short -count=$(COUNT) -run 'TestDist|TestNetPlane' \
 		./internal/distrun/ ./internal/chaos/
+
+# Streaming-campaign soak under the race detector: the engine-level
+# stream invariants (worker invariance, stop-frontier determinism,
+# kill+resume bit-identity) plus the CLI acceptance soak — an -until-ci
+# run SIGINTed mid-stream and resumed with 1/4/8 workers must stop at
+# the same trial count with bit-identical aggregates.
+stream-soak:
+	$(GO) test -race -count=$(COUNT) -run 'TestRunStream|TestCampaignStream|TestStream' \
+		./internal/engine/ ./internal/sim/ ./cmd/simulate/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

@@ -83,6 +83,7 @@ func run(args []string, out io.Writer) (err error) {
 	seed := fs.Uint64("seed", 1, "random seed")
 	faultSpec := fs.String("faults", "", "fault plan, e.g. 'crash=exp:0.02,ckptfail=0.05'")
 	mtbf := fs.Float64("mtbf", 0, "shorthand for -faults 'crash=exp:1/MTBF'")
+	faultSweep := fs.String("faultsweep", "", "comma-separated MTBF grid; distributes the sweep of simulate -campaign -faultsweep (identical fingerprint, interchangeable snapshots)")
 
 	// Worker mode.
 	workerURL := fs.String("worker", "", "run as a worker against this coordinator URL (empty: run as the coordinator)")
@@ -143,11 +144,16 @@ func run(args []string, out io.Writer) (err error) {
 		return err
 	}
 
-	// The exact fingerprint parts of simulate's campaign mode: a
-	// snapshot written here resumes there and vice versa, and a worker
-	// launched with different flags is rejected by the coordinator.
+	// The exact fingerprint parts of simulate's campaign (or campaign
+	// fault-sweep) mode: a snapshot written here resumes there and vice
+	// versa, and a worker launched with different flags is rejected by
+	// the coordinator.
+	mode := "campaign"
+	if *faultSweep != "" {
+		mode = "campaign faultsweep=" + *faultSweep
+	}
 	fp := reskit.ConfigFingerprint(
-		"campaign",
+		mode,
 		fmt.Sprintf("R=%g", *r),
 		fmt.Sprintf("recovery=%g", *recovery),
 		"task="+*taskSpec,
@@ -158,7 +164,23 @@ func run(args []string, out io.Writer) (err error) {
 		fmt.Sprintf("trials=%d", *trials),
 		fmt.Sprintf("seed=%d", *seed),
 	)
-	numJobs := sim.NumCampaignBlocks(*trials)
+	numBlocks := sim.NumCampaignBlocks(*trials)
+	// The sweep grid is row-major over (MTBF row, block): the very job
+	// layout of simulate's -faultsweep, so job i means the same work on
+	// both sides. An empty sweep is a single implicit row — the plain
+	// campaign.
+	var (
+		mtbfs []float64
+		cfgs  []reskit.CampaignConfig
+	)
+	if *faultSweep != "" {
+		if mtbfs, cfgs, err = sim.FaultSweepConfigs(cfg, *faultSweep); err != nil {
+			return fmt.Errorf("-faultsweep: %w", err)
+		}
+	} else {
+		cfgs = []reskit.CampaignConfig{cfg}
+	}
+	numJobs := len(cfgs) * numBlocks
 
 	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
@@ -168,8 +190,9 @@ func run(args []string, out io.Writer) (err error) {
 		}
 	}()
 
+	grid := sweepGrid{cfgs: cfgs, mtbfs: mtbfs, trials: *trials, numBlocks: numBlocks}
 	if *workerURL != "" {
-		return runWorker(sigCtx, out, *workerURL, *name, cfg, *trials, numJobs, *seed, fp,
+		return runWorker(sigCtx, out, *workerURL, *name, grid, numJobs, *seed, fp,
 			engine.Failure{Retries: *retries, Backoff: *retryBackoff, JobTimeout: *jobTimeout}, *workers)
 	}
 	return runCoordinator(sigCtx, out, coordinatorOpts{
@@ -178,7 +201,41 @@ func run(args []string, out io.Writer) (err error) {
 		keepGoing:   *keepGoing,
 		jobAttempts: *jobAttempts,
 		leaseTTL:    *leaseTTL, targetLease: *targetLease, minLease: *minLease, maxLease: *maxLease,
-	}, cfg, *trials, numJobs, *seed, fp)
+	}, grid, numJobs, *seed, fp)
+}
+
+// sweepGrid is the job layout both distrun roles share: the campaign
+// rows (one for a plain campaign, one per MTBF for -faultsweep), laid
+// out row-major over (row, block). Job i simulates block i%numBlocks of
+// row i/numBlocks — the identical layout, names and payload functions
+// as simulate's -campaign/-faultsweep job grids.
+type sweepGrid struct {
+	cfgs      []reskit.CampaignConfig
+	mtbfs     []float64 // nil for a plain campaign
+	trials    int
+	numBlocks int
+}
+
+// jobName renders job i's canonical name.
+func (g sweepGrid) jobName(i int) string {
+	if g.mtbfs != nil {
+		return sim.FaultSweepJobName(g.mtbfs, g.numBlocks, i)
+	}
+	return fmt.Sprintf("block%d", i)
+}
+
+// job builds job i — the same Name, Stream and payload function as the
+// corresponding simulate job.
+func (g sweepGrid) job(i int) engine.Job {
+	ri, b := i/g.numBlocks, i%g.numBlocks
+	return engine.Job{
+		Name:   g.jobName(i),
+		Stream: uint64(b),
+		Run: func(ctx context.Context, src *rng.Source) (engine.JobResult, error) {
+			data, err := sim.CampaignBlockPayload(ctx, g.cfgs[ri], g.trials, b, src)
+			return engine.JobResult{Payload: data}, err
+		},
+	}
 }
 
 // buildCampaign assembles the campaign exactly as simulate's campaign
@@ -223,21 +280,6 @@ func buildCampaign(r, recovery, totalWork float64, taskSpec, taskDiscSpec string
 	return cfg, nil
 }
 
-// campaignJob builds block i of the campaign grid — the same Name,
-// Stream and payload function as simulate's campaignJobs.
-func campaignJob(cfg reskit.CampaignConfig, trials int) func(i int) engine.Job {
-	return func(i int) engine.Job {
-		return engine.Job{
-			Name:   fmt.Sprintf("block%d", i),
-			Stream: uint64(i),
-			Run: func(ctx context.Context, src *rng.Source) (engine.JobResult, error) {
-				data, err := sim.CampaignBlockPayload(ctx, cfg, trials, i, src)
-				return engine.JobResult{Payload: data}, err
-			},
-		}
-	}
-}
-
 type coordinatorOpts struct {
 	listen, addrFile      string
 	checkpoint            engine.Checkpoint
@@ -250,7 +292,7 @@ type coordinatorOpts struct {
 // runCoordinator serves the ledger until the run resolves, then prints
 // the merged aggregate (complete runs) or the partial verdict.
 func runCoordinator(ctx context.Context, out io.Writer, opts coordinatorOpts,
-	cfg reskit.CampaignConfig, trials, numJobs int, seed, fp uint64) error {
+	grid sweepGrid, numJobs int, seed, fp uint64) error {
 
 	reg := obs.NewRegistry()
 	progress := obs.NewProgress(os.Stderr, "jobs", int64(numJobs), time.Second)
@@ -260,7 +302,7 @@ func runCoordinator(ctx context.Context, out io.Writer, opts coordinatorOpts,
 		Fingerprint: fp,
 		Checkpoint:  opts.checkpoint,
 		Check:       func(_ int, data []byte) error { return sim.CheckCampaignPayload(data) },
-		JobName:     func(i int) string { return fmt.Sprintf("block%d", i) },
+		JobName:     grid.jobName,
 		JobAttempts: opts.jobAttempts,
 		KeepGoing:   opts.keepGoing,
 		LeaseTTL:    opts.leaseTTL,
@@ -285,7 +327,7 @@ func runCoordinator(ctx context.Context, out io.Writer, opts coordinatorOpts,
 		return err
 	}
 	defer srv.Shutdown(2 * time.Second)
-	fmt.Fprintf(out, "distrun: coordinating %d jobs (%d trials) on %s\n", numJobs, trials, srv.Addr())
+	fmt.Fprintf(out, "distrun: coordinating %d jobs (%d trials) on %s\n", numJobs, grid.trials, srv.Addr())
 	if opts.addrFile != "" {
 		if werr := reskit.WriteFileAtomic(opts.addrFile, []byte(srv.Addr().String()+"\n"), 0o644); werr != nil {
 			return werr
@@ -314,16 +356,30 @@ func runCoordinator(ctx context.Context, out io.Writer, opts coordinatorOpts,
 	}
 	st := co.Stats()
 	if res.Done() == numJobs {
-		agg, merr := sim.MergeCampaignPayloads(res.Payloads)
-		if merr != nil {
-			return merr
-		}
 		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-		fmt.Fprintf(tw, "mean reservations\t%.4g\n", agg.Reservations)
-		fmt.Fprintf(tw, "mean utilization\t%.4g\n", agg.Utilization)
-		fmt.Fprintf(tw, "mean lost work\t%.4g\n", agg.LostWork)
-		fmt.Fprintf(tw, "completion rate\t%.4g\n", agg.CompletionRate)
-		fmt.Fprintf(tw, "all completed\t%v\n", agg.CompletedAll)
+		if grid.mtbfs != nil {
+			// The same per-row trade-off table simulate's -faultsweep
+			// prints, merged row by row from the row-major payload grid.
+			fmt.Fprintf(tw, "MTBF\tE(lost)\tE(util)\tE(res)\tE(crashes)\tcompletion\n")
+			for ri, m := range grid.mtbfs {
+				agg, merr := sim.MergeCampaignPayloads(res.Payloads[ri*grid.numBlocks : (ri+1)*grid.numBlocks])
+				if merr != nil {
+					return merr
+				}
+				fmt.Fprintf(tw, "%g\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\n",
+					m, agg.LostWork, agg.Utilization, agg.Reservations, agg.Crashes, agg.CompletionRate)
+			}
+		} else {
+			agg, merr := sim.MergeCampaignPayloads(res.Payloads)
+			if merr != nil {
+				return merr
+			}
+			fmt.Fprintf(tw, "mean reservations\t%.4g\n", agg.Reservations)
+			fmt.Fprintf(tw, "mean utilization\t%.4g\n", agg.Utilization)
+			fmt.Fprintf(tw, "mean lost work\t%.4g\n", agg.LostWork)
+			fmt.Fprintf(tw, "completion rate\t%.4g\n", agg.CompletionRate)
+			fmt.Fprintf(tw, "all completed\t%v\n", agg.CompletedAll)
+		}
 		fmt.Fprintf(tw, "wall time\t%v (%d workers seen)\n", elapsed.Round(time.Millisecond), st.Workers)
 		if terr := tw.Flush(); terr != nil {
 			return terr
@@ -361,8 +417,8 @@ func runCoordinator(ctx context.Context, out io.Writer, opts coordinatorOpts,
 
 // runWorker joins the coordinator at url and executes leases until the
 // run is over.
-func runWorker(ctx context.Context, out io.Writer, url, name string, cfg reskit.CampaignConfig,
-	trials, numJobs int, seed, fp uint64, failure engine.Failure, workers int) error {
+func runWorker(ctx context.Context, out io.Writer, url, name string, grid sweepGrid,
+	numJobs int, seed, fp uint64, failure engine.Failure, workers int) error {
 
 	err := distrun.RunWorker(ctx, distrun.WorkerConfig{
 		URL:         url,
@@ -370,7 +426,7 @@ func runWorker(ctx context.Context, out io.Writer, url, name string, cfg reskit.
 		NumJobs:     numJobs,
 		Seed:        seed,
 		Fingerprint: fp,
-		Job:         campaignJob(cfg, trials),
+		Job:         grid.job,
 		Failure:     failure,
 		Workers:     workers,
 		Log:         out,

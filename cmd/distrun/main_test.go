@@ -38,10 +38,10 @@ func localAggregate(t *testing.T) sim.CampaignAggregate {
 	}
 	const trials = 1280
 	n := sim.NumCampaignBlocks(trials)
+	grid := sweepGrid{cfgs: []reskit.CampaignConfig{cfg}, trials: trials, numBlocks: n}
 	jobs := make([]engine.Job, n)
-	mk := campaignJob(cfg, trials)
 	for i := range jobs {
-		jobs[i] = mk(i)
+		jobs[i] = grid.job(i)
 	}
 	res, err := engine.Run(context.Background(), engine.Spec{Jobs: jobs, Seed: 7})
 	if err != nil {
@@ -130,6 +130,98 @@ func TestDistrunEndToEnd(t *testing.T) {
 	// A fully completed run retires its snapshot generations.
 	if _, err := os.Stat(filepath.Join(dir, "run.ckpt")); !os.IsNotExist(err) {
 		t.Errorf("completed run left its snapshot behind (stat err: %v)", err)
+	}
+}
+
+// TestDistrunFaultSweepMatchesSimulate distributes a -faultsweep grid
+// through the real CLI (coordinator plus one worker) and checks the
+// printed per-row aggregates against a local engine run of the very job
+// grid simulate -campaign -faultsweep builds — same sweep configs, same
+// block payload functions, same row-major merge — so the two CLIs are
+// pinned to bit-identical sweep results.
+func TestDistrunFaultSweepMatchesSimulate(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	sweepArgs := append([]string{}, campaignArgs...)
+	sweepArgs = append(sweepArgs, "-faultsweep", "30,60")
+
+	var coOut bytes.Buffer
+	coArgs := append([]string{}, sweepArgs...)
+	coArgs = append(coArgs, "-listen", "127.0.0.1:0", "-addr-file", addrFile,
+		"-lease-ttl", "2s", "-target-lease", "20ms")
+	coErr := make(chan error, 1)
+	go func() { coErr <- run(coArgs, &coOut) }()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never published its address; output so far:\n%s", coOut.String())
+		}
+		if data, err := os.ReadFile(addrFile); err == nil {
+			addr = strings.TrimSpace(string(data))
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	wArgs := append([]string{}, sweepArgs...)
+	wArgs = append(wArgs, "-worker", "http://"+addr, "-workers", "2")
+	var wOut bytes.Buffer
+	if werr := run(wArgs, &wOut); werr != nil {
+		t.Errorf("worker: %v", werr)
+	}
+	select {
+	case err := <-coErr:
+		if err != nil {
+			t.Fatalf("coordinator: %v\noutput:\n%s", err, coOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("coordinator never finished; output:\n%s", coOut.String())
+	}
+
+	// Local reference: the identical grid simulate's runFaultSweep lays
+	// out, run through the in-process engine.
+	law, err := lawspec.Parse("uniform:1,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := buildCampaign(60, 0, 120, "exp:0.05", "", law, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 1280
+	mtbfs, cfgs, err := sim.FaultSweepConfigs(cfg, "30,60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sim.NumCampaignBlocks(trials)
+	grid := sweepGrid{cfgs: cfgs, mtbfs: mtbfs, trials: trials, numBlocks: n}
+	jobs := make([]engine.Job, len(cfgs)*n)
+	for i := range jobs {
+		jobs[i] = grid.job(i)
+	}
+	res, err := engine.Run(context.Background(), engine.Spec{Jobs: jobs, Seed: 7})
+	if err != nil {
+		t.Fatalf("local reference: %v", err)
+	}
+	out := coOut.String()
+	if !strings.Contains(out, "MTBF") {
+		t.Fatalf("coordinator output lacks the sweep table:\n%s", out)
+	}
+	for ri, m := range mtbfs {
+		agg, merr := sim.MergeCampaignPayloads(res.Payloads[ri*n : (ri+1)*n])
+		if merr != nil {
+			t.Fatalf("local merge row %d: %v", ri, merr)
+		}
+		for what, v := range map[string]float64{
+			"lost work":   agg.LostWork,
+			"utilization": agg.Utilization,
+			"crashes":     agg.Crashes,
+		} {
+			if !strings.Contains(out, fmt.Sprintf("%.4g", v)) {
+				t.Errorf("sweep row mtbf=%g: output lacks local %s %.4g:\n%s", m, what, v, out)
+			}
+		}
 	}
 }
 

@@ -6,8 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -92,6 +90,53 @@ func campaignJobs(cfg reskit.CampaignConfig, trials int) []engine.Job {
 // restore hook.
 func checkCampaignPayload(_ int, data []byte) error { return sim.CheckCampaignPayload(data) }
 
+// campaignBase assembles the campaign configuration every campaign
+// flavor (fixed grid, fault sweep, stream) shares: law parsing, the
+// dynamic strategy built from the task/checkpoint laws, fault plan and
+// observer wiring, validation. desc renders the laws for the banner.
+func campaignBase(r, recovery, totalWork float64, taskSpec, taskDiscSpec string, ckpt reskit.Continuous,
+	plan *reskit.FaultPlan, ob *simObs) (cfg reskit.CampaignConfig, desc string, err error) {
+
+	if !(totalWork > 0) {
+		return cfg, "", errors.New("-totalwork must be positive")
+	}
+	base := reskit.SimConfig{R: r, Recovery: recovery, Ckpt: ckpt, Faults: plan}
+	ob.attach(&base)
+	switch {
+	case taskSpec != "":
+		law, lerr := lawspec.Parse(taskSpec)
+		if lerr != nil {
+			return cfg, "", lerr
+		}
+		dyn, derr := reskit.TryNewDynamic(r, law, ckpt)
+		if derr != nil {
+			return cfg, "", derr
+		}
+		base.Task = law
+		base.Strategy = ob.counted(reskit.DynamicStrategy(dyn))
+		desc = fmt.Sprintf("X ~ %v, C ~ %v", law, ckpt)
+	case taskDiscSpec != "":
+		law, lerr := lawspec.ParseDiscrete(taskDiscSpec)
+		if lerr != nil {
+			return cfg, "", lerr
+		}
+		dyn, derr := reskit.TryNewDynamicDiscrete(r, law, ckpt)
+		if derr != nil {
+			return cfg, "", derr
+		}
+		base.TaskDisc = law
+		base.Strategy = ob.counted(reskit.DynamicStrategy(dyn))
+		desc = fmt.Sprintf("X ~ %v (discrete), C ~ %v", law, ckpt)
+	default:
+		return cfg, "", errors.New("-task or -taskdisc is required with -campaign")
+	}
+	cfg = reskit.CampaignConfig{Reservation: base, TotalWork: totalWork}
+	if err := cfg.Validate(); err != nil {
+		return cfg, "", err
+	}
+	return cfg, desc, nil
+}
+
 // runCampaignMode simulates the paper's multi-reservation campaign
 // setting (Sections 1-2): the application needs -totalwork units of
 // committed work and runs reservation after reservation under the
@@ -103,45 +148,11 @@ func runCampaignMode(ctx context.Context, out io.Writer, r, recovery, totalWork 
 	ckpt reskit.Continuous, trials int, seed uint64, workers int, benchJSON string,
 	plan *reskit.FaultPlan, faultSweep string, ckOpts ckptOpts, ob *simObs) error {
 
-	if !(totalWork > 0) {
-		return errors.New("-totalwork must be positive")
-	}
-	base := reskit.SimConfig{R: r, Recovery: recovery, Ckpt: ckpt, Faults: plan}
-	ob.attach(&base)
-	switch {
-	case taskSpec != "":
-		law, err := lawspec.Parse(taskSpec)
-		if err != nil {
-			return err
-		}
-		dyn, err := reskit.TryNewDynamic(r, law, ckpt)
-		if err != nil {
-			return err
-		}
-		base.Task = law
-		base.Strategy = ob.counted(reskit.DynamicStrategy(dyn))
-		fmt.Fprintf(out, "campaign: R=%g, X ~ %v, C ~ %v, total work %g, %d trials\n\n",
-			r, law, ckpt, totalWork, trials)
-	case taskDiscSpec != "":
-		law, err := lawspec.ParseDiscrete(taskDiscSpec)
-		if err != nil {
-			return err
-		}
-		dyn, err := reskit.TryNewDynamicDiscrete(r, law, ckpt)
-		if err != nil {
-			return err
-		}
-		base.TaskDisc = law
-		base.Strategy = ob.counted(reskit.DynamicStrategy(dyn))
-		fmt.Fprintf(out, "campaign: R=%g, X ~ %v (discrete), C ~ %v, total work %g, %d trials\n\n",
-			r, law, ckpt, totalWork, trials)
-	default:
-		return errors.New("-task or -taskdisc is required with -campaign")
-	}
-	cfg := reskit.CampaignConfig{Reservation: base, TotalWork: totalWork}
-	if err := cfg.Validate(); err != nil {
+	cfg, desc, err := campaignBase(r, recovery, totalWork, taskSpec, taskDiscSpec, ckpt, plan, ob)
+	if err != nil {
 		return err
 	}
+	fmt.Fprintf(out, "campaign: R=%g, %s, total work %g, %d trials\n\n", r, desc, totalWork, trials)
 
 	if faultSweep != "" {
 		return runFaultSweep(ctx, out, cfg, faultSweep, trials, seed, workers, benchJSON, ckOpts, ob)
@@ -201,34 +212,12 @@ func runCampaignMode(ctx context.Context, out io.Writer, r, recovery, totalWork 
 func runFaultSweep(ctx context.Context, out io.Writer, cfg reskit.CampaignConfig, sweep string,
 	trials int, seed uint64, workers int, benchJSON string, ckOpts ckptOpts, ob *simObs) error {
 
-	var mtbfs []float64
-	for _, f := range strings.Split(sweep, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-		if err != nil {
-			return fmt.Errorf("-faultsweep: bad MTBF %q: %w", f, err)
-		}
-		if !(v > 0) {
-			return fmt.Errorf("-faultsweep: MTBF must be positive, got %g", v)
-		}
-		mtbfs = append(mtbfs, v)
-	}
-
-	// Each grid row is the base campaign with its crash model swapped; the
-	// configs are fixed up front so every job closure is pure.
-	cfgs := make([]reskit.CampaignConfig, len(mtbfs))
-	for i, m := range mtbfs {
-		c := cfg
-		p := &reskit.FaultPlan{}
-		if cfg.Reservation.Faults != nil {
-			*p = *cfg.Reservation.Faults
-		}
-		crash, err := reskit.CrashExponential(1 / m)
-		if err != nil {
-			return err
-		}
-		p.Crash = crash
-		c.Reservation.Faults = p
-		cfgs[i] = c
+	// The per-row configs (base campaign with the crash model swapped)
+	// come from the sweep layer shared with cmd/distrun, so a distributed
+	// sweep computes the identical payload functions.
+	mtbfs, cfgs, err := sim.FaultSweepConfigs(cfg, sweep)
+	if err != nil {
+		return fmt.Errorf("-faultsweep: %w", err)
 	}
 
 	numBlocks := sim.NumCampaignBlocks(trials)
@@ -237,7 +226,7 @@ func runFaultSweep(ctx context.Context, out io.Writer, cfg reskit.CampaignConfig
 		for b := 0; b < numBlocks; b++ {
 			ri, b := ri, b
 			jobs = append(jobs, engine.Job{
-				Name:   fmt.Sprintf("mtbf=%g/block%d", mtbfs[ri], b),
+				Name:   sim.FaultSweepJobName(mtbfs, numBlocks, ri*numBlocks+b),
 				Stream: uint64(b),
 				Run: func(ctx context.Context, src *rng.Source) (engine.JobResult, error) {
 					data, err := sim.CampaignBlockPayload(ctx, cfgs[ri], trials, b, src)

@@ -21,6 +21,12 @@
 //	simulate -campaign -R 29 -task 'norm:3,0.5@[0,inf]' -ckpt 'norm:5,0.4@[0,inf]' \
 //	    -recovery 1.5 -totalwork 500 -trials 1000
 //
+// Streaming campaign with a sequential stopping rule — trial blocks
+// stream until the target's CI is tight enough or the budget runs out:
+//
+//	simulate -campaign -R 29 -task 'norm:3,0.5@[0,inf]' -ckpt 'norm:5,0.4@[0,inf]' \
+//	    -recovery 1.5 -totalwork 500 -until-ci 'rel=0.005' -budget 200000
+//
 // Add -benchjson BENCH_campaign.json to record a serial-vs-parallel
 // throughput snapshot, and -cpuprofile/-memprofile to profile any mode
 // with runtime/pprof.
@@ -94,6 +100,9 @@ func run(args []string, out io.Writer) (err error) {
 	ckptFailP := fs.Float64("ckptfail", 0, "shorthand for -faults 'ckptfail=P' (Bernoulli checkpoint-commit failures)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget; the Monte-Carlo stops cleanly at the deadline and reports the trials completed")
 	faultSweep := fs.String("faultsweep", "", "with -campaign: comma-separated MTBF grid; reruns the campaign at each MTBF and prints the lost-work/completion trade-off")
+	untilCI := fs.String("until-ci", "", "with -campaign: stream trial blocks until this stopping rule fires, e.g. 'rel=0.005,conf=0.99,min=5000,qtol=0.02' (a bare number means rel=); replaces -trials")
+	stopTarget := fs.String("target", "util", "with -until-ci: the metric the stopping rule watches (util, lost, res)")
+	budget := fs.Int("budget", 0, "with -campaign streaming: hard trial cap, rounded up to whole blocks (0 with -until-ci = unbounded); replaces -trials")
 	checkpointPath := fs.String("checkpoint", "", "with -campaign: periodically snapshot run state to this file; an interrupted run can continue with -resume")
 	checkpointInterval := fs.Duration("checkpoint-interval", 10*time.Second, "with -checkpoint: minimum interval between snapshots")
 	resume := fs.Bool("resume", false, "with -checkpoint: restore completed blocks from the snapshot file and run only the missing ones")
@@ -207,8 +216,15 @@ func run(args []string, out io.Writer) (err error) {
 	// progress ETA, and a fault sweep repeats it per grid row; the workflow
 	// mode runs one Monte-Carlo per strategy, so progress renders counts
 	// and rate without a percentage.
+	streaming := *campaign && (*untilCI != "" || *budget > 0)
 	progressTotal := int64(0)
-	if *campaign && *benchJSON == "" {
+	switch {
+	case streaming:
+		// A budget bounds the stream (rounded up to whole blocks); without
+		// one the total is unknown and progress renders counts and rate
+		// with the live CI half-width instead of an ETA.
+		progressTotal = int64(reskit.StreamBlocks(*budget)) * reskit.StreamBlockTrials
+	case *campaign && *benchJSON == "":
 		progressTotal = int64(*trials)
 		if *faultSweep != "" {
 			progressTotal *= int64(len(strings.Split(*faultSweep, ",")))
@@ -235,6 +251,39 @@ func run(args []string, out io.Writer) (err error) {
 	// excluded: resuming with a different worker count is legal and still
 	// bit-identical.
 	ck := ckptOpts{path: *checkpointPath, interval: *checkpointInterval, resume: *resume, failure: failure}
+	if streaming {
+		if *faultSweep != "" {
+			return errors.New("-until-ci/-budget are incompatible with -faultsweep")
+		}
+		if failure.KeepGoing {
+			return errors.New("-keep-going is incompatible with streaming (-until-ci/-budget): a permanently failed block would stall the commit frontier")
+		}
+		stop, err := reskit.ParseStopSpec(*untilCI)
+		if err != nil {
+			return fmt.Errorf("-until-ci: %w", err)
+		}
+		// The stream fingerprint carries the stop rule and its target —
+		// they shape where the run ends — but neither the budget nor the
+		// worker count: resuming with a different budget is as legal as
+		// resuming with different parallelism, and still bit-identical on
+		// the shared prefix.
+		ck.fingerprint = reskit.ConfigFingerprint(
+			"campaign stream target="+*stopTarget+" stop="+stop.String(),
+			fmt.Sprintf("R=%g", *r),
+			fmt.Sprintf("recovery=%g", *recovery),
+			"task="+*taskSpec,
+			"taskdisc="+*taskDiscSpec,
+			"ckpt="+*ckptSpec,
+			fmt.Sprintf("totalwork=%g", *totalWork),
+			fmt.Sprintf("faults=%v", plan),
+			fmt.Sprintf("seed=%d", *seed),
+		)
+		return runCampaignStream(ctx, out, *r, *recovery, *totalWork, *taskSpec, *taskDiscSpec,
+			ckpt, stop, *stopTarget, *budget, *seed, *workers, *benchJSON, plan, ck, ob)
+	}
+	if *untilCI != "" || *budget > 0 {
+		return errors.New("-until-ci and -budget require -campaign")
+	}
 	if *campaign {
 		mode := "campaign"
 		switch {

@@ -60,6 +60,10 @@ type Result struct {
 	// every swept worker count produced byte-identical aggregates.
 	// nil means the check does not apply to this workload.
 	BitIdenticalAcrossWorkers *bool `json:"bit_identical_across_workers,omitempty"`
+	// StopReason records why an open-ended (streaming) workload ended:
+	// "ci target met", "trial budget exhausted", or an interruption
+	// marker. Empty for fixed-trial-count workloads.
+	StopReason string `json:"stop_reason,omitempty"`
 	// Metrics carries workload-specific extras (engine ns/job
 	// quantiles, jobs/sec) shared verbatim with -metrics output.
 	Metrics map[string]float64 `json:"metrics,omitempty"`

@@ -41,6 +41,7 @@ const (
 	KindMonteCarlo Kind = 1 // per-reservation Monte-Carlo (sim.MonteCarlo*)
 	KindCampaign   Kind = 2 // multi-reservation campaign (sim.MonteCarloCampaign*)
 	KindJobs       Kind = 3 // grid of engine jobs (internal/engine), one payload per job
+	KindStream     Kind = 4 // open-ended stream of engine jobs: frontier + sink state
 )
 
 // String returns the kind name.
@@ -52,6 +53,8 @@ func (k Kind) String() string {
 		return "campaign"
 	case KindJobs:
 		return "jobs"
+	case KindStream:
+		return "stream"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -114,6 +117,66 @@ func New(kind Kind, fingerprint, seed uint64, trials, blockSize int64) *State {
 
 // Done returns the number of completed blocks recorded in the state.
 func (s *State) Done() int { return len(s.Blocks) }
+
+// NewStream returns an empty frontier state for an open-ended streaming
+// run. Stream snapshots reuse the fixed-slice wire format with the
+// geometry re-read as a frontier: Trials and NumBlocks both hold the
+// highest contiguous committed job index (jobs [0, frontier) are folded
+// into the sink), BlockSize is 1, and the single payload at block 0 is
+// the opaque sink state at that frontier. Because sink commits are
+// strictly ordered, that state is a pure function of the committed
+// prefix — restoring it and replaying the source past the frontier is
+// bit-identical to never having stopped.
+func NewStream(fingerprint, seed uint64) *State {
+	return &State{
+		Kind:        KindStream,
+		Fingerprint: fingerprint,
+		Seed:        seed,
+		BlockSize:   1,
+		Blocks:      make(map[int][]byte),
+	}
+}
+
+// SetStream records the sink state at a new frontier. frontier must be
+// positive: a zero frontier has nothing worth persisting (and would not
+// survive the geometry validation on decode).
+func (s *State) SetStream(frontier int64, state []byte) {
+	s.Trials = frontier
+	s.NumBlocks = frontier
+	s.BlockSize = 1
+	s.Blocks[0] = state
+}
+
+// Frontier returns the committed-job frontier of a stream snapshot, or
+// 0 for any other kind.
+func (s *State) Frontier() int64 {
+	if s.Kind != KindStream {
+		return 0
+	}
+	return s.Trials
+}
+
+// StreamState returns the sink state blob of a stream snapshot (nil for
+// other kinds or an empty state).
+func (s *State) StreamState() []byte { return s.Blocks[0] }
+
+// CheckStream validates that a stream snapshot belongs to the run
+// described by the arguments. Unlike Check it does not compare the
+// geometry — the frontier is progress, not configuration — and it
+// rejects a stream snapshot with no recorded sink state.
+func (s *State) CheckStream(fingerprint, seed uint64) error {
+	switch {
+	case s.Kind != KindStream:
+		return fmt.Errorf("%w: snapshot kind %v, run kind %v", ErrMismatch, s.Kind, KindStream)
+	case s.Fingerprint != fingerprint:
+		return fmt.Errorf("%w: config fingerprint %016x, run fingerprint %016x", ErrMismatch, s.Fingerprint, fingerprint)
+	case s.Seed != seed:
+		return fmt.Errorf("%w: snapshot seed %d, run seed %d", ErrMismatch, s.Seed, seed)
+	case s.Trials <= 0 || len(s.Blocks[0]) == 0:
+		return fmt.Errorf("%w: stream snapshot has no sink state", ErrCorrupt)
+	}
+	return nil
+}
 
 // Check validates that the snapshot belongs to the run described by the
 // arguments. Any disagreement returns an error wrapping ErrMismatch that
@@ -216,7 +279,7 @@ func Decode(data []byte) (*State, error) {
 		BlockSize:   int64(binary.LittleEndian.Uint64(data[37:45])),
 		NumBlocks:   int64(binary.LittleEndian.Uint64(data[45:53])),
 	}
-	if s.Kind != KindMonteCarlo && s.Kind != KindCampaign && s.Kind != KindJobs {
+	if s.Kind != KindMonteCarlo && s.Kind != KindCampaign && s.Kind != KindJobs && s.Kind != KindStream {
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, uint8(s.Kind))
 	}
 	if s.Trials <= 0 || s.BlockSize <= 0 || s.NumBlocks <= 0 {

@@ -112,6 +112,31 @@ func (w *Writer) Commit(b int, payload []byte) {
 	}
 }
 
+// CommitStream records the sink state of a streaming run at a new
+// frontier (see ckpt.NewStream for the geometry) and snapshots when the
+// interval has elapsed. frontier must be positive.
+func (w *Writer) CommitStream(frontier int64, state []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.state.SetStream(frontier, state)
+	w.dirty = true
+	w.blocks.Inc()
+	if w.now().Sub(w.last) >= w.interval {
+		w.writeLocked()
+	}
+}
+
+// Due reports whether the throttle interval has elapsed since the last
+// write attempt. Streaming engines use it to skip materializing the sink
+// state for a commit that would not be written anyway — unlike block
+// payloads, the sink state must be re-encoded at every frontier it is
+// persisted at.
+func (w *Writer) Due() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.now().Sub(w.last) >= w.interval
+}
+
 // Flush forces a snapshot of the current state (if anything changed
 // since the last successful write) and reports whether the on-disk head
 // snapshot now matches the in-memory state: nil means the final write

@@ -14,6 +14,13 @@
 // worker count — and makes a completed job a resumable unit: restoring
 // committed payloads from a snapshot and recomputing only the missing
 // jobs reproduces an uninterrupted run exactly.
+//
+// Run executes a fixed job grid. RunStream generalizes it to a lazy,
+// possibly unbounded JobSource drained into an ordered StreamSink —
+// same worker pool, same attempt loop, same failure policy — with the
+// commit frontier persisted as an open-ended snapshot (ckpt.KindStream)
+// instead of a per-job payload map. See stream.go for the ordering and
+// determinism argument.
 package engine
 
 import (
@@ -222,16 +229,14 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		})
 	}
 
-	// Per-job wall time feeds the ns_per_job quantile sketch; the
-	// instrument is nil exactly when spec.Reg is nil, and the timing
-	// calls are skipped entirely in that case so the uninstrumented
-	// path stays clock-free.
-	nsPerJob := spec.Reg.Quantiles("engine.ns_per_job")
+	// The executor owns the per-attempt machinery (substream reinit,
+	// deadlines, retry/backoff, the ns_per_job sketch) shared with the
+	// streaming runner; the timing calls are skipped entirely when
+	// spec.Reg is nil so the uninstrumented path stays clock-free.
+	ex := newExecutor(spec.Seed, spec.Failure, spec.Reg)
 	runStart := time.Now()
 
 	pol := spec.Failure
-	retryCtr := spec.Reg.Counter("engine.job_retries")
-	timeoutCtr := spec.Reg.Counter("engine.job_timeouts")
 	failedCtr := spec.Reg.Counter("engine.jobs_failed")
 	// Permanent keep-going failures are recorded off the hot path; the
 	// slice is sorted into job order once the workers are done.
@@ -255,59 +260,25 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 			var src, jit rng.Source
 			for i := range jobs {
 				job := spec.Jobs[i]
-				var jr JobResult
-				ok := false
-				for attempt := 1; ; attempt++ {
-					// Every attempt restarts the job substream from
-					// scratch, so a retried job's payload is the same
-					// pure function of (seed, stream) as an undisturbed
-					// one.
-					src.Reinit(spec.Seed, job.Stream)
-					var jobStart time.Time
-					if nsPerJob != nil {
-						jobStart = time.Now()
-					}
-					jerr, timedOut := runAttempt(jobCtx, &job, &src, pol.JobTimeout, &jr)
-					if nsPerJob != nil {
-						nsPerJob.Observe(float64(time.Since(jobStart)))
-					}
-					if jerr == nil {
-						ok = true
-						break
-					}
-					if isContextErr(jerr) && jobCtx.Err() != nil {
-						return // drained cleanly at the job boundary
-					}
-					if timedOut {
-						timeoutCtr.Inc()
-						jerr = fmt.Errorf("attempt deadline %v exceeded: %w", pol.JobTimeout, jerr)
-					}
-					// A context error the job invented while both the run
-					// and its own deadline were live is a programming
-					// bug, not a transient fault: never retried.
-					fabricated := isContextErr(jerr) && !timedOut
-					if !fabricated && attempt <= pol.Retries {
-						retryCtr.Inc()
-						if !sleepBackoff(jobCtx, pol, spec.Seed, i, attempt, &jit) {
-							return // cancelled mid-backoff: drain
-						}
-						continue
-					}
-					if pol.KeepGoing && !fabricated {
+				jr, attempts, verdict, jerr := ex.runJob(jobCtx, i, &job, &src, &jit)
+				switch verdict {
+				case jobDrained:
+					return // drained cleanly at a job boundary
+				case jobFailed:
+					if pol.KeepGoing {
 						failedCtr.Inc()
 						failedMu.Lock()
-						failed = append(failed, &JobError{Job: i, Name: job.Name, Attempts: attempt, Err: jerr})
+						failed = append(failed, &JobError{Job: i, Name: job.Name, Attempts: attempts, Err: jerr})
 						failedMu.Unlock()
-						break // payload slot stays nil; the run keeps going
+						continue // payload slot stays nil; the run keeps going
 					}
-					if attempt > 1 {
-						jerr = fmt.Errorf("after %d attempts: %w", attempt, jerr)
-					}
-					fail(fmt.Errorf("engine: job %d (%s): %w", i, job.Name, jerr))
+					fail(wrapJobErr(i, job.Name, attempts, jerr))
 					return
-				}
-				if !ok {
-					continue // keep-going: next job
+				case jobFabricated:
+					// Never kept-going: a fabricated context error is a
+					// programming bug, not a transient fault.
+					fail(wrapJobErr(i, job.Name, attempts, jerr))
+					return
 				}
 				res.Payloads[i] = jr.Payload // distinct index per job: no races
 				if writer != nil {

@@ -1,0 +1,289 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"reskit/internal/rng"
+)
+
+// countingSource yields jobs 0..n-1 (or forever when n < 0) whose
+// payload is the first Uint64 of the job's rng substream — a pure
+// function of (seed, stream), like every real payload.
+func countingSource(n int) JobSource {
+	next := 0
+	return SourceFunc(func() (Job, bool) {
+		if n >= 0 && next >= n {
+			return Job{}, false
+		}
+		i := next
+		next++
+		return Job{
+			Name:   fmt.Sprintf("job%d", i),
+			Stream: uint64(i),
+			Run: func(ctx context.Context, src *rng.Source) (JobResult, error) {
+				return JobResult{Payload: binary.LittleEndian.AppendUint64(nil, src.Uint64())}, nil
+			},
+		}, true
+	})
+}
+
+// foldSink is a StreamSink folding payloads into an order-sensitive
+// running digest, stopping (optionally) at a fixed frontier. Any
+// order-dependence in the engine's commit sequence changes the digest.
+type foldSink struct {
+	digest  uint64
+	commits int
+	stopAt  int // stop after this many commits (0: never)
+}
+
+func (s *foldSink) Commit(i int, payload []byte) (bool, error) {
+	if len(payload) != 8 {
+		return false, fmt.Errorf("payload %d bytes, want 8", len(payload))
+	}
+	v := binary.LittleEndian.Uint64(payload)
+	s.digest = s.digest*0x100000001b3 + v + uint64(i)
+	s.commits++
+	return s.stopAt > 0 && s.commits >= s.stopAt, nil
+}
+
+func (s *foldSink) State() ([]byte, error) {
+	b := binary.LittleEndian.AppendUint64(nil, s.digest)
+	return binary.LittleEndian.AppendUint64(b, uint64(s.commits)), nil
+}
+
+func (s *foldSink) Restore(state []byte) error {
+	if len(state) != 16 {
+		return fmt.Errorf("state %d bytes, want 16", len(state))
+	}
+	s.digest = binary.LittleEndian.Uint64(state)
+	s.commits = int(binary.LittleEndian.Uint64(state[8:]))
+	return nil
+}
+
+// TestRunStreamWorkerInvariance: a bounded stream drained with 1, 4 and
+// 8 workers must exhaust at the same frontier with the identical
+// order-sensitive digest.
+func TestRunStreamWorkerInvariance(t *testing.T) {
+	const n = 64
+	var want *foldSink
+	for _, w := range []int{1, 4, 8} {
+		sink := &foldSink{}
+		res, err := RunStream(context.Background(), StreamSpec{
+			Source: countingSource(n), Sink: sink, Seed: 42, Workers: w,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if res.Committed != n || !res.Exhausted || res.Stopped {
+			t.Fatalf("workers=%d: result %+v, want %d committed exhausted", w, res, n)
+		}
+		if want == nil {
+			want = sink
+		} else if *sink != *want {
+			t.Errorf("workers=%d: sink %+v differs from workers=1 %+v", w, sink, want)
+		}
+	}
+}
+
+// TestRunStreamStopFrontierDeterministic: the sink's stop decision must
+// land on the same frontier for any worker count, even with an
+// unbounded source racing far ahead.
+func TestRunStreamStopFrontierDeterministic(t *testing.T) {
+	const stopAt = 37
+	var want *foldSink
+	for _, w := range []int{1, 3, 8} {
+		sink := &foldSink{stopAt: stopAt}
+		res, err := RunStream(context.Background(), StreamSpec{
+			Source: countingSource(-1), Sink: sink, Seed: 42, Workers: w, Window: 16,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !res.Stopped || res.Committed != stopAt {
+			t.Fatalf("workers=%d: result %+v, want stopped at %d", w, res, stopAt)
+		}
+		if want == nil {
+			want = sink
+		} else if *sink != *want {
+			t.Errorf("workers=%d: sink %+v differs from first run %+v", w, sink, want)
+		}
+	}
+}
+
+// TestRunStreamMaxJobs: the job cap bounds an unbounded source and
+// reports exhaustion, not a stop.
+func TestRunStreamMaxJobs(t *testing.T) {
+	sink := &foldSink{}
+	res, err := RunStream(context.Background(), StreamSpec{
+		Source: countingSource(-1), Sink: sink, Seed: 42, Workers: 4, MaxJobs: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 21 || !res.Exhausted || res.Stopped {
+		t.Fatalf("result %+v, want 21 committed via MaxJobs", res)
+	}
+}
+
+// TestRunStreamKillResume: cancel a checkpointed stream mid-run, resume
+// it, and require the final sink state bit-identical to an
+// uninterrupted run — the core frontier-snapshot contract.
+func TestRunStreamKillResume(t *testing.T) {
+	const stopAt = 48
+	ref := &foldSink{stopAt: stopAt}
+	if _, err := RunStream(context.Background(), StreamSpec{
+		Source: countingSource(-1), Sink: ref, Seed: 42, Workers: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "stream.ckpt")
+	// Phase 1: cancel as soon as a few commits landed; interval 0 means
+	// every commit snapshots, so a frontier is on disk when we cancel.
+	ctx, cancel := context.WithCancel(context.Background())
+	gate := &foldSink{stopAt: stopAt}
+	var fired atomic.Bool
+	src := countingSource(-1)
+	counted := SourceFunc(func() (Job, bool) {
+		if gate.commits >= 9 && !fired.Load() {
+			fired.Store(true)
+			cancel()
+		}
+		return src.Next()
+	})
+	res1, err := RunStream(ctx, StreamSpec{
+		Source: counted, Sink: gate, Seed: 42, Workers: 2,
+		Checkpoint: Checkpoint{Path: path},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	if res1.Committed == 0 {
+		t.Fatal("interrupted run committed nothing; cannot exercise resume")
+	}
+	if _, serr := os.Stat(path); serr != nil {
+		t.Fatalf("no snapshot after interrupted run: %v", serr)
+	}
+
+	// Phase 2: resume with a different worker count.
+	var log bytes.Buffer
+	resumed := &foldSink{stopAt: stopAt}
+	res2, err := RunStream(context.Background(), StreamSpec{
+		Source: countingSource(-1), Sink: resumed, Seed: 42, Workers: 7,
+		Checkpoint: Checkpoint{Path: path, Resume: true}, Log: &log,
+	})
+	if err != nil {
+		t.Fatalf("resumed run: %v (log %q)", err, log.String())
+	}
+	if res2.Restored == 0 || !strings.Contains(log.String(), "resume: restoring stream frontier") {
+		t.Fatalf("resume restored nothing (res %+v, log %q)", res2, log.String())
+	}
+	if !res2.Stopped || res2.Committed != stopAt {
+		t.Fatalf("resumed run: result %+v, want stopped at %d", res2, stopAt)
+	}
+	if *resumed != *ref {
+		t.Errorf("resumed sink %+v differs from uninterrupted %+v", resumed, ref)
+	}
+	// A run that reached its stop removes its snapshot generations.
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Errorf("stopped run left its snapshot behind (stat err %v)", serr)
+	}
+}
+
+// TestRunStreamValidation: nil source/sink and keep-going are rejected
+// up front.
+func TestRunStreamValidation(t *testing.T) {
+	if _, err := RunStream(context.Background(), StreamSpec{}); err == nil {
+		t.Error("nil source/sink accepted")
+	}
+	_, err := RunStream(context.Background(), StreamSpec{
+		Source: countingSource(1), Sink: &foldSink{},
+		Failure: Failure{KeepGoing: true},
+	})
+	if err == nil || !strings.Contains(err.Error(), "keep-going") {
+		t.Errorf("keep-going accepted in streaming: %v", err)
+	}
+}
+
+// TestRunStreamJobFailureAborts: a job out of retry budget fails the
+// run with the engine's standard error shape, and commits stop at the
+// frontier before it.
+func TestRunStreamJobFailureAborts(t *testing.T) {
+	boom := errors.New("boom")
+	next := 0
+	src := SourceFunc(func() (Job, bool) {
+		i := next
+		next++
+		return Job{
+			Name:   fmt.Sprintf("job%d", i),
+			Stream: uint64(i),
+			Run: func(ctx context.Context, src *rng.Source) (JobResult, error) {
+				if i == 5 {
+					return JobResult{}, boom
+				}
+				return JobResult{Payload: binary.LittleEndian.AppendUint64(nil, src.Uint64())}, nil
+			},
+		}, true
+	})
+	sink := &foldSink{}
+	res, err := RunStream(context.Background(), StreamSpec{
+		Source: src, Sink: sink, Seed: 42, Workers: 3,
+	})
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "job 5") {
+		t.Fatalf("err = %v, want wrapped job 5 failure", err)
+	}
+	if res.Committed > 5 {
+		t.Errorf("committed %d jobs past the failed one", res.Committed)
+	}
+}
+
+// TestRunStreamSinkErrorAborts: a sink rejecting a payload aborts the
+// run rather than skipping the block.
+func TestRunStreamSinkErrorAborts(t *testing.T) {
+	sink := &rejectingSink{}
+	_, err := RunStream(context.Background(), StreamSpec{
+		Source: countingSource(8), Sink: sink, Seed: 42, Workers: 2,
+	})
+	if err == nil || !strings.Contains(err.Error(), "stream sink rejected job 3") {
+		t.Fatalf("err = %v, want sink rejection", err)
+	}
+}
+
+type rejectingSink struct{ commits int }
+
+func (s *rejectingSink) Commit(i int, payload []byte) (bool, error) {
+	if i == 3 {
+		return false, errors.New("indigestible")
+	}
+	s.commits++
+	return false, nil
+}
+func (s *rejectingSink) State() ([]byte, error)     { return []byte{0}, nil }
+func (s *rejectingSink) Restore(state []byte) error { return nil }
+
+// TestSliceSource: the fixed-grid adapter drains in order and stays
+// exhausted.
+func TestSliceSource(t *testing.T) {
+	jobs := []Job{{Name: "a"}, {Name: "b"}}
+	s := NewSliceSource(jobs)
+	for i, want := range []string{"a", "b"} {
+		j, ok := s.Next()
+		if !ok || j.Name != want {
+			t.Fatalf("Next %d = %q,%v want %q,true", i, j.Name, ok, want)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := s.Next(); ok {
+			t.Fatal("exhausted source yielded a job")
+		}
+	}
+}

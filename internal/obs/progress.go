@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -25,6 +26,12 @@ type Progress struct {
 	// completed and work committed so far. Rendered only when reported.
 	res  Counter
 	work Gauge
+
+	// Live precision of a converging estimate (CI half-width), published
+	// by streaming runs via SetPrecision. Rendered only once set — the
+	// natural counterpart of the ETA for runs whose total is unknown.
+	prec   Gauge
+	precOn atomic.Bool
 
 	w        io.Writer
 	label    string
@@ -90,6 +97,26 @@ func (p *Progress) Work() float64 {
 		return 0
 	}
 	return p.work.Value()
+}
+
+// SetPrecision publishes the current precision of a converging estimate
+// — the CI half-width a sequential-stopping run is driving down. Once
+// set, rendered lines carry a "±hw" readout. Safe for concurrent use.
+func (p *Progress) SetPrecision(halfwidth float64) {
+	if p == nil {
+		return
+	}
+	p.prec.Set(halfwidth)
+	p.precOn.Store(true)
+}
+
+// Precision returns the last published half-width and whether one was
+// ever published.
+func (p *Progress) Precision() (float64, bool) {
+	if p == nil {
+		return 0, false
+	}
+	return p.prec.Value(), p.precOn.Load()
 }
 
 // Start launches the reporter goroutine. It returns immediately; the
@@ -165,6 +192,12 @@ func (p *Progress) Render() string {
 	if res := p.res.Value(); res > 0 {
 		campaign = fmt.Sprintf(", %d res, %.4g work", res, p.work.Value())
 	}
+	// Precision readout (CI half-width) appears once a streaming run
+	// published it via SetPrecision.
+	var prec string
+	if p.precOn.Load() {
+		prec = fmt.Sprintf(", ±%.3g", p.prec.Value())
+	}
 	if p.total > 0 {
 		pct := 100 * float64(done) / float64(p.total)
 		eta := "?"
@@ -173,8 +206,8 @@ func (p *Progress) Render() string {
 		} else if done >= p.total {
 			eta = "0s"
 		}
-		return fmt.Sprintf("%s: %d/%d trials (%.1f%%), %.0f trials/s%s, ETA %s",
-			p.label, done, p.total, pct, rate, campaign, eta)
+		return fmt.Sprintf("%s: %d/%d trials (%.1f%%), %.0f trials/s%s%s, ETA %s",
+			p.label, done, p.total, pct, rate, campaign, prec, eta)
 	}
-	return fmt.Sprintf("%s: %d trials, %.0f trials/s%s", p.label, done, rate, campaign)
+	return fmt.Sprintf("%s: %d trials, %.0f trials/s%s%s", p.label, done, rate, campaign, prec)
 }

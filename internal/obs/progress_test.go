@@ -42,11 +42,71 @@ func TestProgressRender(t *testing.T) {
 	}
 }
 
+// TestProgressRenderUnknownTotal: with total <= 0 the line carries the
+// count and sustained rate but must not invent a percentage or an ETA —
+// there is no total to extrapolate toward.
 func TestProgressRenderUnknownTotal(t *testing.T) {
+	for _, total := range []int64{0, -1} {
+		p := NewProgress(&bytes.Buffer{}, "mc", total, time.Second)
+		base := time.Unix(100, 0)
+		p.started = base
+		p.Add(250)
+		p.now = func() time.Time { return base.Add(10 * time.Second) } // 25 trials/s
+		line := p.Render()
+		for _, want := range []string{"mc:", "250 trials", "25 trials/s"} {
+			if !strings.Contains(line, want) {
+				t.Errorf("total=%d: render %q missing %q", total, line, want)
+			}
+		}
+		for _, forbid := range []string{"%", "ETA", "250/"} {
+			if strings.Contains(line, forbid) {
+				t.Errorf("total=%d: render %q carries %q despite unknown total", total, line, forbid)
+			}
+		}
+	}
+	// Before any time elapses the rate renders as a plain 0.
 	p := NewProgress(&bytes.Buffer{}, "mc", 0, time.Second)
 	p.Add(5)
-	if line := p.Render(); !strings.Contains(line, "5 trials") || strings.Contains(line, "%") {
-		t.Errorf("unexpected render for unknown total: %q", line)
+	if line := p.Render(); !strings.Contains(line, "5 trials, 0 trials/s") {
+		t.Errorf("zero-elapsed render: %q", line)
+	}
+}
+
+// TestProgressPrecision: the ±half-width readout appears only once a
+// streaming run published one, in both the known- and unknown-total
+// branches, and tracks the latest value.
+func TestProgressPrecision(t *testing.T) {
+	for _, total := range []int64{0, 1000} {
+		p := NewProgress(&bytes.Buffer{}, "stream", total, time.Second)
+		base := time.Unix(100, 0)
+		p.started = base
+		p.now = func() time.Time { return base.Add(10 * time.Second) }
+		p.Add(250)
+		if _, ok := p.Precision(); ok {
+			t.Errorf("total=%d: precision reported before any was set", total)
+		}
+		if line := p.Render(); strings.Contains(line, "±") {
+			t.Errorf("total=%d: render %q shows precision before any was set", total, line)
+		}
+		p.SetPrecision(0.0421)
+		hw, ok := p.Precision()
+		if !ok || hw != 0.0421 {
+			t.Errorf("total=%d: Precision() = %g,%v after SetPrecision", total, hw, ok)
+		}
+		if line := p.Render(); !strings.Contains(line, "±0.0421") {
+			t.Errorf("total=%d: render %q missing the precision readout", total, line)
+		}
+		// The readout tracks the converging estimate, not its first value.
+		p.SetPrecision(0.013)
+		if line := p.Render(); !strings.Contains(line, "±0.013") || strings.Contains(line, "0.0421") {
+			t.Errorf("total=%d: render %q did not track the latest precision", total, line)
+		}
+	}
+	// Nil receiver: no-op set, zero get.
+	var nilP *Progress
+	nilP.SetPrecision(1)
+	if hw, ok := nilP.Precision(); hw != 0 || ok {
+		t.Error("nil progress should report no precision")
 	}
 }
 

@@ -129,6 +129,15 @@ func (o *Observer) tickProgressWork(reservations int64, committed float64) {
 	o.Progress.AddWork(reservations, committed)
 }
 
+// tickPrecision publishes the current CI half-width of a streaming
+// run's stop target to the progress readout.
+func (o *Observer) tickPrecision(halfwidth float64) {
+	if o == nil {
+		return
+	}
+	o.Progress.SetPrecision(halfwidth)
+}
+
 // tickBlock records one completed Monte-Carlo block.
 func (o *Observer) tickBlock() {
 	if o == nil {

@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"testing"
+)
+
+// FuzzParseStop hammers the stopping-rule parser with arbitrary specs:
+// it must never panic, every accepted spec must validate, and the
+// canonical String rendering must reparse to the identical spec — the
+// round trip streaming fingerprints rely on (equivalent specs must
+// render, and therefore hash, identically).
+func FuzzParseStop(f *testing.F) {
+	f.Add("")
+	f.Add("0.01")
+	f.Add("rel=0.005")
+	f.Add("abs=0.25")
+	f.Add("rel=0.005,abs=0.01,conf=0.99,min=5000,qtol=0.02")
+	f.Add("rel=-1")
+	f.Add("conf=0.95")
+	f.Add("rel=0.01,rel=0.02")
+	f.Add("min=,")
+	f.Add("  qtol=0.02 , rel=1e-9  ")
+	f.Add("NaN")
+	f.Add("+Inf")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		sp, err := ParseStop(spec)
+		if err != nil {
+			return
+		}
+		if sp.Active() {
+			if verr := sp.Validate(); verr != nil {
+				t.Fatalf("ParseStop(%q) accepted an invalid spec %+v: %v", spec, sp, verr)
+			}
+		} else if sp != (StopSpec{}) {
+			t.Fatalf("ParseStop(%q) returned an inactive non-zero spec %+v", spec, sp)
+		}
+		rendered := sp.String()
+		back, err := ParseStop(rendered)
+		if err != nil {
+			t.Fatalf("String round trip: ParseStop(%q) = %v", rendered, err)
+		}
+		if back != sp {
+			t.Fatalf("round trip drift: %q -> %+v -> %q -> %+v", spec, sp, rendered, back)
+		}
+	})
+}

@@ -259,6 +259,44 @@ func TestQSketchMergeEdgeCases(t *testing.T) {
 	}
 }
 
+// TestQSketchMergeNaNOnlyOperand: merging a shard that saw nothing but
+// NaNs must carry the NaN count over without inventing samples or
+// disturbing min/max — the shard has no finite history to contribute.
+func TestQSketchMergeNaNOnlyOperand(t *testing.T) {
+	full := NewQSketch(50)
+	for i := 0; i < 10; i++ {
+		full.Add(float64(i))
+	}
+	nanOnly := NewQSketch(50)
+	nanOnly.Add(math.NaN())
+	nanOnly.Add(math.NaN())
+	if nanOnly.Count() != 0 || nanOnly.NaNs() != 2 {
+		t.Fatalf("setup: count %d nans %d", nanOnly.Count(), nanOnly.NaNs())
+	}
+
+	full.Merge(nanOnly)
+	if full.Count() != 10 || full.NaNs() != 2 {
+		t.Errorf("merged count %d nans %d, want 10 and 2", full.Count(), full.NaNs())
+	}
+	if full.Min() != 0 || full.Max() != 9 {
+		t.Errorf("NaN-only merge disturbed min/max: %g/%g", full.Min(), full.Max())
+	}
+	if got := full.Quantile(0.5); math.IsNaN(got) {
+		t.Error("median NaN after NaN-only merge")
+	}
+
+	// The other direction: an empty sketch absorbing a NaN-only shard
+	// stays empty (no min/max) but remembers the NaNs.
+	empty := NewQSketch(50)
+	empty.Merge(nanOnly)
+	if empty.Count() != 0 || empty.NaNs() != 2 {
+		t.Errorf("empty <- NaN-only: count %d nans %d", empty.Count(), empty.NaNs())
+	}
+	if !math.IsNaN(empty.Min()) || !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty <- NaN-only: min/quantile should stay NaN")
+	}
+}
+
 // TestQSketchMergeMatchesCombinedStream: merging shards must agree with
 // a single sketch that saw every sample, within the digest's accuracy.
 func TestQSketchMergeMatchesCombinedStream(t *testing.T) {

@@ -1,0 +1,337 @@
+package stats
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Sequential stopping for streaming Monte-Carlo campaigns: instead of
+// guessing a trial count up front, the run drains trial blocks until the
+// answer is known — the confidence-interval half-width of the target
+// mean is under a threshold and (optionally) the tracked quantiles of a
+// QSketch have stopped moving. The decision is evaluated only on the
+// ordered prefix of committed blocks, so it is a pure function of the
+// block stream: deterministic for any worker count, and resumable when
+// the Stopper state rides in the run snapshot.
+
+// StopSpec is a sequential stopping rule. The zero value never stops
+// (Active reports false); a usable rule sets at least one of Rel/Abs.
+type StopSpec struct {
+	// Rel stops when the CI half-width is at most Rel·|mean| of the
+	// target (0 disables the relative criterion).
+	Rel float64
+	// Abs stops when the CI half-width is at most Abs (0 disables the
+	// absolute criterion). When both Rel and Abs are set, either
+	// suffices.
+	Abs float64
+	// Confidence is the CI coverage (0 means the 0.95 default).
+	Confidence float64
+	// MinN is the minimum number of observations before the rule may
+	// fire (0 means the DefaultStopMinN guard — early CI estimates are
+	// too noisy to trust).
+	MinN int64
+	// QuantTol, when positive, additionally requires quantile
+	// stability: between successive doubling epochs of the observation
+	// count, every tracked quantile of the companion QSketch must move
+	// relatively less than QuantTol.
+	QuantTol float64
+}
+
+// DefaultStopMinN is the observation floor applied when MinN is zero: a
+// CI estimated from fewer observations is noise, and a rule that fires
+// on noise stops at a different trial count every run.
+const DefaultStopMinN = 1000
+
+// defaultStopConfidence is the CI coverage applied when Confidence is 0.
+const defaultStopConfidence = 0.95
+
+// StopQuantiles are the sketch quantiles the stability criterion
+// tracks: the median plus the two upper tails the heavy-tailed task
+// laws stress.
+var StopQuantiles = [3]float64{0.5, 0.9, 0.99}
+
+// Active reports whether the spec stops at all.
+func (s StopSpec) Active() bool { return s.Rel > 0 || s.Abs > 0 }
+
+// Validate rejects nonsensical rules up front.
+func (s StopSpec) Validate() error {
+	switch {
+	case math.IsNaN(s.Rel) || math.IsInf(s.Rel, 0) || s.Rel < 0:
+		return fmt.Errorf("stats: stop rel must be a non-negative finite number, got %g", s.Rel)
+	case math.IsNaN(s.Abs) || math.IsInf(s.Abs, 0) || s.Abs < 0:
+		return fmt.Errorf("stats: stop abs must be a non-negative finite number, got %g", s.Abs)
+	case s.Confidence != 0 && !(s.Confidence > 0 && s.Confidence < 1):
+		return fmt.Errorf("stats: stop confidence must be in (0,1), got %g", s.Confidence)
+	case s.MinN < 0:
+		return fmt.Errorf("stats: stop min must be non-negative, got %d", s.MinN)
+	case math.IsNaN(s.QuantTol) || math.IsInf(s.QuantTol, 0) || s.QuantTol < 0:
+		return fmt.Errorf("stats: stop qtol must be a non-negative finite number, got %g", s.QuantTol)
+	case !s.Active():
+		// Last: a malformed rel/abs should be diagnosed as such, not as
+		// an absent rule.
+		return errors.New("stats: stop rule needs rel or abs")
+	}
+	return nil
+}
+
+// confidence returns the effective CI coverage.
+func (s StopSpec) confidence() float64 {
+	if s.Confidence == 0 {
+		return defaultStopConfidence
+	}
+	return s.Confidence
+}
+
+// minN returns the effective observation floor.
+func (s StopSpec) minN() int64 {
+	if s.MinN == 0 {
+		return DefaultStopMinN
+	}
+	return s.MinN
+}
+
+// Z returns the two-sided normal critical value of the spec's
+// confidence level (1.96 at the default 0.95).
+func (s StopSpec) Z() float64 {
+	return math.Sqrt2 * math.Erfinv(s.confidence())
+}
+
+// HalfWidth returns the CI half-width of the target mean at the spec's
+// confidence level — the number the rule compares against Rel/Abs, and
+// the live precision readout shown while a streaming run converges.
+// +Inf with fewer than two observations.
+func (s StopSpec) HalfWidth(target Summary) float64 {
+	return s.Z() * target.StdErr()
+}
+
+// ciMet reports whether the CI criterion holds for the target summary.
+func (s StopSpec) ciMet(target Summary) bool {
+	hw := s.HalfWidth(target)
+	if math.IsInf(hw, 0) || math.IsNaN(hw) {
+		return false
+	}
+	if s.Abs > 0 && hw <= s.Abs {
+		return true
+	}
+	return s.Rel > 0 && hw <= s.Rel*math.Abs(target.Mean())
+}
+
+// String renders the rule as the canonical spec ParseStop accepts:
+// fields in fixed order, zero fields omitted. The zero spec renders
+// empty.
+func (s StopSpec) String() string {
+	var parts []string
+	if s.Rel != 0 {
+		parts = append(parts, "rel="+formatStopFloat(s.Rel))
+	}
+	if s.Abs != 0 {
+		parts = append(parts, "abs="+formatStopFloat(s.Abs))
+	}
+	if s.Confidence != 0 {
+		parts = append(parts, "conf="+formatStopFloat(s.Confidence))
+	}
+	if s.MinN != 0 {
+		parts = append(parts, "min="+strconv.FormatInt(s.MinN, 10))
+	}
+	if s.QuantTol != 0 {
+		parts = append(parts, "qtol="+formatStopFloat(s.QuantTol))
+	}
+	return strings.Join(parts, ",")
+}
+
+// formatStopFloat renders a float so that parsing it back yields the
+// identical bits — the property the canonical round trip needs.
+func formatStopFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ParseStop parses a compact stopping-rule spec — comma-separated
+// key=value pairs:
+//
+//	rel=0.005,abs=0.01,conf=0.99,min=5000,qtol=0.02
+//
+// Keys may appear in any order but at most once; unknown keys and
+// invalid values are errors, and the assembled rule is validated (at
+// least one of rel/abs must be set). A bare number is shorthand for the
+// relative criterion: "0.005" means "rel=0.005". The empty string
+// parses to the zero (inactive) spec.
+func ParseStop(s string) (StopSpec, error) {
+	var sp StopSpec
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return sp, nil
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		sp.Rel = v
+		if verr := sp.Validate(); verr != nil {
+			return StopSpec{}, verr
+		}
+		return sp, nil
+	}
+	seen := make(map[string]bool, 5)
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			return StopSpec{}, errors.New("stats: empty field in stop spec")
+		}
+		key, val, hasVal := strings.Cut(field, "=")
+		key = strings.TrimSpace(key)
+		if !hasVal {
+			return StopSpec{}, fmt.Errorf("stats: %s needs a value in stop spec", key)
+		}
+		if seen[key] {
+			return StopSpec{}, fmt.Errorf("stats: duplicate %q in stop spec", key)
+		}
+		seen[key] = true
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "rel":
+			sp.Rel, err = strconv.ParseFloat(val, 64)
+		case "abs":
+			sp.Abs, err = strconv.ParseFloat(val, 64)
+		case "conf":
+			sp.Confidence, err = strconv.ParseFloat(val, 64)
+		case "min":
+			sp.MinN, err = strconv.ParseInt(val, 10, 64)
+		case "qtol":
+			sp.QuantTol, err = strconv.ParseFloat(val, 64)
+		default:
+			return StopSpec{}, fmt.Errorf("stats: unknown key %q in stop spec (known: abs, conf, min, qtol, rel)", key)
+		}
+		if err != nil {
+			return StopSpec{}, fmt.Errorf("stats: bad %s in stop spec: %w", key, err)
+		}
+	}
+	if err := sp.Validate(); err != nil {
+		return StopSpec{}, err
+	}
+	return sp, nil
+}
+
+// Stopper evaluates a StopSpec over an ordered stream of commits. The
+// caller owns the target Summary and the optional QSketch (they are
+// part of the resumable aggregate); the Stopper owns only the
+// quantile-stability memory between doubling epochs. Step must be
+// called at ordered block boundaries — the decision is then a pure
+// function of the committed prefix, identical for any worker count and
+// across kill-and-resume (persist the state with AppendBinary).
+type Stopper struct {
+	Spec StopSpec
+
+	prevN   int64      // observation count at the last quantile epoch
+	prevQ   [3]float64 // StopQuantiles estimates at that epoch
+	qStable bool       // last epoch comparison came out stable
+}
+
+// Step evaluates the rule after a block commit. target is the running
+// summary of the stop target; sketch may be nil when the spec does not
+// require quantile stability. It returns true when the run may stop.
+func (st *Stopper) Step(target Summary, sketch *QSketch) bool {
+	if !st.Spec.Active() {
+		return false
+	}
+	n := target.N()
+	if st.Spec.QuantTol > 0 && sketch != nil {
+		st.stepQuantiles(sketch)
+	}
+	if n < st.Spec.minN() {
+		return false
+	}
+	if !st.Spec.ciMet(target) {
+		return false
+	}
+	if st.Spec.QuantTol > 0 && sketch != nil && !st.qStable {
+		return false
+	}
+	return true
+}
+
+// stepQuantiles advances the doubling-epoch quantile-stability check:
+// each time the sketch's sample count at least doubles since the last
+// epoch, the tracked quantiles are compared against the previous
+// epoch's — stable when every relative move is within QuantTol.
+func (st *Stopper) stepQuantiles(sketch *QSketch) {
+	n := sketch.Count()
+	if n == 0 {
+		return
+	}
+	if st.prevN == 0 {
+		st.prevN = n
+		for i, q := range StopQuantiles {
+			st.prevQ[i] = sketch.Quantile(q)
+		}
+		return
+	}
+	if n < 2*st.prevN {
+		return
+	}
+	stable := true
+	var cur [3]float64
+	for i, q := range StopQuantiles {
+		cur[i] = sketch.Quantile(q)
+		if relMove(st.prevQ[i], cur[i]) > st.Spec.QuantTol {
+			stable = false
+		}
+	}
+	st.prevN = n
+	st.prevQ = cur
+	st.qStable = stable
+}
+
+// relMove returns the relative movement between two quantile estimates:
+// |a-b| scaled by the larger magnitude, 0 when both are (near) zero.
+func relMove(a, b float64) float64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.Inf(1)
+	}
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return 0
+	}
+	return d / scale
+}
+
+// StopperWireSize is the exact encoded size of a Stopper's mutable
+// state: the epoch count, three quantiles, and the stability flag word.
+const StopperWireSize = 5 * 8
+
+// AppendBinary appends the exact binary image of the stopper's mutable
+// state (the Spec travels separately — it is configuration, not state).
+func (st *Stopper) AppendBinary(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.prevN))
+	for _, q := range st.prevQ {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(q))
+	}
+	var flags uint64
+	if st.qStable {
+		flags = 1
+	}
+	return binary.LittleEndian.AppendUint64(b, flags)
+}
+
+// UnmarshalBinary restores state written by AppendBinary, bit for bit.
+func (st *Stopper) UnmarshalBinary(data []byte) error {
+	if len(data) != StopperWireSize {
+		return fmt.Errorf("stats: stopper wire image is %d bytes, want %d", len(data), StopperWireSize)
+	}
+	n := int64(binary.LittleEndian.Uint64(data[0:]))
+	if n < 0 {
+		return fmt.Errorf("stats: stopper wire image has negative epoch count %d", n)
+	}
+	flags := binary.LittleEndian.Uint64(data[32:])
+	if flags > 1 {
+		return fmt.Errorf("stats: stopper wire image has unknown flags %#x", flags)
+	}
+	st.prevN = n
+	for i := range st.prevQ {
+		st.prevQ[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8+8*i:]))
+	}
+	st.qStable = flags == 1
+	return nil
+}

@@ -1,0 +1,285 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"reskit/internal/rng"
+)
+
+func TestParseStopValid(t *testing.T) {
+	cases := []struct {
+		in   string
+		want StopSpec
+	}{
+		{"", StopSpec{}},
+		{"  ", StopSpec{}},
+		{"0.005", StopSpec{Rel: 0.005}},
+		{"rel=0.005", StopSpec{Rel: 0.005}},
+		{"abs=0.01", StopSpec{Abs: 0.01}},
+		{"rel=0.005,abs=0.01,conf=0.99,min=5000,qtol=0.02",
+			StopSpec{Rel: 0.005, Abs: 0.01, Confidence: 0.99, MinN: 5000, QuantTol: 0.02}},
+		// Order-free keys, embedded whitespace.
+		{" qtol=0.02 , rel=0.005 ", StopSpec{Rel: 0.005, QuantTol: 0.02}},
+	}
+	for _, tc := range cases {
+		got, err := ParseStop(tc.in)
+		if err != nil {
+			t.Errorf("ParseStop(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseStop(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseStopErrors(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"conf=0.95", "needs rel or abs"},
+		{"rel=-0.1", "non-negative"},
+		{"rel=NaN", "non-negative finite"},
+		{"abs=+Inf", "non-negative finite"},
+		{"rel=0.01,conf=1", "confidence must be in (0,1)"},
+		{"rel=0.01,conf=0", "needs a value"}, // conf=0 parses but renders the spec... no: literal check below
+		{"rel=0.01,min=-5", "min must be non-negative"},
+		{"rel=0.01,qtol=-1", "qtol must be a non-negative"},
+		{"rel=0.01,rel=0.02", `duplicate "rel"`},
+		{"speed=11", "unknown key"},
+		{"rel", "needs a value"},
+		{"rel=0.01,,abs=0.2", "empty field"},
+		{"rel=zero", "bad rel"},
+		{"min=1e3,rel=0.1", "bad min"},
+	}
+	for _, tc := range cases {
+		if tc.in == "rel=0.01,conf=0" {
+			// conf=0 is the "use default" zero value: legal.
+			if _, err := ParseStop(tc.in); err != nil {
+				t.Errorf("ParseStop(%q): conf=0 should mean the default, got %v", tc.in, err)
+			}
+			continue
+		}
+		_, err := ParseStop(tc.in)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseStop(%q): err = %v, want %q", tc.in, err, tc.want)
+		}
+	}
+}
+
+// TestStopSpecStringRoundTrip: String renders the canonical form
+// ParseStop reparses to the identical spec — the property the streaming
+// fingerprint relies on (two runs with equivalent specs must hash the
+// same way).
+func TestStopSpecStringRoundTrip(t *testing.T) {
+	specs := []StopSpec{
+		{},
+		{Rel: 0.005},
+		{Abs: 0.25},
+		{Rel: 1e-9, Abs: 0.01, Confidence: 0.999, MinN: 12345, QuantTol: 0.025},
+	}
+	for _, sp := range specs {
+		s := sp.String()
+		got, err := ParseStop(s)
+		if err != nil {
+			t.Errorf("ParseStop(String(%+v) = %q): %v", sp, s, err)
+			continue
+		}
+		if got != sp {
+			t.Errorf("round trip %+v -> %q -> %+v", sp, s, got)
+		}
+	}
+	if s := (StopSpec{Rel: 0.005, MinN: 100}).String(); s != "rel=0.005,min=100" {
+		t.Errorf("canonical form = %q, want fixed field order with zeros omitted", s)
+	}
+}
+
+func TestStopSpecZ(t *testing.T) {
+	if z := (StopSpec{Rel: 1}).Z(); math.Abs(z-1.9599639845) > 1e-6 {
+		t.Errorf("default-confidence Z = %g, want 1.96", z)
+	}
+	if z := (StopSpec{Rel: 1, Confidence: 0.99}).Z(); math.Abs(z-2.5758293035) > 1e-6 {
+		t.Errorf("99%% Z = %g, want 2.576", z)
+	}
+}
+
+// TestStopperCI: the rule must hold off until minN, then fire once the
+// half-width criterion is met — and an inactive spec never fires.
+func TestStopperCI(t *testing.T) {
+	var idle Stopper
+	var tgt Summary
+	for i := 0; i < 100; i++ {
+		tgt.Add(1)
+	}
+	if idle.Step(tgt, nil) {
+		t.Error("zero spec fired")
+	}
+
+	// A constant target has zero half-width: the rule fires exactly when
+	// n reaches the floor.
+	st := Stopper{Spec: StopSpec{Rel: 0.01, MinN: 200}}
+	if st.Step(tgt, nil) {
+		t.Error("fired below MinN")
+	}
+	for i := 0; i < 100; i++ {
+		tgt.Add(1)
+	}
+	if !st.Step(tgt, nil) {
+		t.Error("did not fire at MinN with a zero-width CI")
+	}
+
+	// The absolute criterion: half-width of a noisy mean shrinks as
+	// 1/sqrt(n); the rule must stay quiet while hw > Abs and fire after.
+	abs := Stopper{Spec: StopSpec{Abs: 0.05, MinN: 10}}
+	var noisy Summary
+	r := rng.New(5)
+	fired := -1
+	for i := 0; i < 100000; i++ {
+		noisy.Add(r.Normal())
+		if abs.Step(noisy, nil) {
+			fired = i + 1
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("absolute criterion never fired")
+	}
+	if hw := abs.Spec.HalfWidth(noisy); hw > 0.05 {
+		t.Errorf("fired at n=%d with half-width %g > abs", fired, hw)
+	}
+}
+
+// TestStopperQuantileStability: with QuantTol set, the CI being met is
+// not enough — the sketch quantiles must also sit still across a
+// doubling epoch. A drifting distribution keeps the rule quiet; a
+// stationary one releases it.
+func TestStopperQuantileStability(t *testing.T) {
+	spec := StopSpec{Rel: 0.5, MinN: 100, QuantTol: 0.05}
+
+	// Drifting: each sample doubles the scale of the last — quantiles
+	// never settle, so the rule must not fire even with a loose CI.
+	drift := Stopper{Spec: spec}
+	var dtgt Summary
+	dsk := NewQSketch(100)
+	firedDrifting := false
+	for i := 0; i < 4000; i++ {
+		x := float64(i) * float64(i) // strongly drifting upward
+		dtgt.Add(1)                  // constant target: CI criterion trivially met
+		dsk.Add(x)
+		if drift.Step(dtgt, dsk) {
+			firedDrifting = true
+			break
+		}
+	}
+	if firedDrifting {
+		t.Error("rule fired while quantiles were drifting")
+	}
+
+	// Stationary: quantiles settle after a few epochs and the rule fires.
+	stat := Stopper{Spec: spec}
+	var stgt Summary
+	ssk := NewQSketch(100)
+	r := rng.New(9)
+	fired := false
+	for i := 0; i < 100000; i++ {
+		stgt.Add(1)
+		ssk.Add(r.Float64())
+		if stat.Step(stgt, ssk) {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Error("rule never fired on a stationary stream")
+	}
+}
+
+// TestStopperWireRoundTrip: persisting the stopper mid-stream and
+// restoring it must reproduce the uninterrupted decision sequence bit
+// for bit — the property frontier snapshots rely on.
+func TestStopperWireRoundTrip(t *testing.T) {
+	spec := StopSpec{Rel: 0.02, MinN: 500, QuantTol: 0.01}
+	mk := func() (*Stopper, *Summary, *QSketch) {
+		return &Stopper{Spec: spec}, &Summary{}, NewQSketch(100)
+	}
+
+	full, ftgt, fsk := mk()
+	part, ptgt, psk := mk()
+	r1, r2 := rng.New(21), rng.New(21)
+	const cut = 3000
+	var fullSeq, partSeq []bool
+	for i := 0; i < 8000; i++ {
+		x := r1.Normal()
+		ftgt.Add(x)
+		fsk.Add(x)
+		fullSeq = append(fullSeq, full.Step(*ftgt, fsk))
+
+		y := r2.Normal()
+		ptgt.Add(y)
+		psk.Add(y)
+		partSeq = append(partSeq, part.Step(*ptgt, psk))
+		if i == cut {
+			// Simulate kill-and-resume: round-trip all resumable state.
+			img := part.AppendBinary(nil)
+			if len(img) != StopperWireSize {
+				t.Fatalf("stopper image %d bytes, want %d", len(img), StopperWireSize)
+			}
+			part = &Stopper{Spec: spec}
+			if err := part.UnmarshalBinary(img); err != nil {
+				t.Fatal(err)
+			}
+			simg, _ := ptgt.MarshalBinary()
+			ptgt = &Summary{}
+			if err := ptgt.UnmarshalBinary(simg); err != nil {
+				t.Fatal(err)
+			}
+			qimg, _ := psk.MarshalBinary()
+			psk = NewQSketch(100)
+			if err := psk.UnmarshalBinary(qimg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := range fullSeq {
+		if fullSeq[i] != partSeq[i] {
+			t.Fatalf("decision %d diverged after mid-stream round trip", i)
+		}
+	}
+}
+
+func TestStopperWireErrors(t *testing.T) {
+	var st Stopper
+	if err := st.UnmarshalBinary(make([]byte, StopperWireSize-1)); err == nil {
+		t.Error("short image accepted")
+	}
+	bad := make([]byte, StopperWireSize)
+	for i := 0; i < 8; i++ {
+		bad[i] = 0xff // prevN = -1
+	}
+	if err := st.UnmarshalBinary(bad); err == nil {
+		t.Error("negative epoch count accepted")
+	}
+	bad = make([]byte, StopperWireSize)
+	bad[32] = 7 // unknown flags
+	if err := st.UnmarshalBinary(bad); err == nil {
+		t.Error("unknown flags accepted")
+	}
+}
+
+func TestRelMove(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, 0},
+		{10, 10, 0},
+		{10, 11, 1.0 / 11}, // |10-11| scaled by the larger magnitude
+		{-4, 4, 2},
+		{0, 5, 1},
+	}
+	for _, tc := range cases {
+		if got := relMove(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("relMove(%g, %g) = %g, want %g", tc.a, tc.b, got, tc.want)
+		}
+	}
+	if !math.IsInf(relMove(math.NaN(), 1), 1) {
+		t.Error("relMove with NaN should be +Inf (never stable)")
+	}
+}

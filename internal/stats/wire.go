@@ -46,3 +46,85 @@ func (s *Summary) UnmarshalBinary(data []byte) error {
 	s.max = math.Float64frombits(binary.LittleEndian.Uint64(data[32:]))
 	return nil
 }
+
+// qsketchWireHeader is the fixed prefix of a QSketch wire image:
+// compression, count, nans, min, max, and the centroid count, followed
+// by 16 bytes (mean, weight) per centroid.
+const qsketchWireHeader = 6 * 8
+
+// AppendBinary appends the exact binary image of the sketch to b and
+// returns the extended slice. Pending samples are flushed first, so the
+// image is the canonical compressed form; decoding it restores a sketch
+// whose every subsequent Add/Merge behaves bit-identically to the
+// original — the property frontier snapshots of streaming campaigns
+// rely on for kill-and-resume bit-identity.
+func (s *QSketch) AppendBinary(b []byte) []byte {
+	s.flush()
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.compression))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.count))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.nans))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.min))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.max))
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(s.cents)))
+	for _, c := range s.cents {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(c.mean))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(c.weight))
+	}
+	return b
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *QSketch) MarshalBinary() ([]byte, error) {
+	return s.AppendBinary(make([]byte, 0, qsketchWireHeader+16*len(s.cents)+16*len(s.pend))), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. It requires the
+// exact image length (the sketch is the trailing field of any composite
+// encoding) and validates the structural invariants — non-negative
+// counts, finite positive weights, centroid means finite and sorted —
+// so a corrupt snapshot fails loudly instead of skewing quantiles.
+func (s *QSketch) UnmarshalBinary(data []byte) error {
+	if len(data) < qsketchWireHeader {
+		return fmt.Errorf("stats: qsketch wire image is %d bytes, want at least %d", len(data), qsketchWireHeader)
+	}
+	ncents := binary.LittleEndian.Uint64(data[40:])
+	if ncents > uint64((len(data)-qsketchWireHeader)/16) || len(data) != qsketchWireHeader+16*int(ncents) {
+		return fmt.Errorf("stats: qsketch wire image is %d bytes, want %d for %d centroids",
+			len(data), qsketchWireHeader+16*int(ncents), ncents)
+	}
+	count := int64(binary.LittleEndian.Uint64(data[8:]))
+	nans := int64(binary.LittleEndian.Uint64(data[16:]))
+	if count < 0 || nans < 0 {
+		return fmt.Errorf("stats: qsketch wire image has negative counts (%d samples, %d NaNs)", count, nans)
+	}
+	compression := math.Float64frombits(binary.LittleEndian.Uint64(data[0:]))
+	if math.IsNaN(compression) || compression < 0 {
+		return fmt.Errorf("stats: qsketch wire image has bad compression %g", compression)
+	}
+	cents := make([]qcentroid, ncents)
+	prev := math.Inf(-1)
+	for i := range cents {
+		off := qsketchWireHeader + 16*i
+		mean := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		weight := math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
+		if math.IsNaN(mean) || math.IsInf(mean, 0) {
+			return fmt.Errorf("stats: qsketch wire image centroid %d has non-finite mean", i)
+		}
+		if mean < prev {
+			return fmt.Errorf("stats: qsketch wire image centroids out of order at %d", i)
+		}
+		if !(weight > 0) || math.IsInf(weight, 0) {
+			return fmt.Errorf("stats: qsketch wire image centroid %d has bad weight %g", i, weight)
+		}
+		prev = mean
+		cents[i] = qcentroid{mean: mean, weight: weight}
+	}
+	s.compression = compression
+	s.count = count
+	s.nans = nans
+	s.min = math.Float64frombits(binary.LittleEndian.Uint64(data[24:]))
+	s.max = math.Float64frombits(binary.LittleEndian.Uint64(data[32:]))
+	s.cents = cents
+	s.pend = s.pend[:0]
+	return nil
+}

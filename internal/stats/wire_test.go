@@ -1,8 +1,12 @@
 package stats
 
 import (
+	"bytes"
+	"encoding/binary"
 	"math"
 	"testing"
+
+	"reskit/internal/rng"
 )
 
 func TestSummaryWireRoundTrip(t *testing.T) {
@@ -57,6 +61,109 @@ func TestSummaryWireMergeBitIdentical(t *testing.T) {
 	if m1 != m2 {
 		t.Errorf("merge after round trip differs: %+v vs %+v", m1, m2)
 	}
+}
+
+// TestQSketchWireRoundTrip: a decoded sketch must answer every quantile
+// identically and behave bit-identically under further Adds — the
+// frontier-snapshot contract for streaming campaigns.
+func TestQSketchWireRoundTrip(t *testing.T) {
+	s := NewQSketch(100)
+	src := rng.New(13)
+	for i := 0; i < 5000; i++ {
+		s.Add(src.Normal())
+	}
+	s.Add(math.NaN())
+	s.Add(math.Inf(1))
+
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := new(QSketch)
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != s.Count() || got.NaNs() != s.NaNs() || got.Min() != s.Min() || got.Max() != s.Max() {
+		t.Errorf("bookkeeping drifted: count %d/%d nans %d/%d min %g/%g max %g/%g",
+			got.Count(), s.Count(), got.NaNs(), s.NaNs(), got.Min(), s.Min(), got.Max(), s.Max())
+	}
+	for _, q := range []float64{0, 0.01, 0.5, 0.9, 0.99, 1} {
+		if a, b := got.Quantile(q), s.Quantile(q); a != b {
+			t.Errorf("Quantile(%g): decoded %g, original %g", q, a, b)
+		}
+	}
+	// Continue both streams: every subsequent sample must leave the two
+	// sketches bit-identical (same centroids, same answers).
+	cont := rng.New(14)
+	for i := 0; i < 2000; i++ {
+		x := cont.Normal()
+		s.Add(x)
+		got.Add(x)
+	}
+	d1, _ := s.MarshalBinary()
+	d2, _ := got.MarshalBinary()
+	if !bytes.Equal(d1, d2) {
+		t.Error("sketches diverged after post-round-trip Adds")
+	}
+}
+
+func TestQSketchWireEmpty(t *testing.T) {
+	s := NewQSketch(50)
+	data, _ := s.MarshalBinary()
+	got := new(QSketch)
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != 0 || !math.IsNaN(got.Quantile(0.5)) {
+		t.Errorf("empty sketch round trip: count %d", got.Count())
+	}
+}
+
+// TestQSketchWireErrors: corrupt images must be rejected loudly, never
+// decoded into a sketch that would skew quantiles.
+func TestQSketchWireErrors(t *testing.T) {
+	good := NewQSketch(50)
+	for i := 0; i < 32; i++ {
+		good.Add(float64(i))
+	}
+	img, _ := good.MarshalBinary()
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		bad := mutate(append([]byte(nil), img...))
+		if err := new(QSketch).UnmarshalBinary(bad); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	corrupt("truncated header", func(b []byte) []byte { return b[:qsketchWireHeader-1] })
+	corrupt("truncated centroids", func(b []byte) []byte { return b[:len(b)-1] })
+	corrupt("trailing garbage", func(b []byte) []byte { return append(b, 0) })
+	corrupt("negative count", func(b []byte) []byte {
+		for i := 8; i < 16; i++ {
+			b[i] = 0xff
+		}
+		return b
+	})
+	corrupt("NaN compression", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[0:], math.Float64bits(math.NaN()))
+		return b
+	})
+	corrupt("NaN centroid mean", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[qsketchWireHeader:], math.Float64bits(math.NaN()))
+		return b
+	})
+	corrupt("zero centroid weight", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[qsketchWireHeader+8:], 0)
+		return b
+	})
+	corrupt("centroids out of order", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[qsketchWireHeader:], math.Float64bits(1e9))
+		return b
+	})
+	corrupt("absurd centroid count", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[40:], 1<<40)
+		return b
+	})
 }
 
 func TestSummaryWireErrors(t *testing.T) {
